@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each module in this directory regenerates one artifact of the paper
+(see DESIGN.md §3).  The figure reproductions assert structure and
+print the regenerated artifact; the quantitative benches use
+pytest-benchmark and print the table rows they produce.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+BO = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"
+KATE = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"
+
+#: Local policy used whenever a bench needs a second (site) source.
+SITE_POLICY_TEXT = """
+/O=Grid/O=Globus/OU=mcs.anl.gov:
+    &(action=start)(count<=32)
+    &(action=cancel)
+    &(action=information)
+    &(action=signal)
+"""
+
+
+@pytest.fixture
+def figure3_policy():
+    return parse_policy(FIGURE3_POLICY_TEXT, name="vo")
+
+
+@pytest.fixture
+def site_policy():
+    return parse_policy(SITE_POLICY_TEXT, name="local")
+
+
+def emit(title: str, lines) -> None:
+    """Print a reproduced artifact so harness output shows the rows."""
+    print(f"\n===== {title} =====", file=sys.stderr)
+    for line in lines:
+        print(line, file=sys.stderr)

@@ -1,0 +1,113 @@
+"""B-OVH — authorization overhead of the callout path.
+
+(Extension bench: the paper's prototype evaluation was qualitative;
+this quantifies what it deployed.)  Compares per-request latency of
+
+* stock GT2 (LEGACY: no callout at all),
+* extended GRAM with the PEP in the Job Manager (the paper's design),
+* extended GRAM with an *additional* Gatekeeper PEP (§6.2 placement
+  ablation: the decision happens earlier but the trusted component
+  grows).
+
+Shape expectation: EXTENDED costs more than LEGACY (one policy
+evaluation per action); the double-PEP variant costs the most.  The
+absolute numbers are simulator-scale, the ordering is the result.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.service import GramService, ServiceConfig
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+from benchmarks.conftest import BO, SITE_POLICY_TEXT, emit
+
+#: Bo's conforming job, with a self-cancel grant added so the bench
+#: can drain jobs and keep scheduler state bounded.
+VO_TEXT = FIGURE3_POLICY_TEXT + f"""
+{BO}:
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobowner=self)
+"""
+
+JOB = "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)(runtime=5)"
+
+
+def build(mode, pep_in_gatekeeper=False):
+    policies = ()
+    if mode is AuthorizationMode.EXTENDED:
+        policies = (
+            parse_policy(VO_TEXT, name="vo"),
+            parse_policy(SITE_POLICY_TEXT, name="local"),
+        )
+    service = GramService(
+        ServiceConfig(
+            mode=mode,
+            policies=policies,
+            pep_in_gatekeeper=pep_in_gatekeeper,
+            enforcement=None,
+        )
+    )
+    client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+    return service, client
+
+
+def submit_and_drain(service, client):
+    """One submit+cancel round-trip with bounded scheduler state."""
+    response = client.submit(JOB)
+    assert response.ok, response
+    client.cancel(response.contact)
+    return response
+
+
+class TestCalloutOverheadBench:
+    def test_bench_legacy_round_trip(self, benchmark):
+        service, client = build(AuthorizationMode.LEGACY)
+        benchmark(submit_and_drain, service, client)
+
+    def test_bench_extended_round_trip(self, benchmark):
+        service, client = build(AuthorizationMode.EXTENDED)
+        benchmark(submit_and_drain, service, client)
+
+    def test_bench_extended_double_pep_round_trip(self, benchmark):
+        service, client = build(AuthorizationMode.EXTENDED, pep_in_gatekeeper=True)
+        benchmark(submit_and_drain, service, client)
+
+    def test_bench_management_authorization_only(self, benchmark):
+        """Per-management-request callout cost (information query)."""
+        service, client = build(AuthorizationMode.EXTENDED)
+        submitted = client.submit(JOB)
+
+        def status():
+            return client.status(submitted.contact)
+
+        response = benchmark(status)
+        assert response.ok
+
+
+class TestOverheadShape:
+    def test_extended_does_more_authorization_work_than_legacy(self):
+        """The structural claim behind the overhead: counts, not time."""
+        rows = []
+        counts = {}
+        for label, mode, double in (
+            ("legacy", AuthorizationMode.LEGACY, False),
+            ("extended", AuthorizationMode.EXTENDED, False),
+            ("extended+gk-pep", AuthorizationMode.EXTENDED, True),
+        ):
+            service, client = build(mode, pep_in_gatekeeper=double)
+            for _ in range(10):
+                submit_and_drain(service, client)
+            decisions = service.pep.decisions_made + (
+                service.gatekeeper_pep.decisions_made
+                if service.gatekeeper_pep
+                else 0
+            )
+            counts[label] = decisions
+            rows.append(f"{label:18s} policy decisions per 10 jobs: {decisions}")
+        emit("B-OVH — authorization work per request path", rows)
+        assert counts["legacy"] == 0
+        assert counts["extended"] == 20          # start + cancel per job
+        assert counts["extended+gk-pep"] == 30   # + gatekeeper start check

@@ -1,0 +1,135 @@
+"""B-E2E — the National Fusion Collaboratory workload, full stack.
+
+(Extension bench.)  Drives the complete deployment — GSI
+authentication, gatekeeper mapping, callout authorization against the
+combined VO∧site policy, sandbox enforcement, batch scheduling — with
+a mixed conforming/rogue workload from every user class, and reports
+the aggregate outcome rows.
+
+Shape expectations: every rogue submission is denied with a policy
+reason; conforming work completes; administrators preempt at will;
+cluster utilization is driven by the analysts' big jobs.
+"""
+
+import random
+
+import pytest
+
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.workloads.scenarios import build_fusion_scenario
+
+from benchmarks.conftest import emit
+
+
+def drive_workload(seed=23, rounds=30):
+    rng = random.Random(seed)
+    scenario = build_fusion_scenario(
+        developers=3, analysts=4, admins=1, node_count=8, cpus_per_node=4
+    )
+    service = scenario.service
+    admin = next(iter(scenario.admins.values()))
+
+    outcomes = {"permitted": 0, "denied": 0, "other": 0}
+    contacts = []
+
+    dev_templates = [
+        "&(executable={exe})(directory=/sandbox/dev)(jobtag=DEBUG)(count=1)(maxwalltime=600)(runtime={rt})",
+        "&(executable={exe})(directory=/sandbox/dev)(jobtag=DEBUG)(count=4)(maxwalltime=600)(runtime={rt})",  # over dev cap
+    ]
+    analyst_templates = [
+        "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=NFC)(count={count})(runtime={rt})",
+        "&(executable={exe})(directory=/opt/nfc/bin)(jobtag=NFC)(count=2)(runtime={rt})",  # rogue exe
+    ]
+
+    for round_index in range(rounds):
+        for client in scenario.developers.values():
+            template = rng.choice(dev_templates)
+            response = client.submit(
+                template.format(exe=rng.choice(("gcc", "gdb", "make")), rt=rng.randint(20, 120))
+            )
+            _tally(outcomes, response, contacts)
+        for client in scenario.analysts.values():
+            template = rng.choice(analyst_templates)
+            response = client.submit(
+                template.format(
+                    exe=rng.choice(("myhack", "TRANSP")),
+                    count=rng.choice((4, 8, 16)),
+                    rt=rng.randint(100, 400),
+                )
+            )
+            _tally(outcomes, response, contacts)
+        service.run(30.0)
+
+    # Admin sweeps: cancel every still-active NFC job (demo priority).
+    admin_cancels = 0
+    for contact in contacts:
+        response = admin.cancel(contact)
+        if response.ok:
+            admin_cancels += 1
+    service.run(1000.0)
+
+    usage = {
+        account.username: service.scheduler.usage(account.username)
+        for account in service.accounts.accounts()
+    }
+    return scenario, outcomes, admin_cancels, usage
+
+
+def _tally(outcomes, response, contacts):
+    if response.ok:
+        outcomes["permitted"] += 1
+        contacts.append(response.contact)
+    elif response.code is GramErrorCode.AUTHORIZATION_DENIED:
+        outcomes["denied"] += 1
+    else:
+        outcomes["other"] += 1
+
+
+class TestEndToEndWorkload:
+    def test_workload_outcome_table(self):
+        scenario, outcomes, admin_cancels, usage = drive_workload()
+        service = scenario.service
+        rows = [
+            f"submissions permitted : {outcomes['permitted']}",
+            f"submissions denied    : {outcomes['denied']}",
+            f"other failures        : {outcomes['other']}",
+            f"admin NFC cancels     : {admin_cancels}",
+            f"PEP                   : {service.pep}",
+            f"scheduler             : {service.scheduler}",
+        ]
+        for username, account_usage in sorted(usage.items()):
+            if account_usage.jobs_submitted:
+                rows.append(
+                    f"  {username:16s} jobs={account_usage.jobs_submitted:3d} "
+                    f"cpu-s={account_usage.cpu_seconds:9.1f}"
+                )
+        emit("B-E2E — NFC workload through the full stack", rows)
+
+        assert outcomes["permitted"] > 0
+        assert outcomes["denied"] > 0
+        assert outcomes["other"] == 0
+        # Every denial was a policy decision with a reason recorded.
+        assert service.pep.denials >= outcomes["denied"]
+        # The admin could manage jobs they never started.
+        assert admin_cancels > 0
+
+    def test_rogue_work_never_reaches_the_scheduler(self):
+        scenario, outcomes, _, _ = drive_workload(seed=99, rounds=10)
+        service = scenario.service
+        executables = {job.executable for job in service.scheduler.jobs()}
+        assert "myhack" not in executables
+        # Developers' 4-CPU jobs are over their count<2 cap.
+        dev_jobs = [
+            job
+            for job in service.scheduler.jobs()
+            if job.account.startswith("nfcdev")
+        ]
+        assert all(job.cpus < 2 for job in dev_jobs)
+
+
+class TestEndToEndBench:
+    def test_bench_full_workload(self, benchmark):
+        _, outcomes, _, _ = benchmark.pedantic(
+            drive_workload, kwargs={"rounds": 5}, rounds=3, iterations=1
+        )
+        assert outcomes["permitted"] > 0

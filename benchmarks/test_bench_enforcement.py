@@ -1,0 +1,151 @@
+"""B-ENF — enforcement mechanisms compared (paper §6.1).
+
+(Extension bench quantifying the paper's qualitative analysis.)  A
+population of jobs declares CPU budgets; a fraction of them overrun.
+Each enforcement vehicle processes the same workload:
+
+* static accounts admit everything within account rights and never
+  stop an overrun (violations detected: 0);
+* dynamic accounts admit per-request limits but also never stop a
+  running overrun;
+* sandboxes detect and kill every overrun, with detection latency set
+  by the sampling interval, at the cost of periodic sampling events.
+
+Rows reported: violations detected / overruns injected, mean
+detection latency, monitor samples taken (the overhead proxy), and
+wasted CPU-seconds consumed by overrunning jobs after their budget.
+"""
+
+import random
+
+import pytest
+
+from repro.accounts.enforcement import (
+    DynamicAccountEnforcement,
+    SandboxEnforcement,
+    StaticAccountEnforcement,
+)
+from repro.accounts.local import LocalAccount
+from repro.accounts.sandbox import ResourceLimits
+from repro.lrm.cluster import Cluster
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+
+from benchmarks.conftest import emit
+
+N_JOBS = 40
+OVERRUN_FRACTION = 0.3
+BUDGET = 20.0  # declared cpu-seconds per job
+
+
+def run_vehicle(vehicle_name: str, interval: float = 1.0):
+    """Run the standard workload under one vehicle; return metrics."""
+    rng = random.Random(17)
+    clock = Clock()
+    scheduler = BatchScheduler(Cluster.homogeneous("c", 8, 4), clock)
+    if vehicle_name == "static":
+        mechanism = StaticAccountEnforcement()
+    elif vehicle_name == "dynamic":
+        mechanism = DynamicAccountEnforcement()
+    else:
+        mechanism = SandboxEnforcement(scheduler, clock, interval=interval)
+
+    account = LocalAccount(
+        username="grid01", uid=5001, dynamic=(vehicle_name == "dynamic")
+    )
+
+    jobs = []
+    overruns = 0
+    for index in range(N_JOBS):
+        overrun = rng.random() < OVERRUN_FRACTION
+        runtime = BUDGET * (4.0 if overrun else 0.5)
+        overruns += int(overrun)
+        job = BatchJob(
+            account=account.username,
+            executable="sim",
+            cpus=1,
+            runtime=runtime,
+        )
+        limits = ResourceLimits(max_cpu_seconds=BUDGET, max_cpus=2)
+        outcome = mechanism.admit(job, account, limits)
+        assert outcome.admitted, outcome.reason
+        scheduler.submit(job)
+        mechanism.job_started(job, account, limits)
+        jobs.append((job, overrun))
+        clock.advance(1.0)
+
+    clock.advance(BUDGET * 8 * N_JOBS)
+
+    detected = len(mechanism.violations)
+    latencies = []
+    for violation in mechanism.violations:
+        job = scheduler.job(violation.job_id)
+        budget_hit_at = job.started_at + BUDGET  # cpus=1
+        latencies.append(violation.detected_at - budget_hit_at)
+    wasted = sum(
+        max(0.0, job.cpu_seconds - BUDGET) for job, overrun in jobs if overrun
+    )
+    samples = getattr(mechanism, "_sandboxes", None)
+    sample_count = (
+        sum(s.samples for s in samples.values()) if samples is not None else 0
+    )
+    killed = sum(
+        1 for job, overrun in jobs if overrun and job.state is JobState.FAILED
+    )
+    return {
+        "vehicle": vehicle_name,
+        "overruns": overruns,
+        "detected": detected,
+        "killed": killed,
+        "mean_latency": sum(latencies) / len(latencies) if latencies else float("nan"),
+        "wasted_cpu_seconds": wasted,
+        "samples": sample_count,
+    }
+
+
+class TestEnforcementComparison:
+    def test_vehicle_comparison_table(self):
+        rows = []
+        results = {}
+        for vehicle in ("static", "dynamic", "sandbox"):
+            metrics = run_vehicle(vehicle)
+            results[vehicle] = metrics
+            rows.append(
+                f"{vehicle:8s} overruns={metrics['overruns']:2d} "
+                f"detected={metrics['detected']:2d} killed={metrics['killed']:2d} "
+                f"latency={metrics['mean_latency']:6.2f}s "
+                f"wasted={metrics['wasted_cpu_seconds']:8.1f} cpu-s "
+                f"samples={metrics['samples']}"
+            )
+        emit("B-ENF — enforcement vehicles under an overrunning workload", rows)
+
+        # The §6.1 shape: only the sandbox detects and stops overruns.
+        assert results["static"]["detected"] == 0
+        assert results["dynamic"]["detected"] == 0
+        assert results["sandbox"]["detected"] == results["sandbox"]["overruns"]
+        assert results["sandbox"]["killed"] == results["sandbox"]["overruns"]
+        assert (
+            results["sandbox"]["wasted_cpu_seconds"]
+            < results["static"]["wasted_cpu_seconds"]
+        )
+
+    def test_detection_latency_tracks_sampling_interval(self):
+        rows = []
+        latencies = {}
+        for interval in (0.5, 2.0, 8.0):
+            metrics = run_vehicle("sandbox", interval=interval)
+            latencies[interval] = metrics["mean_latency"]
+            rows.append(
+                f"interval={interval:4.1f}s mean detection latency="
+                f"{metrics['mean_latency']:6.2f}s samples={metrics['samples']}"
+            )
+        emit("B-ENF — sandbox latency/overhead vs sampling interval", rows)
+        assert latencies[0.5] <= latencies[2.0] <= latencies[8.0]
+
+
+class TestEnforcementBench:
+    @pytest.mark.parametrize("vehicle", ["static", "dynamic", "sandbox"])
+    def test_bench_vehicle_workload(self, benchmark, vehicle):
+        metrics = benchmark(run_vehicle, vehicle)
+        assert metrics["overruns"] > 0

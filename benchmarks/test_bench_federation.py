@@ -1,0 +1,113 @@
+"""B-FED — the consistent policy environment across domains (§1).
+
+(Extension bench.)  A three-site federation shares one VO policy.
+Checks:
+
+* **consistency matrix** — every probe gets the same VO-policy verdict
+  at every site (site-local policy may further restrict, but never
+  widen);
+* **broker behaviour** — work spreads across sites by capacity, and
+  policy denials are never retried at other sites;
+* **timing** — per-placement cost through the broker.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode
+from repro.vo.federation import FederatedDeployment, VOBroker
+
+from benchmarks.conftest import emit
+
+ALICE = "/O=Grid/OU=fed/CN=Alice"
+
+VO_POLICY = f"""
+{ALICE}:
+    &(action=start)(executable=TRANSP)(count<=8)(jobtag!=NULL)
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobowner=self)
+"""
+
+PROBES = [
+    ("conforming 8-CPU TRANSP", "&(executable=TRANSP)(count=8)(jobtag=NFC)(runtime=10)", True),
+    ("rogue executable", "&(executable=rogue)(count=1)(jobtag=NFC)", False),
+    ("untagged", "&(executable=TRANSP)(count=2)", False),
+    ("over the VO count cap", "&(executable=TRANSP)(count=16)(jobtag=NFC)", False),
+]
+
+
+def build_federation():
+    federation = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+    federation.add_site("site-a", node_count=2, cpus_per_node=4)
+    federation.add_site("site-b", node_count=4, cpus_per_node=4)
+    federation.add_site("site-c", node_count=8, cpus_per_node=4)
+    credential = federation.add_member(ALICE, "alice")
+    return federation, credential
+
+
+class TestConsistencyMatrix:
+    def test_every_site_gives_the_same_vo_verdict(self):
+        federation, credential = build_federation()
+        rows = []
+        for label, rsl, expected_ok in PROBES:
+            verdicts = []
+            for site in federation.sites:
+                client = GramClient(credential, site.service.gatekeeper)
+                response = client.submit(rsl)
+                verdicts.append(response.ok)
+            rows.append(
+                f"{label:28s} "
+                + " ".join(
+                    f"{site.name}={'permit' if ok else 'deny':6s}"
+                    for site, ok in zip(federation.sites, verdicts)
+                )
+            )
+            assert all(v == expected_ok for v in verdicts), label
+        emit("B-FED — one VO policy, identical verdicts at every site", rows)
+
+
+class TestBrokerBehaviour:
+    def test_work_spreads_and_denials_do_not_retry(self):
+        federation, credential = build_federation()
+        broker = VOBroker(federation, credential)
+        placements = [
+            broker.submit("&(executable=TRANSP)(count=8)(jobtag=NFC)(runtime=100)")
+            for _ in range(6)
+        ]
+        sites_used = {p.site for p in placements if p.ok}
+        assert len(sites_used) >= 2  # 48 CPUs hold 6 jobs of 8 across sites
+        assert all(p.ok for p in placements)
+
+        submissions_before = sum(
+            s.service.gatekeeper.submissions for s in federation.sites
+        )
+        denied = broker.submit("&(executable=rogue)(count=1)(jobtag=NFC)")
+        submissions_after = sum(
+            s.service.gatekeeper.submissions for s in federation.sites
+        )
+        assert denied.response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert submissions_after == submissions_before + 1  # no retries
+
+        rows = [
+            f"placements: {sorted((p.site for p in placements if p.ok))}",
+            f"denial retried at other sites: no "
+            f"({submissions_after - submissions_before} submission)",
+        ]
+        emit("B-FED — broker placement and no-retry-on-denial", rows)
+
+
+class TestFederationBench:
+    def test_bench_brokered_placement(self, benchmark):
+        federation, credential = build_federation()
+        broker = VOBroker(federation, credential)
+
+        def place_and_drain():
+            placement = broker.submit(
+                "&(executable=TRANSP)(count=4)(jobtag=NFC)(runtime=5)"
+            )
+            assert placement.ok
+            broker.cancel(placement.response.contact)
+            return placement
+
+        benchmark(place_and_drain)

@@ -1,0 +1,139 @@
+"""B-SCALE — policy-evaluation scaling.
+
+(Extension bench.)  Decision latency as the policy grows along each
+axis the language exposes: number of users (statements), assertions
+per statement, and relations per assertion.  Also ablates the
+combination algorithm (the DESIGN.md ablation list).
+
+Shape expectation: cost grows linearly in the number of statements
+that *apply to the requester* and is insensitive to statements for
+other users beyond the subject-match scan; ALL_MUST_PERMIT and
+PERMIT_OVERRIDES_NOT_APPLICABLE cost the same (both evaluate every
+source) but differ in outcome for out-of-VO users.
+"""
+
+import pytest
+
+from repro.core.combination import CombinationAlgorithm, CombinedEvaluator
+from repro.core.evaluator import PolicyEvaluator
+from repro.workloads.generator import (
+    PolicyShape,
+    WorkloadGenerator,
+    generate_policy,
+    generate_users,
+)
+
+from benchmarks.conftest import emit
+
+
+def build(users=50, assertions=2, relations=3, seed=7):
+    shape = PolicyShape(
+        users=users,
+        assertions_per_statement=assertions,
+        relations_per_assertion=relations,
+        seed=seed,
+    )
+    policy = generate_policy(shape)
+    population = generate_users(users)
+    generator = WorkloadGenerator(policy, population, seed=11)
+    return PolicyEvaluator(policy), generator
+
+
+@pytest.mark.parametrize("users", [10, 100, 1000])
+class TestScalingWithUsers:
+    def test_bench_evaluation_vs_policy_size(self, benchmark, users):
+        evaluator, generator = build(users=users)
+        requests = [generator.start_request() for _ in range(64)]
+        index = {"i": 0}
+
+        def evaluate_one():
+            request = requests[index["i"] % len(requests)]
+            index["i"] += 1
+            return evaluator.evaluate(request)
+
+        benchmark(evaluate_one)
+
+
+@pytest.mark.parametrize("assertions", [1, 4, 16])
+class TestScalingWithAssertions:
+    def test_bench_evaluation_vs_assertions(self, benchmark, assertions):
+        evaluator, generator = build(users=50, assertions=assertions)
+        request = generator.start_request()
+        benchmark(evaluator.evaluate, request)
+
+
+class TestScalingShape:
+    def test_timing_series_artifact(self):
+        """Median evaluation latency vs. policy size, as table rows.
+
+        (pytest-benchmark produces the precise numbers; this artifact
+        prints the series in one place so EXPERIMENTS.md can quote a
+        single table.)
+        """
+        import time
+
+        rows = []
+        for users in (10, 100, 1000):
+            evaluator, generator = build(users=users)
+            requests = [generator.start_request() for _ in range(32)]
+            samples = []
+            for request in requests:
+                start = time.perf_counter()
+                for _ in range(5):
+                    evaluator.evaluate(request)
+                samples.append((time.perf_counter() - start) / 5)
+            samples.sort()
+            median = samples[len(samples) // 2] * 1e6
+            rows.append(
+                f"users={users:5d} statements={users + 1:5d} "
+                f"median evaluation = {median:8.1f} us"
+            )
+        emit("B-SCALE — evaluation latency vs policy size", rows)
+
+    def test_cost_tracks_applicable_statements_not_policy_size(self):
+        """Mean statements scanned: per-user grants stay constant as
+        the population grows, so denial reasons stay bounded."""
+        rows = []
+        for users in (10, 100, 1000):
+            evaluator, generator = build(users=users)
+            decisions = [
+                evaluator.evaluate(generator.start_request()) for _ in range(100)
+            ]
+            permits = sum(1 for d in decisions if d.is_permit)
+            rows.append(
+                f"users={users:5d} statements={users + 1:5d} "
+                f"permits/100={permits}"
+            )
+        emit("B-SCALE — outcome stability across policy sizes", rows)
+
+    def test_combination_algorithms_agree_for_in_vo_users(self):
+        evaluator, generator = build(users=20)
+        site_policy = generate_policy(
+            PolicyShape(users=20, seed=7, group_requirements=0)
+        )
+        for algorithm in CombinationAlgorithm:
+            combined = CombinedEvaluator(
+                [evaluator, PolicyEvaluator(site_policy, source="site")],
+                algorithm=algorithm,
+            )
+            # Smoke: evaluation completes and is deterministic.
+            request = generator.start_request()
+            first = combined.evaluate(request)
+            second = combined.evaluate(request)
+            assert first.is_permit == second.is_permit
+
+
+class TestDefaultDenyAblation:
+    def test_bench_deny_path_vs_permit_path(self, benchmark):
+        """Default deny means denials scan every applicable grant; the
+        permit path short-circuits on the first match."""
+        evaluator, generator = build(users=50, assertions=8)
+        deny_request = None
+        for _ in range(200):
+            candidate = generator.start_request()
+            if evaluator.evaluate(candidate).is_deny:
+                deny_request = candidate
+                break
+        assert deny_request is not None
+        decision = benchmark(evaluator.evaluate, deny_request)
+        assert decision.is_deny

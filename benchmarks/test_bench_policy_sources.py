@@ -1,0 +1,147 @@
+"""B-SRC — pluggable policy sources (paper §5 generality claim).
+
+The same Figure 3 policy served by the plain-file PDP, by CAS
+(credential-carried, signature-verified per request), by an Akenti
+engine (signed use-condition certificates), and by the bridged XACML
+engine (the §6.3 future-work language).  The bench checks full
+decision agreement across a request matrix and times a decision
+through each source.
+
+Shape expectation: file < Akenti < CAS in per-decision cost — CAS
+re-verifies a signature and re-parses the carried policy on every
+decision, Akenti verifies per-condition signatures, the file PDP
+does neither.  XACML sits near the file PDP (pure in-memory rules,
+no crypto).
+"""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.gsi.credentials import CertificateAuthority
+from repro.gsi.keys import KeyPair
+from repro.rsl.parser import parse_specification
+from repro.vo.akenti import akenti_sources_from_policy
+from repro.vo.cas import CASPolicySource, CASServer, attach_cas_policy
+from repro.vo.organization import VirtualOrganization
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+from repro.xacml.bridge import XACMLEvaluator, xacml_from_policy
+
+from benchmarks.conftest import BO, KATE, emit
+
+PERMIT_RSL = "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+DENY_RSL = "&(executable=rogue)(jobtag=ADS)(count=2)"
+
+
+@pytest.fixture(scope="module")
+def sources():
+    policy = parse_policy(FIGURE3_POLICY_TEXT, name="vo")
+    file_pdp = PolicyEvaluator(policy, source="file")
+
+    akenti = akenti_sources_from_policy(
+        policy, resource="cluster", stakeholder="VO",
+        stakeholder_key=KeyPair("stakeholder"),
+    )
+
+    ca = CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+    vo = VirtualOrganization("NFC")
+    vo.add_member(BO)
+    vo.add_member(KATE)
+    cas_credential = ca.issue("/O=Grid/CN=CAS", now=0.0)
+    cas = CASServer(vo, cas_credential, policy)
+    cas_source = CASPolicySource(cas_credential.key_pair.public)
+    proxies = {}
+    for who in (BO, KATE):
+        identity = ca.issue(who, now=0.0)
+        proxies[who] = attach_cas_policy(
+            identity, cas.issue(identity, now=0.0), now=0.0
+        )
+    xacml = XACMLEvaluator(xacml_from_policy(policy), source="xacml")
+    return file_pdp, akenti, cas_source, proxies, xacml
+
+
+def request_matrix():
+    probes = []
+    for who in (BO, KATE):
+        for rsl in (
+            PERMIT_RSL,
+            DENY_RSL,
+            "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)",
+            "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)",
+            "&(executable=test1)(directory=/sandbox/test)(count=1)",
+        ):
+            probes.append((who, AuthorizationRequest.start(who, parse_specification(rsl))))
+    for action in ("cancel", "information", "signal"):
+        probes.append(
+            (
+                KATE,
+                AuthorizationRequest.manage(
+                    KATE,
+                    action,
+                    parse_specification("&(executable=test2)(jobtag=NFC)"),
+                    jobowner=BO,
+                ),
+            )
+        )
+    return probes
+
+
+class TestAgreement:
+    def test_all_sources_agree_on_the_matrix(self, sources):
+        file_pdp, akenti, cas_source, proxies, xacml = sources
+        rows = []
+        for who, probe in request_matrix():
+            f = file_pdp.evaluate(probe).is_permit
+            a = akenti.decide(probe).is_permit
+            c = cas_source.evaluate(probe, proxies[who], now=1.0).is_permit
+            x = xacml.evaluate(probe).is_permit
+            rows.append(
+                f"{str(probe)[:56]:58s} file={f!s:5} akenti={a!s:5} "
+                f"cas={c!s:5} xacml={x!s:5}"
+            )
+            assert f == a == c == x, rows[-1]
+        emit("B-SRC — decision agreement across policy sources", rows)
+
+
+class TestSourceLatencyBench:
+    def test_bench_file_source(self, benchmark, sources):
+        file_pdp, _, _, _, _ = sources
+        request = AuthorizationRequest.start(BO, parse_specification(PERMIT_RSL))
+        decision = benchmark(file_pdp.evaluate, request)
+        assert decision.is_permit
+
+    def test_bench_akenti_source(self, benchmark, sources):
+        _, akenti, _, _, _ = sources
+        request = AuthorizationRequest.start(BO, parse_specification(PERMIT_RSL))
+        decision = benchmark(akenti.decide, request)
+        assert decision.is_permit
+
+    def test_bench_cas_source(self, benchmark, sources):
+        _, _, cas_source, proxies, _ = sources
+        request = AuthorizationRequest.start(BO, parse_specification(PERMIT_RSL))
+
+        def decide():
+            return cas_source.evaluate(request, proxies[BO], now=1.0)
+
+        decision = benchmark(decide)
+        assert decision.is_permit
+
+    def test_bench_xacml_source(self, benchmark, sources):
+        _, _, _, _, xacml = sources
+        request = AuthorizationRequest.start(BO, parse_specification(PERMIT_RSL))
+        decision = benchmark(xacml.evaluate, request)
+        assert decision.is_permit
+
+    def test_bench_cas_issuance(self, benchmark):
+        """Cost of the CAS server signing a user's policy excerpt."""
+        ca = CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+        vo = VirtualOrganization("NFC")
+        vo.add_member(BO)
+        cas = CASServer(
+            vo, ca.issue("/O=Grid/CN=CAS", now=0.0),
+            parse_policy(FIGURE3_POLICY_TEXT, name="vo"),
+        )
+        identity = ca.issue(BO, now=0.0)
+        signed = benchmark(cas.issue, identity, 0.0)
+        assert signed.subject == BO

@@ -1,0 +1,86 @@
+"""FIG1 — Figure 1: interaction of the main components of GRAM.
+
+The paper's Figure 1 shows stock GT2: the client contacts the
+Gatekeeper, which authenticates against GSI, consults the
+grid-mapfile, maps to a local account and spawns a Job Manager
+Instance that drives the local job control system.  Crucially, *no*
+policy evaluation point appears anywhere — authorization is identity-
+level only.
+
+This bench regenerates the figure as an interaction trace and asserts
+the exact hand-off sequence, then times the stock submission path
+(the baseline for the B-OVH overhead comparison).
+"""
+
+import pytest
+
+from repro.gram.client import GramClient
+from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.service import GramService, ServiceConfig
+
+from benchmarks.conftest import BO, emit
+
+ANY_JOB = "&(executable=a.out)(count=1)(runtime=10)"
+
+#: Figure 1's arrows, as (source, target) component hand-offs.
+FIGURE1_EDGES = (
+    ("client", "gatekeeper"),       # job request + credentials
+    ("gatekeeper", "gsi"),          # authenticate
+    ("gatekeeper", "grid-mapfile"), # identity-level authorization
+    ("gatekeeper", "accounts"),     # map to local account
+    ("gatekeeper", "job-manager"),  # spawn JMI under that account
+    ("job-manager", "job-manager"), # parse RSL
+    ("job-manager", "lrm"),         # submit to LSF/PBS
+)
+
+
+def build_legacy_service():
+    return GramService(
+        ServiceConfig(mode=AuthorizationMode.LEGACY, record_trace=True, enforcement=None)
+    )
+
+
+class TestFigure1:
+    def test_stock_gram_interaction_sequence(self):
+        service = build_legacy_service()
+        client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        response = client.submit(ANY_JOB)
+        assert response.ok
+
+        edges = service.trace.edges()
+        assert edges == FIGURE1_EDGES
+        emit(
+            "Figure 1 — interaction of the main components of GRAM (stock GT2)",
+            (str(event) for event in service.trace),
+        )
+
+    def test_no_pep_appears_in_stock_gram(self):
+        service = build_legacy_service()
+        client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        client.submit(ANY_JOB)
+        assert all(target != "pep" for _, target in service.trace.edges())
+        assert service.pep.decisions_made == 0
+
+    def test_management_uses_static_initiator_rule(self):
+        service = build_legacy_service()
+        client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        submitted = client.submit(ANY_JOB)
+        service.trace.clear()
+        client.status(submitted.contact)
+        assert all(target != "pep" for _, target in service.trace.edges())
+
+
+class TestFigure1Timing:
+    def test_bench_stock_submission_path(self, benchmark):
+        """Baseline latency of one submission through stock GRAM."""
+        service = GramService(
+            ServiceConfig(mode=AuthorizationMode.LEGACY, enforcement=None)
+        )
+        credential = service.add_user(BO, "boliu")
+        client = GramClient(credential, service.gatekeeper)
+
+        def submit():
+            return client.submit(ANY_JOB)
+
+        response = benchmark(submit)
+        assert response.ok

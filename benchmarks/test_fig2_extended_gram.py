@@ -1,0 +1,113 @@
+"""FIG2 — Figure 2: changes to GRAM (the Job Manager is extended).
+
+The paper's Figure 2 highlights the changed component: the Job
+Manager now invokes an authorization callout (the PEP) before job
+start and before every management request, evaluating VO and local
+policy together.  This bench regenerates the extended interaction
+trace, asserts that the callout fires at every decision point, and
+shows the new error vocabulary on the wire.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode
+from repro.gram.service import GramService, ServiceConfig
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+from benchmarks.conftest import BO, KATE, SITE_POLICY_TEXT, emit
+
+BO_JOB = "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)(runtime=600)"
+
+#: Figure 2's extended submission path: the JM consults the PEP
+#: between parsing the RSL and submitting to the LRM.
+FIGURE2_EDGES = (
+    ("client", "gatekeeper"),
+    ("gatekeeper", "gsi"),
+    ("gatekeeper", "grid-mapfile"),
+    ("gatekeeper", "accounts"),
+    ("gatekeeper", "job-manager"),
+    ("job-manager", "job-manager"),
+    ("job-manager", "pep"),          # <-- the paper's change
+    ("job-manager", "lrm"),
+)
+
+
+def build_extended_service():
+    return GramService(
+        ServiceConfig(
+            policies=(
+                parse_policy(FIGURE3_POLICY_TEXT, name="vo"),
+                parse_policy(SITE_POLICY_TEXT, name="local"),
+            ),
+            record_trace=True,
+            enforcement=None,
+        )
+    )
+
+
+class TestFigure2:
+    def test_extended_interaction_sequence(self):
+        service = build_extended_service()
+        client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        response = client.submit(BO_JOB)
+        assert response.ok
+        assert service.trace.edges() == FIGURE2_EDGES
+        emit(
+            "Figure 2 — changes to GRAM (Job Manager + authorization callout)",
+            (str(event) for event in service.trace),
+        )
+
+    def test_callout_fires_for_every_management_action(self):
+        """§5.2: 'before creating a job manager request, and before
+        calls to cancel, query, and signal a running job'."""
+        service = build_extended_service()
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        kate = GramClient(service.add_user(KATE, "keahey"), service.gatekeeper)
+        submitted = bo.submit(BO_JOB)
+        assert service.pep.decisions_made == 1  # start
+
+        kate.status(submitted.contact)
+        kate.signal(submitted.contact, priority=3)
+        kate.cancel(submitted.contact)
+        assert service.pep.decisions_made == 4  # + information, signal, cancel
+
+    def test_denials_use_the_new_error_codes(self):
+        service = build_extended_service()
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        denied = bo.submit("&(executable=rogue)(jobtag=NFC)(count=1)")
+        assert denied.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert denied.code.is_authorization_error
+        assert denied.reasons, "reasons must travel on the wire"
+
+    def test_denied_request_stops_before_the_lrm(self):
+        service = build_extended_service()
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        service.trace.clear()
+        bo.submit("&(executable=rogue)(jobtag=NFC)(count=1)")
+        edges = service.trace.edges()
+        assert ("job-manager", "pep") in edges
+        assert ("job-manager", "lrm") not in edges
+
+
+class TestFigure2Timing:
+    def test_bench_extended_submission_path(self, benchmark):
+        """Latency of one submission through the callout-extended JM
+        (compare against FIG1's baseline; see B-OVH for the sweep)."""
+        service = GramService(
+            ServiceConfig(
+                policies=(
+                    parse_policy(FIGURE3_POLICY_TEXT, name="vo"),
+                    parse_policy(SITE_POLICY_TEXT, name="local"),
+                ),
+                enforcement=None,
+            )
+        )
+        client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+
+        def submit():
+            return client.submit(BO_JOB)
+
+        response = benchmark(submit)
+        assert response.ok

@@ -1,0 +1,105 @@
+"""FIG3 — Figure 3: the example VO policy, replayed exhaustively.
+
+Parses the verbatim Figure 3 text and regenerates the full
+permit/deny matrix the paper's prose describes, printing it as the
+reproduced artifact.  Also times policy parsing and single-request
+evaluation of exactly this policy.
+"""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+from benchmarks.conftest import BO, KATE, emit
+
+#: (label, requester, action, rsl, jobowner, expected_permit)
+MATRIX = [
+    ("Bo: test1 ADS x2",
+     BO, "start", "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)", None, True),
+    ("Bo: test2 NFC x3",
+     BO, "start", "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)", None, True),
+    ("Bo: test1 at count limit (4)",
+     BO, "start", "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)", None, False),
+    ("Bo: untagged start (group requirement)",
+     BO, "start", "&(executable=test1)(directory=/sandbox/test)(count=1)", None, False),
+    ("Bo: wrong directory",
+     BO, "start", "&(executable=test1)(directory=/tmp)(jobtag=ADS)(count=1)", None, False),
+    ("Bo: executable not sanctioned",
+     BO, "start", "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)", None, False),
+    ("Bo: jobtag crossed (test1 as NFC)",
+     BO, "start", "&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)(count=1)", None, False),
+    ("Bo: cancel own ADS job (no grant)",
+     BO, "cancel", "&(executable=test1)(jobtag=ADS)", BO, False),
+    ("Kate: TRANSP NFC",
+     KATE, "start", "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)", None, True),
+    ("Kate: TRANSP untagged",
+     KATE, "start", "&(executable=TRANSP)(directory=/sandbox/test)", None, False),
+    ("Kate: cancel Bo's NFC job",
+     KATE, "cancel", "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)", BO, True),
+    ("Kate: cancel Bo's ADS job",
+     KATE, "cancel", "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)", BO, False),
+    ("Kate: cancel untagged job",
+     KATE, "cancel", "&(executable=test2)", BO, False),
+    ("Kate: signal Bo's NFC job (no grant)",
+     KATE, "signal", "&(executable=test2)(jobtag=NFC)", BO, False),
+    ("Outsider: any start",
+     "/O=Elsewhere/CN=Eve", "start",
+     "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)", None, False),
+]
+
+
+def to_request(requester, action, rsl, jobowner):
+    spec = parse_specification(rsl)
+    if action == "start":
+        return AuthorizationRequest.start(requester, spec)
+    return AuthorizationRequest.manage(requester, action, spec, jobowner=jobowner)
+
+
+class TestFigure3Matrix:
+    def test_full_permit_deny_matrix(self, figure3_policy):
+        pdp = PolicyEvaluator(figure3_policy)
+        rows = []
+        failures = []
+        for label, requester, action, rsl, jobowner, expected in MATRIX:
+            decision = pdp.evaluate(to_request(requester, action, rsl, jobowner))
+            verdict = "permit" if decision.is_permit else "deny"
+            rows.append(f"{label:42s} -> {verdict}")
+            if decision.is_permit != expected:
+                failures.append(label)
+        emit("Figure 3 — permit/deny matrix of the example VO policy", rows)
+        assert not failures, f"matrix mismatches: {failures}"
+
+    def test_policy_text_round_trips(self, figure3_policy):
+        """The policy survives serialization with identical semantics."""
+        again = parse_policy(str(figure3_policy), name="roundtrip")
+        pdp_a = PolicyEvaluator(figure3_policy)
+        pdp_b = PolicyEvaluator(again)
+        for label, requester, action, rsl, jobowner, _ in MATRIX:
+            request = to_request(requester, action, rsl, jobowner)
+            assert pdp_a.evaluate(request).is_permit == pdp_b.evaluate(request).is_permit
+
+
+class TestFigure3Timing:
+    def test_bench_parse_figure3(self, benchmark):
+        policy = benchmark(parse_policy, FIGURE3_POLICY_TEXT, "figure3")
+        assert len(policy) == 3
+
+    def test_bench_evaluate_figure3_permit(self, benchmark, figure3_policy):
+        pdp = PolicyEvaluator(figure3_policy)
+        request = to_request(
+            BO, "start",
+            "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+            None,
+        )
+        decision = benchmark(pdp.evaluate, request)
+        assert decision.is_permit
+
+    def test_bench_evaluate_figure3_deny(self, benchmark, figure3_policy):
+        pdp = PolicyEvaluator(figure3_policy)
+        request = to_request(BO, "start", "&(executable=rogue)(jobtag=ADS)(count=1)", None)
+        decision = benchmark(pdp.evaluate, request)
+        assert decision.is_deny

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The National Fusion Collaboratory scenario (paper §2), end to end.
+
+Two user classes with different fine-grain rights, VO administrators
+with jobtag-scoped management powers, sandbox enforcement of declared
+CPU budgets, and the suspend-for-urgent-work story.
+
+Run:  python examples/fusion_collaboratory.py
+"""
+
+from repro.workloads.scenarios import build_fusion_scenario
+
+
+def main() -> None:
+    scenario = build_fusion_scenario(
+        developers=2, analysts=2, admins=1, node_count=4, cpus_per_node=4
+    )
+    service = scenario.service
+    dev = next(iter(scenario.developers.values()))
+    analyst = next(iter(scenario.analysts.values()))
+    admin = next(iter(scenario.admins.values()))
+
+    print(f"resource: {service.cluster}")
+    print(f"VO: {scenario.vo}\n")
+
+    print("-- developers run many tools, but only small and in /sandbox/dev --")
+    ok = dev.submit(
+        "&(executable=gdb)(directory=/sandbox/dev)(jobtag=DEBUG)"
+        "(count=1)(maxwalltime=300)(runtime=30)"
+    )
+    print(f"  gdb, 1 CPU           : {ok.code.name}")
+    big = dev.submit(
+        "&(executable=gdb)(directory=/sandbox/dev)(jobtag=DEBUG)"
+        "(count=8)(maxwalltime=300)"
+    )
+    print(f"  gdb, 8 CPUs          : {big.code.name}")
+
+    print("\n-- analysts run only the sanctioned TRANSP service, but big --")
+    transp = analyst.submit(
+        "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=NFC)"
+        "(count=16)(runtime=5000)"
+    )
+    print(f"  TRANSP, 16 CPUs      : {transp.code.name}")
+    rogue = analyst.submit(
+        "&(executable=custom_code)(directory=/opt/nfc/bin)(jobtag=NFC)(count=1)"
+    )
+    print(f"  arbitrary executable : {rogue.code.name}")
+
+    print("\n-- a funding-agency demo needs the machine NOW (§2) --")
+    service.run(100.0)
+    print(f"  t={service.clock.now:.0f}: cluster utilization "
+          f"{service.cluster.utilization:.0%}")
+    suspended = admin.suspend(transp.contact)
+    print(f"  admin suspends the analyst's TRANSP run: {suspended.state.value}")
+    urgent = admin.submit(
+        "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=URGENT)"
+        "(count=16)(runtime=200)"
+    )
+    print(f"  admin's URGENT demo job: {urgent.code.name}")
+    service.run(250.0)
+    print(f"  t={service.clock.now:.0f}: demo job state = "
+          f"{admin.status(urgent.contact).state.value}")
+    resumed = admin.resume(transp.contact)
+    print(f"  analyst's run resumed: {resumed.state.value}")
+
+    print("\n-- accounting --")
+    for username in sorted({"nfcanalysis00", "nfcadmin00"}):
+        usage = service.scheduler.usage(username)
+        print(
+            f"  {username:15s} submitted={usage.jobs_submitted} "
+            f"cpu-seconds={usage.cpu_seconds:.0f}"
+        )
+    print(f"\n  PEP: {service.pep}")
+
+
+if __name__ == "__main__":
+    main()

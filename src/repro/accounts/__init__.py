@@ -1,0 +1,46 @@
+"""Local accounts, dynamic accounts, sandboxes and enforcement.
+
+The paper's §6.1 analysis distinguishes three enforcement vehicles,
+all implemented here so the B-ENF benchmark can compare them:
+
+* **Static local accounts** (:mod:`repro.accounts.local`) — GT2's
+  stock model: enforcement is whatever rights are tied to the account
+  the grid-mapfile points at.  Coarse and per-user, blind to
+  request-specific policy.
+* **Dynamic accounts** (:mod:`repro.accounts.dynamic`) — accounts
+  created and configured on the fly per request, so admission-time
+  limits can reflect the specific request's policy.
+* **Sandboxes** (:mod:`repro.accounts.sandbox`) — continuous
+  monitoring of a running job against fine-grain limits, killing it on
+  violation; the strong (and most expensive) enforcement option.
+
+:mod:`repro.accounts.enforcement` wraps all three behind one
+interface so the GRAM Job Manager can be configured with any of them.
+"""
+
+from repro.accounts.local import AccountLimits, AccountRegistry, LocalAccount
+from repro.accounts.dynamic import DynamicAccountPool, AccountLease
+from repro.accounts.sandbox import ResourceLimits, Sandbox, SandboxViolation
+from repro.accounts.enforcement import (
+    DynamicAccountEnforcement,
+    EnforcementMechanism,
+    EnforcementOutcome,
+    SandboxEnforcement,
+    StaticAccountEnforcement,
+)
+
+__all__ = [
+    "LocalAccount",
+    "AccountLimits",
+    "AccountRegistry",
+    "DynamicAccountPool",
+    "AccountLease",
+    "ResourceLimits",
+    "Sandbox",
+    "SandboxViolation",
+    "EnforcementMechanism",
+    "EnforcementOutcome",
+    "StaticAccountEnforcement",
+    "DynamicAccountEnforcement",
+    "SandboxEnforcement",
+]

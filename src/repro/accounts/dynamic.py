@@ -1,0 +1,134 @@
+"""Dynamic accounts (paper §6.1).
+
+"Dynamic Accounts are accounts created and configured on the fly by a
+resource management facility.  This enables the resource management
+system to run jobs ... for users that do not have an account on that
+system, and it also enables account configuration relevant to policies
+for a particular resource management request as opposed to a static
+user's configuration."
+
+The pool leases accounts out of a bounded template pool, configures
+each lease with the limits derived from the *current request's*
+policy, and wipes/recycles the account on release.  Leases expire so a
+crashed Job Manager cannot leak accounts forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.accounts.local import AccountLimits, AccountRegistry, LocalAccount
+from repro.sim.clock import Clock
+
+_lease_counter = itertools.count(1)
+
+
+class DynamicAccountError(Exception):
+    """Pool exhaustion or lease misuse."""
+
+
+@dataclass
+class AccountLease:
+    """A time-bounded hold on a dynamic account."""
+
+    lease_id: str
+    account: LocalAccount
+    grid_identity: str
+    expires_at: float
+    released: bool = False
+
+    def active(self, now: float) -> bool:
+        return not self.released and now < self.expires_at
+
+
+class DynamicAccountPool:
+    """A bounded pool of recyclable dynamic accounts."""
+
+    def __init__(
+        self,
+        registry: AccountRegistry,
+        clock: Clock,
+        size: int,
+        prefix: str = "grid",
+        default_lease: float = 24.0 * 3600,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("pool size must be positive")
+        self.registry = registry
+        self.clock = clock
+        self.default_lease = default_lease
+        self._free: List[LocalAccount] = [
+            registry.create(f"{prefix}{index:04d}", dynamic=True)
+            for index in range(size)
+        ]
+        self._leases: Dict[str, AccountLease] = {}
+        self.allocations = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._free) + len(self._active_leases())
+
+    @property
+    def available(self) -> int:
+        self._reap_expired()
+        return len(self._free)
+
+    def allocate(
+        self,
+        grid_identity: str,
+        limits: Optional[AccountLimits] = None,
+        groups: Tuple[str, ...] = (),
+        lease_time: Optional[float] = None,
+    ) -> AccountLease:
+        """Lease an account configured for *grid_identity*'s request."""
+        self._reap_expired()
+        if not self._free:
+            raise DynamicAccountError("dynamic account pool exhausted")
+        account = self._free.pop()
+        account.reconfigure(limits or AccountLimits.unrestricted(), groups=groups)
+        account.running_jobs = 0
+        account.cpu_seconds_used = 0.0
+        lease = AccountLease(
+            lease_id=f"lease-{next(_lease_counter):06d}",
+            account=account,
+            grid_identity=grid_identity,
+            expires_at=self.clock.now
+            + (lease_time if lease_time is not None else self.default_lease),
+        )
+        self._leases[lease.lease_id] = lease
+        self.allocations += 1
+        return lease
+
+    def release(self, lease: AccountLease) -> None:
+        """Return the account to the pool, wiping its configuration."""
+        stored = self._leases.get(lease.lease_id)
+        if stored is None or stored.released:
+            raise DynamicAccountError(f"lease {lease.lease_id} is not active")
+        stored.released = True
+        self._recycle(stored.account)
+
+    def lease_for(self, grid_identity: str) -> Optional[AccountLease]:
+        """The active lease held by *grid_identity*, if any."""
+        for lease in self._active_leases():
+            if lease.grid_identity == grid_identity:
+                return lease
+        return None
+
+    # -- internals ----------------------------------------------------------
+
+    def _active_leases(self) -> List[AccountLease]:
+        return [l for l in self._leases.values() if l.active(self.clock.now)]
+
+    def _reap_expired(self) -> None:
+        for lease in list(self._leases.values()):
+            if not lease.released and self.clock.now >= lease.expires_at:
+                lease.released = True
+                self._recycle(lease.account)
+
+    def _recycle(self, account: LocalAccount) -> None:
+        account.reconfigure(AccountLimits.unrestricted(), groups=())
+        account.running_jobs = 0
+        account.cpu_seconds_used = 0.0
+        self._free.append(account)

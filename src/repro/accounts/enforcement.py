@@ -1,0 +1,232 @@
+"""Enforcement mechanisms behind one interface (paper §6.1).
+
+The gateway (PEP) authorizes an action once; *continuous* enforcement
+afterwards depends on the vehicle available on the resource.  The
+three vehicles differ in what they can see and when they act:
+
+==========================  ==========================  =====================
+mechanism                   admission-time              while running
+==========================  ==========================  =====================
+``StaticAccountEnforcement``  the account's *static*      nothing (OS quota at
+                              limits only — blind to      account granularity)
+                              per-request policy
+``DynamicAccountEnforcement`` per-request policy limits,  nothing — an account
+                              installed into a freshly    cannot watch a job
+                              configured account
+``SandboxEnforcement``        per-request policy limits   periodic sampling;
+                                                          kills violators
+==========================  ==========================  =====================
+
+The GRAM Job Manager calls :meth:`admit` before handing a job to the
+LRM, :meth:`job_started` right after submission, and
+:meth:`job_finished` from the scheduler's terminal hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accounts.local import LocalAccount
+from repro.accounts.sandbox import (
+    ResourceLimits,
+    Sandbox,
+    SandboxViolation,
+)
+from repro.lrm.jobs import BatchJob
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True)
+class EnforcementOutcome:
+    """Result of an admission check."""
+
+    admitted: bool
+    reason: str = ""
+
+    @classmethod
+    def ok(cls) -> "EnforcementOutcome":
+        return cls(admitted=True)
+
+    @classmethod
+    def rejected(cls, reason: str) -> "EnforcementOutcome":
+        return cls(admitted=False, reason=reason)
+
+
+class EnforcementMechanism:
+    """Base class: bookkeeping shared by every vehicle."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.admissions = 0
+        self.rejections = 0
+        self.violations: List[SandboxViolation] = []
+
+    # -- interface ----------------------------------------------------------
+
+    def admit(
+        self,
+        job: BatchJob,
+        account: LocalAccount,
+        limits: ResourceLimits,
+    ) -> EnforcementOutcome:
+        outcome = self._admission_check(job, account, limits)
+        if outcome.admitted:
+            self.admissions += 1
+        else:
+            self.rejections += 1
+        return outcome
+
+    def job_started(
+        self,
+        job: BatchJob,
+        account: LocalAccount,
+        limits: ResourceLimits,
+    ) -> None:
+        account.running_jobs += 1
+
+    def job_finished(self, job: BatchJob, account: LocalAccount) -> None:
+        account.running_jobs = max(0, account.running_jobs - 1)
+        account.cpu_seconds_used += job.cpu_seconds
+
+    # -- hooks --------------------------------------------------------------
+
+    def _admission_check(
+        self,
+        job: BatchJob,
+        account: LocalAccount,
+        limits: ResourceLimits,
+    ) -> EnforcementOutcome:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_account_limits(
+        job: BatchJob, account: LocalAccount
+    ) -> EnforcementOutcome:
+        """The checks an OS account can express, shared by vehicles."""
+        acct_limits = account.limits
+        if not acct_limits.allows_executable(job.executable):
+            return EnforcementOutcome.rejected(
+                f"account {account.username!r} may not execute {job.executable!r}"
+            )
+        if (
+            acct_limits.max_cpus_per_job is not None
+            and job.cpus > acct_limits.max_cpus_per_job
+        ):
+            return EnforcementOutcome.rejected(
+                f"account {account.username!r} is capped at "
+                f"{acct_limits.max_cpus_per_job} CPUs per job"
+            )
+        if (
+            acct_limits.max_concurrent_jobs is not None
+            and account.running_jobs >= acct_limits.max_concurrent_jobs
+        ):
+            return EnforcementOutcome.rejected(
+                f"account {account.username!r} already runs "
+                f"{account.running_jobs} job(s)"
+            )
+        remaining = account.quota_remaining()
+        if remaining is not None and remaining <= 0:
+            return EnforcementOutcome.rejected(
+                f"account {account.username!r} exhausted its CPU quota"
+            )
+        return EnforcementOutcome.ok()
+
+
+class StaticAccountEnforcement(EnforcementMechanism):
+    """GT2 stock: the static account's rights, nothing else.
+
+    Per-request policy limits are invisible to this vehicle — a job
+    within the account's rights but over its policy limits is admitted
+    and never stopped.  (§4.3: "the enforcement vehicle is largely
+    accidental".)
+    """
+
+    name = "static-account"
+
+    def _admission_check(self, job, account, limits) -> EnforcementOutcome:
+        return self._check_account_limits(job, account)
+
+
+class DynamicAccountEnforcement(EnforcementMechanism):
+    """Per-request limits installed into a dynamically configured account.
+
+    The request's policy limits are translated into account limits at
+    admission, so admission is fine-grain; once running, the job is
+    only constrained by what an account can do (no sampling, no kill).
+    """
+
+    name = "dynamic-account"
+
+    def _admission_check(self, job, account, limits) -> EnforcementOutcome:
+        if not account.dynamic:
+            return EnforcementOutcome.rejected(
+                f"account {account.username!r} is not dynamically managed"
+            )
+        translated = _limits_to_account(limits, account)
+        account.reconfigure(translated, groups=account.groups)
+        return self._check_account_limits(job, account)
+
+
+class SandboxEnforcement(EnforcementMechanism):
+    """Admission plus continuous monitoring with per-job sandboxes."""
+
+    name = "sandbox"
+
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        clock: Clock,
+        interval: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.scheduler = scheduler
+        self.clock = clock
+        self.interval = interval
+        self._sandboxes: Dict[str, Sandbox] = {}
+
+    def _admission_check(self, job, account, limits) -> EnforcementOutcome:
+        outcome = self._check_account_limits(job, account)
+        if not outcome.admitted:
+            return outcome
+        if limits.max_cpus is not None and job.cpus > limits.max_cpus:
+            return EnforcementOutcome.rejected(
+                f"policy caps job at {limits.max_cpus} CPUs, requested {job.cpus}"
+            )
+        return EnforcementOutcome.ok()
+
+    def job_started(self, job, account, limits) -> None:
+        super().job_started(job, account, limits)
+        sandbox = Sandbox(
+            job=job,
+            limits=limits,
+            scheduler=self.scheduler,
+            clock=self.clock,
+            interval=self.interval,
+            on_violation=self.violations.append,
+        ).start()
+        self._sandboxes[job.job_id] = sandbox
+
+    def job_finished(self, job, account) -> None:
+        super().job_finished(job, account)
+        sandbox = self._sandboxes.pop(job.job_id, None)
+        if sandbox is not None:
+            sandbox.stop()
+
+    @property
+    def active_sandboxes(self) -> int:
+        return sum(1 for s in self._sandboxes.values() if s.active)
+
+
+def _limits_to_account(limits: ResourceLimits, account: LocalAccount):
+    """Translate per-request policy limits into account limits."""
+    from repro.accounts.local import AccountLimits
+
+    return AccountLimits(
+        max_cpus_per_job=limits.max_cpus,
+        max_concurrent_jobs=account.limits.max_concurrent_jobs,
+        cpu_quota_seconds=limits.max_cpu_seconds,
+        allowed_executables=account.limits.allowed_executables,
+    )

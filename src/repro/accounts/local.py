@@ -1,0 +1,132 @@
+"""Static local accounts.
+
+A local account is GT2's enforcement vehicle: the Job Manager Instance
+runs under the account's credential and "the operating system and
+local job control system are able to enforce local policy ... by the
+policy tied to that account" (§4.2).  The policy an account can carry
+is deliberately coarse — per-account limits configured by a system
+administrator, identical for every job the account runs.  That
+coarseness is exactly shortcoming (3)/(4) of §4.3 and what the
+benchmarks demonstrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+_uid_counter = itertools.count(5000)
+
+
+@dataclass(frozen=True)
+class AccountLimits:
+    """Administratively configured, per-account resource limits."""
+
+    #: Maximum CPUs any single job may use.
+    max_cpus_per_job: Optional[int] = None
+    #: Maximum concurrently running jobs.
+    max_concurrent_jobs: Optional[int] = None
+    #: Total CPU-seconds quota across all of the account's jobs.
+    cpu_quota_seconds: Optional[float] = None
+    #: Executables the account's file permissions allow it to run; None
+    #: means unrestricted.
+    allowed_executables: Optional[FrozenSet[str]] = None
+    #: Highest scheduler priority this account may set.  The JMI runs
+    #: under the job initiator's account, so even an *authorized*
+    #: manager cannot push a job's priority past the initiator's
+    #: ceiling — the §6.2 trust-model limitation.
+    max_priority: Optional[int] = None
+
+    @classmethod
+    def unrestricted(cls) -> "AccountLimits":
+        return cls()
+
+    def allows_executable(self, executable: str) -> bool:
+        if self.allowed_executables is None:
+            return True
+        return executable in self.allowed_executables
+
+
+@dataclass
+class LocalAccount:
+    """One Unix-style account."""
+
+    username: str
+    uid: int
+    groups: Tuple[str, ...] = ()
+    home: str = ""
+    limits: AccountLimits = field(default_factory=AccountLimits.unrestricted)
+    #: Dynamic accounts are created by the resource manager on the fly.
+    dynamic: bool = False
+    #: Running-state tracking used for limit enforcement.
+    running_jobs: int = 0
+    cpu_seconds_used: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.home:
+            self.home = f"/home/{self.username}"
+
+    def quota_remaining(self) -> Optional[float]:
+        if self.limits.cpu_quota_seconds is None:
+            return None
+        return max(0.0, self.limits.cpu_quota_seconds - self.cpu_seconds_used)
+
+    def reconfigure(self, limits: AccountLimits, groups: Optional[Tuple[str, ...]] = None) -> None:
+        """Replace the account's limits (dynamic-account configuration)."""
+        self.limits = limits
+        if groups is not None:
+            self.groups = groups
+
+    def __str__(self) -> str:
+        kind = "dynamic" if self.dynamic else "static"
+        return f"Account[{self.username} uid={self.uid} {kind}]"
+
+
+class AccountRegistry:
+    """The resource's /etc/passwd: all local accounts by name."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, LocalAccount] = {}
+
+    def create(
+        self,
+        username: str,
+        groups: Tuple[str, ...] = (),
+        limits: Optional[AccountLimits] = None,
+        dynamic: bool = False,
+    ) -> LocalAccount:
+        if username in self._accounts:
+            raise ValueError(f"account {username!r} already exists")
+        account = LocalAccount(
+            username=username,
+            uid=next(_uid_counter),
+            groups=groups,
+            limits=limits or AccountLimits.unrestricted(),
+            dynamic=dynamic,
+        )
+        self._accounts[username] = account
+        return account
+
+    def remove(self, username: str) -> None:
+        if username not in self._accounts:
+            raise KeyError(f"no account {username!r}")
+        del self._accounts[username]
+
+    def get(self, username: str) -> LocalAccount:
+        try:
+            return self._accounts[username]
+        except KeyError:
+            raise KeyError(f"no local account {username!r}")
+
+    def exists(self, username: str) -> bool:
+        return username in self._accounts
+
+    def accounts(self) -> Tuple[LocalAccount, ...]:
+        return tuple(self._accounts.values())
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __contains__(self, username: object) -> bool:
+        return username in self._accounts

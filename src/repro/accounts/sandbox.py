@@ -1,0 +1,168 @@
+"""Sandbox enforcement (paper §6.1).
+
+"A sandbox is an environment that imposes restrictions on resource
+usage ...  Sandboxing represents a strong enforcement solution, having
+the resource operating system act as the policy evaluation and
+enforcement modules."
+
+The sandbox watches a running batch job with a periodic monitor on the
+simulation clock, comparing consumption against per-job limits derived
+from policy.  On violation it kills the job and records what happened.
+The monitoring interval models the sandbox's enforcement latency (and
+its overhead — sampled in bench B-ENF).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.lrm.jobs import BatchJob
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+from repro.sim.process import PeriodicTask
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Fine-grain, per-job limits derived from policy."""
+
+    #: CPU-seconds (cpus × running time) the job may consume.
+    max_cpu_seconds: Optional[float] = None
+    #: Wall-clock seconds the job may stay running.
+    max_wall_seconds: Optional[float] = None
+    #: CPUs the job may occupy.
+    max_cpus: Optional[int] = None
+
+    @classmethod
+    def unlimited(cls) -> "ResourceLimits":
+        return cls()
+
+    @property
+    def is_unlimited(self) -> bool:
+        return (
+            self.max_cpu_seconds is None
+            and self.max_wall_seconds is None
+            and self.max_cpus is None
+        )
+
+
+@dataclass(frozen=True)
+class SandboxViolation:
+    """One detected limit violation."""
+
+    job_id: str
+    limit: str
+    observed: float
+    allowed: float
+    detected_at: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.job_id}: {self.limit} = {self.observed:.1f} "
+            f"exceeds {self.allowed:.1f} at t={self.detected_at:.1f}"
+        )
+
+
+class Sandbox:
+    """Continuous enforcement of one job's limits."""
+
+    def __init__(
+        self,
+        job: BatchJob,
+        limits: ResourceLimits,
+        scheduler: BatchScheduler,
+        clock: Clock,
+        interval: float = 1.0,
+        on_violation: Optional[Callable[[SandboxViolation], None]] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sandbox monitoring interval must be positive")
+        self.job = job
+        self.limits = limits
+        self.scheduler = scheduler
+        self.clock = clock
+        self.interval = interval
+        self.on_violation = on_violation
+        self.violations: List[SandboxViolation] = []
+        self.samples = 0
+        self._task: Optional[PeriodicTask] = None
+
+    def start(self) -> "Sandbox":
+        """Begin monitoring.  Admission-time checks run immediately."""
+        violation = self._admission_check()
+        if violation is not None:
+            self._kill(violation)
+            return self
+        if not self.limits.is_unlimited:
+            self._task = PeriodicTask(
+                clock=self.clock,
+                interval=self.interval,
+                callback=self._sample,
+                name=f"sandbox:{self.job.job_id}",
+            ).start()
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    @property
+    def active(self) -> bool:
+        return self._task is not None and not self._task.stopped
+
+    # -- checks -------------------------------------------------------------
+
+    def _admission_check(self) -> Optional[SandboxViolation]:
+        if self.limits.max_cpus is not None and self.job.cpus > self.limits.max_cpus:
+            return SandboxViolation(
+                job_id=self.job.job_id,
+                limit="cpus",
+                observed=float(self.job.cpus),
+                allowed=float(self.limits.max_cpus),
+                detected_at=self.clock.now,
+            )
+        return None
+
+    def _sample(self, task: PeriodicTask) -> None:
+        if self.job.is_terminal:
+            self.stop()
+            return
+        self.samples += 1
+        violation = self._check_consumption()
+        if violation is not None:
+            self._kill(violation)
+
+    def _check_consumption(self) -> Optional[SandboxViolation]:
+        if self.limits.max_cpu_seconds is not None:
+            consumed = self.job.cpu_seconds
+            if consumed > self.limits.max_cpu_seconds:
+                return SandboxViolation(
+                    job_id=self.job.job_id,
+                    limit="cpu-seconds",
+                    observed=consumed,
+                    allowed=self.limits.max_cpu_seconds,
+                    detected_at=self.clock.now,
+                )
+        if self.limits.max_wall_seconds is not None and self.job.started_at is not None:
+            elapsed = self.clock.now - self.job.started_at
+            if elapsed > self.limits.max_wall_seconds:
+                return SandboxViolation(
+                    job_id=self.job.job_id,
+                    limit="wall-seconds",
+                    observed=elapsed,
+                    allowed=self.limits.max_wall_seconds,
+                    detected_at=self.clock.now,
+                )
+        return None
+
+    def _kill(self, violation: SandboxViolation) -> None:
+        self.violations.append(violation)
+        self.stop()
+        if not self.job.is_terminal:
+            self.scheduler.fail(
+                self.job.job_id, reason=f"killed by sandbox: {violation.limit}"
+            )
+        if self.on_violation is not None:
+            self.on_violation(violation)

@@ -1,0 +1,222 @@
+"""Command-line policy tooling.
+
+The paper's §6.3 lesson — administrators found raw RSL policies
+unnatural — motivates shipping the analysis tools behind a CLI::
+
+    python -m repro.cli check vo.policy
+    python -m repro.cli evaluate vo.policy --user "/O=Grid/CN=Bo" \\
+        --action start --rsl "&(executable=test1)(count=2)"
+    python -m repro.cli capabilities vo.policy --user "/O=Grid/CN=Bo"
+    python -m repro.cli diff old.policy new.policy
+    python -m repro.cli demo
+
+Exit codes: 0 success / permit, 1 denial or lint errors, 2 usage or
+parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import (
+    LintLevel,
+    capabilities,
+    diff_policies,
+    lint,
+)
+from repro.core.attributes import Action
+from repro.core.errors import PolicyParseError
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy_file
+from repro.core.request import AuthorizationRequest
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_specification
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Fine-grain Grid authorization policy tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="parse and lint a policy file")
+    check.add_argument("policy", help="path to the policy file")
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors",
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate", help="evaluate one request against a policy file"
+    )
+    evaluate.add_argument("policy")
+    evaluate.add_argument("--user", required=True, help="requester DN")
+    evaluate.add_argument(
+        "--action",
+        default="start",
+        choices=[action.value for action in Action],
+    )
+    evaluate.add_argument("--rsl", required=True, help="job description RSL")
+    evaluate.add_argument(
+        "--jobowner", default=None, help="job initiator DN (management requests)"
+    )
+
+    caps = commands.add_parser(
+        "capabilities", help="list everything a user is granted"
+    )
+    caps.add_argument("policy")
+    caps.add_argument("--user", required=True)
+
+    diff = commands.add_parser("diff", help="diff two policy files")
+    diff.add_argument("old")
+    diff.add_argument("new")
+
+    export = commands.add_parser(
+        "xacml-export", help="translate a policy file to XACML XML"
+    )
+    export.add_argument("policy")
+    export.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+
+    audit = commands.add_parser(
+        "audit-summary", help="summarize an exported audit log (JSON lines)"
+    )
+    audit.add_argument("log", help="path to the audit .jsonl file")
+
+    commands.add_parser("demo", help="run a small end-to-end demonstration")
+    return parser
+
+
+def _cmd_check(args) -> int:
+    policy = parse_policy_file(args.policy)
+    findings = lint(policy)
+    for finding in findings:
+        print(finding)
+    errors = [f for f in findings if f.level is LintLevel.ERROR]
+    print(
+        f"{len(policy)} statement(s), {len(findings)} finding(s), "
+        f"{len(errors)} error(s)"
+    )
+    if errors or (args.strict and findings):
+        return 1
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    policy = parse_policy_file(args.policy)
+    spec = parse_specification(args.rsl)
+    action = Action.parse(args.action)
+    if action is Action.START:
+        request = AuthorizationRequest.start(args.user, spec)
+    else:
+        owner = args.jobowner if args.jobowner else args.user
+        request = AuthorizationRequest.manage(
+            args.user, action, spec, jobowner=owner
+        )
+    decision = PolicyEvaluator(policy).evaluate(request)
+    print(decision)
+    return 0 if decision.is_permit else 1
+
+
+def _cmd_capabilities(args) -> int:
+    policy = parse_policy_file(args.policy)
+    granted = capabilities(policy, args.user)
+    if not granted:
+        print(f"{args.user}: no grants (default deny)")
+        return 1
+    for capability in granted:
+        print(capability)
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    old = parse_policy_file(args.old)
+    new = parse_policy_file(args.new)
+    diff = diff_policies(old, new)
+    print(diff)
+    return 0
+
+
+def _cmd_xacml_export(args) -> int:
+    from repro.xacml import policy_to_xml, xacml_from_policy
+
+    policy = parse_policy_file(args.policy)
+    text = policy_to_xml(xacml_from_policy(policy))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_audit_summary(args) -> int:
+    from repro.gram.audit import load_audit_log, summarize
+
+    try:
+        entries = load_audit_log(args.log)
+    except OSError as exc:
+        print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(entries))
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import GramClient, GramService, ServiceConfig
+    from repro.core.parser import parse_policy
+
+    alice = "/O=Grid/OU=demo/CN=Alice"
+    policy = parse_policy(
+        f"""
+        {alice}:
+            &(action=start)(executable=sim)(count<4)(jobtag!=NULL)
+            &(action=cancel)(jobowner=self)
+            &(action=information)(jobowner=self)
+        """,
+        name="demo",
+    )
+    service = GramService(ServiceConfig(policies=(policy,)))
+    client = GramClient(service.add_user(alice, "alice"), service.gatekeeper)
+    ok = client.submit("&(executable=sim)(count=2)(jobtag=DEMO)(runtime=60)")
+    print(f"submit conforming job : {ok.code.name}")
+    denied = client.submit("&(executable=sim)(count=8)(jobtag=DEMO)")
+    print(f"submit oversized job  : {denied.code.name}")
+    for reason in denied.reasons:
+        print(f"  reason: {reason}")
+    service.run(10.0)
+    print(f"status at t=10        : {client.status(ok.contact).state.value}")
+    print(f"cancel own job        : {client.cancel(ok.contact).code.name}")
+    return 0
+
+
+_HANDLERS = {
+    "check": _cmd_check,
+    "evaluate": _cmd_evaluate,
+    "capabilities": _cmd_capabilities,
+    "diff": _cmd_diff,
+    "xacml-export": _cmd_xacml_export,
+    "audit-summary": _cmd_audit_summary,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    try:
+        return handler(args)
+    except (PolicyParseError, RSLSyntaxError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

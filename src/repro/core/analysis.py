@@ -1,0 +1,360 @@
+"""Policy analysis: linting, capability queries, and diffing.
+
+The paper's §6.3 reports that "expressing policies in these terms is
+not natural to this community" — administrators need tooling.  This
+module provides the three analyses a policy administrator reaches for
+first:
+
+* :func:`lint` — static checks catching the mistakes the RSL-based
+  syntax makes easy (assertions with no action guard, unknown action
+  names, duplicate or shadowed assertions, impossible numeric bounds,
+  ``self`` outside management actions);
+* :func:`capabilities` — "what may this user do?", resolved from every
+  applicable grant;
+* :func:`who_can` — "who could perform this request?", the inverse
+  query used for audits;
+* :func:`diff_policies` — what changed between two policy versions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.attributes import ACTION, Action, JOBOWNER, SELF
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.matching import MatchContext, match_assertion
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+)
+from repro.core.request import AuthorizationRequest
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import Relop, Specification
+
+
+class LintLevel(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One issue found in a policy."""
+
+    level: LintLevel
+    code: str
+    message: str
+    statement_index: int
+    assertion_index: int = -1
+
+    def __str__(self) -> str:
+        where = f"statement {self.statement_index}"
+        if self.assertion_index >= 0:
+            where += f", assertion {self.assertion_index}"
+        return f"{self.level.value} [{self.code}] {where}: {self.message}"
+
+
+_KNOWN_ACTIONS = {action.value for action in Action}
+
+
+def lint(policy: Policy) -> List[LintFinding]:
+    """Run every static check over *policy*."""
+    findings: List[LintFinding] = []
+    seen_assertions: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    for statement_index, statement in enumerate(policy):
+        for assertion_index, assertion in enumerate(statement.assertions):
+            findings.extend(
+                _lint_assertion(
+                    statement, assertion, statement_index, assertion_index
+                )
+            )
+            key = (str(statement.subject), str(assertion.spec))
+            if statement.kind is StatementKind.GRANT:
+                if key in seen_assertions:
+                    first = seen_assertions[key]
+                    findings.append(
+                        LintFinding(
+                            level=LintLevel.WARNING,
+                            code="duplicate-assertion",
+                            message=(
+                                f"assertion duplicates statement {first[0]} "
+                                f"assertion {first[1]}"
+                            ),
+                            statement_index=statement_index,
+                            assertion_index=assertion_index,
+                        )
+                    )
+                else:
+                    seen_assertions[key] = (statement_index, assertion_index)
+    return findings
+
+
+def _lint_assertion(
+    statement: PolicyStatement,
+    assertion: PolicyAssertion,
+    statement_index: int,
+    assertion_index: int,
+) -> List[LintFinding]:
+    findings: List[LintFinding] = []
+
+    def add(level: LintLevel, code: str, message: str) -> None:
+        findings.append(
+            LintFinding(
+                level=level,
+                code=code,
+                message=message,
+                statement_index=statement_index,
+                assertion_index=assertion_index,
+            )
+        )
+
+    actions = assertion.actions
+    if not actions:
+        add(
+            LintLevel.WARNING,
+            "no-action-guard",
+            "assertion has no relation on 'action'; it applies to every "
+            "operation, which is rarely intended",
+        )
+    for value in actions:
+        if value not in _KNOWN_ACTIONS:
+            add(
+                LintLevel.ERROR,
+                "unknown-action",
+                f"action value {value!r} is not one of "
+                f"{sorted(_KNOWN_ACTIONS)}",
+            )
+
+    # self only makes sense against jobowner.
+    for relation in assertion.spec:
+        value_texts = [str(v) for v in relation.values]
+        if SELF in value_texts and relation.attribute != JOBOWNER:
+            add(
+                LintLevel.WARNING,
+                "self-outside-jobowner",
+                f"'self' used on attribute {relation.attribute!r}; it only "
+                "resolves meaningfully against 'jobowner'",
+            )
+
+    # Impossible numeric envelopes: (count<2)(count>4) etc.
+    findings.extend(
+        _lint_numeric_bounds(assertion, statement_index, assertion_index)
+    )
+
+    # A start grant that names no job constraint at all is a blank cheque.
+    if (
+        statement.kind is StatementKind.GRANT
+        and actions == ("start",)
+        and len(assertion.body()) == 0
+    ):
+        add(
+            LintLevel.WARNING,
+            "unconstrained-start",
+            "grants 'start' with no constraints on the job description",
+        )
+    return findings
+
+
+def _lint_numeric_bounds(assertion, statement_index, assertion_index):
+    findings = []
+    lowers: Dict[str, float] = {}
+    uppers: Dict[str, float] = {}
+    for relation in assertion.spec:
+        if not relation.op.is_ordering or len(relation.values) != 1:
+            continue
+        try:
+            bound = float(str(relation.values[0]))
+        except ValueError:
+            findings.append(
+                LintFinding(
+                    level=LintLevel.ERROR,
+                    code="non-numeric-bound",
+                    message=(
+                        f"ordering relation on {relation.attribute!r} "
+                        f"has non-numeric bound {str(relation.values[0])!r}"
+                    ),
+                    statement_index=statement_index,
+                    assertion_index=assertion_index,
+                )
+            )
+            continue
+        attr = relation.attribute
+        if relation.op in (Relop.LT, Relop.LTE):
+            uppers[attr] = min(uppers.get(attr, float("inf")), bound)
+        else:
+            lowers[attr] = max(lowers.get(attr, float("-inf")), bound)
+    for attr in set(lowers) & set(uppers):
+        # Conservative: flag only ranges empty even with closed bounds.
+        if lowers[attr] > uppers[attr]:
+            findings.append(
+                LintFinding(
+                    level=LintLevel.ERROR,
+                    code="empty-range",
+                    message=(
+                        f"bounds on {attr!r} are unsatisfiable "
+                        f"(needs > {lowers[attr]} and < {uppers[attr]})"
+                    ),
+                    statement_index=statement_index,
+                    assertion_index=assertion_index,
+                )
+            )
+    return findings
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One thing a user may do: an action plus its constraints."""
+
+    action: str
+    constraints: Specification
+    granted_by: str
+
+    def __str__(self) -> str:
+        return f"{self.action}: {self.constraints} (via {self.granted_by})"
+
+
+def capabilities(
+    policy: Policy, identity: Union[str, DistinguishedName]
+) -> Tuple[Capability, ...]:
+    """Everything *identity* is granted, one capability per assertion."""
+    dn = (
+        identity
+        if isinstance(identity, DistinguishedName)
+        else DistinguishedName.parse(identity)
+    )
+    found: List[Capability] = []
+    for statement in policy.grants_for(dn):
+        for assertion in statement.assertions:
+            actions = assertion.actions or ("<any>",)
+            for action in actions:
+                found.append(
+                    Capability(
+                        action=action,
+                        constraints=assertion.body(),
+                        granted_by=str(statement.subject),
+                    )
+                )
+    return tuple(found)
+
+
+def who_can(
+    policy: Policy,
+    action: Union[str, Action],
+    job_description: Specification,
+    candidates: Sequence[Union[str, DistinguishedName]],
+    jobowner: Optional[Union[str, DistinguishedName]] = None,
+) -> Tuple[DistinguishedName, ...]:
+    """Which of *candidates* the policy permits to perform the request.
+
+    Runs the real evaluator per candidate, so requirements and
+    combination semantics are honoured — this is an audit query, not
+    an approximation.
+    """
+    act = action if isinstance(action, Action) else Action.parse(str(action))
+    evaluator = PolicyEvaluator(policy)
+    allowed: List[DistinguishedName] = []
+    for candidate in candidates:
+        dn = (
+            candidate
+            if isinstance(candidate, DistinguishedName)
+            else DistinguishedName.parse(candidate)
+        )
+        if act is Action.START:
+            request = AuthorizationRequest.start(dn, job_description)
+        else:
+            owner = jobowner if jobowner is not None else dn
+            request = AuthorizationRequest.manage(
+                dn, act, job_description, jobowner=owner
+            )
+        if evaluator.evaluate(request).is_permit:
+            allowed.append(dn)
+    return tuple(allowed)
+
+
+@dataclass(frozen=True)
+class PolicyDiff:
+    """Statements added/removed between two policy versions."""
+
+    added: Tuple[PolicyStatement, ...]
+    removed: Tuple[PolicyStatement, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+    def __str__(self) -> str:
+        lines = [f"+ {s}" for s in self.added] + [f"- {s}" for s in self.removed]
+        return "\n".join(lines) if lines else "(no changes)"
+
+
+def diff_policies(old: Policy, new: Policy) -> PolicyDiff:
+    """Textual statement-level diff between two policies."""
+    old_keys = {str(s): s for s in old}
+    new_keys = {str(s): s for s in new}
+    added = tuple(s for key, s in new_keys.items() if key not in old_keys)
+    removed = tuple(s for key, s in old_keys.items() if key not in new_keys)
+    return PolicyDiff(added=added, removed=removed)
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """How a policy change affects a workload of requests.
+
+    ``newly_permitted`` / ``newly_denied`` hold the requests whose
+    outcome flips; the counts summarize the whole batch.  This is the
+    question an administrator actually asks before installing a new
+    version: *who gains access, who loses it?*
+    """
+
+    total: int
+    permitted_before: int
+    permitted_after: int
+    newly_permitted: Tuple[AuthorizationRequest, ...]
+    newly_denied: Tuple[AuthorizationRequest, ...]
+
+    @property
+    def unchanged(self) -> int:
+        return self.total - len(self.newly_permitted) - len(self.newly_denied)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total} requests: {self.permitted_before} -> "
+            f"{self.permitted_after} permitted "
+            f"(+{len(self.newly_permitted)} / -{len(self.newly_denied)}, "
+            f"{self.unchanged} unchanged)"
+        )
+
+
+def impact(
+    old: Policy,
+    new: Policy,
+    requests: Sequence[AuthorizationRequest],
+) -> ImpactReport:
+    """Evaluate *requests* under both policies and report the flips."""
+    old_evaluator = PolicyEvaluator(old, source="old")
+    new_evaluator = PolicyEvaluator(new, source="new")
+    newly_permitted: List[AuthorizationRequest] = []
+    newly_denied: List[AuthorizationRequest] = []
+    permitted_before = 0
+    permitted_after = 0
+    for request in requests:
+        before = old_evaluator.evaluate(request).is_permit
+        after = new_evaluator.evaluate(request).is_permit
+        permitted_before += int(before)
+        permitted_after += int(after)
+        if after and not before:
+            newly_permitted.append(request)
+        elif before and not after:
+            newly_denied.append(request)
+    return ImpactReport(
+        total=len(requests),
+        permitted_before=permitted_before,
+        permitted_after=permitted_after,
+        newly_permitted=tuple(newly_permitted),
+        newly_denied=tuple(newly_denied),
+    )

@@ -1,0 +1,78 @@
+"""Stock callout implementations loadable by name.
+
+These are the "dynamic libraries" the callout configuration file can
+reference, plus factories for building policy-backed callouts in code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.combination import CombinationAlgorithm, CombinedEvaluator
+from repro.core.decision import Decision
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.model import Policy
+from repro.core.request import AuthorizationRequest
+
+
+def permit_all(request: AuthorizationRequest) -> Decision:
+    """Permits everything.  For tests and overhead baselines only."""
+    return Decision.permit(reason="permit_all callout", source="permit_all")
+
+
+def deny_all(request: AuthorizationRequest) -> Decision:
+    """Denies everything.  For lockdown and failure-injection tests."""
+    return Decision.deny(reasons=("deny_all callout",), source="deny_all")
+
+
+def broken_callout(request: AuthorizationRequest) -> Decision:
+    """Always raises — used to test system-failure handling."""
+    raise RuntimeError("injected callout failure")
+
+
+def initiator_only(request: AuthorizationRequest) -> Decision:
+    """The stock GT2 rule: only the job initiator may manage a job.
+
+    This is the *pre-extension* behaviour (§4.2): the Grid identity of
+    the requester must match the Grid identity of the job initiator.
+    Start requests are permitted (the Gatekeeper's grid-mapfile check
+    already happened).
+    """
+    if request.action.value == "start" or request.is_self_managed:
+        return Decision.permit(
+            reason="requester is the job initiator", source="initiator_only"
+        )
+    return Decision.deny(
+        reasons=(
+            f"GT2 static rule: {request.requester} is not the initiator "
+            f"({request.owner})",
+        ),
+        source="initiator_only",
+    )
+
+
+def policy_callout(
+    evaluator: PolicyEvaluator,
+):
+    """Wrap a single-policy evaluator as a callout."""
+
+    def callout(request: AuthorizationRequest) -> Decision:
+        return evaluator.evaluate(request)
+
+    callout.__name__ = f"policy:{evaluator.source}"
+    return callout
+
+
+def combined_policy_callout(
+    policies: Sequence[Policy],
+    algorithm: CombinationAlgorithm = CombinationAlgorithm.ALL_MUST_PERMIT,
+):
+    """Build the paper's standard callout: VO ∧ local policy sources."""
+    evaluators = [PolicyEvaluator(p, source=p.name or f"policy-{i}") for i, p in enumerate(policies)]
+    combined = CombinedEvaluator(evaluators, algorithm=algorithm)
+
+    def callout(request: AuthorizationRequest) -> Decision:
+        return combined.evaluate(request)
+
+    callout.__name__ = "combined:" + "+".join(combined.sources)
+    return callout

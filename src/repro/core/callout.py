@@ -1,0 +1,234 @@
+"""The runtime-configurable authorization callout API (paper §5.2).
+
+GT2's prototype loads authorization decision modules through GNU
+Libtool's dlopen: a configuration names an *abstract callout type*,
+the *dynamic library* implementing it, and the *symbol* inside that
+library.  The Python analogue maps cleanly:
+
+=================== =========================================
+abstract type name  a string like ``"gram.authz"``
+dynamic library     an importable module path
+symbol              an attribute (callable) in that module
+=================== =========================================
+
+Callouts can be configured through a configuration file
+(:meth:`CalloutRegistry.configure_from_file`) or an API call
+(:meth:`CalloutRegistry.register` / :meth:`CalloutRegistry.configure`),
+exactly the two paths the paper describes.
+
+A GRAM authorization callout is a callable taking an
+:class:`~repro.core.request.AuthorizationRequest` and returning a
+:class:`~repro.core.decision.Decision`.  Any exception escaping a
+callout — or a missing/misconfigured callout — is surfaced as
+:class:`AuthorizationSystemFailure`, preserving the paper's
+distinction between "denied" and "the authorization system broke".
+
+Configuration file format (one callout per line)::
+
+    # type        module                    symbol
+    gram.authz    repro.core.builtin_callouts   permit_all
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.decision import Decision, Effect
+from repro.core.errors import AuthorizationSystemFailure
+from repro.core.request import AuthorizationRequest
+
+#: The abstract callout type the Job Manager invokes before every
+#: job-start and job-management action.
+GRAM_AUTHZ_CALLOUT = "gram.authz"
+
+#: Callout type invoked by the Gatekeeper when the PEP is placed there
+#: instead (the §6.2 alternative placement).
+GATEKEEPER_AUTHZ_CALLOUT = "gatekeeper.authz"
+
+AuthorizationCallout = Callable[[AuthorizationRequest], Decision]
+
+
+@dataclass(frozen=True)
+class CalloutType:
+    """Declaration of an abstract callout type: its name and contract."""
+
+    name: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class CalloutConfiguration:
+    """One configured callout: where its implementation lives."""
+
+    type_name: str
+    module: str
+    symbol: str
+
+    def load(self) -> AuthorizationCallout:
+        """Import the module and resolve the symbol (the dlopen step)."""
+        try:
+            module = importlib.import_module(self.module)
+        except ImportError as exc:
+            raise AuthorizationSystemFailure(
+                f"callout library {self.module!r} cannot be loaded: {exc}"
+            )
+        try:
+            callout = getattr(module, self.symbol)
+        except AttributeError:
+            raise AuthorizationSystemFailure(
+                f"callout symbol {self.symbol!r} not found in {self.module!r}"
+            )
+        if not callable(callout):
+            raise AuthorizationSystemFailure(
+                f"callout {self.module}:{self.symbol} is not callable"
+            )
+        return callout
+
+
+class CalloutRegistry:
+    """Maps abstract callout types to implementations.
+
+    Several callouts may be configured for the same type; they are
+    invoked in configuration order and **all must permit** (this is
+    how the prototype chains the plain-file PEP with Akenti).
+    """
+
+    def __init__(self) -> None:
+        self._callouts: Dict[str, List[Tuple[str, AuthorizationCallout]]] = {}
+        self._types: Dict[str, CalloutType] = {}
+        self.invocations = 0
+
+    # -- declaration ------------------------------------------------------
+
+    def declare_type(self, callout_type: CalloutType) -> None:
+        """Declare an abstract callout type (idempotent)."""
+        self._types[callout_type.name] = callout_type
+
+    def declared_types(self) -> Tuple[str, ...]:
+        return tuple(self._types)
+
+    # -- configuration ------------------------------------------------------
+
+    def register(
+        self,
+        type_name: str,
+        callout: AuthorizationCallout,
+        label: str = "",
+    ) -> None:
+        """Configure a callout via the API path."""
+        if not callable(callout):
+            raise TypeError(f"callout for {type_name!r} must be callable")
+        self._callouts.setdefault(type_name, []).append(
+            (label or getattr(callout, "__name__", "callout"), callout)
+        )
+
+    def configure(self, configuration: CalloutConfiguration) -> None:
+        """Configure a callout by module/symbol (the dlopen path)."""
+        callout = configuration.load()
+        self.register(
+            configuration.type_name,
+            callout,
+            label=f"{configuration.module}:{configuration.symbol}",
+        )
+
+    def configure_from_file(self, path: str) -> int:
+        """Parse a callout configuration file; returns callouts loaded."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise AuthorizationSystemFailure(
+                f"cannot read callout configuration {path!r}: {exc}"
+            )
+        loaded = 0
+        for line_number, raw in enumerate(lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise AuthorizationSystemFailure(
+                    f"{path}:{line_number}: expected 'type module symbol', "
+                    f"got {line!r}"
+                )
+            self.configure(
+                CalloutConfiguration(
+                    type_name=parts[0], module=parts[1], symbol=parts[2]
+                )
+            )
+            loaded += 1
+        return loaded
+
+    def clear(self, type_name: Optional[str] = None) -> None:
+        """Drop configured callouts (all, or one type)."""
+        if type_name is None:
+            self._callouts.clear()
+        else:
+            self._callouts.pop(type_name, None)
+
+    def configured(self, type_name: str) -> bool:
+        return bool(self._callouts.get(type_name))
+
+    def callout_labels(self, type_name: str) -> Tuple[str, ...]:
+        return tuple(label for label, _ in self._callouts.get(type_name, []))
+
+    # -- invocation --------------------------------------------------------
+
+    def invoke(self, type_name: str, request: AuthorizationRequest) -> Decision:
+        """Invoke every callout of *type_name*; all must permit.
+
+        Raises :class:`AuthorizationSystemFailure` when no callout is
+        configured, when a callout raises, or when one returns
+        something that is not a :class:`Decision` — all cases where no
+        trustworthy decision exists.
+        """
+        chain = self._callouts.get(type_name)
+        if not chain:
+            raise AuthorizationSystemFailure(
+                f"no callout configured for type {type_name!r}"
+            )
+        self.invocations += 1
+        for label, callout in chain:
+            try:
+                decision = callout(request)
+            except AuthorizationSystemFailure:
+                raise
+            except Exception as exc:
+                raise AuthorizationSystemFailure(
+                    f"callout {label!r} raised {type(exc).__name__}: {exc}"
+                )
+            if not isinstance(decision, Decision):
+                raise AuthorizationSystemFailure(
+                    f"callout {label!r} returned {type(decision).__name__}, "
+                    "expected Decision"
+                )
+            if decision.effect is Effect.INDETERMINATE:
+                raise AuthorizationSystemFailure(
+                    f"callout {label!r} was indeterminate: "
+                    + "; ".join(decision.reasons)
+                )
+            if not decision.is_permit:
+                return decision
+        return Decision.permit(
+            reason=f"all {len(chain)} callout(s) permit", source=type_name
+        )
+
+
+def default_registry() -> CalloutRegistry:
+    """A registry with the standard GRAM callout types declared."""
+    registry = CalloutRegistry()
+    registry.declare_type(
+        CalloutType(
+            name=GRAM_AUTHZ_CALLOUT,
+            description="Job Manager authorization (start/cancel/information/signal)",
+        )
+    )
+    registry.declare_type(
+        CalloutType(
+            name=GATEKEEPER_AUTHZ_CALLOUT,
+            description="Gatekeeper-placed authorization (§6.2 alternative)",
+        )
+    )
+    return registry

@@ -1,0 +1,80 @@
+"""Authorization decisions.
+
+A :class:`Decision` is what a policy decision point returns through
+the callout API: an effect (permit / deny / not-applicable /
+indeterminate) plus human- and machine-readable reasons.  The paper's
+extended GRAM protocol surfaces the reasons to the client.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+class Effect(enum.Enum):
+    """Outcome classes, following the usual PDP vocabulary."""
+
+    PERMIT = "permit"
+    DENY = "deny"
+    #: No statement in the policy applies to the requester at all.
+    #: Under default-deny this behaves like DENY, but combination and
+    #: error reporting distinguish "nothing grants this" from "a rule
+    #: forbids this".
+    NOT_APPLICABLE = "not-applicable"
+    #: The PDP failed; treated as a system failure, not a denial.
+    INDETERMINATE = "indeterminate"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The result of evaluating one request against one policy."""
+
+    effect: Effect
+    reasons: Tuple[str, ...] = ()
+    source: str = ""
+
+    @classmethod
+    def permit(cls, reason: str = "", source: str = "") -> "Decision":
+        return cls(
+            effect=Effect.PERMIT,
+            reasons=(reason,) if reason else (),
+            source=source,
+        )
+
+    @classmethod
+    def deny(cls, reasons: Sequence[str] = (), source: str = "") -> "Decision":
+        return cls(effect=Effect.DENY, reasons=tuple(reasons), source=source)
+
+    @classmethod
+    def not_applicable(cls, reason: str = "", source: str = "") -> "Decision":
+        return cls(
+            effect=Effect.NOT_APPLICABLE,
+            reasons=(reason,) if reason else (),
+            source=source,
+        )
+
+    @classmethod
+    def indeterminate(cls, reason: str, source: str = "") -> "Decision":
+        return cls(effect=Effect.INDETERMINATE, reasons=(reason,), source=source)
+
+    @property
+    def is_permit(self) -> bool:
+        return self.effect is Effect.PERMIT
+
+    @property
+    def is_deny(self) -> bool:
+        """True for every non-permit outcome under default deny."""
+        return self.effect is not Effect.PERMIT
+
+    def with_source(self, source: str) -> "Decision":
+        return Decision(effect=self.effect, reasons=self.reasons, source=source)
+
+    def __str__(self) -> str:
+        label = self.effect.value
+        if self.source:
+            label = f"{label}[{self.source}]"
+        if self.reasons:
+            label = f"{label}: {'; '.join(self.reasons)}"
+        return label

@@ -1,0 +1,196 @@
+"""Dynamic policies: versioned stores and time-bounded statements.
+
+The paper's §1 motivates policies that are "dynamic, adapting over
+time depending on factors such as current resource utilization, a
+member's role in the VO, an active demo for a funding agency that
+should have priority".  Two mechanisms cover those cases:
+
+* :class:`PolicyStore` — a mutable, versioned holder whose evaluator
+  view always reflects the newest installed policy.  Administrators
+  install whole policy texts (e.g. re-read from disk or pushed by the
+  VO); every install is versioned and diffable, and the PEP sees the
+  change on the very next request with no restart.
+* :class:`TimeWindow` / :func:`windowed` — statements that only apply
+  inside a simulated-time window: the "active demo" pattern is a
+  high-priority grant valid for the demo slot and gone afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.analysis import PolicyDiff, diff_policies
+from repro.core.decision import Decision
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.model import Policy, PolicyStatement
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open validity interval in simulated time."""
+
+    not_before: float
+    not_after: float
+
+    def __post_init__(self) -> None:
+        if self.not_after <= self.not_before:
+            raise ValueError(
+                f"empty time window [{self.not_before}, {self.not_after})"
+            )
+
+    def contains(self, when: float) -> bool:
+        return self.not_before <= when < self.not_after
+
+
+@dataclass(frozen=True)
+class WindowedStatement:
+    """A policy statement active only inside its window."""
+
+    statement: PolicyStatement
+    window: TimeWindow
+
+
+class DynamicPolicy:
+    """A policy assembled from a base plus time-windowed statements.
+
+    ``snapshot(now)`` produces the plain :class:`Policy` in force at a
+    given instant; :class:`DynamicEvaluator` does this per request.
+    """
+
+    def __init__(self, base: Policy) -> None:
+        self.base = base
+        self._windowed: List[WindowedStatement] = []
+
+    def add_window(
+        self, statement: PolicyStatement, not_before: float, not_after: float
+    ) -> WindowedStatement:
+        entry = WindowedStatement(
+            statement=statement,
+            window=TimeWindow(not_before=not_before, not_after=not_after),
+        )
+        self._windowed.append(entry)
+        return entry
+
+    @property
+    def windowed_statements(self) -> Tuple[WindowedStatement, ...]:
+        return tuple(self._windowed)
+
+    def snapshot(self, now: float) -> Policy:
+        active = tuple(
+            entry.statement
+            for entry in self._windowed
+            if entry.window.contains(now)
+        )
+        if not active:
+            return self.base
+        return Policy(
+            statements=self.base.statements + active,
+            name=self.base.name,
+        )
+
+
+class DynamicEvaluator:
+    """Evaluates against the policy in force at the clock's *now*."""
+
+    def __init__(
+        self, dynamic: DynamicPolicy, clock: Clock, source: str = ""
+    ) -> None:
+        self.dynamic = dynamic
+        self.clock = clock
+        self.source = source or dynamic.base.name or "dynamic"
+
+    def evaluate(self, request: AuthorizationRequest) -> Decision:
+        policy = self.dynamic.snapshot(self.clock.now)
+        return PolicyEvaluator(policy, source=self.source).evaluate(request)
+
+
+@dataclass(frozen=True)
+class PolicyVersion:
+    """One installed version of a store's policy."""
+
+    version: int
+    policy: Policy
+    installed_at: float
+    comment: str = ""
+
+
+class PolicyStore:
+    """A mutable, versioned policy holder with hot reload.
+
+    The PEP-facing view (:meth:`evaluate` or :meth:`callout`) always
+    uses the current version, so policy updates take effect on the
+    next authorization decision — the paper's dynamic-policy
+    requirement without restarting any GRAM component.
+    """
+
+    def __init__(self, initial: Policy, clock: Optional[Clock] = None) -> None:
+        self.clock = clock or Clock()
+        self._versions: List[PolicyVersion] = []
+        self._install(initial, comment="initial")
+        self.listeners: List[Callable[[PolicyVersion, PolicyDiff], None]] = []
+
+    # -- installation -----------------------------------------------------
+
+    def install(self, policy: Policy, comment: str = "") -> PolicyDiff:
+        """Install a new policy version; returns the diff."""
+        diff = diff_policies(self.current, policy)
+        version = self._install(policy, comment=comment)
+        for listener in list(self.listeners):
+            listener(version, diff)
+        return diff
+
+    def install_text(self, text: str, comment: str = "") -> PolicyDiff:
+        """Parse and install policy *text* (the reload-from-file path)."""
+        return self.install(
+            parse_policy(text, name=self.current.name), comment=comment
+        )
+
+    def rollback(self, to_version: int) -> PolicyDiff:
+        """Reinstall an earlier version (as a new version)."""
+        for entry in self._versions:
+            if entry.version == to_version:
+                return self.install(
+                    entry.policy, comment=f"rollback to v{to_version}"
+                )
+        raise KeyError(f"no version {to_version}")
+
+    def _install(self, policy: Policy, comment: str) -> PolicyVersion:
+        version = PolicyVersion(
+            version=len(self._versions) + 1,
+            policy=policy,
+            installed_at=self.clock.now,
+            comment=comment,
+        )
+        self._versions.append(version)
+        return version
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def current(self) -> Policy:
+        return self._versions[-1].policy
+
+    @property
+    def version(self) -> int:
+        return self._versions[-1].version
+
+    def history(self) -> Tuple[PolicyVersion, ...]:
+        return tuple(self._versions)
+
+    def evaluate(self, request: AuthorizationRequest) -> Decision:
+        return PolicyEvaluator(
+            self.current, source=f"{self.current.name or 'store'}@v{self.version}"
+        ).evaluate(request)
+
+    def callout(self):
+        """A GRAM callout bound to this store's *current* policy."""
+
+        def evaluate(request: AuthorizationRequest) -> Decision:
+            return self.evaluate(request)
+
+        evaluate.__name__ = f"store:{self.current.name or 'policy'}"
+        return evaluate

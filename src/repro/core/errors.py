@@ -1,0 +1,45 @@
+"""Authorization error taxonomy.
+
+The paper explicitly extends the GRAM protocol "to return
+authorization errors describing reasons for authorization denial as
+well as authorization system failures" — two distinct classes:
+
+* :class:`AuthorizationDenied` — the policy was evaluated and said
+  no.  Carries machine-readable reasons so the GRAM protocol can
+  report *why*.
+* :class:`AuthorizationSystemFailure` — the decision could not be
+  made at all (callout missing, policy file unreadable, evaluation
+  crashed).  Fails closed: GRAM treats it as a denial but reports it
+  differently.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+class AuthorizationError(Exception):
+    """Base class for everything the authorization layer raises."""
+
+
+class AuthorizationDenied(AuthorizationError):
+    """The request was evaluated and denied by policy."""
+
+    def __init__(self, message: str, reasons: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.reasons: Tuple[str, ...] = tuple(reasons)
+
+
+class AuthorizationSystemFailure(AuthorizationError):
+    """The authorization system itself failed; the request fails closed."""
+
+
+class PolicyParseError(AuthorizationError):
+    """Policy text could not be parsed."""
+
+    def __init__(self, message: str, line_number: int = -1, line: str = "") -> None:
+        self.line_number = line_number
+        self.line = line
+        if line_number >= 0:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)

@@ -1,0 +1,114 @@
+"""The policy decision point (PDP).
+
+Evaluation follows the language's default-deny rule (§5.1: "the
+policy assumes that unless a specific stipulation has been made, an
+action will not be allowed"):
+
+1. **Requirements first.**  Every requirement statement applying to
+   the requester is checked.  Within a requirement, each assertion's
+   ``action`` relations act as a guard: when the guard matches the
+   request, the assertion's remaining relations must be satisfied.  A
+   violated requirement denies the request outright, regardless of
+   any grant.
+2. **Grants.**  The request is permitted iff at least one assertion of
+   at least one applicable grant statement matches it completely.
+3. Otherwise the request is denied.  If *no* statement applied to the
+   requester at all the decision is NOT_APPLICABLE (still a denial
+   under default deny, but combination logic and GRAM's error
+   reporting distinguish the two).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.decision import Decision
+from repro.core.matching import MatchContext, match_assertion
+from repro.core.model import Policy, PolicyStatement
+from repro.core.request import AuthorizationRequest
+
+
+class PolicyEvaluator:
+    """Evaluates requests against a single policy source."""
+
+    def __init__(self, policy: Policy, source: str = "") -> None:
+        self.policy = policy
+        self.source = source or policy.name or "policy"
+        self.evaluations = 0
+
+    def evaluate(self, request: AuthorizationRequest) -> Decision:
+        """Decide *request* under this policy alone."""
+        self.evaluations += 1
+        request_spec = request.evaluation_specification()
+        context = MatchContext(requester=request.requester)
+
+        requirements = self.policy.requirements_for(request.requester)
+        for statement in requirements:
+            violation = self._check_requirement(statement, request_spec, context)
+            if violation is not None:
+                return Decision.deny(
+                    reasons=(violation,),
+                    source=self.source,
+                )
+
+        grants = self.policy.grants_for(request.requester)
+        if not grants and not requirements:
+            return Decision.not_applicable(
+                reason=f"no statement applies to {request.requester}",
+                source=self.source,
+            )
+
+        failures: List[str] = []
+        for statement in grants:
+            for assertion in statement.assertions:
+                outcome = match_assertion(assertion.spec, request_spec, context)
+                if outcome.satisfied:
+                    return Decision.permit(
+                        reason=f"granted by {statement.subject}: {assertion}",
+                        source=self.source,
+                    )
+                failures.append(outcome.reason)
+
+        if not grants:
+            return Decision.deny(
+                reasons=(
+                    f"no grant statement applies to {request.requester} "
+                    "(default deny)",
+                ),
+                source=self.source,
+            )
+        summary = self._summarise_failures(failures)
+        return Decision.deny(reasons=summary, source=self.source)
+
+    def _check_requirement(
+        self,
+        statement: PolicyStatement,
+        request_spec,
+        context: MatchContext,
+    ) -> Optional[str]:
+        """Return a violation description, or None when satisfied."""
+        for assertion in statement.assertions:
+            guard = assertion.guard()
+            if len(guard) == 0:
+                guard_applies = True
+            else:
+                guard_applies = match_assertion(guard, request_spec, context).satisfied
+            if not guard_applies:
+                continue
+            outcome = match_assertion(assertion.body(), request_spec, context)
+            if not outcome.satisfied:
+                return (
+                    f"requirement {statement.subject} violated: {outcome.reason}"
+                )
+        return None
+
+    @staticmethod
+    def _summarise_failures(failures: List[str], limit: int = 5) -> tuple:
+        """Deduplicate failure reasons, keeping the first few."""
+        seen: List[str] = ["no grant assertion matched the request"]
+        for failure in failures:
+            if failure not in seen:
+                seen.append(failure)
+            if len(seen) > limit:
+                break
+        return tuple(seen[: limit + 1])

@@ -1,0 +1,254 @@
+"""Relation-matching semantics for policy assertions.
+
+A policy assertion is an RSL conjunction, e.g.
+``&(action=start)(executable=test1)(count<4)``.  Each relation is
+checked against the request's evaluation specification according to
+the rules below; the assertion matches iff every relation is
+satisfied.  These rules realise the paper's three assertion types
+(§5.1: permitted-to-contain, required-to-contain, required-not-to-
+contain):
+
+``(attr = v1 v2 ...)``
+    The request must contain *attr* and every one of its values must
+    be among ``v1 v2 ...``.  ``self`` in the value list resolves to
+    the requester's identity.  ``NULL`` in the value list instead
+    means the attribute must be **absent** — ``(queue = NULL)`` is the
+    required-not-to-contain form.
+
+``(attr != v1 v2 ...)``
+    The request must not contain *attr* with any of the listed values
+    (an absent attribute trivially satisfies this).  The special form
+    ``(attr != NULL)`` is required-to-contain: the attribute must be
+    present with a non-empty value.
+
+``(attr < n)`` and friends
+    The request must contain *attr*, every value must be numeric, and
+    every value must satisfy the comparison.  (The Job Manager
+    canonicalises job descriptions — e.g. ``count`` defaults to 1 —
+    before evaluation, so resource-limit relations always have a value
+    to bite on.)
+
+Value comparison is numeric when both sides parse as numbers
+(``4`` matches ``4.0``), case-insensitive for the ``action`` and
+``jobtag`` attributes (Figure 3 of the paper relies on this), and
+exact string comparison otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.attributes import (
+    CASE_INSENSITIVE_ATTRIBUTES,
+    NULL,
+    SELF,
+)
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import (
+    Concatenation,
+    Relation,
+    Relop,
+    Specification,
+    Value,
+    VariableReference,
+)
+
+
+@dataclass(frozen=True)
+class MatchContext:
+    """Evaluation-time bindings for special values."""
+
+    requester: Optional[DistinguishedName] = None
+
+    def resolve(self, attribute: str, value_text: str) -> str:
+        """Resolve ``self`` to the requester identity."""
+        if value_text == SELF and self.requester is not None:
+            return str(self.requester)
+        return value_text
+
+
+@dataclass(frozen=True)
+class RelationOutcome:
+    """Whether one assertion relation was satisfied, and why not."""
+
+    satisfied: bool
+    reason: str = ""
+
+    @classmethod
+    def ok(cls) -> "RelationOutcome":
+        return cls(satisfied=True)
+
+    @classmethod
+    def fail(cls, reason: str) -> "RelationOutcome":
+        return cls(satisfied=False, reason=reason)
+
+
+def _texts_equal(attribute: str, left: str, right: str) -> bool:
+    left_num = _as_number(left)
+    right_num = _as_number(right)
+    if left_num is not None and right_num is not None:
+        return left_num == right_num
+    if attribute in CASE_INSENSITIVE_ATTRIBUTES:
+        return left.lower() == right.lower()
+    return left == right
+
+
+def _as_number(text: str) -> Optional[float]:
+    """Finite decimal interpretation of *text*, else None.
+
+    Mirrors :func:`repro.rsl.ast._try_number`: ``nan``/``inf`` words
+    and underscore forms are strings, not numbers, so comparison
+    stays reflexive and policy bounds stay meaningful.
+    """
+    if "_" in text:
+        return None
+    try:
+        number = float(text)
+    except ValueError:
+        return None
+    if number != number or number in (float("inf"), float("-inf")):
+        return None
+    return number
+
+
+def _request_values(spec: Specification, attribute: str) -> Tuple[str, ...]:
+    """All value texts the request supplies for *attribute*.
+
+    Only equality relations contribute values — a request is a
+    description, so ``(count=4)`` supplies a value where ``(count<4)``
+    would be a constraint, which job descriptions do not contain.
+    Empty-string values count as absent (the NULL convention).
+    """
+    values = []
+    for relation in spec.relations_for(attribute):
+        if relation.op is Relop.EQ:
+            for value in relation.values:
+                if isinstance(value, (VariableReference, Concatenation)):
+                    # Unresolved references supply no concrete value.
+                    continue
+                text = str(value)
+                if text and text != NULL:
+                    values.append(text)
+    return tuple(values)
+
+
+def match_relation(
+    relation: Relation,
+    request_spec: Specification,
+    context: MatchContext,
+) -> RelationOutcome:
+    """Check one assertion relation against the request."""
+    attribute = relation.attribute
+    present = _request_values(request_spec, attribute)
+    asserted = [
+        context.resolve(attribute, str(v))
+        for v in relation.values
+        if not isinstance(v, (VariableReference, Concatenation))
+    ]
+    if len(asserted) != len(relation.values):
+        unresolved = [
+            str(v)
+            for v in relation.values
+            if isinstance(v, (VariableReference, Concatenation))
+        ]
+        return RelationOutcome.fail(
+            f"unresolved variable reference(s) {', '.join(unresolved)} "
+            f"in policy relation on {attribute!r}"
+        )
+
+    if relation.op is Relop.EQ:
+        return _match_eq(attribute, asserted, present)
+    if relation.op is Relop.NEQ:
+        return _match_neq(attribute, asserted, present)
+    return _match_ordering(relation.op, attribute, asserted, present)
+
+
+def _match_eq(attribute, asserted, present) -> RelationOutcome:
+    if NULL in asserted:
+        # required-not-to-contain
+        if present:
+            return RelationOutcome.fail(
+                f"request must not contain {attribute!r} "
+                f"(found {', '.join(present)})"
+            )
+        return RelationOutcome.ok()
+    if not present:
+        return RelationOutcome.fail(
+            f"request must contain {attribute!r} with value in "
+            f"{{{', '.join(asserted)}}}"
+        )
+    for value in present:
+        if not any(_texts_equal(attribute, value, allowed) for allowed in asserted):
+            return RelationOutcome.fail(
+                f"{attribute!r} value {value!r} not among permitted "
+                f"{{{', '.join(asserted)}}}"
+            )
+    return RelationOutcome.ok()
+
+
+def _match_neq(attribute, asserted, present) -> RelationOutcome:
+    if NULL in asserted:
+        # required-to-contain (jobtag != NULL)
+        if not present:
+            return RelationOutcome.fail(
+                f"request must contain a non-empty {attribute!r}"
+            )
+        return RelationOutcome.ok()
+    for value in present:
+        for forbidden in asserted:
+            if _texts_equal(attribute, value, forbidden):
+                return RelationOutcome.fail(
+                    f"{attribute!r} must not take value {forbidden!r}"
+                )
+    return RelationOutcome.ok()
+
+
+def _match_ordering(op: Relop, attribute, asserted, present) -> RelationOutcome:
+    if len(asserted) != 1:
+        return RelationOutcome.fail(
+            f"ordering relation on {attribute!r} needs exactly one bound, "
+            f"got {len(asserted)}"
+        )
+    bound = _as_number(asserted[0])
+    if bound is None:
+        return RelationOutcome.fail(
+            f"ordering bound {asserted[0]!r} on {attribute!r} is not numeric"
+        )
+    if not present:
+        return RelationOutcome.fail(
+            f"request must contain {attribute!r} (bounded {op.value} {asserted[0]})"
+        )
+    comparisons = {
+        Relop.LT: lambda a, b: a < b,
+        Relop.LTE: lambda a, b: a <= b,
+        Relop.GT: lambda a, b: a > b,
+        Relop.GTE: lambda a, b: a >= b,
+    }
+    compare = comparisons[op]
+    for value in present:
+        number = _as_number(value)
+        if number is None:
+            return RelationOutcome.fail(
+                f"{attribute!r} value {value!r} is not numeric but policy "
+                f"bounds it {op.value} {asserted[0]}"
+            )
+        if not compare(number, bound):
+            return RelationOutcome.fail(
+                f"{attribute!r} value {value} violates bound "
+                f"{op.value} {asserted[0]}"
+            )
+    return RelationOutcome.ok()
+
+
+def match_assertion(
+    assertion_spec: Specification,
+    request_spec: Specification,
+    context: MatchContext,
+) -> RelationOutcome:
+    """Check a whole assertion conjunction; first failure wins."""
+    for relation in assertion_spec:
+        outcome = match_relation(relation, request_spec, context)
+        if not outcome.satisfied:
+            return outcome
+    return RelationOutcome.ok()

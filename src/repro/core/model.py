@@ -1,0 +1,188 @@
+"""Policy object model.
+
+A :class:`Policy` is an ordered list of :class:`PolicyStatement`.
+Each statement binds a :class:`Subject` — an exact Grid identity or a
+DN string prefix ("a group of users whose Grid identities start with
+...") — to one or more :class:`PolicyAssertion` conjunctions.
+
+Statements come in two kinds, mirroring how Figure 3 of the paper
+reads:
+
+* **GRANT** (the default): the subject is *allowed* to perform a
+  request when at least one of the statement's assertions matches it.
+  Under the language's default-deny rule, a request that no grant
+  matches is denied.
+
+* **REQUIREMENT** (written with a leading ``&`` before the subject in
+  the file syntax): a *constraint* on matching subjects.  Each
+  assertion's relations on ``action`` form a guard; whenever the
+  guard matches a request from the subject, the remaining relations
+  must also be satisfied or the request is denied.  Figure 3's first
+  statement is a requirement: every ``start`` by an mcs.anl.gov user
+  must carry a jobtag.  Requirements never grant by themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.attributes import ACTION
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import Specification
+from repro.rsl.parser import parse_specification
+
+
+class StatementKind(enum.Enum):
+    GRANT = "grant"
+    REQUIREMENT = "requirement"
+
+
+@dataclass(frozen=True)
+class Subject:
+    """Who a statement applies to: an exact identity or a DN prefix.
+
+    The paper matches groups by *string* prefix of the one-line DN
+    form; an exact subject is simply a prefix that happens to equal
+    the whole identity, but we keep the distinction so exact-match
+    statements can never accidentally catch a longer DN (e.g. a user
+    ``CN=Bo Liu`` must not match ``CN=Bo Liukonen``).
+    """
+
+    pattern: str
+    exact: bool
+
+    @classmethod
+    def identity(cls, dn: Union[str, DistinguishedName]) -> "Subject":
+        return cls(pattern=str(dn), exact=True)
+
+    @classmethod
+    def prefix(cls, text: str) -> "Subject":
+        return cls(pattern=text, exact=False)
+
+    def matches(self, identity: DistinguishedName) -> bool:
+        if self.exact:
+            return str(identity) == self.pattern
+        return identity.matches_string_prefix(self.pattern)
+
+    def __str__(self) -> str:
+        suffix = "" if self.exact else "*"
+        return f"{self.pattern}{suffix}"
+
+
+@dataclass(frozen=True)
+class PolicyAssertion:
+    """One conjunction of RSL relations.
+
+    Every assertion should constrain ``action`` — an assertion with no
+    action relation would otherwise apply to every operation, which is
+    almost never intended.  The parser warns by raising unless the
+    caller opts out (tested policies in the wild always guard on
+    action).
+    """
+
+    spec: Specification
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicyAssertion":
+        return cls(spec=parse_specification(text))
+
+    @property
+    def actions(self) -> Tuple[str, ...]:
+        """Action values this assertion is guarded on (lower-cased)."""
+        values: List[str] = []
+        for relation in self.spec.relations_for(ACTION):
+            for value in relation.values:
+                values.append(str(value).lower())
+        return tuple(values)
+
+    def guard(self) -> Specification:
+        """The relations on ``action`` only."""
+        return Specification.make(self.spec.relations_for(ACTION))
+
+    def body(self) -> Specification:
+        """Every relation except the action guard."""
+        return self.spec.without(ACTION)
+
+    def __str__(self) -> str:
+        return str(self.spec)
+
+
+@dataclass(frozen=True)
+class PolicyStatement:
+    """A subject bound to assertions, as a grant or a requirement."""
+
+    subject: Subject
+    assertions: Tuple[PolicyAssertion, ...]
+    kind: StatementKind = StatementKind.GRANT
+    #: Where the statement came from (file name, credential, ...) for
+    #: error reporting.
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.assertions:
+            raise ValueError(f"statement for {self.subject} has no assertions")
+
+    def applies_to(self, identity: DistinguishedName) -> bool:
+        return self.subject.matches(identity)
+
+    def __str__(self) -> str:
+        marker = "&" if self.kind is StatementKind.REQUIREMENT else ""
+        clauses = " ".join(str(a) for a in self.assertions)
+        return f"{marker}{self.subject}: {clauses}"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """An ordered, immutable collection of statements."""
+
+    statements: Tuple[PolicyStatement, ...]
+    name: str = ""
+
+    @classmethod
+    def make(
+        cls, statements: Iterable[PolicyStatement], name: str = ""
+    ) -> "Policy":
+        return cls(statements=tuple(statements), name=name)
+
+    @classmethod
+    def empty(cls, name: str = "") -> "Policy":
+        """A policy with no statements: everything is denied."""
+        return cls(statements=(), name=name)
+
+    def __iter__(self) -> Iterator[PolicyStatement]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def grants_for(self, identity: DistinguishedName) -> Tuple[PolicyStatement, ...]:
+        return tuple(
+            s
+            for s in self.statements
+            if s.kind is StatementKind.GRANT and s.applies_to(identity)
+        )
+
+    def requirements_for(
+        self, identity: DistinguishedName
+    ) -> Tuple[PolicyStatement, ...]:
+        return tuple(
+            s
+            for s in self.statements
+            if s.kind is StatementKind.REQUIREMENT and s.applies_to(identity)
+        )
+
+    def merged_with(self, other: "Policy") -> "Policy":
+        """Concatenate two policies (single-source composition).
+
+        Note this is *not* the VO/local combination — that requires
+        both policies to permit independently and lives in
+        :mod:`repro.core.combination`.  Merging is for policies from
+        the same administrative source split across files.
+        """
+        name = self.name or other.name
+        return Policy(statements=self.statements + other.statements, name=name)
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)

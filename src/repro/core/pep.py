@@ -1,0 +1,126 @@
+"""The Policy Enforcement Point (paper §5.2).
+
+The PEP "controls all external access to a resource via GRAM; an
+action is authorized depending on the decision yielded by the PEP".
+The prototype places it in the Job Manager — the component that parses
+job descriptions and can therefore evaluate request-dependent policy —
+but §6.2 discusses the alternative Gatekeeper placement, so the
+placement is explicit here and both are exercised by the benchmarks.
+
+The PEP fronts the callout registry: enforcement code calls
+:meth:`EnforcementPoint.authorize`, which invokes the configured
+callout chain, records an audit entry, and either returns (permitted)
+or raises :class:`AuthorizationDenied` /
+:class:`AuthorizationSystemFailure`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.callout import (
+    GRAM_AUTHZ_CALLOUT,
+    CalloutRegistry,
+    default_registry,
+)
+from repro.core.decision import Decision, Effect
+from repro.core.errors import AuthorizationDenied, AuthorizationSystemFailure
+from repro.core.request import AuthorizationRequest
+
+
+class PEPPlacement(enum.Enum):
+    """Which GRAM component hosts the enforcement point."""
+
+    JOB_MANAGER = "job-manager"
+    GATEKEEPER = "gatekeeper"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One authorization decision, as recorded by the PEP."""
+
+    request: AuthorizationRequest
+    decision: Optional[Decision]
+    failure: str = ""
+
+    @property
+    def permitted(self) -> bool:
+        return self.decision is not None and self.decision.is_permit
+
+
+class EnforcementPoint:
+    """A PEP bound to a callout registry and a placement."""
+
+    def __init__(
+        self,
+        registry: Optional[CalloutRegistry] = None,
+        callout_type: str = GRAM_AUTHZ_CALLOUT,
+        placement: PEPPlacement = PEPPlacement.JOB_MANAGER,
+        audit_limit: int = 10_000,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        self.callout_type = callout_type
+        self.placement = placement
+        self.audit_limit = audit_limit
+        self._audit: List[AuditRecord] = []
+        self.permits = 0
+        self.denials = 0
+        self.failures = 0
+
+    def authorize(self, request: AuthorizationRequest) -> Decision:
+        """Authorize *request* or raise.
+
+        Returns the PERMIT decision on success.  Raises
+        :class:`AuthorizationDenied` carrying the policy reasons on
+        denial, and :class:`AuthorizationSystemFailure` when no
+        decision could be made (fails closed).
+        """
+        try:
+            decision = self.registry.invoke(self.callout_type, request)
+        except AuthorizationSystemFailure as exc:
+            self.failures += 1
+            self._record(AuditRecord(request=request, decision=None, failure=str(exc)))
+            raise
+        self._record(AuditRecord(request=request, decision=decision))
+        if decision.is_permit:
+            self.permits += 1
+            return decision
+        self.denials += 1
+        raise AuthorizationDenied(
+            f"{request} denied" + (f" by {decision.source}" if decision.source else ""),
+            reasons=decision.reasons,
+        )
+
+    def decide(self, request: AuthorizationRequest) -> Decision:
+        """Like :meth:`authorize` but never raises on denial.
+
+        System failures are still raised — callers must not confuse a
+        broken authorization system with a policy denial.
+        """
+        try:
+            return self.authorize(request)
+        except AuthorizationDenied as exc:
+            return Decision.deny(reasons=exc.reasons, source="pep")
+
+    # -- audit ------------------------------------------------------------
+
+    def _record(self, record: AuditRecord) -> None:
+        self._audit.append(record)
+        if len(self._audit) > self.audit_limit:
+            del self._audit[: len(self._audit) - self.audit_limit]
+
+    @property
+    def audit_log(self) -> Tuple[AuditRecord, ...]:
+        return tuple(self._audit)
+
+    @property
+    def decisions_made(self) -> int:
+        return self.permits + self.denials + self.failures
+
+    def __str__(self) -> str:
+        return (
+            f"PEP[{self.placement.value}] permits={self.permits} "
+            f"denials={self.denials} failures={self.failures}"
+        )

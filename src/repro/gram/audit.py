@@ -1,0 +1,154 @@
+"""Audit-log export and offline analysis.
+
+The PEP keeps its audit log in memory; sites need it on disk for
+accounting disputes and security review.  This module flattens audit
+records to JSON lines, reloads them, and runs the same denial
+analysis offline — so an administrator can answer "who was denied
+what last week, and why" without the resource running.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.pep import AuditRecord, EnforcementPoint
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One flattened audit record (decoupled from live objects)."""
+
+    requester: str
+    action: str
+    job_id: str
+    jobowner: str
+    outcome: str  # "permit" | "deny" | "failure"
+    reasons: Tuple[str, ...]
+    source: str
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "requester": self.requester,
+                "action": self.action,
+                "job_id": self.job_id,
+                "jobowner": self.jobowner,
+                "outcome": self.outcome,
+                "reasons": list(self.reasons),
+                "source": self.source,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AuditEntry":
+        data = json.loads(text)
+        return cls(
+            requester=data["requester"],
+            action=data["action"],
+            job_id=data.get("job_id", ""),
+            jobowner=data.get("jobowner", ""),
+            outcome=data["outcome"],
+            reasons=tuple(data.get("reasons", ())),
+            source=data.get("source", ""),
+        )
+
+    @classmethod
+    def from_record(cls, record: AuditRecord) -> "AuditEntry":
+        if record.decision is None:
+            outcome = "failure"
+            reasons: Tuple[str, ...] = (record.failure,)
+            source = ""
+        elif record.decision.is_permit:
+            outcome = "permit"
+            reasons = record.decision.reasons
+            source = record.decision.source
+        else:
+            outcome = "deny"
+            reasons = record.decision.reasons
+            source = record.decision.source
+        return cls(
+            requester=str(record.request.requester),
+            action=str(record.request.action),
+            job_id=record.request.job_id,
+            jobowner=str(record.request.owner),
+            outcome=outcome,
+            reasons=reasons,
+            source=source,
+        )
+
+
+def export_audit_log(pep: EnforcementPoint, path: str) -> int:
+    """Write the PEP's audit log as JSON lines; returns entries written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in pep.audit_log:
+            handle.write(AuditEntry.from_record(record).to_json() + "\n")
+            count += 1
+    return count
+
+
+def load_audit_log(path: str) -> Tuple[AuditEntry, ...]:
+    """Read a JSON-lines audit file back into entries."""
+    entries: List[AuditEntry] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(AuditEntry.from_json(line))
+    return tuple(entries)
+
+
+@dataclass(frozen=True)
+class OfflineSummary:
+    """Aggregates over a loaded audit log."""
+
+    total: int
+    permits: int
+    denials: int
+    failures: int
+    by_requester: Tuple[Tuple[str, int], ...]
+    top_denial_reasons: Tuple[Tuple[str, int], ...]
+
+    def __str__(self) -> str:
+        lines = [
+            f"{self.total} decisions: {self.permits} permits, "
+            f"{self.denials} denials, {self.failures} failures"
+        ]
+        for requester, count in self.by_requester[:5]:
+            lines.append(f"  {requester}: {count} request(s)")
+        for reason, count in self.top_denial_reasons[:5]:
+            lines.append(f"  deny x{count}: {reason}")
+        return "\n".join(lines)
+
+
+def summarize(entries: Iterable[AuditEntry]) -> OfflineSummary:
+    """Compute the offline report an administrator reads first."""
+    total = permits = denials = failures = 0
+    requesters: Dict[str, int] = {}
+    reasons: Dict[str, int] = {}
+    for entry in entries:
+        total += 1
+        requesters[entry.requester] = requesters.get(entry.requester, 0) + 1
+        if entry.outcome == "permit":
+            permits += 1
+        elif entry.outcome == "deny":
+            denials += 1
+            for reason in entry.reasons[:1]:
+                reasons[reason] = reasons.get(reason, 0) + 1
+        else:
+            failures += 1
+    return OfflineSummary(
+        total=total,
+        permits=permits,
+        denials=denials,
+        failures=failures,
+        by_requester=tuple(
+            sorted(requesters.items(), key=lambda kv: (-kv[1], kv[0]))
+        ),
+        top_denial_reasons=tuple(
+            sorted(reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+        ),
+    )

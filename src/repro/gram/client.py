@@ -1,0 +1,127 @@
+"""The GRAM client library.
+
+Wraps a user's credential and a target Gatekeeper.  The paper's
+extension required "extensions to the GRAM client allowing the client
+to process other identities than that of the client (specifically,
+allowing it to recognize the identity of the job originator)" — the
+client therefore tracks, per job contact, who owns the job, and does
+not pre-filter management requests to self-owned jobs the way the GT2
+client effectively did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.gram.gatekeeper import Gatekeeper
+from repro.gram.protocol import GramJobState, GramResponse, JobContact
+from repro.gsi.credentials import Credential
+
+
+@dataclass
+class _KnownJob:
+    contact: JobContact
+    owner: str
+    last_state: Optional[GramJobState]
+
+
+class GramClient:
+    """A user-side handle for submitting and managing jobs."""
+
+    def __init__(self, credential: Credential, gatekeeper: Gatekeeper) -> None:
+        self.credential = credential
+        self.gatekeeper = gatekeeper
+        self._jobs: Dict[str, _KnownJob] = {}
+
+    @property
+    def identity(self) -> str:
+        return str(self.credential.identity)
+
+    # -- operations ---------------------------------------------------------
+
+    def submit(self, rsl_text: str) -> GramResponse:
+        """Submit a job described by *rsl_text*."""
+        response = self.gatekeeper.submit(self.credential, rsl_text)
+        self._learn(response)
+        return response
+
+    def submit_multi(self, rsl_text: str) -> List[GramResponse]:
+        """Submit an RSL multi-request: ``+(&(...))(&(...))``.
+
+        Each component specification becomes an independent job (GT2
+        fans multi-requests out through DUROC; here each lands on this
+        client's gatekeeper).  Plain specifications submit as a
+        single-element list.  Each component is authorized separately,
+        so one denied component does not block the others.
+        """
+        from repro.rsl.ast import MultiRequest
+        from repro.rsl.parser import parse_rsl
+        from repro.rsl.unparser import unparse
+
+        parsed = parse_rsl(rsl_text)
+        if isinstance(parsed, MultiRequest):
+            return [self.submit(unparse(spec)) for spec in parsed]
+        return [self.submit(rsl_text)]
+
+    def cancel(self, contact: JobContact) -> GramResponse:
+        return self.manage(contact, "cancel")
+
+    def status(self, contact: JobContact) -> GramResponse:
+        return self.manage(contact, "information")
+
+    def signal(self, contact: JobContact, priority: int) -> GramResponse:
+        return self.manage(contact, "signal", value=priority)
+
+    def suspend(self, contact: JobContact) -> GramResponse:
+        return self.manage(contact, "suspend")
+
+    def resume(self, contact: JobContact) -> GramResponse:
+        return self.manage(contact, "resume")
+
+    def manage(
+        self, contact: JobContact, action: str, value: Optional[int] = None
+    ) -> GramResponse:
+        """Send an arbitrary management action to *contact*'s JMI."""
+        response = self.gatekeeper.manage(
+            self.credential, contact, action, value=value
+        )
+        self._learn(response)
+        return response
+
+
+    # -- job-owner tracking (the client extension) ----------------------------
+
+    def _learn(self, response: GramResponse) -> None:
+        if response.contact is None:
+            return
+        key = response.contact.job_id
+        known = self._jobs.get(key)
+        if known is None:
+            self._jobs[key] = _KnownJob(
+                contact=response.contact,
+                owner=response.job_owner,
+                last_state=response.state,
+            )
+        else:
+            if response.job_owner:
+                known.owner = response.job_owner
+            if response.state is not None:
+                known.last_state = response.state
+
+    def job_owner(self, contact: JobContact) -> Optional[str]:
+        """The job originator's identity, as learned from responses.
+
+        May differ from :attr:`identity` — managing other users' jobs
+        is the whole point of the paper's jobtag machinery.
+        """
+        known = self._jobs.get(contact.job_id)
+        return known.owner if known and known.owner else None
+
+    def owns(self, contact: JobContact) -> bool:
+        owner = self.job_owner(contact)
+        return owner is not None and owner == self.identity
+
+    def known_jobs(self) -> Dict[str, str]:
+        """contact id -> owner identity for every job seen."""
+        return {key: job.owner for key, job in self._jobs.items()}

@@ -1,0 +1,265 @@
+"""The Gatekeeper (paper §4.1).
+
+"The Gatekeeper is responsible for authenticating the requesting Grid
+user, authorizing their job invocation request and determining the
+account in which their job should be run."
+
+Steps on a submission:
+
+1. **Authenticate** — verify the presented credential chain against
+   the resource's trust anchors and check possession (GSI).
+2. **Authorize** — grid-mapfile lookup; optionally a Gatekeeper-placed
+   PEP callout (the §6.2 alternative placement, off by default).
+3. **Map** — Grid identity → local account, from the grid-mapfile or,
+   when configured, a dynamic-account pool for identities with no
+   static account (§6.1).
+4. **Spawn** — create a Job Manager Instance running under the mapped
+   account and hand it the request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.accounts.dynamic import DynamicAccountError, DynamicAccountPool
+from repro.accounts.enforcement import EnforcementMechanism
+from repro.accounts.local import AccountRegistry, LocalAccount
+from repro.core.errors import AuthorizationDenied, AuthorizationSystemFailure
+from repro.core.pep import EnforcementPoint
+from repro.core.request import AuthorizationRequest
+from repro.gram.gridmap import GridMapFile
+from repro.gram.jobmanager import AuthorizationMode, JobManagerInstance
+from repro.gram.protocol import (
+    GramErrorCode,
+    GramResponse,
+    JobContact,
+    TraceRecorder,
+)
+from repro.gram.rsl_utils import JobDescriptionError, JobDescription
+from repro.gsi.credentials import CertificateAuthority, Credential
+from repro.gsi.errors import GSIError
+from repro.gsi.verification import verify_credential
+from repro.lrm.scheduler import BatchScheduler
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_specification
+from repro.sim.clock import Clock
+
+
+class Gatekeeper:
+    """Front door of a GRAM resource."""
+
+    def __init__(
+        self,
+        host: str,
+        trust_anchors: Sequence[CertificateAuthority],
+        gridmap: GridMapFile,
+        accounts: AccountRegistry,
+        scheduler: BatchScheduler,
+        clock: Clock,
+        mode: AuthorizationMode = AuthorizationMode.EXTENDED,
+        pep: Optional[EnforcementPoint] = None,
+        gatekeeper_pep: Optional[EnforcementPoint] = None,
+        enforcement: Optional[EnforcementMechanism] = None,
+        dynamic_pool: Optional[DynamicAccountPool] = None,
+        trace: Optional[TraceRecorder] = None,
+        gt3_account_setup: bool = False,
+    ) -> None:
+        self.host = host
+        self.trust_anchors = tuple(trust_anchors)
+        self.gridmap = gridmap
+        self.accounts = accounts
+        self.scheduler = scheduler
+        self.clock = clock
+        self.mode = mode
+        self.pep = pep
+        self.gatekeeper_pep = gatekeeper_pep
+        self.enforcement = enforcement
+        self.dynamic_pool = dynamic_pool
+        self.trace = trace
+        #: GT3-style setup (the paper's conclusions): the job
+        #: description is available to the trusted service at job
+        #: creation, so a freshly leased dynamic account can be
+        #: configured from the *request's* declared limits before the
+        #: (untrusted) JMI ever runs.
+        self.gt3_account_setup = gt3_account_setup
+        self._job_managers: Dict[str, JobManagerInstance] = {}
+        self.submissions = 0
+        self.authentications_failed = 0
+
+    # -- the request path -----------------------------------------------------
+
+    def submit(self, credential: Credential, rsl_text: str) -> GramResponse:
+        """Process a job-invocation request end to end."""
+        self.submissions += 1
+        self._trace("client", "gatekeeper", "submit job request")
+
+        # 1. Authenticate.
+        self._trace("gatekeeper", "gsi", "authenticate credential")
+        try:
+            verified = verify_credential(
+                credential, self.trust_anchors, at_time=self.clock.now
+            )
+        except GSIError as exc:
+            self.authentications_failed += 1
+            return GramResponse(
+                code=GramErrorCode.AUTHENTICATION_FAILED, message=str(exc)
+            )
+        identity = verified.identity
+
+        # 2. Authorize: grid-mapfile ACL.
+        self._trace("gatekeeper", "grid-mapfile", "lookup identity")
+        entry = self.gridmap.lookup(identity)
+        if entry is None and self.dynamic_pool is None:
+            return GramResponse(
+                code=GramErrorCode.GRIDMAP_LOOKUP_FAILED,
+                message=f"{identity} has no grid-mapfile entry",
+            )
+
+        # 2b. Optional Gatekeeper-placed PEP (§6.2 comparison).
+        if self.gatekeeper_pep is not None:
+            try:
+                spec = parse_specification(rsl_text)
+                description = JobDescription.from_spec(spec)
+            except (RSLSyntaxError, JobDescriptionError) as exc:
+                return GramResponse(code=GramErrorCode.BAD_RSL, message=str(exc))
+            request = AuthorizationRequest.start(
+                identity, description.spec, credential=credential
+            )
+            self._trace("gatekeeper", "pep", "authorization callout: start")
+            try:
+                self.gatekeeper_pep.authorize(request)
+            except AuthorizationDenied as exc:
+                return GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_DENIED,
+                    message=str(exc),
+                    reasons=exc.reasons,
+                )
+            except AuthorizationSystemFailure as exc:
+                return GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
+                    message=str(exc),
+                )
+
+        # 3. Map to a local account.
+        account, error = self._map_account(identity, entry)
+        if account is None:
+            return error
+
+        # 3b. GT3-style account configuration from the job description.
+        if self.gt3_account_setup and account.dynamic:
+            error = self._configure_account_gt3(account, rsl_text)
+            if error is not None:
+                return error
+
+        # 4. Spawn the Job Manager Instance.
+        contact = JobContact.fresh(self.host)
+        self._trace("gatekeeper", "job-manager", "spawn JMI under local account")
+        jmi = JobManagerInstance(
+            contact=contact,
+            owner=identity,
+            account=account,
+            scheduler=self.scheduler,
+            clock=self.clock,
+            mode=self.mode,
+            pep=self.pep,
+            enforcement=self.enforcement,
+            trust_anchors=self.trust_anchors,
+            trace=self.trace,
+            owner_credential=credential,
+        )
+        response = jmi.start(rsl_text)
+        if response.ok:
+            self._job_managers[contact.job_id] = jmi
+        return response
+
+    def job_manager(self, contact: JobContact) -> Optional[JobManagerInstance]:
+        """Route a management request to its JMI."""
+        return self._job_managers.get(contact.job_id)
+
+    def manage(
+        self,
+        credential: Credential,
+        contact: JobContact,
+        action: str,
+        value: Optional[int] = None,
+    ) -> GramResponse:
+        """Entry point for management requests arriving at the resource."""
+        jmi = self.job_manager(contact)
+        if jmi is None:
+            return GramResponse(
+                code=GramErrorCode.NO_SUCH_JOB,
+                message=f"no job manager at {contact}",
+            )
+        return jmi.handle(credential, action, value=value)
+
+    @property
+    def active_job_managers(self) -> int:
+        return len(self._job_managers)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _map_account(
+        self, identity, entry
+    ) -> Tuple[Optional[LocalAccount], Optional[GramResponse]]:
+        if entry is not None:
+            username = entry.default_account
+            self._trace("gatekeeper", "accounts", f"map to account {username!r}")
+            try:
+                return self.accounts.get(username), None
+            except KeyError:
+                return None, GramResponse(
+                    code=GramErrorCode.GRIDMAP_LOOKUP_FAILED,
+                    message=(
+                        f"grid-mapfile maps {identity} to {username!r} but no "
+                        "such local account exists"
+                    ),
+                )
+        # No static mapping: lease a dynamic account (§6.1).
+        assert self.dynamic_pool is not None
+        lease = self.dynamic_pool.lease_for(str(identity))
+        if lease is None:
+            self._trace("gatekeeper", "accounts", "allocate dynamic account")
+            try:
+                lease = self.dynamic_pool.allocate(str(identity))
+            except DynamicAccountError as exc:
+                return None, GramResponse(
+                    code=GramErrorCode.RESOURCE_UNAVAILABLE, message=str(exc)
+                )
+        else:
+            self._trace("gatekeeper", "accounts", "reuse dynamic account lease")
+        return lease.account, None
+
+    def _configure_account_gt3(
+        self, account: LocalAccount, rsl_text: str
+    ) -> Optional[GramResponse]:
+        """Install the request's declared limits into the account.
+
+        GT3's GRAM makes the job description "available to a trusted
+        service as part of job creation, which allows it to configure
+        the local account" — the better dynamic-account integration
+        the paper's conclusions anticipate.  Returns an error response
+        on unparsable descriptions, else None.
+        """
+        from repro.accounts.local import AccountLimits
+
+        try:
+            spec = parse_specification(rsl_text)
+            description = JobDescription.from_spec(spec)
+        except (RSLSyntaxError, JobDescriptionError) as exc:
+            return GramResponse(code=GramErrorCode.BAD_RSL, message=str(exc))
+        self._trace(
+            "gatekeeper", "accounts", "configure dynamic account from request"
+        )
+        account.reconfigure(
+            AccountLimits(
+                max_cpus_per_job=description.count,
+                cpu_quota_seconds=description.max_cputime,
+                allowed_executables=frozenset({description.executable}),
+            ),
+            groups=account.groups,
+        )
+        return None
+
+    def _trace(self, source: str, target: str, event: str) -> None:
+        if self.trace is not None:
+            self.trace.record(source, target, event)

@@ -1,0 +1,327 @@
+"""The Job Manager Instance (JMI).
+
+Stock GT2 behaviour (paper §4.2): parse the user's RSL, submit the job
+to the local job control system, monitor it, and handle management
+requests — authorizing those with one static rule, "the Grid identity
+of the user making the request must match the Grid identity of the
+user who initiated the job".
+
+The paper's extension (§5.2) replaces that rule with the
+authorization callout: "this call is made whenever an action needs to
+be authorized; that is before creating a job manager request, and
+before calls to cancel, query, and signal a running job".  Both modes
+are implemented and selected by :class:`AuthorizationMode`, so the
+benchmarks can run the two architectures side by side.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.accounts.enforcement import EnforcementMechanism
+from repro.accounts.local import LocalAccount
+from repro.accounts.sandbox import ResourceLimits
+from repro.core.errors import (
+    AuthorizationDenied,
+    AuthorizationSystemFailure,
+)
+from repro.core.pep import EnforcementPoint
+from repro.core.request import AuthorizationRequest
+from repro.gram.protocol import (
+    GramErrorCode,
+    GramJobState,
+    GramResponse,
+    JobContact,
+    TraceRecorder,
+)
+from repro.gram.rsl_utils import JobDescription, JobDescriptionError
+from repro.gsi.credentials import Credential
+from repro.gsi.errors import GSIError
+from repro.gsi.names import DistinguishedName
+from repro.gsi.verification import verify_credential
+from repro.lrm.errors import LRMError
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.scheduler import BatchScheduler
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_specification
+from repro.sim.clock import Clock
+
+
+class AuthorizationMode(enum.Enum):
+    """Stock GT2 vs. the paper's callout-extended GRAM."""
+
+    LEGACY = "legacy"
+    EXTENDED = "extended"
+
+
+_LRM_TO_GRAM = {
+    JobState.QUEUED: GramJobState.PENDING,
+    JobState.RUNNING: GramJobState.ACTIVE,
+    JobState.SUSPENDED: GramJobState.SUSPENDED,
+    JobState.COMPLETED: GramJobState.DONE,
+    JobState.CANCELLED: GramJobState.FAILED,
+    JobState.FAILED: GramJobState.FAILED,
+}
+
+
+class JobManagerInstance:
+    """One JMI, executing (conceptually) under the owner's local account."""
+
+    def __init__(
+        self,
+        contact: JobContact,
+        owner: DistinguishedName,
+        account: LocalAccount,
+        scheduler: BatchScheduler,
+        clock: Clock,
+        mode: AuthorizationMode = AuthorizationMode.EXTENDED,
+        pep: Optional[EnforcementPoint] = None,
+        enforcement: Optional[EnforcementMechanism] = None,
+        trust_anchors=(),
+        trace: Optional[TraceRecorder] = None,
+        owner_credential: Optional[Credential] = None,
+    ) -> None:
+        if mode is AuthorizationMode.EXTENDED and pep is None:
+            raise ValueError("EXTENDED mode requires a PEP")
+        self.contact = contact
+        self.owner = owner
+        self.owner_credential = owner_credential
+        self.account = account
+        self.scheduler = scheduler
+        self.clock = clock
+        self.mode = mode
+        self.pep = pep
+        self.enforcement = enforcement
+        self.trust_anchors = tuple(trust_anchors)
+        self.trace = trace
+        self.description: Optional[JobDescription] = None
+        self.job: Optional[BatchJob] = None
+
+    # -- job invocation -----------------------------------------------------
+
+    def start(self, rsl_text: str) -> GramResponse:
+        """Parse, authorize, admit and submit the job."""
+        self._trace("job-manager", "job-manager", "parse RSL")
+        try:
+            spec = parse_specification(rsl_text)
+            description = JobDescription.from_spec(spec)
+        except (RSLSyntaxError, JobDescriptionError) as exc:
+            return GramResponse(
+                code=GramErrorCode.BAD_RSL, message=str(exc), contact=self.contact
+            )
+        self.description = description
+
+        if self.mode is AuthorizationMode.EXTENDED:
+            request = AuthorizationRequest.start(
+                self.owner,
+                description.spec,
+                job_id=self.contact.job_id,
+                credential=self.owner_credential,
+            )
+            self._trace("job-manager", "pep", "authorization callout: start")
+            denied = self._authorize(request)
+            if denied is not None:
+                return denied
+
+        job = BatchJob(
+            account=self.account.username,
+            executable=description.executable,
+            cpus=description.count,
+            runtime=description.runtime,
+            queue=description.queue,
+            max_walltime=description.max_walltime,
+            job_id=self.contact.job_id,
+        )
+
+        if self.enforcement is not None:
+            limits = self._limits_from(description)
+            self._trace("job-manager", "enforcement", f"admit ({self.enforcement.name})")
+            outcome = self.enforcement.admit(job, self.account, limits)
+            if not outcome.admitted:
+                return GramResponse(
+                    code=GramErrorCode.ENFORCEMENT_REJECTED,
+                    message=outcome.reason,
+                    contact=self.contact,
+                )
+
+        self._trace("job-manager", "lrm", "submit job")
+        try:
+            self.scheduler.submit(job)
+        except LRMError as exc:
+            return GramResponse(
+                code=GramErrorCode.RESOURCE_UNAVAILABLE,
+                message=str(exc),
+                contact=self.contact,
+            )
+        self.job = job
+        if self.enforcement is not None:
+            self.enforcement.job_started(job, self.account, self._limits_from(description))
+            self.scheduler.on_terminal.append(self._terminal_hook)
+        return GramResponse(
+            code=GramErrorCode.SUCCESS,
+            contact=self.contact,
+            state=self.state(),
+            job_owner=str(self.owner),
+        )
+
+    # -- management ------------------------------------------------------------
+
+    def handle(
+        self,
+        credential: Credential,
+        action: str,
+        value: Optional[int] = None,
+        at_time: Optional[float] = None,
+    ) -> GramResponse:
+        """Authenticate, authorize and execute a management request."""
+        now = at_time if at_time is not None else self.clock.now
+        self._trace("client", "job-manager", f"management request: {action}")
+        try:
+            verified = verify_credential(credential, self.trust_anchors, at_time=now)
+        except GSIError as exc:
+            return GramResponse(
+                code=GramErrorCode.AUTHENTICATION_FAILED,
+                message=str(exc),
+                contact=self.contact,
+            )
+        requester = verified.identity
+
+        if self.job is None or self.description is None:
+            return GramResponse(
+                code=GramErrorCode.NO_SUCH_JOB,
+                message="job was never started",
+                contact=self.contact,
+            )
+
+        if self.mode is AuthorizationMode.LEGACY:
+            # §4.2: identity of requester must match identity of initiator.
+            if requester != self.owner:
+                return GramResponse(
+                    code=GramErrorCode.NOT_JOB_OWNER,
+                    message=(
+                        f"{requester} is not the job initiator {self.owner} "
+                        "(GT2 static management rule)"
+                    ),
+                    contact=self.contact,
+                    job_owner=str(self.owner),
+                )
+        else:
+            try:
+                request = AuthorizationRequest.manage(
+                    requester,
+                    action,
+                    self.description.spec,
+                    jobowner=self.owner,
+                    job_id=self.contact.job_id,
+                    credential=credential,
+                )
+            except ValueError as exc:
+                return GramResponse(
+                    code=GramErrorCode.BAD_RSL,
+                    message=str(exc),
+                    contact=self.contact,
+                )
+            self._trace("job-manager", "pep", f"authorization callout: {action}")
+            denied = self._authorize(request)
+            if denied is not None:
+                return denied
+
+        return self._execute(action, value)
+
+    def _execute(self, action: str, value: Optional[int]) -> GramResponse:
+        assert self.job is not None
+        self._trace("job-manager", "lrm", f"execute {action}")
+        try:
+            if action in ("cancel",):
+                self.scheduler.cancel(self.job.job_id, reason="cancelled via GRAM")
+            elif action in ("information", "status"):
+                pass  # state is attached to every response below
+            elif action == "signal":
+                if value is None:
+                    return GramResponse(
+                        code=GramErrorCode.BAD_RSL,
+                        message="signal requires a priority value",
+                        contact=self.contact,
+                    )
+                # §6.2: the JMI executes with the *initiator's* local
+                # credential, so the effective priority is clamped to
+                # that account's ceiling even when the requester was
+                # authorized — the manager "may not apply their higher
+                # resource rights".
+                ceiling = self.account.limits.max_priority
+                effective = value if ceiling is None else min(value, ceiling)
+                self.scheduler.signal_priority(self.job.job_id, effective)
+            elif action == "suspend":
+                self.scheduler.suspend(self.job.job_id)
+            elif action == "resume":
+                self.scheduler.resume(self.job.job_id)
+            else:
+                return GramResponse(
+                    code=GramErrorCode.BAD_RSL,
+                    message=f"unknown management action {action!r}",
+                    contact=self.contact,
+                )
+        except LRMError as exc:
+            return GramResponse(
+                code=GramErrorCode.NO_SUCH_JOB,
+                message=str(exc),
+                contact=self.contact,
+            )
+        return GramResponse(
+            code=GramErrorCode.SUCCESS,
+            contact=self.contact,
+            state=self.state(),
+            job_owner=str(self.owner),
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def state(self) -> Optional[GramJobState]:
+        if self.job is None:
+            return None
+        return _LRM_TO_GRAM[self.job.state]
+
+    def _authorize(self, request: AuthorizationRequest) -> Optional[GramResponse]:
+        """Run the PEP; map outcomes to protocol errors (extension)."""
+        assert self.pep is not None
+        try:
+            self.pep.authorize(request)
+        except AuthorizationDenied as exc:
+            return GramResponse(
+                code=GramErrorCode.AUTHORIZATION_DENIED,
+                message=str(exc),
+                reasons=exc.reasons,
+                contact=self.contact,
+                job_owner=str(self.owner),
+            )
+        except AuthorizationSystemFailure as exc:
+            return GramResponse(
+                code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
+                message=str(exc),
+                contact=self.contact,
+                job_owner=str(self.owner),
+            )
+        return None
+
+    def _limits_from(self, description: JobDescription) -> ResourceLimits:
+        """Enforcement limits: what the (authorized) request declared."""
+        return ResourceLimits(
+            max_cpu_seconds=description.max_cputime,
+            max_wall_seconds=description.max_walltime,
+            max_cpus=description.count,
+        )
+
+    def _terminal_hook(self, job: BatchJob) -> None:
+        if self.job is not None and job.job_id == self.job.job_id:
+            if self.enforcement is not None:
+                self.enforcement.job_finished(job, self.account)
+            if self._terminal_hook in self.scheduler.on_terminal:
+                self.scheduler.on_terminal.remove(self._terminal_hook)
+
+    def _trace(self, source: str, target: str, event: str) -> None:
+        if self.trace is not None:
+            self.trace.record(source, target, event)
+
+    def __str__(self) -> str:
+        return f"JMI[{self.contact.job_id} owner={self.owner} mode={self.mode.value}]"

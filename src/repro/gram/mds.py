@@ -1,0 +1,121 @@
+"""A miniature MDS — the Monitoring and Discovery Service.
+
+The paper situates GRAM inside the Globus middleware, which also
+provides "resource monitoring and discovery (MDS)".  VO-level tools
+(the federation broker, administrators planning preemption) need that
+directory: which resources exist, how big they are, how loaded they
+are, and which queues/policy sources they advertise.
+
+:class:`InformationService` is a publish/query registry.  Resources
+publish :class:`ResourceRecord` snapshots (``publish_service`` builds
+one straight from a :class:`~repro.gram.service.GramService`); clients
+query by free capacity or custom predicates.  Records carry the
+publication timestamp so stale entries can be aged out, as real MDS
+deployments do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource's advertised state."""
+
+    name: str
+    host: str
+    total_cpus: int
+    free_cpus: int
+    queue_depth: int
+    queues: Tuple[str, ...]
+    policy_sources: Tuple[str, ...]
+    published_at: float
+
+    @property
+    def utilization(self) -> float:
+        if self.total_cpus == 0:
+            return 0.0
+        return (self.total_cpus - self.free_cpus) / self.total_cpus
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.free_cpus}/{self.total_cpus} CPUs free, "
+            f"{self.queue_depth} queued (t={self.published_at:.0f})"
+        )
+
+
+class InformationService:
+    """The directory: publish, age out, query."""
+
+    def __init__(self, max_age: Optional[float] = None) -> None:
+        #: Records older than this (vs. the querying caller's *now*)
+        #: are not returned; None disables aging.
+        self.max_age = max_age
+        self._records: Dict[str, ResourceRecord] = {}
+
+    # -- publication --------------------------------------------------------
+
+    def publish(self, record: ResourceRecord) -> None:
+        self._records[record.name] = record
+
+    def publish_service(self, name: str, service, now: Optional[float] = None) -> ResourceRecord:
+        """Snapshot a :class:`GramService` and publish it."""
+        when = now if now is not None else service.clock.now
+        record = ResourceRecord(
+            name=name,
+            host=service.config.host,
+            total_cpus=service.cluster.total_cpus,
+            free_cpus=service.cluster.free_cpus,
+            queue_depth=service.scheduler.queue_depth,
+            queues=tuple(service.scheduler.queues),
+            policy_sources=tuple(p.name for p in service.config.policies),
+            published_at=when,
+        )
+        self.publish(record)
+        return record
+
+    def unpublish(self, name: str) -> None:
+        self._records.pop(name, None)
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, name: str, now: float = float("inf")) -> Optional[ResourceRecord]:
+        record = self._records.get(name)
+        if record is None or self._stale(record, now):
+            return None
+        return record
+
+    def records(self, now: float = float("inf")) -> Tuple[ResourceRecord, ...]:
+        return tuple(
+            record
+            for record in self._records.values()
+            if not self._stale(record, now)
+        )
+
+    def find(
+        self,
+        min_free_cpus: int = 0,
+        queue: Optional[str] = None,
+        predicate: Optional[Callable[[ResourceRecord], bool]] = None,
+        now: float = float("inf"),
+    ) -> Tuple[ResourceRecord, ...]:
+        """Resources matching the constraints, most free CPUs first."""
+        matches = [
+            record
+            for record in self.records(now)
+            if record.free_cpus >= min_free_cpus
+            and (queue is None or queue in record.queues)
+            and (predicate is None or predicate(record))
+        ]
+        matches.sort(key=lambda r: (-r.free_cpus, r.name))
+        return tuple(matches)
+
+    def _stale(self, record: ResourceRecord, now: float) -> bool:
+        if self.max_age is None or now == float("inf"):
+            return False
+        return now - record.published_at > self.max_age
+
+    def __len__(self) -> int:
+        return len(self._records)

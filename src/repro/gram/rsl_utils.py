@@ -1,0 +1,109 @@
+"""Job-description helpers: validation, defaults, typed accessors.
+
+GT2's Job Manager parses the submitted RSL and fills in defaults
+before talking to the local job control system.  The attributes
+modelled here are the subset the paper's policies and our simulation
+need:
+
+=============== ======================================================
+``executable``   program to run (required for start)
+``directory``    working directory
+``arguments``    command-line arguments (free-form)
+``count``        number of CPUs (default 1)
+``maxwalltime``  declared wall-clock bound, seconds
+``maxcputime``   declared CPU-seconds bound
+``queue``        LRM queue name (default ``default``)
+``jobtag``       management-group tag (the paper's extension)
+``runtime``      *simulation only*: how long the job really runs.
+                 A real job's duration is decided by its code; the
+                 synthetic workload declares it here.  Defaults to
+                 ``maxwalltime`` or 10 seconds.
+=============== ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.attributes import JOBTAG
+from repro.rsl.ast import Relation, Relop, Specification
+
+DEFAULT_COUNT = 1
+DEFAULT_QUEUE = "default"
+DEFAULT_RUNTIME = 10.0
+
+
+class JobDescriptionError(ValueError):
+    """The job description is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class JobDescription:
+    """Typed view over a canonicalised RSL specification."""
+
+    spec: Specification
+    executable: str
+    directory: str
+    count: int
+    queue: str
+    jobtag: Optional[str]
+    max_walltime: Optional[float]
+    max_cputime: Optional[float]
+    runtime: float
+
+    @classmethod
+    def from_spec(cls, spec: Specification) -> "JobDescription":
+        executable = spec.first_value("executable")
+        if not executable:
+            raise JobDescriptionError("job description must name an executable")
+        count = _int_attr(spec, "count", DEFAULT_COUNT)
+        if count <= 0:
+            raise JobDescriptionError(f"count must be positive, got {count}")
+        max_walltime = _float_attr(spec, "maxwalltime", None)
+        max_cputime = _float_attr(spec, "maxcputime", None)
+        runtime = _float_attr(
+            spec,
+            "runtime",
+            max_walltime if max_walltime is not None else DEFAULT_RUNTIME,
+        )
+        if runtime < 0:
+            raise JobDescriptionError(f"runtime must be non-negative, got {runtime}")
+        canonical = spec
+        if not spec.has("count"):
+            canonical = canonical.merged_with(
+                Specification.make([Relation.make("count", Relop.EQ, count)])
+            )
+        return cls(
+            spec=canonical,
+            executable=executable,
+            directory=spec.first_value("directory") or "",
+            count=count,
+            queue=spec.first_value("queue") or DEFAULT_QUEUE,
+            jobtag=spec.first_value(JOBTAG),
+            max_walltime=max_walltime,
+            max_cputime=max_cputime,
+            runtime=runtime,
+        )
+
+
+def _int_attr(spec: Specification, attribute: str, default: int) -> int:
+    raw = spec.first_value(attribute)
+    if raw is None:
+        return default
+    try:
+        return int(float(raw))
+    except ValueError:
+        raise JobDescriptionError(f"{attribute} must be an integer, got {raw!r}")
+
+
+def _float_attr(
+    spec: Specification, attribute: str, default: Optional[float]
+) -> Optional[float]:
+    raw = spec.first_value(attribute)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise JobDescriptionError(f"{attribute} must be numeric, got {raw!r}")

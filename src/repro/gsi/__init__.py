@@ -1,0 +1,59 @@
+"""Simulated Grid Security Infrastructure (GSI).
+
+GT2 authenticates Grid users with X.509 identity certificates and
+proxy certificates carrying delegated rights.  This package reproduces
+the *structure* of that infrastructure without real cryptography:
+
+* :mod:`repro.gsi.names` — X.500 distinguished names with the prefix
+  matching the paper's policy language relies on (a policy line may
+  name a whole organizational unit by DN prefix).
+* :mod:`repro.gsi.keys` — simulated asymmetric key pairs.  Signing
+  requires the key-pair object (the "private key"); verification needs
+  only the public fingerprint.  A process-local oracle stands in for
+  the mathematics, so tampered or forged signatures are detected in
+  tests exactly as they would be by real crypto.
+* :mod:`repro.gsi.credentials` — certificates and credentials; a toy
+  certificate authority.
+* :mod:`repro.gsi.proxy` — proxy certificates with delegation chains
+  and policy-restricted proxies (the mechanism CAS uses to embed VO
+  policy in a credential).
+* :mod:`repro.gsi.verification` — chain verification: signatures,
+  validity windows, proxy-chain structure, trust anchors.
+"""
+
+from repro.gsi.errors import (
+    CertificateExpiredError,
+    GSIError,
+    SignatureError,
+    UntrustedIssuerError,
+    VerificationError,
+)
+from repro.gsi.keys import KeyPair, PublicKey, Signature
+from repro.gsi.names import DistinguishedName
+from repro.gsi.credentials import (
+    Certificate,
+    CertificateAuthority,
+    Credential,
+)
+from repro.gsi.proxy import ProxyCertificate, ProxyPolicy, delegate
+from repro.gsi.verification import VerificationResult, verify_credential
+
+__all__ = [
+    "GSIError",
+    "SignatureError",
+    "VerificationError",
+    "CertificateExpiredError",
+    "UntrustedIssuerError",
+    "DistinguishedName",
+    "KeyPair",
+    "PublicKey",
+    "Signature",
+    "Certificate",
+    "CertificateAuthority",
+    "Credential",
+    "ProxyCertificate",
+    "ProxyPolicy",
+    "delegate",
+    "VerificationResult",
+    "verify_credential",
+]

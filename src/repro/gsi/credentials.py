@@ -1,0 +1,250 @@
+"""Certificates, credentials, and a toy certificate authority.
+
+A :class:`Certificate` binds a distinguished name to a public key,
+signed by an issuer.  A :class:`Credential` pairs a certificate with
+its private key pair — what a Grid user holds on disk.  The
+:class:`CertificateAuthority` is the trust anchor resources configure.
+
+Timestamps are plain floats ("simulated epoch seconds") so the whole
+stack stays deterministic and composes with :mod:`repro.sim`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.gsi.errors import GSIError, SignatureError
+from repro.gsi.keys import KeyPair, PublicKey, Signature
+from repro.gsi.names import DistinguishedName
+
+_serial_counter = itertools.count(1000)
+
+#: Default certificate lifetime (one simulated year).
+DEFAULT_LIFETIME = 365.0 * 24 * 3600
+
+
+def _canonical_payload(
+    subject: DistinguishedName,
+    issuer: DistinguishedName,
+    public_fingerprint: str,
+    serial: int,
+    not_before: float,
+    not_after: float,
+    is_ca: bool,
+    extensions: Mapping[str, str],
+) -> bytes:
+    """Deterministic byte encoding of everything the signature covers."""
+    ext = ";".join(f"{k}={v}" for k, v in sorted(extensions.items()))
+    text = "|".join(
+        [
+            str(subject),
+            str(issuer),
+            public_fingerprint,
+            str(serial),
+            repr(not_before),
+            repr(not_after),
+            str(is_ca),
+            ext,
+        ]
+    )
+    return text.encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of a subject DN to a public key.
+
+    ``extensions`` carries free-form metadata; the VO layer uses it to
+    embed attribute assertions and CAS policy in restricted proxies.
+    """
+
+    subject: DistinguishedName
+    issuer: DistinguishedName
+    public_key: PublicKey
+    serial: int
+    not_before: float
+    not_after: float
+    is_ca: bool
+    extensions: Tuple[Tuple[str, str], ...]
+    signature: Signature
+
+    @property
+    def extension_dict(self) -> Dict[str, str]:
+        return dict(self.extensions)
+
+    def payload(self) -> bytes:
+        return _canonical_payload(
+            self.subject,
+            self.issuer,
+            self.public_key.fingerprint,
+            self.serial,
+            self.not_before,
+            self.not_after,
+            self.is_ca,
+            dict(self.extensions),
+        )
+
+    def signed_by(self, signer_public: PublicKey) -> bool:
+        """True iff our signature verifies under *signer_public*."""
+        return signer_public.verify(self.payload(), self.signature)
+
+    def valid_at(self, when: float) -> bool:
+        return self.not_before <= when <= self.not_after
+
+    def with_extensions(self, **unused) -> "Certificate":  # pragma: no cover
+        raise GSIError(
+            "certificates are immutable once signed; issue a new one instead"
+        )
+
+    def __str__(self) -> str:
+        return f"Cert[{self.subject} by {self.issuer} #{self.serial}]"
+
+
+def make_certificate(
+    subject: DistinguishedName,
+    issuer: DistinguishedName,
+    public_key: PublicKey,
+    signer: KeyPair,
+    not_before: float,
+    not_after: float,
+    is_ca: bool = False,
+    extensions: Optional[Mapping[str, str]] = None,
+) -> Certificate:
+    """Assemble and sign a certificate.  Internal helper for the CA and
+    proxy machinery; applications should go through
+    :class:`CertificateAuthority` or :func:`repro.gsi.proxy.delegate`."""
+    if not_after <= not_before:
+        raise GSIError(
+            f"certificate validity window is empty: [{not_before}, {not_after}]"
+        )
+    ext = dict(extensions or {})
+    serial = next(_serial_counter)
+    payload = _canonical_payload(
+        subject,
+        issuer,
+        public_key.fingerprint,
+        serial,
+        not_before,
+        not_after,
+        is_ca,
+        ext,
+    )
+    return Certificate(
+        subject=subject,
+        issuer=issuer,
+        public_key=public_key,
+        serial=serial,
+        not_before=not_before,
+        not_after=not_after,
+        is_ca=is_ca,
+        extensions=tuple(sorted(ext.items())),
+        signature=signer.sign(payload),
+    )
+
+
+@dataclass
+class Credential:
+    """A certificate plus its private key pair.
+
+    ``chain`` lists intermediate certificates from this credential's
+    certificate up to (but not including) the trust anchor; for a plain
+    identity credential it is empty, for a delegated proxy it contains
+    the proxy ancestry and the identity certificate.
+    """
+
+    certificate: Certificate
+    key_pair: KeyPair
+    chain: Tuple[Certificate, ...] = ()
+
+    @property
+    def subject(self) -> DistinguishedName:
+        return self.certificate.subject
+
+    @property
+    def identity(self) -> DistinguishedName:
+        """The base (non-proxy) identity this credential speaks for.
+
+        For an identity credential, the subject itself; for a proxy,
+        the subject of the deepest certificate in the chain.
+        """
+        if self.chain:
+            return self.chain[-1].subject
+        return self.certificate.subject
+
+    def sign(self, payload: bytes) -> Signature:
+        return self.key_pair.sign(payload)
+
+    def prove_possession(self, challenge: bytes) -> Signature:
+        """Sign a challenge — how the Gatekeeper checks the requester
+        actually holds the private key and is not replaying a public
+        certificate."""
+        return self.key_pair.sign(b"possession:" + challenge)
+
+    def full_chain(self) -> Tuple[Certificate, ...]:
+        """This certificate followed by its ancestry, leaf first."""
+        return (self.certificate,) + self.chain
+
+    def __str__(self) -> str:
+        kind = "proxy" if self.chain else "identity"
+        return f"Credential[{kind}:{self.subject}]"
+
+
+class CertificateAuthority:
+    """A toy CA: self-signed root that issues identity certificates."""
+
+    def __init__(self, name: str, now: float = 0.0, lifetime: float = DEFAULT_LIFETIME * 10) -> None:
+        self.dn = DistinguishedName.parse(name)
+        self.key_pair = KeyPair(label=f"ca:{name}")
+        self.certificate = make_certificate(
+            subject=self.dn,
+            issuer=self.dn,
+            public_key=self.key_pair.public,
+            signer=self.key_pair,
+            not_before=now,
+            not_after=now + lifetime,
+            is_ca=True,
+        )
+        self._issued: Dict[int, Certificate] = {}
+        self._revoked: Dict[int, str] = {}
+
+    def issue(
+        self,
+        subject: str,
+        now: float = 0.0,
+        lifetime: float = DEFAULT_LIFETIME,
+        extensions: Optional[Mapping[str, str]] = None,
+    ) -> Credential:
+        """Issue a fresh identity credential for *subject*."""
+        subject_dn = DistinguishedName.parse(subject)
+        if subject_dn == self.dn:
+            raise GSIError("a CA may not issue an identity with its own name")
+        key_pair = KeyPair(label=f"id:{subject}")
+        certificate = make_certificate(
+            subject=subject_dn,
+            issuer=self.dn,
+            public_key=key_pair.public,
+            signer=self.key_pair,
+            not_before=now,
+            not_after=now + lifetime,
+            extensions=extensions,
+        )
+        self._issued[certificate.serial] = certificate
+        return Credential(certificate=certificate, key_pair=key_pair)
+
+    def revoke(self, certificate: Certificate, reason: str = "unspecified") -> None:
+        """Add *certificate* to the revocation list."""
+        if certificate.serial not in self._issued:
+            raise GSIError(f"certificate #{certificate.serial} was not issued by {self.dn}")
+        self._revoked[certificate.serial] = reason
+
+    def is_revoked(self, certificate: Certificate) -> bool:
+        return certificate.serial in self._revoked
+
+    @property
+    def issued_count(self) -> int:
+        return len(self._issued)
+
+    def __str__(self) -> str:
+        return f"CA[{self.dn}]"

@@ -1,0 +1,23 @@
+"""Error taxonomy for the simulated GSI."""
+
+from __future__ import annotations
+
+
+class GSIError(Exception):
+    """Base class for all GSI failures."""
+
+
+class SignatureError(GSIError):
+    """A signature did not verify (tampered payload or wrong key)."""
+
+
+class VerificationError(GSIError):
+    """A credential chain failed structural verification."""
+
+
+class CertificateExpiredError(VerificationError):
+    """A certificate in the chain is outside its validity window."""
+
+
+class UntrustedIssuerError(VerificationError):
+    """The chain does not terminate at a trusted certificate authority."""

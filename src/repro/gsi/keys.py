@@ -1,0 +1,93 @@
+"""Simulated asymmetric key pairs and signatures.
+
+The simulation preserves the *access structure* of real public-key
+cryptography without the mathematics:
+
+* creating a valid signature over a payload requires holding the
+  :class:`KeyPair` (the private half);
+* verifying a signature requires only the public fingerprint;
+* any change to the payload, and any attempt to mint a signature
+  without the key pair, is detected.
+
+A process-local oracle maps public fingerprints to signing secrets.
+The oracle is private to this module — library code outside this
+module can only ``sign`` via a KeyPair and ``verify`` via a PublicKey,
+which is exactly the interface real crypto exposes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Dict
+
+_key_counter = itertools.count(1)
+
+#: fingerprint -> signing secret.  Stands in for the RSA trapdoor: the
+#: mapping exists "in mathematics", not in any principal's memory.
+_ORACLE: Dict[str, bytes] = {}
+
+
+def _digest(secret: bytes, payload: bytes) -> str:
+    return hmac.new(secret, payload, hashlib.sha256).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature over a byte payload."""
+
+    key_fingerprint: str
+    digest: str
+
+    def __str__(self) -> str:
+        return f"sig:{self.key_fingerprint[:8]}:{self.digest[:12]}"
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """The shareable half of a key pair."""
+
+    fingerprint: str
+
+    def verify(self, payload: bytes, signature: Signature) -> bool:
+        """True iff *signature* was produced over *payload* by our pair."""
+        if signature.key_fingerprint != self.fingerprint:
+            return False
+        secret = _ORACLE.get(self.fingerprint)
+        if secret is None:
+            return False
+        expected = _digest(secret, payload)
+        return hmac.compare_digest(expected, signature.digest)
+
+    def __str__(self) -> str:
+        return f"pub:{self.fingerprint[:12]}"
+
+
+class KeyPair:
+    """A private/public key pair.
+
+    Only code holding the KeyPair instance can sign.  The secret never
+    leaves the instance (and the module-private oracle).
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label or f"key-{next(_key_counter)}"
+        self._secret = os.urandom(32)
+        fingerprint = hashlib.sha256(b"fingerprint:" + self._secret).hexdigest()
+        self.public = PublicKey(fingerprint=fingerprint)
+        _ORACLE[fingerprint] = self._secret
+
+    def sign(self, payload: bytes) -> Signature:
+        """Produce a signature over *payload*."""
+        if not isinstance(payload, bytes):
+            raise TypeError(f"payload must be bytes, got {type(payload).__name__}")
+        return Signature(
+            key_fingerprint=self.public.fingerprint,
+            digest=_digest(self._secret, payload),
+        )
+
+    def __repr__(self) -> str:
+        return f"KeyPair({self.label!r}, {self.public})"

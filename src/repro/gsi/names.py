@@ -1,0 +1,135 @@
+"""X.500 distinguished names.
+
+Grid identities in GT2 are X.500 distinguished names rendered in the
+OpenSSL one-line format the paper uses throughout, e.g.::
+
+    /O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu
+
+The paper's policy language matches users either exactly or by DN
+*prefix* ("a group of users whose Grid identities start with the
+string ..."), so :meth:`DistinguishedName.startswith` implements both
+component-wise and raw string-prefix semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An immutable, parsed distinguished name.
+
+    ``rdns`` is a tuple of ``(attribute, value)`` pairs in order, e.g.
+    ``(("O", "Grid"), ("OU", "mcs.anl.gov"), ("CN", "Bo Liu"))``.
+    Attribute types compare case-insensitively; values compare
+    case-sensitively (matching OpenSSL's default behaviour closely
+    enough for policy evaluation).
+    """
+
+    rdns: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "DistinguishedName":
+        """Parse a one-line ``/TYPE=value/TYPE=value`` DN."""
+        if not isinstance(text, str):
+            raise TypeError(f"expected str, got {type(text).__name__}")
+        stripped = text.strip()
+        if not stripped.startswith("/"):
+            raise ValueError(f"distinguished name must start with '/': {text!r}")
+        rdns = []
+        for component in _split_components(stripped):
+            if "=" not in component:
+                raise ValueError(f"RDN missing '=': {component!r} in {text!r}")
+            attr, _, value = component.partition("=")
+            attr = attr.strip()
+            value = value.strip()
+            if not attr or not value:
+                raise ValueError(f"empty RDN attribute or value in {text!r}")
+            rdns.append((attr.upper(), value))
+        if not rdns:
+            raise ValueError(f"empty distinguished name: {text!r}")
+        return cls(rdns=tuple(rdns))
+
+    # -- structure -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self.rdns)
+
+    def __len__(self) -> int:
+        return len(self.rdns)
+
+    def __str__(self) -> str:
+        return "".join(f"/{attr}={value}" for attr, value in self.rdns)
+
+    @property
+    def common_name(self) -> str:
+        """Value of the last CN component, or '' if there is none."""
+        for attr, value in reversed(self.rdns):
+            if attr == "CN":
+                return value
+        return ""
+
+    def child(self, attr: str, value: str) -> "DistinguishedName":
+        """A new DN with one more RDN appended (used by proxy certs)."""
+        if not attr.strip() or not value.strip():
+            raise ValueError("child RDN attribute and value must be non-empty")
+        return DistinguishedName(rdns=self.rdns + ((attr.strip().upper(), value.strip()),))
+
+    @property
+    def parent(self) -> "DistinguishedName":
+        """The DN with the final RDN removed."""
+        if len(self.rdns) <= 1:
+            raise ValueError(f"{self} has no parent")
+        return DistinguishedName(rdns=self.rdns[:-1])
+
+    # -- matching ---------------------------------------------------------
+
+    def startswith(self, prefix: "DistinguishedName") -> bool:
+        """Component-wise prefix test: every RDN of *prefix* matches ours."""
+        if len(prefix.rdns) > len(self.rdns):
+            return False
+        return self.rdns[: len(prefix.rdns)] == prefix.rdns
+
+    def matches_string_prefix(self, prefix: str) -> bool:
+        """Raw string-prefix test on the one-line form.
+
+        This is the exact matching rule the paper's Figure 3 policy
+        uses: the group line ``/O=Grid/O=Globus/OU=mcs.anl.gov``
+        matches every identity whose one-line form starts with that
+        string.
+        """
+        return str(self).startswith(prefix)
+
+    def is_proxy_of(self, base: "DistinguishedName") -> bool:
+        """True when this DN extends *base* with proxy CN components."""
+        if not self.startswith(base) or len(self) <= len(base):
+            return False
+        return all(attr == "CN" for attr, _ in self.rdns[len(base):])
+
+
+def _split_components(text: str) -> Iterator[str]:
+    """Split on '/' while keeping '/' inside values escaped as '\\/'.
+
+    Real DNs occasionally contain slashes in values; we support the
+    conventional backslash escape so round-trips are lossless enough
+    for tests.
+    """
+    current = []
+    i = 1  # skip leading '/'
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text) and text[i + 1] == "/":
+            current.append("/")
+            i += 2
+            continue
+        if ch == "/":
+            yield "".join(current)
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    if current:
+        yield "".join(current)

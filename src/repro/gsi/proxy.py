@@ -1,0 +1,165 @@
+"""Proxy certificates and delegation.
+
+A GSI proxy certificate is a short-lived certificate whose subject is
+the delegator's DN extended with a ``CN=proxy`` (or ``CN=<label>``)
+component, signed by the delegator's own key rather than a CA.  The
+holder of the proxy can then act as the delegator without the
+long-term key ever leaving the delegator's machine.
+
+Two features matter for the paper:
+
+* **Delegation chains** — the Job Manager receives a delegated proxy
+  so it can act on the user's behalf; chain verification walks back to
+  the identity certificate and ultimately the CA.
+* **Restricted (policy-carrying) proxies** — CAS embeds the community
+  policy in an extension of the proxy it issues; the PEP reads it from
+  the credential (paper §5: "in a real system the VO policies would be
+  carried in the VO credentials").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.gsi.credentials import Certificate, Credential, make_certificate
+from repro.gsi.errors import GSIError
+from repro.gsi.keys import KeyPair
+from repro.gsi.names import DistinguishedName
+
+#: Default proxy lifetime: 12 simulated hours, GT2's default.
+DEFAULT_PROXY_LIFETIME = 12.0 * 3600
+
+#: Extension key under which restricted proxies carry policy text.
+POLICY_EXTENSION = "proxy-policy"
+
+#: Extension key recording the restriction language (e.g. "CAS-RSL").
+POLICY_LANGUAGE_EXTENSION = "proxy-policy-language"
+
+#: Extension key bounding further delegation.
+PATH_LENGTH_EXTENSION = "proxy-path-length"
+
+
+@dataclass(frozen=True)
+class ProxyPolicy:
+    """The restriction carried by a restricted proxy."""
+
+    language: str
+    text: str
+
+    @property
+    def is_impersonation(self) -> bool:
+        """True for a full-rights (unrestricted) proxy."""
+        return self.language == "impersonation"
+
+
+IMPERSONATION = ProxyPolicy(language="impersonation", text="")
+
+
+class ProxyCertificate(Certificate):
+    """Marker subclass — a certificate created by delegation.
+
+    All state lives in :class:`Certificate`; the subclass exists so
+    verification can insist that non-CA intermediate links really are
+    proxies.
+    """
+
+    @property
+    def policy(self) -> ProxyPolicy:
+        ext = self.extension_dict
+        text = ext.get(POLICY_EXTENSION, "")
+        language = ext.get(POLICY_LANGUAGE_EXTENSION, "impersonation")
+        return ProxyPolicy(language=language, text=text)
+
+    @property
+    def path_length(self) -> Optional[int]:
+        raw = self.extension_dict.get(PATH_LENGTH_EXTENSION)
+        return int(raw) if raw is not None else None
+
+
+def delegate(
+    delegator: Credential,
+    now: float = 0.0,
+    lifetime: float = DEFAULT_PROXY_LIFETIME,
+    label: str = "proxy",
+    policy: ProxyPolicy = IMPERSONATION,
+    path_length: Optional[int] = None,
+    extra_extensions: Optional[Mapping[str, str]] = None,
+) -> Credential:
+    """Create a proxy credential delegated from *delegator*.
+
+    The returned credential has a fresh key pair; its certificate is
+    signed by the delegator's key and its chain extends the
+    delegator's chain, so verification can walk leaf → identity → CA.
+    """
+    if not label.strip():
+        raise GSIError("proxy label must be non-empty")
+    parent_cert = delegator.certificate
+    if isinstance(parent_cert, ProxyCertificate):
+        parent_path = parent_cert.path_length
+        if parent_path is not None:
+            if parent_path <= 0:
+                raise GSIError(
+                    f"delegation depth exhausted for {delegator.subject}"
+                )
+            # Each hop decrements the remaining depth.
+            path_length = parent_path - 1 if path_length is None else min(
+                path_length, parent_path - 1
+            )
+    subject = parent_cert.subject.child("CN", label)
+    key_pair = KeyPair(label=f"proxy:{subject}")
+    extensions = dict(extra_extensions or {})
+    if not policy.is_impersonation:
+        extensions[POLICY_EXTENSION] = policy.text
+        extensions[POLICY_LANGUAGE_EXTENSION] = policy.language
+    if path_length is not None:
+        if path_length < 0:
+            raise GSIError(f"negative path length: {path_length}")
+        extensions[PATH_LENGTH_EXTENSION] = str(path_length)
+    if now + lifetime > parent_cert.not_after:
+        # A proxy may not outlive its signer's certificate.
+        lifetime = parent_cert.not_after - now
+        if lifetime <= 0:
+            raise GSIError(
+                f"cannot delegate: parent certificate of {delegator.subject} has expired"
+            )
+    base = make_certificate(
+        subject=subject,
+        issuer=parent_cert.subject,
+        public_key=key_pair.public,
+        signer=delegator.key_pair,
+        not_before=now,
+        not_after=now + lifetime,
+        extensions=extensions,
+    )
+    proxy_cert = ProxyCertificate(
+        subject=base.subject,
+        issuer=base.issuer,
+        public_key=base.public_key,
+        serial=base.serial,
+        not_before=base.not_before,
+        not_after=base.not_after,
+        is_ca=False,
+        extensions=base.extensions,
+        signature=base.signature,
+    )
+    return Credential(
+        certificate=proxy_cert,
+        key_pair=key_pair,
+        chain=delegator.full_chain(),
+    )
+
+
+def effective_policy(credential: Credential) -> Optional[ProxyPolicy]:
+    """The most restrictive (deepest) proxy policy in the chain.
+
+    CAS issues the restricted proxy directly, so in practice at most
+    one restricted link exists; if several do, the leaf-most one wins
+    because every delegation can only narrow rights.
+    """
+    for certificate in credential.full_chain():
+        if isinstance(certificate, ProxyCertificate):
+            policy = certificate.policy
+            if not policy.is_impersonation:
+                return policy
+    return None

@@ -1,0 +1,160 @@
+"""Credential-chain verification.
+
+``verify_credential`` performs the checks GT2's GSI performs when a
+connection arrives at the Gatekeeper:
+
+1. every certificate's signature verifies under its issuer's key;
+2. every certificate is inside its validity window;
+3. proxy links are structurally sound (subject extends issuer with CN
+   components only, non-CA);
+4. the chain terminates at a certificate issued (and not revoked) by a
+   trusted CA;
+5. the presenter proves possession of the leaf private key.
+
+On success the result reports the *Grid identity*: the subject of the
+first non-proxy certificate, which is what the grid-mapfile and every
+policy statement are keyed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.gsi.credentials import Certificate, CertificateAuthority, Credential
+from repro.gsi.errors import (
+    CertificateExpiredError,
+    SignatureError,
+    UntrustedIssuerError,
+    VerificationError,
+)
+from repro.gsi.keys import Signature
+from repro.gsi.names import DistinguishedName
+from repro.gsi.proxy import ProxyCertificate
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a successful chain verification."""
+
+    identity: DistinguishedName
+    subject: DistinguishedName
+    chain_length: int
+    proxy_depth: int
+    anchor: DistinguishedName
+
+    def __str__(self) -> str:
+        return f"verified {self.subject} as {self.identity} (anchor {self.anchor})"
+
+
+def verify_chain(
+    chain: Sequence[Certificate],
+    trust_anchors: Sequence[CertificateAuthority],
+    at_time: float,
+) -> VerificationResult:
+    """Verify a leaf-first certificate chain against *trust_anchors*."""
+    if not chain:
+        raise VerificationError("empty certificate chain")
+    if not trust_anchors:
+        raise UntrustedIssuerError("no trust anchors configured")
+
+    anchors = {str(ca.dn): ca for ca in trust_anchors}
+
+    proxy_depth = 0
+    for position, certificate in enumerate(chain):
+        if not certificate.valid_at(at_time):
+            raise CertificateExpiredError(
+                f"{certificate} not valid at time {at_time} "
+                f"(window [{certificate.not_before}, {certificate.not_after}])"
+            )
+        issuer_key = _issuer_public_key(chain, position, anchors)
+        if issuer_key is None:
+            raise UntrustedIssuerError(
+                f"{certificate}: issuer {certificate.issuer} is not in the chain "
+                "and is not a trusted CA"
+            )
+        if not certificate.signed_by(issuer_key):
+            raise SignatureError(f"signature check failed for {certificate}")
+        if isinstance(certificate, ProxyCertificate):
+            proxy_depth += 1
+            if not certificate.subject.is_proxy_of(certificate.issuer):
+                raise VerificationError(
+                    f"proxy subject {certificate.subject} does not extend "
+                    f"issuer {certificate.issuer}"
+                )
+            if position + 1 >= len(chain):
+                raise VerificationError(
+                    f"proxy {certificate} has no issuer certificate in the chain"
+                )
+        elif 0 < position < len(chain) - 1:
+            raise VerificationError(
+                f"non-proxy certificate {certificate} found mid-chain; only "
+                "the leaf and the terminal identity certificate may be non-proxy"
+            )
+
+    identity_cert = chain[-1]
+    if isinstance(identity_cert, ProxyCertificate):
+        raise VerificationError("chain never reaches an identity certificate")
+    anchor = anchors.get(str(identity_cert.issuer))
+    if anchor is None:
+        raise UntrustedIssuerError(
+            f"identity certificate {identity_cert} issued by untrusted "
+            f"{identity_cert.issuer}"
+        )
+    if anchor.is_revoked(identity_cert):
+        raise VerificationError(f"identity certificate {identity_cert} is revoked")
+
+    return VerificationResult(
+        identity=identity_cert.subject,
+        subject=chain[0].subject,
+        chain_length=len(chain),
+        proxy_depth=proxy_depth,
+        anchor=anchor.dn,
+    )
+
+
+def _issuer_public_key(
+    chain: Sequence[Certificate],
+    position: int,
+    anchors,
+) -> Optional[object]:
+    """Public key that should have signed ``chain[position]``."""
+    certificate = chain[position]
+    if position + 1 < len(chain):
+        candidate = chain[position + 1]
+        if candidate.subject == certificate.issuer:
+            return candidate.public_key
+        return None
+    anchor = anchors.get(str(certificate.issuer))
+    if anchor is not None:
+        return anchor.key_pair.public
+    return None
+
+
+def verify_credential(
+    credential: Credential,
+    trust_anchors: Sequence[CertificateAuthority],
+    at_time: float,
+    challenge: bytes = b"gatekeeper-challenge",
+    possession_proof: Optional[Signature] = None,
+) -> VerificationResult:
+    """Verify *credential*'s chain and (optionally) key possession.
+
+    When *possession_proof* is given it must be the credential
+    holder's signature over ``b"possession:" + challenge`` — the
+    response half of the challenge–response the Gatekeeper runs.  When
+    omitted, the proof is generated locally (the common in-process
+    case where we hold the credential object itself, which *is*
+    possession).
+    """
+    result = verify_chain(credential.full_chain(), trust_anchors, at_time)
+    proof = possession_proof
+    if proof is None:
+        proof = credential.prove_possession(challenge)
+    leaf_key = credential.certificate.public_key
+    if not leaf_key.verify(b"possession:" + challenge, proof):
+        raise SignatureError(
+            f"possession proof failed for {credential.subject}: presenter "
+            "does not hold the private key"
+        )
+    return result

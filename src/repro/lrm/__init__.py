@@ -1,0 +1,39 @@
+"""Local resource manager substrate — a PBS/LSF-like batch system.
+
+The paper's Job Manager Instance "interfaces with the resource's job
+control system (e.g. LSF, PBS) to initiate the user's job" and relays
+management requests to it.  This package provides that job control
+system as a deterministic simulation over :mod:`repro.sim`:
+
+* :mod:`repro.lrm.cluster` — nodes and CPU allocation;
+* :mod:`repro.lrm.jobs` — the batch-job model and its lifecycle;
+* :mod:`repro.lrm.queues` — named queues with priorities and limits;
+* :mod:`repro.lrm.scheduler` — priority/FIFO scheduling, suspension,
+  walltime enforcement and per-account usage accounting.
+"""
+
+from repro.lrm.cluster import Allocation, Cluster, Node
+from repro.lrm.errors import (
+    AllocationError,
+    LRMError,
+    QueueError,
+    UnknownJobError,
+)
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.queues import JobQueue
+from repro.lrm.scheduler import AccountUsage, BatchScheduler
+
+__all__ = [
+    "Node",
+    "Cluster",
+    "Allocation",
+    "LRMError",
+    "AllocationError",
+    "QueueError",
+    "UnknownJobError",
+    "BatchJob",
+    "JobState",
+    "JobQueue",
+    "BatchScheduler",
+    "AccountUsage",
+]

@@ -1,0 +1,19 @@
+"""Errors raised by the batch-system simulation."""
+
+from __future__ import annotations
+
+
+class LRMError(Exception):
+    """Base class for local-resource-manager failures."""
+
+
+class AllocationError(LRMError):
+    """Requested CPUs cannot be allocated (ever, or right now)."""
+
+
+class QueueError(LRMError):
+    """Submission violates queue configuration."""
+
+
+class UnknownJobError(LRMError):
+    """A management operation referenced a job the LRM does not know."""

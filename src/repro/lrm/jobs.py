@@ -1,0 +1,93 @@
+"""The batch-job model.
+
+A :class:`BatchJob` is what the scheduler tracks: who runs it (the
+local account), what it runs, how many CPUs it wants, how long it will
+actually run (known to the synthetic workload), and the limits the
+queue/walltime machinery enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lrm.cluster import Allocation
+from repro.sim.process import SimProcess
+
+_job_counter = itertools.count(1)
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    #: Killed by the system (walltime/limit violation), not by a user.
+    FAILED = "failed"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.CANCELLED, JobState.FAILED)
+
+
+@dataclass
+class BatchJob:
+    """One job inside the local resource manager."""
+
+    account: str
+    executable: str
+    cpus: int
+    runtime: float
+    queue: str = "default"
+    priority: int = 0
+    max_walltime: Optional[float] = None
+    job_id: str = ""
+    state: JobState = JobState.QUEUED
+    allocation: Optional[Allocation] = None
+    process: Optional[SimProcess] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Why the job reached a terminal state ("completed", "cancelled by
+    #: operator", "walltime exceeded", "killed by sandbox: ...").
+    exit_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.job_id:
+            self.job_id = f"lrm-{next(_job_counter):06d}"
+        if self.cpus <= 0:
+            raise ValueError(f"job {self.job_id} requests {self.cpus} CPUs")
+        if self.runtime < 0:
+            raise ValueError(f"job {self.job_id} has negative runtime")
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state.is_terminal
+
+    @property
+    def cpu_seconds(self) -> float:
+        """CPU-seconds consumed so far (cpus × time running)."""
+        if self.process is None:
+            return 0.0
+        return self.process.cpu_time * self.cpus
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def wall_time(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def __str__(self) -> str:
+        return (
+            f"Job[{self.job_id} acct={self.account} exe={self.executable} "
+            f"cpus={self.cpus} {self.state.value}]"
+        )

@@ -1,0 +1,49 @@
+"""Named job queues.
+
+Queues carry scheduling priority and admission limits — the mechanism
+behind policies like "the fast queue is reserved for certain users"
+(paper §5.1's required-not-to-contain example uses exactly a reserved
+queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lrm.errors import QueueError
+from repro.lrm.jobs import BatchJob
+
+
+@dataclass(frozen=True)
+class JobQueue:
+    """Configuration of one queue."""
+
+    name: str
+    #: Scheduling priority of the queue itself; higher drains first.
+    priority: int = 0
+    #: Hard cap on CPUs a single job in this queue may request.
+    max_cpus_per_job: Optional[int] = None
+    #: Hard cap on the walltime of any job in this queue.
+    max_walltime: Optional[float] = None
+
+    def admit(self, job: BatchJob) -> None:
+        """Validate *job* against queue limits; raises QueueError."""
+        if self.max_cpus_per_job is not None and job.cpus > self.max_cpus_per_job:
+            raise QueueError(
+                f"queue {self.name!r} caps jobs at {self.max_cpus_per_job} CPUs, "
+                f"job {job.job_id} asks for {job.cpus}"
+            )
+        if self.max_walltime is not None:
+            requested = job.max_walltime
+            if requested is None or requested > self.max_walltime:
+                raise QueueError(
+                    f"queue {self.name!r} caps walltime at {self.max_walltime}, "
+                    f"job {job.job_id} requests "
+                    f"{'unlimited' if requested is None else requested}"
+                )
+
+    def effective_walltime(self, job: BatchJob) -> Optional[float]:
+        """The walltime bound to enforce for *job* in this queue."""
+        bounds = [b for b in (self.max_walltime, job.max_walltime) if b is not None]
+        return min(bounds) if bounds else None

@@ -1,0 +1,267 @@
+"""The batch scheduler.
+
+A priority scheduler with FIFO order within equal priority: queued
+jobs start whenever enough CPUs are free, higher (queue priority +
+job priority) first.  Supports the full management vocabulary the
+GRAM Job Manager needs — cancel, suspend, resume, signal (priority
+change) — plus walltime enforcement and per-account accounting.
+
+Scheduling is event-driven: submissions, completions and cancellations
+all trigger a scheduling pass on the shared :class:`~repro.sim.Clock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lrm.cluster import Cluster
+from repro.lrm.errors import AllocationError, QueueError, UnknownJobError
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.queues import JobQueue
+from repro.sim.clock import Clock, ScheduledEvent
+from repro.sim.process import SimProcess
+
+
+@dataclass
+class AccountUsage:
+    """Accumulated resource usage of one local account."""
+
+    account: str
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    cpu_seconds: float = 0.0
+
+    @property
+    def jobs_finished(self) -> int:
+        return self.jobs_completed + self.jobs_failed + self.jobs_cancelled
+
+
+class BatchScheduler:
+    """An LSF/PBS-like scheduler over a :class:`Cluster`."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        clock: Clock,
+        queues: Optional[List[JobQueue]] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.clock = clock
+        self.queues: Dict[str, JobQueue] = {
+            q.name: q for q in (queues or [JobQueue(name="default")])
+        }
+        self._jobs: Dict[str, BatchJob] = {}
+        self._waiting: List[BatchJob] = []
+        self._usage: Dict[str, AccountUsage] = {}
+        self._walltime_events: Dict[str, ScheduledEvent] = {}
+        #: Hooks fired when a job reaches a terminal state; the GRAM
+        #: Job Manager and the sandbox monitors subscribe here.
+        self.on_terminal: List[Callable[[BatchJob], None]] = []
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: BatchJob) -> str:
+        """Queue *job*; returns its LRM job id."""
+        if job.job_id in self._jobs:
+            raise QueueError(f"duplicate job id {job.job_id}")
+        queue = self.queues.get(job.queue)
+        if queue is None:
+            raise QueueError(f"unknown queue {job.queue!r}")
+        queue.admit(job)
+        if not self.cluster.fits(job.cpus):
+            raise AllocationError(
+                f"job {job.job_id} requests {job.cpus} CPUs but cluster "
+                f"{self.cluster.name!r} only has {self.cluster.total_cpus}"
+            )
+        job.submitted_at = self.clock.now
+        job.state = JobState.QUEUED
+        self._jobs[job.job_id] = job
+        self._waiting.append(job)
+        self._account(job.account).jobs_submitted += 1
+        self._schedule_pass()
+        return job.job_id
+
+    # -- management --------------------------------------------------------
+
+    def job(self, job_id: str) -> BatchJob:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"no job {job_id!r}")
+
+    def cancel(self, job_id: str, reason: str = "cancelled") -> None:
+        job = self.job(job_id)
+        if job.is_terminal:
+            return
+        self._finish(job, JobState.CANCELLED, reason)
+
+    def fail(self, job_id: str, reason: str) -> None:
+        """Terminate a job as a system-initiated failure (limit kill)."""
+        job = self.job(job_id)
+        if job.is_terminal:
+            return
+        self._finish(job, JobState.FAILED, reason)
+
+    def suspend(self, job_id: str) -> None:
+        job = self.job(job_id)
+        if job.state is not JobState.RUNNING:
+            raise UnknownJobError(
+                f"job {job_id} is {job.state.value}, cannot suspend"
+            )
+        assert job.process is not None
+        job.process.suspend()
+        job.state = JobState.SUSPENDED
+        self._disarm_walltime(job)
+        # Suspension frees the CPUs — that is its purpose in the use
+        # case (freeing resources for high-priority work).
+        if job.allocation is not None:
+            self.cluster.release(job.allocation)
+            job.allocation = None
+        self._schedule_pass()
+
+    def resume(self, job_id: str) -> None:
+        job = self.job(job_id)
+        if job.state is not JobState.SUSPENDED:
+            raise UnknownJobError(f"job {job_id} is {job.state.value}, cannot resume")
+        # Resumption needs CPUs again; if none are free the job goes
+        # back to the head of the queue.
+        if self.cluster.can_allocate(job.cpus):
+            self._start(job, resuming=True)
+        else:
+            job.state = JobState.QUEUED
+            self._waiting.insert(0, job)
+        self._schedule_pass()
+
+    def signal_priority(self, job_id: str, priority: int) -> None:
+        """Change a job's priority (the paper's ``signal`` example)."""
+        job = self.job(job_id)
+        if job.is_terminal:
+            raise UnknownJobError(f"job {job_id} already finished")
+        job.priority = priority
+        self._schedule_pass()
+
+    def status(self, job_id: str) -> JobState:
+        return self.job(job_id).state
+
+    # -- inspection ----------------------------------------------------------
+
+    def jobs(self, state: Optional[JobState] = None) -> Tuple[BatchJob, ...]:
+        if state is None:
+            return tuple(self._jobs.values())
+        return tuple(j for j in self._jobs.values() if j.state is state)
+
+    def usage(self, account: str) -> AccountUsage:
+        return self._account(account)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiting)
+
+    # -- internals -------------------------------------------------------------
+
+    def _account(self, account: str) -> AccountUsage:
+        usage = self._usage.get(account)
+        if usage is None:
+            usage = AccountUsage(account=account)
+            self._usage[account] = usage
+        return usage
+
+    def _schedule_pass(self) -> None:
+        """Start every waiting job that fits, best priority first."""
+        # Sort: higher queue priority, then higher job priority, then
+        # submission order (stable sort preserves FIFO).
+        self._waiting.sort(
+            key=lambda j: (
+                -(self.queues[j.queue].priority),
+                -j.priority,
+                j.submitted_at,
+            )
+        )
+        still_waiting: List[BatchJob] = []
+        for job in self._waiting:
+            if job.is_terminal:
+                continue
+            if self.cluster.can_allocate(job.cpus):
+                self._start(job)
+            else:
+                still_waiting.append(job)
+        self._waiting = still_waiting
+
+    def _start(self, job: BatchJob, resuming: bool = False) -> None:
+        job.allocation = self.cluster.allocate(job.cpus)
+        if resuming:
+            assert job.process is not None
+            job.process.resume()
+        else:
+            job.process = SimProcess(
+                clock=self.clock,
+                duration=job.runtime,
+                name=job.job_id,
+                on_complete=lambda _proc, j=job: self._on_complete(j),
+            )
+            job.started_at = self.clock.now
+            job.process.start()
+        job.state = JobState.RUNNING
+        self._arm_walltime(job)
+
+    def _arm_walltime(self, job: BatchJob) -> None:
+        queue = self.queues[job.queue]
+        bound = queue.effective_walltime(job)
+        if bound is None or job.started_at is None:
+            return
+        deadline = job.started_at + bound
+        if deadline <= self.clock.now:
+            self._finish(job, JobState.FAILED, "walltime exceeded")
+            return
+        self._walltime_events[job.job_id] = self.clock.call_at(
+            deadline,
+            lambda j=job: self._walltime_exceeded(j),
+            name=f"walltime:{job.job_id}",
+        )
+
+    def _disarm_walltime(self, job: BatchJob) -> None:
+        event = self._walltime_events.pop(job.job_id, None)
+        if event is not None:
+            event.cancel()
+
+    def _walltime_exceeded(self, job: BatchJob) -> None:
+        self._walltime_events.pop(job.job_id, None)
+        if not job.is_terminal:
+            self._finish(job, JobState.FAILED, "walltime exceeded")
+
+    def _on_complete(self, job: BatchJob) -> None:
+        if job.is_terminal:
+            return
+        self._finish(job, JobState.COMPLETED, "completed")
+
+    def _finish(self, job: BatchJob, state: JobState, reason: str) -> None:
+        usage = self._account(job.account)
+        if job.process is not None and job.process.is_active:
+            job.process.kill()
+        usage.cpu_seconds += job.cpu_seconds
+        if job.allocation is not None:
+            self.cluster.release(job.allocation)
+            job.allocation = None
+        if job in self._waiting:
+            self._waiting.remove(job)
+        job.state = state
+        job.finished_at = self.clock.now
+        job.exit_reason = reason
+        if state is JobState.COMPLETED:
+            usage.jobs_completed += 1
+        elif state is JobState.CANCELLED:
+            usage.jobs_cancelled += 1
+        else:
+            usage.jobs_failed += 1
+        for hook in list(self.on_terminal):
+            hook(job)
+        self._schedule_pass()
+
+    def __str__(self) -> str:
+        return (
+            f"Scheduler[{self.cluster.name}: {len(self._jobs)} jobs, "
+            f"{self.queue_depth} waiting, {self.cluster.used_cpus} CPUs busy]"
+        )

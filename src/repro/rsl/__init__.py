@@ -1,0 +1,51 @@
+"""Resource Specification Language (RSL) substrate.
+
+RSL is the attribute/value language GT2's GRAM uses to describe jobs::
+
+    &(executable=/bin/transp)(count=4)(jobtag=NFC)
+
+A *specification* is a conjunction of *relations* between an attribute
+name and one or more values, using the relational operators
+``= != < <= > >=``.  A *multi-request* joins several specifications
+with ``+``.  Values may be bare words, quoted strings, integer or
+floating-point literals, parenthesised value sequences, and variable
+references ``$(NAME)``.
+
+The paper's policy language (:mod:`repro.core`) is expressed *in terms
+of* RSL: a policy assertion is itself an RSL specification, and policy
+evaluation compares a job-request specification against assertion
+specifications relation by relation.  This package therefore provides
+both the parsing machinery and the comparison helpers the evaluator
+builds on.
+"""
+
+from repro.rsl.ast import (
+    Concatenation,
+    MultiRequest,
+    Relation,
+    Relop,
+    Specification,
+    Value,
+    VariableReference,
+)
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.lexer import Token, TokenType, tokenize
+from repro.rsl.parser import parse_rsl, parse_specification
+from repro.rsl.unparser import unparse
+
+__all__ = [
+    "Relop",
+    "Value",
+    "Concatenation",
+    "VariableReference",
+    "Relation",
+    "Specification",
+    "MultiRequest",
+    "RSLSyntaxError",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_rsl",
+    "parse_specification",
+    "unparse",
+]

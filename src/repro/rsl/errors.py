@@ -1,0 +1,19 @@
+"""Errors raised by the RSL lexer and parser."""
+
+from __future__ import annotations
+
+
+class RSLSyntaxError(ValueError):
+    """Raised when RSL text cannot be tokenized or parsed.
+
+    Carries the offending position so callers (and the GRAM protocol's
+    error reporting) can point at the exact character.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = "") -> None:
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20) : position + 20]
+            message = f"{message} at position {position} (near {snippet!r})"
+        super().__init__(message)

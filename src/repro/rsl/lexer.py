@@ -1,0 +1,173 @@
+"""Tokenizer for RSL text.
+
+Token inventory (mirroring the GT2 RSL grammar):
+
+========== =============================================
+``LPAREN`` ``(``
+``RPAREN`` ``)``
+``AMP``    ``&`` — conjunction prefix
+``PLUS``   ``+`` — multi-request prefix
+``OP``     one of ``= != < <= > >=``
+``WORD``   an unquoted literal (may contain ``/ . - _ : * $ @ ,``)
+``STRING`` a double- or single-quoted literal
+``VARREF`` ``$(NAME)``
+``EOF``    end of input
+========== =============================================
+
+Unquoted words terminate at whitespace, parentheses or an operator
+character, which matches how GT2 RSL treats bare values such as
+``/bin/transp`` or distinguished-name fragments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.rsl.errors import RSLSyntaxError
+
+
+class TokenType(enum.Enum):
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    AMP = "amp"
+    PLUS = "plus"
+    HASH = "hash"
+    OP = "op"
+    WORD = "word"
+    STRING = "string"
+    VARREF = "varref"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.text!r}, @{self.position})"
+
+
+_OP_CHARS = set("=!<>")
+_STRUCTURAL = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "#": TokenType.HASH,
+}
+_WORD_TERMINATORS = set("()=!<>\"'#") | set(" \t\r\n")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text* into a list ending with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch in _STRUCTURAL:
+            yield Token(_STRUCTURAL[ch], ch, i)
+            i += 1
+            continue
+        if ch == "&":
+            yield Token(TokenType.AMP, ch, i)
+            i += 1
+            continue
+        if ch == "+":
+            yield Token(TokenType.PLUS, ch, i)
+            i += 1
+            continue
+        if ch in _OP_CHARS:
+            i = yield from _scan_operator(text, i)
+            continue
+        if ch in "\"'":
+            i = yield from _scan_string(text, i)
+            continue
+        if ch == "$" and i + 1 < n and text[i + 1] == "(":
+            i = yield from _scan_varref(text, i)
+            continue
+        i = yield from _scan_word(text, i)
+    yield Token(TokenType.EOF, "", n)
+
+
+def _scan_operator(text: str, start: int):
+    ch = text[start]
+    nxt = text[start + 1] if start + 1 < len(text) else ""
+    if ch == "!":
+        if nxt != "=":
+            raise RSLSyntaxError("expected '=' after '!'", start, text)
+        yield Token(TokenType.OP, "!=", start)
+        return start + 2
+    if ch in "<>" and nxt == "=":
+        yield Token(TokenType.OP, ch + "=", start)
+        return start + 2
+    yield Token(TokenType.OP, ch, start)
+    return start + 1
+
+
+def _scan_string(text: str, start: int):
+    quote = text[start]
+    i = start + 1
+    chars: List[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == quote:
+            # RSL escapes an embedded quote by doubling it.
+            if i + 1 < len(text) and text[i + 1] == quote:
+                chars.append(quote)
+                i += 2
+                continue
+            yield Token(TokenType.STRING, "".join(chars), start)
+            return i + 1
+        chars.append(ch)
+        i += 1
+    raise RSLSyntaxError("unterminated string literal", start, text)
+
+
+def _scan_varref(text: str, start: int):
+    # text[start] == '$', text[start+1] == '('
+    i = start + 2
+    begin = i
+    while i < len(text) and text[i] != ")":
+        i += 1
+    if i >= len(text):
+        raise RSLSyntaxError("unterminated variable reference", start, text)
+    name = text[begin:i].strip()
+    if not name:
+        raise RSLSyntaxError("empty variable reference", start, text)
+    yield Token(TokenType.VARREF, name, start)
+    return i + 1
+
+
+def _scan_word(text: str, start: int):
+    i = start
+    chars: List[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch in _WORD_TERMINATORS or ch in "&+":
+            # '&' and '+' only terminate a word at a clause boundary;
+            # inside a word (e.g. an email or DN) they are literal.
+            if ch in "&+" and chars and chars[-1] not in (" ",):
+                # Peek: treat as terminator only when followed by '('
+                # or whitespace, which is how clause prefixes appear.
+                nxt = text[i + 1] if i + 1 < len(text) else ""
+                if nxt not in ("(", " ", "\t", "\r", "\n", ""):
+                    chars.append(ch)
+                    i += 1
+                    continue
+            break
+        chars.append(ch)
+        i += 1
+    word = "".join(chars).strip()
+    if not word:
+        raise RSLSyntaxError(f"unexpected character {text[start]!r}", start, text)
+    yield Token(TokenType.WORD, word, start)
+    return i

@@ -1,0 +1,165 @@
+"""Recursive-descent parser for RSL.
+
+Grammar (following the GT2 RSL 1.0 structure)::
+
+    rsl          := multi_request | specification
+    multi_request:= '+' clause_list
+    specification:= '&'? clause_list
+    clause_list  := clause+
+    clause       := '(' inner ')'
+    inner        := specification        -- nested, for multi-requests
+                  | relation
+    relation     := WORD OP value+
+    value        := WORD | STRING | VARREF | NUMBER
+
+``parse_rsl`` returns either a :class:`Specification` or a
+:class:`MultiRequest`; ``parse_specification`` insists on a single
+specification, which is what the Job Manager expects from a job
+request.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.rsl.ast import (
+    Concatenation,
+    MultiRequest,
+    Relation,
+    Relop,
+    Specification,
+    Value,
+    VariableReference,
+)
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def expect(self, ttype: TokenType) -> Token:
+        if self.current.type is not ttype:
+            raise RSLSyntaxError(
+                f"expected {ttype.name}, found {self.current.type.name}",
+                self.current.position,
+                self.text,
+            )
+        return self.advance()
+
+    def at(self, ttype: TokenType) -> bool:
+        return self.current.type is ttype
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Union[Specification, MultiRequest]:
+        if self.at(TokenType.PLUS):
+            self.advance()
+            result: Union[Specification, MultiRequest] = self._multi_request_body()
+        else:
+            result = self._specification()
+        self.expect(TokenType.EOF)
+        return result
+
+    def _multi_request_body(self) -> MultiRequest:
+        specs: List[Specification] = []
+        while self.at(TokenType.LPAREN):
+            self.expect(TokenType.LPAREN)
+            specs.append(self._specification())
+            self.expect(TokenType.RPAREN)
+        if not specs:
+            raise RSLSyntaxError(
+                "multi-request must contain at least one specification",
+                self.current.position,
+                self.text,
+            )
+        return MultiRequest.make(specs)
+
+    def _specification(self) -> Specification:
+        if self.at(TokenType.AMP):
+            self.advance()
+        relations: List[Relation] = []
+        while self.at(TokenType.LPAREN):
+            relations.append(self._relation())
+        if not relations:
+            raise RSLSyntaxError(
+                "specification must contain at least one relation",
+                self.current.position,
+                self.text,
+            )
+        return Specification.make(relations)
+
+    def _relation(self) -> Relation:
+        self.expect(TokenType.LPAREN)
+        name_token = self.expect(TokenType.WORD)
+        op_token = self.expect(TokenType.OP)
+        op = Relop.from_symbol(op_token.text)
+        values: List[Union[Value, VariableReference]] = []
+        while not self.at(TokenType.RPAREN):
+            values.append(self._value())
+        self.expect(TokenType.RPAREN)
+        if not values:
+            raise RSLSyntaxError(
+                f"relation on {name_token.text!r} has no value",
+                name_token.position,
+                self.text,
+            )
+        return Relation(attribute=name_token.text.lower(), op=op, values=tuple(values))
+
+    def _value(self) -> Union[Value, VariableReference, Concatenation]:
+        """One value, possibly a ``#``-joined concatenation."""
+        parts = [self._value_atom()]
+        while self.at(TokenType.HASH):
+            self.advance()
+            parts.append(self._value_atom())
+        if len(parts) == 1:
+            return parts[0]
+        # Ground concatenations fold immediately into one literal.
+        if all(isinstance(part, Value) for part in parts):
+            return Value.of("".join(part.text for part in parts), quoted=True)
+        return Concatenation(parts=tuple(parts))
+
+    def _value_atom(self) -> Union[Value, VariableReference]:
+        token = self.current
+        if token.type is TokenType.WORD:
+            self.advance()
+            return Value.of(token.text)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Value.of(token.text, quoted=True)
+        if token.type is TokenType.VARREF:
+            self.advance()
+            return VariableReference(name=token.text)
+        raise RSLSyntaxError(
+            f"expected a value, found {token.type.name}", token.position, self.text
+        )
+
+
+def parse_rsl(text: str) -> Union[Specification, MultiRequest]:
+    """Parse *text* into a specification or multi-request."""
+    if not text or not text.strip():
+        raise RSLSyntaxError("empty RSL text")
+    return _Parser(text).parse()
+
+
+def parse_specification(text: str) -> Specification:
+    """Parse *text*, requiring a single specification (no ``+``)."""
+    result = parse_rsl(text)
+    if isinstance(result, MultiRequest):
+        raise RSLSyntaxError("expected a single specification, found a multi-request")
+    return result

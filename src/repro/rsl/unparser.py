@@ -1,0 +1,63 @@
+"""Render RSL AST nodes back to canonical text.
+
+The unparser produces text the parser accepts (round-trip property,
+covered by hypothesis tests).  Values are quoted whenever they contain
+characters that would not survive re-lexing as a bare word.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.rsl.ast import (
+    Concatenation,
+    MultiRequest,
+    Relation,
+    Specification,
+    Value,
+    VariableReference,
+)
+
+_SAFE_WORD_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "/._-:*@,$"
+)
+
+
+def _needs_quoting(text: str) -> bool:
+    if not text:
+        return True
+    if any(ch not in _SAFE_WORD_CHARS for ch in text):
+        return True
+    # A leading '$(' would re-lex as a variable reference.
+    if text.startswith("$("):
+        return True
+    return False
+
+
+def unparse_value(value: Union[Value, VariableReference, Concatenation]) -> str:
+    if isinstance(value, VariableReference):
+        return f"$({value.name})"
+    if isinstance(value, Concatenation):
+        return "#".join(unparse_value(part) for part in value.parts)
+    if value.quoted or _needs_quoting(value.text):
+        escaped = value.text.replace('"', '""')
+        return f'"{escaped}"'
+    return value.text
+
+
+def unparse_relation(relation: Relation) -> str:
+    values = " ".join(unparse_value(v) for v in relation.values)
+    return f"({relation.attribute}{relation.op.value}{values})"
+
+
+def unparse(node: Union[Specification, MultiRequest, Relation]) -> str:
+    """Render *node* as canonical RSL text."""
+    if isinstance(node, Relation):
+        return unparse_relation(node)
+    if isinstance(node, Specification):
+        return "&" + "".join(unparse_relation(r) for r in node.relations)
+    if isinstance(node, MultiRequest):
+        inner = "".join(f"({unparse(s)})" for s in node.specifications)
+        return f"+{inner}"
+    raise TypeError(f"cannot unparse {type(node).__name__}")

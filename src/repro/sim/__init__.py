@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation substrate.
+
+The local resource manager (:mod:`repro.lrm`) and the continuous
+enforcement monitors (:mod:`repro.accounts.enforcement`) both need a
+notion of time that is reproducible in tests and benchmarks.  This
+package provides a small event-driven clock: callers schedule callbacks
+at absolute or relative simulated times and advance the clock
+explicitly.  No wall-clock time or threads are involved, so every run
+is deterministic.
+"""
+
+from repro.sim.clock import Clock, ScheduledEvent, SimulationError
+from repro.sim.process import PeriodicTask, ProcessState, SimProcess
+
+__all__ = [
+    "Clock",
+    "ScheduledEvent",
+    "SimulationError",
+    "SimProcess",
+    "ProcessState",
+    "PeriodicTask",
+]

@@ -1,0 +1,199 @@
+"""Simulated processes and periodic tasks on top of the event clock.
+
+:class:`SimProcess` models a unit of work with a fixed duration that
+can be suspended, resumed and killed — exactly the lifecycle the local
+resource manager needs for batch jobs.  :class:`PeriodicTask` re-arms a
+callback at a fixed interval and is the building block for the
+continuous-enforcement monitors in :mod:`repro.accounts.enforcement`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock, ScheduledEvent, SimulationError
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+    DONE = "done"
+    KILLED = "killed"
+
+
+class SimProcess:
+    """A fixed-duration unit of work driven by a :class:`Clock`.
+
+    The process accumulates "CPU time" only while running, so a
+    suspended process finishes later by exactly the length of its
+    suspension.  An optional completion callback fires when the work
+    amount has been fully consumed.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        duration: float,
+        name: str = "",
+        on_complete: Optional[Callable[["SimProcess"], Any]] = None,
+    ) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative duration: {duration}")
+        self.clock = clock
+        self.duration = float(duration)
+        self.name = name
+        self.on_complete = on_complete
+        self.state = ProcessState.PENDING
+        self.consumed = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._resumed_at: Optional[float] = None
+        self._completion_event: Optional[ScheduledEvent] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Begin execution now."""
+        if self.state is not ProcessState.PENDING:
+            raise SimulationError(f"cannot start process in state {self.state}")
+        self.state = ProcessState.RUNNING
+        self.started_at = self.clock.now
+        self._resumed_at = self.clock.now
+        self._arm_completion()
+
+    def suspend(self) -> None:
+        """Stop consuming work; progress so far is retained."""
+        if self.state is not ProcessState.RUNNING:
+            raise SimulationError(f"cannot suspend process in state {self.state}")
+        self._absorb_progress()
+        self.state = ProcessState.SUSPENDED
+        self._disarm_completion()
+
+    def resume(self) -> None:
+        """Continue a suspended process from where it stopped."""
+        if self.state is not ProcessState.SUSPENDED:
+            raise SimulationError(f"cannot resume process in state {self.state}")
+        self.state = ProcessState.RUNNING
+        self._resumed_at = self.clock.now
+        self._arm_completion()
+
+    def kill(self) -> None:
+        """Terminate the process; it will never complete."""
+        if self.state in (ProcessState.DONE, ProcessState.KILLED):
+            return
+        if self.state is ProcessState.RUNNING:
+            self._absorb_progress()
+        self.state = ProcessState.KILLED
+        self.finished_at = self.clock.now
+        self._disarm_completion()
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def remaining(self) -> float:
+        """Work units left before completion."""
+        if self.state is ProcessState.RUNNING and self._resumed_at is not None:
+            elapsed = self.clock.now - self._resumed_at
+            return max(0.0, self.duration - self.consumed - elapsed)
+        return max(0.0, self.duration - self.consumed)
+
+    @property
+    def cpu_time(self) -> float:
+        """Work units consumed so far (includes in-flight running time)."""
+        if self.state is ProcessState.RUNNING and self._resumed_at is not None:
+            return self.consumed + (self.clock.now - self._resumed_at)
+        return self.consumed
+
+    @property
+    def is_active(self) -> bool:
+        return self.state in (
+            ProcessState.PENDING,
+            ProcessState.RUNNING,
+            ProcessState.SUSPENDED,
+        )
+
+    # -- internals -----------------------------------------------------
+
+    def _absorb_progress(self) -> None:
+        if self._resumed_at is not None:
+            self.consumed += self.clock.now - self._resumed_at
+            self._resumed_at = None
+
+    def _arm_completion(self) -> None:
+        remaining = self.duration - self.consumed
+        self._completion_event = self.clock.call_after(
+            remaining, self._complete, name=f"complete:{self.name}"
+        )
+
+    def _disarm_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+
+    def _complete(self) -> None:
+        self._absorb_progress()
+        self.state = ProcessState.DONE
+        self.finished_at = self.clock.now
+        self._completion_event = None
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
+class PeriodicTask:
+    """Re-arms *callback* every *interval* time units until stopped.
+
+    The callback receives the task so it can stop itself (used by the
+    sandbox monitors to stop sampling once a job terminates).
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        interval: float,
+        callback: Callable[["PeriodicTask"], Any],
+        name: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self.clock = clock
+        self.interval = float(interval)
+        self.callback = callback
+        self.name = name
+        self.fired = 0
+        self._stopped = False
+        self._event: Optional[ScheduledEvent] = None
+
+    def start(self) -> "PeriodicTask":
+        """Schedule the first tick one interval from now."""
+        if self._stopped:
+            raise SimulationError("cannot restart a stopped periodic task")
+        self._arm()
+        return self
+
+    def stop(self) -> None:
+        """Cancel all future ticks."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _arm(self) -> None:
+        self._event = self.clock.call_after(
+            self.interval, self._tick, name=f"tick:{self.name}"
+        )
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.fired += 1
+        self.callback(self)
+        if not self._stopped:
+            self._arm()

@@ -1,0 +1,70 @@
+"""Virtual Organization substrate.
+
+The paper's setting: a resource provider grants a coarse allocation to
+a VO; the VO manages fine-grained policy among its own participants.
+This package provides:
+
+* :mod:`repro.vo.organization` — VO membership, groups and roles (the
+  paper's two user classes: application developers vs. analysts).
+* :mod:`repro.vo.cas` — a Community Authorization Service in the
+  style of Pearlman et al.: the VO policy travels *inside* the user's
+  credential as a signed restriction, so the resource-side PEP
+  enforces VO policy without a policy file on disk (paper §5: "in a
+  real system the VO policies would be carried in the VO
+  credentials").
+* :mod:`repro.vo.akenti` — an Akenti-style certificate-based
+  authorization engine: stakeholders publish use-condition
+  certificates, users hold attribute certificates, and the engine
+  grants an action when every stakeholder's conditions are met.  Used
+  to demonstrate the callout API's generality with a structurally
+  different policy source representing the same policies.
+"""
+
+from repro.vo.organization import VirtualOrganization, VOMember
+from repro.vo.cas import (
+    CASServer,
+    SignedPolicy,
+    CASPolicySource,
+    attach_cas_policy,
+    extract_cas_policy,
+    CAS_POLICY_EXTENSION,
+)
+from repro.vo.akenti import (
+    AkentiEngine,
+    AttributeCertificate,
+    UseCondition,
+    akenti_sources_from_policy,
+)
+from repro.vo.federation import (
+    FederatedDeployment,
+    GridSite,
+    Placement,
+    VOBroker,
+)
+from repro.vo.allocation import (
+    AllocationMeter,
+    VOAllocation,
+    allocation_callout,
+)
+
+__all__ = [
+    "VirtualOrganization",
+    "VOMember",
+    "CASServer",
+    "SignedPolicy",
+    "CASPolicySource",
+    "attach_cas_policy",
+    "extract_cas_policy",
+    "CAS_POLICY_EXTENSION",
+    "AkentiEngine",
+    "AttributeCertificate",
+    "UseCondition",
+    "akenti_sources_from_policy",
+    "FederatedDeployment",
+    "GridSite",
+    "VOBroker",
+    "Placement",
+    "VOAllocation",
+    "AllocationMeter",
+    "allocation_callout",
+]

@@ -1,0 +1,203 @@
+"""Multi-site VO deployments: one policy environment, many resources.
+
+The paper's premise (§1): "this allows the VO to coordinate policy
+across resources in different domains to form a consistent policy
+environment in which its participants can operate".  This module
+builds that environment: several independent GRAM resources — each
+with its own cluster, accounts, grid-mapfile and *local* policy —
+all enforcing the same VO policy, plus a simple VO-level broker that
+places jobs on whichever site has capacity and routes management
+requests back to the right site.
+
+The consistency claim this enables (tested in
+``tests/vo/test_federation.py``): a request denied by VO policy is
+denied at *every* site, while site-local differences (capacity,
+local caps) only affect *where* permitted work runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import Policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode, GramResponse, JobContact
+from repro.gram.service import GramService, ServiceConfig
+from repro.gsi.credentials import CertificateAuthority, Credential
+
+
+@dataclass
+class GridSite:
+    """One resource in the federation."""
+
+    name: str
+    service: GramService
+    local_policy: Optional[Policy] = None
+
+    @property
+    def free_cpus(self) -> int:
+        return self.service.cluster.free_cpus
+
+    def __str__(self) -> str:
+        return f"Site[{self.name}: {self.service.cluster}]"
+
+
+class FederatedDeployment:
+    """Several sites sharing a CA, a VO policy and a user community."""
+
+    def __init__(
+        self,
+        vo_policy: Policy,
+        ca: Optional[CertificateAuthority] = None,
+    ) -> None:
+        self.vo_policy = vo_policy
+        self.ca = ca or CertificateAuthority("/O=Grid/CN=Federation CA")
+        self._sites: List[GridSite] = []
+        self._credentials: Dict[str, Credential] = {}
+        self._accounts: Dict[str, str] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_site(
+        self,
+        name: str,
+        node_count: int = 4,
+        cpus_per_node: int = 4,
+        local_policy: Optional[Policy] = None,
+        enforcement: Optional[str] = "static",
+    ) -> GridSite:
+        policies: Tuple[Policy, ...] = (self.vo_policy,)
+        if local_policy is not None:
+            policies = policies + (local_policy,)
+        service = GramService(
+            ServiceConfig(
+                host=f"{name}.example.org",
+                node_count=node_count,
+                cpus_per_node=cpus_per_node,
+                policies=policies,
+                enforcement=enforcement,
+            ),
+            ca=self.ca,
+        )
+        site = GridSite(name=name, service=service, local_policy=local_policy)
+        self._sites.append(site)
+        # Enroll existing members at the new site.
+        for identity, credential in self._credentials.items():
+            self._enroll_at(site, identity)
+        return site
+
+    def add_member(self, identity: str, account: str) -> Credential:
+        """Issue one credential, valid at every site (shared CA)."""
+        if identity in self._credentials:
+            return self._credentials[identity]
+        credential = self.ca.issue(identity, now=0.0)
+        self._credentials[identity] = credential
+        self._accounts[identity] = account
+        for site in self._sites:
+            self._enroll_at(site, identity)
+        return credential
+
+    def _enroll_at(self, site: GridSite, identity: str) -> None:
+        account = self._accounts.get(identity)
+        if account is None:
+            return
+        if not site.service.accounts.exists(account):
+            site.service.accounts.create(account)
+        site.service.gridmap.add(identity, account)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def sites(self) -> Tuple[GridSite, ...]:
+        return tuple(self._sites)
+
+    def site(self, name: str) -> GridSite:
+        for candidate in self._sites:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no site {name!r}")
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time at every site in lockstep."""
+        for site in self._sites:
+            site.service.run(duration)
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where the broker ran (or tried to run) a job."""
+
+    site: str
+    response: GramResponse
+
+    @property
+    def ok(self) -> bool:
+        return self.response.ok
+
+
+class VOBroker:
+    """A VO-level submission broker over a federation.
+
+    Placement strategy: sites ordered by free CPUs (most first); the
+    first site whose Gatekeeper accepts the job wins.  Authorization
+    denials are *not* retried elsewhere — the VO policy is identical
+    at every site, so a policy denial at one site is a denial
+    everywhere (asserted by the federation tests); only
+    resource-availability failures fall through to the next site.
+    """
+
+    def __init__(self, federation: FederatedDeployment, credential: Credential) -> None:
+        self.federation = federation
+        self.credential = credential
+        self._clients: Dict[str, GramClient] = {
+            site.name: GramClient(credential, site.service.gatekeeper)
+            for site in federation.sites
+        }
+        self._placements: Dict[str, str] = {}  # contact id -> site name
+
+    def submit(self, rsl_text: str) -> Placement:
+        """Place a job on the least-loaded site that will take it."""
+        ordered = sorted(
+            self.federation.sites, key=lambda s: s.free_cpus, reverse=True
+        )
+        last: Optional[Placement] = None
+        for site in ordered:
+            response = self._clients[site.name].submit(rsl_text)
+            placement = Placement(site=site.name, response=response)
+            if response.ok:
+                self._placements[response.contact.job_id] = site.name
+                return placement
+            last = placement
+            if response.code is not GramErrorCode.RESOURCE_UNAVAILABLE:
+                # Policy/authn failures are federation-wide; stop.
+                return placement
+        assert last is not None, "federation has no sites"
+        return last
+
+    def manage(self, contact: JobContact, action: str, value=None) -> GramResponse:
+        """Route a management request to the job's site."""
+        site_name = self._placements.get(contact.job_id)
+        if site_name is None:
+            # Unknown to this broker: ask every site.
+            for site in self.federation.sites:
+                response = self._clients[site.name].manage(contact, action, value)
+                if response.code is not GramErrorCode.NO_SUCH_JOB:
+                    return response
+            return GramResponse(
+                code=GramErrorCode.NO_SUCH_JOB,
+                message=f"no site knows {contact}",
+            )
+        return self._clients[site_name].manage(contact, action, value)
+
+    def cancel(self, contact: JobContact) -> GramResponse:
+        return self.manage(contact, "cancel")
+
+    def status(self, contact: JobContact) -> GramResponse:
+        return self.manage(contact, "information")
+
+    def placements(self) -> Dict[str, str]:
+        return dict(self._placements)

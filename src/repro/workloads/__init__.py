@@ -1,0 +1,39 @@
+"""Synthetic workload and policy generators.
+
+Deterministic (seeded) generators used by the benchmark harness and
+the larger integration tests:
+
+* :mod:`repro.workloads.generator` — parameterized populations of
+  users, policies of controlled size, and request mixes, for the
+  scaling benchmarks (B-SCALE, B-OVH).
+* :mod:`repro.workloads.scenarios` — the National Fusion
+  Collaboratory scenario from the paper's §2 use case: two user
+  classes (developers and analysts), VO administrators with job-
+  management rights, the sanctioned ``TRANSP`` application service.
+"""
+
+from repro.workloads.generator import (
+    PolicyShape,
+    WorkloadGenerator,
+    generate_identity,
+    generate_policy,
+    generate_users,
+)
+from repro.workloads.scenarios import (
+    FusionScenario,
+    build_fusion_scenario,
+    FIGURE3_POLICY_TEXT,
+    figure3_policy,
+)
+
+__all__ = [
+    "PolicyShape",
+    "WorkloadGenerator",
+    "generate_identity",
+    "generate_policy",
+    "generate_users",
+    "FusionScenario",
+    "build_fusion_scenario",
+    "FIGURE3_POLICY_TEXT",
+    "figure3_policy",
+]

@@ -1,0 +1,228 @@
+"""Parameterized, seeded generators for users, policies and requests.
+
+Everything is driven by :class:`random.Random` instances with explicit
+seeds so benchmark runs are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.attributes import Action
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.core.request import AuthorizationRequest
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import Relation, Relop, Specification
+
+#: DN root all generated identities live under.
+DEFAULT_ORG_PREFIX = "/O=Grid/O=Globus/OU=synth.example.org"
+
+_EXECUTABLES = (
+    "transp",
+    "gyro",
+    "nimrod",
+    "elite",
+    "efit",
+    "toq",
+    "onetwo",
+    "corsica",
+)
+_DIRECTORIES = ("/sandbox/apps", "/sandbox/test", "/opt/vo/bin")
+_JOBTAGS = ("NFC", "ADS", "DEMO", "URGENT", "DEBUG")
+
+
+def generate_identity(index: int, org_prefix: str = DEFAULT_ORG_PREFIX) -> str:
+    """A deterministic member DN."""
+    return f"{org_prefix}/CN=User {index:05d}"
+
+
+def generate_users(
+    count: int, org_prefix: str = DEFAULT_ORG_PREFIX
+) -> List[DistinguishedName]:
+    return [
+        DistinguishedName.parse(generate_identity(i, org_prefix))
+        for i in range(count)
+    ]
+
+
+@dataclass(frozen=True)
+class PolicyShape:
+    """Size parameters for a generated policy."""
+
+    users: int = 10
+    #: Grant statements per user.
+    statements_per_user: int = 1
+    #: Assertions per statement.
+    assertions_per_statement: int = 2
+    #: Non-action relations per assertion.
+    relations_per_assertion: int = 3
+    #: Group (prefix) requirement statements.
+    group_requirements: int = 1
+    seed: int = 7
+
+
+def generate_policy(
+    shape: PolicyShape, org_prefix: str = DEFAULT_ORG_PREFIX, name: str = "synthetic"
+) -> Policy:
+    """A policy with the given shape over the generated user population.
+
+    Each user receives grants permitting a deterministic subset of
+    executables/directories/jobtags with a count bound, mirroring the
+    structure of Figure 3.
+    """
+    rng = random.Random(shape.seed)
+    statements: List[PolicyStatement] = []
+
+    for _ in range(shape.group_requirements):
+        statements.append(
+            PolicyStatement(
+                subject=Subject.prefix(org_prefix),
+                assertions=(
+                    PolicyAssertion.parse("&(action=start)(jobtag!=NULL)"),
+                ),
+                kind=StatementKind.REQUIREMENT,
+                origin=name,
+            )
+        )
+
+    for user_index in range(shape.users):
+        identity = generate_identity(user_index, org_prefix)
+        for _ in range(shape.statements_per_user):
+            assertions = tuple(
+                _generate_assertion(rng, shape.relations_per_assertion)
+                for _ in range(shape.assertions_per_statement)
+            )
+            statements.append(
+                PolicyStatement(
+                    subject=Subject.identity(identity),
+                    assertions=assertions,
+                    kind=StatementKind.GRANT,
+                    origin=name,
+                )
+            )
+    return Policy.make(statements, name=name)
+
+
+def _generate_assertion(rng: random.Random, relations: int) -> PolicyAssertion:
+    parts: List[Relation] = [Relation.make("action", Relop.EQ, "start")]
+    pool = [
+        lambda: Relation.make("executable", Relop.EQ, rng.choice(_EXECUTABLES)),
+        lambda: Relation.make("directory", Relop.EQ, rng.choice(_DIRECTORIES)),
+        lambda: Relation.make("jobtag", Relop.EQ, rng.choice(_JOBTAGS)),
+        lambda: Relation.make("count", Relop.LT, rng.choice((2, 4, 8, 16))),
+        lambda: Relation.make("maxwalltime", Relop.LTE, rng.choice((600, 3600, 86400))),
+    ]
+    chosen = rng.sample(range(len(pool)), k=min(relations, len(pool)))
+    for index in sorted(chosen):
+        parts.append(pool[index]())
+    return PolicyAssertion(spec=Specification.make(parts))
+
+
+@dataclass
+class WorkloadGenerator:
+    """Streams of authorization requests over a user population.
+
+    ``permit_bias`` steers how many requests are crafted to satisfy
+    the generated policy (by mirroring a granted assertion) versus
+    random requests that mostly get denied.
+    """
+
+    policy: Policy
+    users: Sequence[DistinguishedName]
+    seed: int = 13
+    permit_bias: float = 0.7
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        if not self.users:
+            raise ValueError("workload needs at least one user")
+
+    def start_request(self) -> AuthorizationRequest:
+        """One job-invocation authorization request."""
+        user = self._rng.choice(list(self.users))
+        if self._rng.random() < self.permit_bias:
+            spec = self._conforming_spec(user)
+        else:
+            spec = self._random_spec()
+        return AuthorizationRequest.start(user, spec)
+
+    def management_request(self) -> AuthorizationRequest:
+        """One management authorization request on a synthetic job."""
+        requester = self._rng.choice(list(self.users))
+        owner = self._rng.choice(list(self.users))
+        action = self._rng.choice(
+            (Action.CANCEL, Action.INFORMATION, Action.SIGNAL)
+        )
+        return AuthorizationRequest.manage(
+            requester,
+            action,
+            self._random_spec(),
+            jobowner=owner,
+        )
+
+    def batch(self, size: int, management_fraction: float = 0.3) -> List[AuthorizationRequest]:
+        return [
+            self.management_request()
+            if self._rng.random() < management_fraction
+            else self.start_request()
+            for _ in range(size)
+        ]
+
+    # -- internals --------------------------------------------------------
+
+    def _conforming_spec(self, user: DistinguishedName) -> Specification:
+        """Build a request satisfying one of *user*'s grants, if any."""
+        grants = self.policy.grants_for(user)
+        if not grants:
+            return self._random_spec()
+        statement = self._rng.choice(list(grants))
+        assertion = self._rng.choice(list(statement.assertions))
+        relations: List[Relation] = []
+        for relation in assertion.spec:
+            if relation.attribute == "action":
+                continue
+            if relation.op is Relop.EQ:
+                relations.append(
+                    Relation.make(relation.attribute, Relop.EQ, str(relation.values[0]))
+                )
+            elif relation.op is Relop.NEQ:
+                # jobtag != NULL -> provide one
+                relations.append(
+                    Relation.make(relation.attribute, Relop.EQ, self._rng.choice(_JOBTAGS))
+                )
+            elif relation.op in (Relop.LT, Relop.LTE):
+                bound = float(str(relation.values[0]))
+                value = max(1, int(bound) - 1)
+                relations.append(Relation.make(relation.attribute, Relop.EQ, value))
+            else:  # GT / GTE
+                bound = float(str(relation.values[0]))
+                relations.append(
+                    Relation.make(relation.attribute, Relop.EQ, int(bound) + 1)
+                )
+        if not any(r.attribute == "jobtag" for r in relations):
+            relations.append(Relation.make("jobtag", Relop.EQ, self._rng.choice(_JOBTAGS)))
+        if not any(r.attribute == "executable" for r in relations):
+            relations.append(
+                Relation.make("executable", Relop.EQ, self._rng.choice(_EXECUTABLES))
+            )
+        if not any(r.attribute == "count" for r in relations):
+            relations.append(Relation.make("count", Relop.EQ, 1))
+        return Specification.make(relations)
+
+    def _random_spec(self) -> Specification:
+        return Specification.make(
+            [
+                Relation.make("executable", Relop.EQ, self._rng.choice(_EXECUTABLES)),
+                Relation.make("directory", Relop.EQ, self._rng.choice(_DIRECTORIES)),
+                Relation.make("jobtag", Relop.EQ, self._rng.choice(_JOBTAGS)),
+                Relation.make("count", Relop.EQ, self._rng.choice((1, 2, 4, 8, 32))),
+            ]
+        )

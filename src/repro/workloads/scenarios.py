@@ -1,0 +1,157 @@
+"""The National Fusion Collaboratory scenario (paper §2) and Figure 3.
+
+The paper's use case: a fusion-science VO with
+
+* a **developer** group deploying/debugging application services —
+  may run many executables but only with small resource budgets;
+* an **analyst** group running large simulations — but only with the
+  VO-sanctioned application services (``TRANSP``);
+* an **administrator** group that may manage (cancel, reprioritize)
+  *any* job carrying the VO's jobtag, so high-priority work can
+  preempt long-running jobs.
+
+:func:`build_fusion_scenario` wires a complete :class:`GramService`
+with that structure; :data:`FIGURE3_POLICY_TEXT` is the verbatim
+policy of the paper's Figure 3 (modulo whitespace), used by the FIG3
+benchmark and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.model import Policy
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.service import GramService, ServiceConfig
+from repro.lrm.queues import JobQueue
+from repro.vo.organization import VirtualOrganization
+
+#: Verbatim reconstruction of the paper's Figure 3 policy.
+FIGURE3_POLICY_TEXT = """
+&/O=Grid/O=Globus/OU=mcs.anl.gov:
+    (action = start)(jobtag != NULL)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+    &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count<4)
+    &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count<4)
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+    &(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+    &(action=cancel)(jobtag=NFC)
+"""
+
+#: DN prefix of the fusion VO's members.
+NFC_PREFIX = "/O=Grid/O=Fusion/OU=nfc.example.org"
+
+#: The VO-wide policy of the fusion scenario.
+NFC_VO_POLICY = f"""
+# Every VO start must be tagged so administrators can manage it.
+&{NFC_PREFIX}:
+    (action = start)(jobtag != NULL)
+
+# Developers: any executable from the dev tree, tiny budgets.
+{NFC_PREFIX}/OU=dev:
+    &(action = start)(directory = /sandbox/dev)(count<2)(maxwalltime<=600)
+    &(action = cancel)(jobowner = self)
+    &(action = information)(jobowner = self)
+
+# Analysts: only the sanctioned application service, big budgets.
+{NFC_PREFIX}/OU=analysis:
+    &(action = start)(executable = TRANSP)(directory = /opt/nfc/bin)(jobtag = NFC)(count<=16)
+    &(action = cancel)(jobowner = self)
+    &(action = information)(jobowner = self)
+    &(action = signal)(jobowner = self)
+
+# Administrators: manage anything tagged NFC, and run urgent jobs.
+{NFC_PREFIX}/OU=admin:
+    &(action = start)(executable = TRANSP)(directory = /opt/nfc/bin)(jobtag = URGENT)(count<=32)
+    &(action = cancel)(jobtag = NFC)
+    &(action = cancel)(jobtag = URGENT)
+    &(action = information)(jobtag != NULL)
+    &(action = signal)(jobtag = NFC)
+    &(action = signal)(jobtag = URGENT)
+    &(action = suspend)(jobtag = NFC)
+    &(action = resume)(jobtag = NFC)
+"""
+
+#: The resource owner's local policy: a coarse envelope for the VO.
+NFC_LOCAL_POLICY = f"""
+{NFC_PREFIX}:
+    &(action = start)(count<=32)(queue != reserved)
+    &(action = cancel)
+    &(action = information)
+    &(action = signal)
+    &(action = suspend)
+    &(action = resume)
+"""
+
+
+def figure3_policy() -> Policy:
+    """The parsed Figure 3 policy."""
+    return parse_policy(FIGURE3_POLICY_TEXT, name="figure3")
+
+
+@dataclass
+class FusionScenario:
+    """A ready-to-drive NFC deployment."""
+
+    service: GramService
+    vo: VirtualOrganization
+    vo_policy: Policy
+    local_policy: Policy
+    developers: Dict[str, GramClient] = field(default_factory=dict)
+    analysts: Dict[str, GramClient] = field(default_factory=dict)
+    admins: Dict[str, GramClient] = field(default_factory=dict)
+
+    @property
+    def all_clients(self) -> Dict[str, GramClient]:
+        merged: Dict[str, GramClient] = {}
+        merged.update(self.developers)
+        merged.update(self.analysts)
+        merged.update(self.admins)
+        return merged
+
+
+def build_fusion_scenario(
+    developers: int = 2,
+    analysts: int = 3,
+    admins: int = 1,
+    node_count: int = 16,
+    cpus_per_node: int = 4,
+    enforcement: str = "sandbox",
+    mode: AuthorizationMode = AuthorizationMode.EXTENDED,
+) -> FusionScenario:
+    """Assemble the full NFC deployment from the paper's use case."""
+    vo_policy = parse_policy(NFC_VO_POLICY, name="nfc-vo")
+    local_policy = parse_policy(NFC_LOCAL_POLICY, name="site-local")
+    service = GramService(
+        ServiceConfig(
+            host="fusion.example.org",
+            node_count=node_count,
+            cpus_per_node=cpus_per_node,
+            queues=(
+                JobQueue(name="default"),
+                JobQueue(name="reserved", priority=100),
+            ),
+            mode=mode,
+            policies=(vo_policy, local_policy),
+            enforcement=enforcement,
+        )
+    )
+    vo = VirtualOrganization("NFC")
+    scenario = FusionScenario(
+        service=service, vo=vo, vo_policy=vo_policy, local_policy=local_policy
+    )
+
+    def enroll(group: str, count: int, bucket: Dict[str, GramClient]) -> None:
+        for index in range(count):
+            identity = f"{NFC_PREFIX}/OU={group}/CN={group.title()} {index:02d}"
+            credential = service.add_user(identity, f"nfc{group}{index:02d}")
+            vo.add_member(identity, groups=(group,))
+            bucket[identity] = GramClient(credential, service.gatekeeper)
+
+    enroll("dev", developers, scenario.developers)
+    enroll("analysis", analysts, scenario.analysts)
+    enroll("admin", admins, scenario.admins)
+    return scenario

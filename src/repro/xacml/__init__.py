@@ -1,0 +1,81 @@
+"""A miniature XACML policy engine (paper §6.3 future work).
+
+The paper concludes that its RSL-based policy syntax "is not a
+standard policy language" and reports investigating XACML as a
+replacement.  This package implements that investigation: a small but
+structurally faithful XACML-style engine —
+
+* attribute **categories** (subject / action / resource /
+  environment) with multi-valued attribute **bags**,
+* **targets** (AnyOf / AllOf match lists) selecting applicable rules,
+* **rules** with Permit/Deny effects and boolean **condition**
+  expression trees,
+* the standard **rule-combining algorithms** (deny-overrides,
+  permit-overrides, first-applicable),
+
+plus a **bridge** that translates the paper's RSL-based policies into
+XACML policies with identical decisions (verified by agreement tests
+and the B-SRC bench), and a request-context adapter from
+:class:`~repro.core.request.AuthorizationRequest`.
+"""
+
+from repro.xacml.model import (
+    AllOf,
+    AnyOf,
+    AttributeDesignator,
+    Category,
+    CombiningAlgorithm,
+    Match,
+    Rule,
+    RuleEffect,
+    Target,
+    XACMLPolicy,
+)
+from repro.xacml.conditions import (
+    AllValuesSatisfy,
+    AllValuesIn,
+    And,
+    AnyValueIn,
+    Condition,
+    Not,
+    Or,
+    Present,
+)
+from repro.xacml.context import RequestContext
+from repro.xacml.engine import XACMLDecision, evaluate_policy
+from repro.xacml.bridge import XACMLEvaluator, xacml_callout, xacml_from_policy
+from repro.xacml.serialize import (
+    XACMLSerializationError,
+    policy_from_xml,
+    policy_to_xml,
+)
+
+__all__ = [
+    "Category",
+    "AttributeDesignator",
+    "Match",
+    "AllOf",
+    "AnyOf",
+    "Target",
+    "RuleEffect",
+    "Rule",
+    "CombiningAlgorithm",
+    "XACMLPolicy",
+    "Condition",
+    "And",
+    "Or",
+    "Not",
+    "Present",
+    "AnyValueIn",
+    "AllValuesIn",
+    "AllValuesSatisfy",
+    "RequestContext",
+    "XACMLDecision",
+    "evaluate_policy",
+    "xacml_from_policy",
+    "xacml_callout",
+    "XACMLEvaluator",
+    "policy_to_xml",
+    "policy_from_xml",
+    "XACMLSerializationError",
+]

@@ -1,0 +1,58 @@
+"""Request contexts: attribute bags built from GRAM requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.attributes import ACTION, JOBOWNER
+from repro.core.matching import _request_values
+from repro.core.request import AuthorizationRequest
+from repro.xacml.model import (
+    ACTION_ID,
+    SUBJECT_ID,
+    AttributeDesignator,
+    Category,
+)
+
+
+@dataclass
+class RequestContext:
+    """Attribute bags by (category, attribute-id)."""
+
+    bags: Dict[Tuple[Category, str], Tuple[str, ...]] = field(default_factory=dict)
+
+    def add(self, designator: AttributeDesignator, *values: str) -> None:
+        key = (designator.category, designator.attribute_id)
+        self.bags[key] = self.bags.get(key, ()) + tuple(values)
+
+    def bag(self, designator) -> Tuple[str, ...]:
+        return self.bags.get(
+            (designator.category, designator.attribute_id), ()
+        )
+
+    @classmethod
+    def from_request(cls, request: AuthorizationRequest) -> "RequestContext":
+        """Build the context the bridge-translated policies expect.
+
+        * subject-id — the requester's DN;
+        * action-id — the (computed, unspoofable) action;
+        * one resource bag per job-description attribute, using the
+          same value-extraction rules as the native evaluator (only
+          equality relations supply values; empty/NULL counts as
+          absent);
+        * jobowner in the resource category, from the computed value.
+        """
+        context = cls()
+        context.add(SUBJECT_ID, str(request.requester))
+        context.add(ACTION_ID, str(request.action))
+        spec = request.evaluation_specification()
+        for attribute in spec.attributes:
+            if attribute == ACTION:
+                continue  # carried in the action category instead
+            values = _request_values(spec, attribute)
+            if values:
+                context.add(
+                    AttributeDesignator(Category.RESOURCE, attribute), *values
+                )
+        return context

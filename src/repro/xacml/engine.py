@@ -1,0 +1,89 @@
+"""The XACML policy decision point."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.xacml.context import RequestContext
+from repro.xacml.model import (
+    CombiningAlgorithm,
+    Rule,
+    RuleEffect,
+    Target,
+    XACMLPolicy,
+)
+
+
+class XACMLDecision(enum.Enum):
+    PERMIT = "Permit"
+    DENY = "Deny"
+    NOT_APPLICABLE = "NotApplicable"
+    INDETERMINATE = "Indeterminate"
+
+
+def _target_matches(target: Target, context: RequestContext) -> bool:
+    for any_of in target.any_ofs:
+        if not any(
+            all(match.matches(context.bag(match.designator)) for match in all_of.matches)
+            for all_of in any_of.all_ofs
+        ):
+            return False
+    return True
+
+
+def _evaluate_rule(rule: Rule, context: RequestContext) -> XACMLDecision:
+    if not _target_matches(rule.target, context):
+        return XACMLDecision.NOT_APPLICABLE
+    if rule.condition is not None:
+        try:
+            satisfied = rule.condition.holds(context.bag)
+        except Exception:
+            return XACMLDecision.INDETERMINATE
+        if not satisfied:
+            return XACMLDecision.NOT_APPLICABLE
+    return (
+        XACMLDecision.PERMIT
+        if rule.effect is RuleEffect.PERMIT
+        else XACMLDecision.DENY
+    )
+
+
+def evaluate_policy(
+    policy: XACMLPolicy, context: RequestContext
+) -> XACMLDecision:
+    """Evaluate *policy* under its rule-combining algorithm."""
+    if not _target_matches(policy.target, context):
+        return XACMLDecision.NOT_APPLICABLE
+
+    outcomes: List[XACMLDecision] = []
+    for rule in policy.rules:
+        outcome = _evaluate_rule(rule, context)
+        if policy.combining is CombiningAlgorithm.FIRST_APPLICABLE:
+            if outcome in (XACMLDecision.PERMIT, XACMLDecision.DENY):
+                return outcome
+            if outcome is XACMLDecision.INDETERMINATE:
+                return outcome
+            continue
+        outcomes.append(outcome)
+
+    if policy.combining is CombiningAlgorithm.FIRST_APPLICABLE:
+        return XACMLDecision.NOT_APPLICABLE
+
+    if policy.combining is CombiningAlgorithm.DENY_OVERRIDES:
+        if XACMLDecision.DENY in outcomes:
+            return XACMLDecision.DENY
+        if XACMLDecision.INDETERMINATE in outcomes:
+            return XACMLDecision.INDETERMINATE
+        if XACMLDecision.PERMIT in outcomes:
+            return XACMLDecision.PERMIT
+        return XACMLDecision.NOT_APPLICABLE
+
+    # PERMIT_OVERRIDES
+    if XACMLDecision.PERMIT in outcomes:
+        return XACMLDecision.PERMIT
+    if XACMLDecision.INDETERMINATE in outcomes:
+        return XACMLDecision.INDETERMINATE
+    if XACMLDecision.DENY in outcomes:
+        return XACMLDecision.DENY
+    return XACMLDecision.NOT_APPLICABLE

@@ -1,0 +1,123 @@
+"""XACML structural model: categories, targets, rules, policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.xacml.conditions import Condition
+
+
+class Category(enum.Enum):
+    """Attribute categories (XACML's access-subject et al.)."""
+
+    SUBJECT = "urn:oasis:names:tc:xacml:1.0:subject-category:access-subject"
+    ACTION = "urn:oasis:names:tc:xacml:3.0:attribute-category:action"
+    RESOURCE = "urn:oasis:names:tc:xacml:3.0:attribute-category:resource"
+    ENVIRONMENT = "urn:oasis:names:tc:xacml:3.0:attribute-category:environment"
+
+
+@dataclass(frozen=True)
+class AttributeDesignator:
+    """Names one attribute bag in the request context."""
+
+    category: Category
+    attribute_id: str
+
+    def __str__(self) -> str:
+        return f"{self.category.name.lower()}:{self.attribute_id}"
+
+
+#: Well-known attribute ids.
+SUBJECT_ID = AttributeDesignator(Category.SUBJECT, "subject-id")
+ACTION_ID = AttributeDesignator(Category.ACTION, "action-id")
+
+
+@dataclass(frozen=True)
+class Match:
+    """One target match: prefix or equality on an attribute bag.
+
+    ``match_id`` selects the function, in the spirit of XACML's
+    urn-identified match functions:
+
+    * ``string-equal`` — some bag value equals ``value`` exactly;
+    * ``string-starts-with`` — some bag value starts with ``value``
+      (how DN-prefix group subjects translate).
+    """
+
+    designator: AttributeDesignator
+    match_id: str
+    value: str
+
+    def matches(self, bag: Tuple[str, ...]) -> bool:
+        if self.match_id == "string-equal":
+            return any(item == self.value for item in bag)
+        if self.match_id == "string-starts-with":
+            return any(item.startswith(self.value) for item in bag)
+        raise ValueError(f"unknown match function {self.match_id!r}")
+
+
+@dataclass(frozen=True)
+class AllOf:
+    """A conjunction of matches."""
+
+    matches: Tuple[Match, ...]
+
+
+@dataclass(frozen=True)
+class AnyOf:
+    """A disjunction of AllOf conjunctions."""
+
+    all_ofs: Tuple[AllOf, ...]
+
+
+@dataclass(frozen=True)
+class Target:
+    """Applicability filter: every AnyOf must have a matching AllOf.
+
+    An empty target matches every request (XACML semantics).
+    """
+
+    any_ofs: Tuple[AnyOf, ...] = ()
+
+    @classmethod
+    def empty(cls) -> "Target":
+        return cls(any_ofs=())
+
+
+class RuleEffect(enum.Enum):
+    PERMIT = "Permit"
+    DENY = "Deny"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One XACML rule: target + optional condition + effect."""
+
+    rule_id: str
+    effect: RuleEffect
+    target: Target = field(default_factory=Target.empty)
+    condition: Optional[Condition] = None
+
+    def __str__(self) -> str:
+        return f"Rule[{self.rule_id} -> {self.effect.value}]"
+
+
+class CombiningAlgorithm(enum.Enum):
+    DENY_OVERRIDES = "deny-overrides"
+    PERMIT_OVERRIDES = "permit-overrides"
+    FIRST_APPLICABLE = "first-applicable"
+
+
+@dataclass(frozen=True)
+class XACMLPolicy:
+    """A policy: target, ordered rules, combining algorithm."""
+
+    policy_id: str
+    rules: Tuple[Rule, ...]
+    combining: CombiningAlgorithm = CombiningAlgorithm.DENY_OVERRIDES
+    target: Target = field(default_factory=Target.empty)
+
+    def __len__(self) -> int:
+        return len(self.rules)

@@ -1,0 +1,318 @@
+"""XACML policy (de)serialization to an XACML-3.0-flavoured XML.
+
+The point of bridging to XACML (§6.3) is that policies become
+exchangeable with standard tooling, so the bridge is only complete if
+policies can actually leave the process.  This module renders
+:class:`~repro.xacml.model.XACMLPolicy` objects to XML and parses them
+back, round-trip-safe for everything the RSL bridge produces.
+
+The element vocabulary follows the XACML 3.0 schema (Policy / Target /
+AnyOf / AllOf / Match / Rule / Condition / Apply / AttributeDesignator
+/ AttributeValue); conditions map to nested ``Apply`` elements with
+function ids in a private namespace mirroring the condition classes.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Tuple
+
+from repro.xacml.conditions import (
+    AllValuesIn,
+    AllValuesSatisfy,
+    And,
+    AnyValueIn,
+    AttributeReference,
+    Condition,
+    Not,
+    Or,
+    Present,
+    TrueCondition,
+)
+from repro.xacml.model import (
+    AllOf,
+    AnyOf,
+    AttributeDesignator,
+    Category,
+    CombiningAlgorithm,
+    Match,
+    Rule,
+    RuleEffect,
+    Target,
+    XACMLPolicy,
+)
+
+_FN = "urn:repro:function:"
+
+_COMBINING_IDS = {
+    CombiningAlgorithm.DENY_OVERRIDES: (
+        "urn:oasis:names:tc:xacml:3.0:rule-combining-algorithm:deny-overrides"
+    ),
+    CombiningAlgorithm.PERMIT_OVERRIDES: (
+        "urn:oasis:names:tc:xacml:3.0:rule-combining-algorithm:permit-overrides"
+    ),
+    CombiningAlgorithm.FIRST_APPLICABLE: (
+        "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:first-applicable"
+    ),
+}
+_COMBINING_BY_ID = {value: key for key, value in _COMBINING_IDS.items()}
+
+_MATCH_IDS = {
+    "string-equal": "urn:oasis:names:tc:xacml:1.0:function:string-equal",
+    "string-starts-with": "urn:oasis:names:tc:xacml:3.0:function:string-starts-with",
+}
+_MATCH_BY_ID = {value: key for key, value in _MATCH_IDS.items()}
+
+
+class XACMLSerializationError(ValueError):
+    """Unserializable condition or malformed XML."""
+
+
+# --------------------------------------------------------------------------
+# serialization
+# --------------------------------------------------------------------------
+
+
+def policy_to_xml(policy: XACMLPolicy) -> str:
+    """Render *policy* as pretty-printed XML text."""
+    root = ET.Element(
+        "Policy",
+        {
+            "PolicyId": policy.policy_id,
+            "RuleCombiningAlgId": _COMBINING_IDS[policy.combining],
+        },
+    )
+    root.append(_target_element(policy.target))
+    for rule in policy.rules:
+        root.append(_rule_element(rule))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def _target_element(target: Target) -> ET.Element:
+    element = ET.Element("Target")
+    for any_of in target.any_ofs:
+        any_element = ET.SubElement(element, "AnyOf")
+        for all_of in any_of.all_ofs:
+            all_element = ET.SubElement(any_element, "AllOf")
+            for match in all_of.matches:
+                match_element = ET.SubElement(
+                    all_element, "Match", {"MatchId": _MATCH_IDS[match.match_id]}
+                )
+                value = ET.SubElement(match_element, "AttributeValue")
+                value.text = match.value
+                match_element.append(_designator_element(match.designator))
+    return element
+
+
+def _designator_element(designator: AttributeDesignator) -> ET.Element:
+    return ET.Element(
+        "AttributeDesignator",
+        {
+            "Category": designator.category.value,
+            "AttributeId": designator.attribute_id,
+        },
+    )
+
+
+def _rule_element(rule: Rule) -> ET.Element:
+    element = ET.Element(
+        "Rule", {"RuleId": rule.rule_id, "Effect": rule.effect.value}
+    )
+    element.append(_target_element(rule.target))
+    if rule.condition is not None:
+        condition_element = ET.SubElement(element, "Condition")
+        condition_element.append(_condition_element(rule.condition))
+    return element
+
+
+def _condition_element(condition: Condition) -> ET.Element:
+    if isinstance(condition, TrueCondition):
+        return ET.Element("Apply", {"FunctionId": _FN + "true"})
+    if isinstance(condition, And):
+        element = ET.Element("Apply", {"FunctionId": _FN + "and"})
+        for part in condition.parts:
+            element.append(_condition_element(part))
+        return element
+    if isinstance(condition, Or):
+        element = ET.Element("Apply", {"FunctionId": _FN + "or"})
+        for part in condition.parts:
+            element.append(_condition_element(part))
+        return element
+    if isinstance(condition, Not):
+        element = ET.Element("Apply", {"FunctionId": _FN + "not"})
+        element.append(_condition_element(condition.part))
+        return element
+    if isinstance(condition, Present):
+        element = ET.Element("Apply", {"FunctionId": _FN + "present"})
+        element.append(_designator_element(condition.designator))
+        return element
+    if isinstance(condition, (AnyValueIn, AllValuesIn)):
+        kind = "any-value-in" if isinstance(condition, AnyValueIn) else "all-values-in"
+        element = ET.Element(
+            "Apply",
+            {"FunctionId": _FN + kind, "AttributeName": condition.attribute_name},
+        )
+        element.append(_designator_element(condition.designator))
+        for value in condition.values:
+            if isinstance(value, AttributeReference):
+                ref = ET.SubElement(element, "AttributeReference")
+                ref.append(_designator_element(value.designator))
+            else:
+                literal = ET.SubElement(element, "AttributeValue")
+                literal.text = value
+        return element
+    if isinstance(condition, AllValuesSatisfy):
+        element = ET.Element(
+            "Apply",
+            {
+                "FunctionId": _FN + "all-values-satisfy",
+                "Operator": condition.op,
+                "Bound": repr(condition.bound),
+            },
+        )
+        element.append(_designator_element(condition.designator))
+        return element
+    raise XACMLSerializationError(
+        f"cannot serialize condition {type(condition).__name__}"
+    )
+
+
+# --------------------------------------------------------------------------
+# parsing
+# --------------------------------------------------------------------------
+
+
+def policy_from_xml(text: str) -> XACMLPolicy:
+    """Parse XML produced by :func:`policy_to_xml`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XACMLSerializationError(f"malformed XML: {exc}")
+    if root.tag != "Policy":
+        raise XACMLSerializationError(f"expected <Policy>, found <{root.tag}>")
+    combining_id = root.get("RuleCombiningAlgId", "")
+    combining = _COMBINING_BY_ID.get(combining_id)
+    if combining is None:
+        raise XACMLSerializationError(
+            f"unknown combining algorithm {combining_id!r}"
+        )
+    target = _parse_target(root.find("Target"))
+    rules = tuple(_parse_rule(element) for element in root.findall("Rule"))
+    return XACMLPolicy(
+        policy_id=root.get("PolicyId", "unnamed"),
+        rules=rules,
+        combining=combining,
+        target=target,
+    )
+
+
+def _parse_target(element: Optional[ET.Element]) -> Target:
+    if element is None:
+        return Target.empty()
+    any_ofs = []
+    for any_element in element.findall("AnyOf"):
+        all_ofs = []
+        for all_element in any_element.findall("AllOf"):
+            matches = []
+            for match_element in all_element.findall("Match"):
+                match_id = _MATCH_BY_ID.get(match_element.get("MatchId", ""))
+                if match_id is None:
+                    raise XACMLSerializationError(
+                        f"unknown MatchId {match_element.get('MatchId')!r}"
+                    )
+                value_element = match_element.find("AttributeValue")
+                designator = _parse_designator(
+                    match_element.find("AttributeDesignator")
+                )
+                matches.append(
+                    Match(
+                        designator=designator,
+                        match_id=match_id,
+                        value=(value_element.text or "") if value_element is not None else "",
+                    )
+                )
+            all_ofs.append(AllOf(matches=tuple(matches)))
+        any_ofs.append(AnyOf(all_ofs=tuple(all_ofs)))
+    return Target(any_ofs=tuple(any_ofs))
+
+
+def _parse_designator(element: Optional[ET.Element]) -> AttributeDesignator:
+    if element is None:
+        raise XACMLSerializationError("missing AttributeDesignator")
+    category_value = element.get("Category", "")
+    for category in Category:
+        if category.value == category_value:
+            return AttributeDesignator(
+                category=category,
+                attribute_id=element.get("AttributeId", ""),
+            )
+    raise XACMLSerializationError(f"unknown category {category_value!r}")
+
+
+def _parse_rule(element: ET.Element) -> Rule:
+    effect_text = element.get("Effect", "")
+    try:
+        effect = RuleEffect(effect_text)
+    except ValueError:
+        raise XACMLSerializationError(f"unknown rule effect {effect_text!r}")
+    condition = None
+    condition_element = element.find("Condition")
+    if condition_element is not None and len(condition_element):
+        condition = _parse_condition(condition_element[0])
+    return Rule(
+        rule_id=element.get("RuleId", "unnamed"),
+        effect=effect,
+        target=_parse_target(element.find("Target")),
+        condition=condition,
+    )
+
+
+def _parse_condition(element: ET.Element) -> Condition:
+    function = element.get("FunctionId", "")
+    if not function.startswith(_FN):
+        raise XACMLSerializationError(f"unknown FunctionId {function!r}")
+    name = function[len(_FN):]
+    children = list(element)
+    if name == "true":
+        return TrueCondition()
+    if name in ("and", "or"):
+        parts = tuple(_parse_condition(child) for child in children)
+        return And(parts=parts) if name == "and" else Or(parts=parts)
+    if name == "not":
+        if len(children) != 1:
+            raise XACMLSerializationError("not() needs exactly one operand")
+        return Not(part=_parse_condition(children[0]))
+    if name == "present":
+        return Present(designator=_parse_designator(_only_designator(element)))
+    if name in ("any-value-in", "all-values-in"):
+        designator = _parse_designator(_only_designator(element))
+        values = []
+        for child in children:
+            if child.tag == "AttributeValue":
+                values.append(child.text or "")
+            elif child.tag == "AttributeReference":
+                values.append(
+                    AttributeReference(
+                        designator=_parse_designator(
+                            child.find("AttributeDesignator")
+                        )
+                    )
+                )
+        cls = AnyValueIn if name == "any-value-in" else AllValuesIn
+        return cls(
+            designator=designator,
+            attribute_name=element.get("AttributeName", ""),
+            values=tuple(values),
+        )
+    if name == "all-values-satisfy":
+        return AllValuesSatisfy(
+            designator=_parse_designator(_only_designator(element)),
+            op=element.get("Operator", "<"),
+            bound=float(element.get("Bound", "0")),
+        )
+    raise XACMLSerializationError(f"unknown condition function {name!r}")
+
+
+def _only_designator(element: ET.Element) -> Optional[ET.Element]:
+    return element.find("AttributeDesignator")

@@ -1,0 +1,84 @@
+"""Dynamic account pool."""
+
+import pytest
+
+from repro.accounts.dynamic import DynamicAccountError, DynamicAccountPool
+from repro.accounts.local import AccountLimits, AccountRegistry
+from repro.sim.clock import Clock
+
+IDENTITY = "/O=Grid/CN=Visitor"
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def pool(clock):
+    return DynamicAccountPool(AccountRegistry(), clock, size=3, prefix="dyn")
+
+
+class TestAllocation:
+    def test_allocate_configures_account(self, pool):
+        lease = pool.allocate(
+            IDENTITY,
+            limits=AccountLimits(max_cpus_per_job=2),
+            groups=("vo",),
+        )
+        assert lease.account.dynamic
+        assert lease.account.limits.max_cpus_per_job == 2
+        assert lease.account.groups == ("vo",)
+        assert pool.available == 2
+
+    def test_pool_exhaustion(self, pool):
+        for index in range(3):
+            pool.allocate(f"{IDENTITY}{index}")
+        with pytest.raises(DynamicAccountError):
+            pool.allocate("/O=Grid/CN=One Too Many")
+
+    def test_release_recycles_and_wipes(self, pool):
+        lease = pool.allocate(IDENTITY, limits=AccountLimits(max_cpus_per_job=2))
+        lease.account.cpu_seconds_used = 99.0
+        pool.release(lease)
+        assert pool.available == 3
+        # The recycled account must not leak the previous tenant's state.
+        fresh = pool.allocate("/O=Grid/CN=Next Tenant")
+        assert fresh.account.cpu_seconds_used == 0.0
+        assert fresh.account.limits.max_cpus_per_job is None
+
+    def test_double_release_rejected(self, pool):
+        lease = pool.allocate(IDENTITY)
+        pool.release(lease)
+        with pytest.raises(DynamicAccountError):
+            pool.release(lease)
+
+    def test_zero_size_pool_rejected(self, clock):
+        with pytest.raises(ValueError):
+            DynamicAccountPool(AccountRegistry(), clock, size=0)
+
+
+class TestLeases:
+    def test_lease_for_finds_active_lease(self, pool):
+        lease = pool.allocate(IDENTITY)
+        assert pool.lease_for(IDENTITY) is lease
+        assert pool.lease_for("/O=Grid/CN=Nobody") is None
+
+    def test_lease_expiry_recycles(self, pool, clock):
+        pool.allocate(IDENTITY, lease_time=100.0)
+        clock.advance(99.0)
+        assert pool.available == 2
+        clock.advance(2.0)
+        assert pool.available == 3
+        assert pool.lease_for(IDENTITY) is None
+
+    def test_expired_lease_is_inactive(self, pool, clock):
+        lease = pool.allocate(IDENTITY, lease_time=10.0)
+        assert lease.active(clock.now)
+        clock.advance(11.0)
+        assert not lease.active(clock.now)
+
+    def test_allocations_counter(self, pool):
+        pool.allocate(IDENTITY + "1")
+        pool.allocate(IDENTITY + "2")
+        assert pool.allocations == 2

@@ -1,0 +1,191 @@
+"""The three enforcement vehicles, contrasted (paper §6.1)."""
+
+import pytest
+
+from repro.accounts.enforcement import (
+    DynamicAccountEnforcement,
+    SandboxEnforcement,
+    StaticAccountEnforcement,
+)
+from repro.accounts.local import AccountLimits, LocalAccount
+from repro.accounts.sandbox import ResourceLimits
+from repro.lrm.cluster import Cluster
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def scheduler(clock):
+    return BatchScheduler(Cluster.homogeneous("c", 4, 4), clock)
+
+
+def account(**kwargs):
+    return LocalAccount(username="grid01", uid=5001, **kwargs)
+
+
+def dynamic_account(**kwargs):
+    return LocalAccount(username="dyn01", uid=6001, dynamic=True, **kwargs)
+
+
+def job(cpus=2, runtime=10.0, executable="sim"):
+    return BatchJob(account="grid01", executable=executable, cpus=cpus, runtime=runtime)
+
+
+class TestStaticAccountEnforcement:
+    def test_enforces_account_limits(self):
+        mech = StaticAccountEnforcement()
+        acct = account(limits=AccountLimits(max_cpus_per_job=4))
+        assert mech.admit(job(cpus=4), acct, ResourceLimits()).admitted
+        assert not mech.admit(job(cpus=8), acct, ResourceLimits()).admitted
+
+    def test_blind_to_policy_limits(self):
+        """The defining weakness: per-request limits are invisible."""
+        mech = StaticAccountEnforcement()
+        acct = account()
+        outcome = mech.admit(job(cpus=8), acct, ResourceLimits(max_cpus=2))
+        assert outcome.admitted  # over the policy limit, admitted anyway
+
+    def test_executable_whitelist(self):
+        mech = StaticAccountEnforcement()
+        acct = account(limits=AccountLimits(allowed_executables=frozenset({"sim"})))
+        assert mech.admit(job(executable="sim"), acct, ResourceLimits()).admitted
+        assert not mech.admit(job(executable="evil"), acct, ResourceLimits()).admitted
+
+    def test_concurrent_job_cap(self):
+        mech = StaticAccountEnforcement()
+        acct = account(limits=AccountLimits(max_concurrent_jobs=1))
+        first = job()
+        assert mech.admit(first, acct, ResourceLimits()).admitted
+        mech.job_started(first, acct, ResourceLimits())
+        assert not mech.admit(job(), acct, ResourceLimits()).admitted
+        mech.job_finished(first, acct)
+        assert mech.admit(job(), acct, ResourceLimits()).admitted
+
+    def test_quota_exhaustion_blocks_admission(self):
+        mech = StaticAccountEnforcement()
+        acct = account(limits=AccountLimits(cpu_quota_seconds=10.0))
+        acct.cpu_seconds_used = 15.0
+        assert not mech.admit(job(), acct, ResourceLimits()).admitted
+
+    def test_counters(self):
+        mech = StaticAccountEnforcement()
+        acct = account(limits=AccountLimits(max_cpus_per_job=4))
+        mech.admit(job(cpus=2), acct, ResourceLimits())
+        mech.admit(job(cpus=8), acct, ResourceLimits())
+        assert mech.admissions == 1
+        assert mech.rejections == 1
+
+
+class TestDynamicAccountEnforcement:
+    def test_policy_limits_installed_into_account(self):
+        mech = DynamicAccountEnforcement()
+        acct = dynamic_account()
+        outcome = mech.admit(job(cpus=8), acct, ResourceLimits(max_cpus=2))
+        assert not outcome.admitted
+        assert acct.limits.max_cpus_per_job == 2
+
+    def test_within_policy_admitted(self):
+        mech = DynamicAccountEnforcement()
+        acct = dynamic_account()
+        assert mech.admit(job(cpus=2), acct, ResourceLimits(max_cpus=4)).admitted
+
+    def test_requires_dynamic_account(self):
+        mech = DynamicAccountEnforcement()
+        outcome = mech.admit(job(), account(), ResourceLimits())
+        assert not outcome.admitted
+        assert "not dynamically managed" in outcome.reason
+
+    def test_no_continuous_enforcement(self, scheduler, clock):
+        """Admission-time only: a job that overruns is never killed."""
+        mech = DynamicAccountEnforcement()
+        acct = dynamic_account()
+        overrunner = job(cpus=2, runtime=100.0)
+        limits = ResourceLimits(max_cpus=4, max_cpu_seconds=10.0)
+        assert mech.admit(overrunner, acct, limits).admitted
+        scheduler.submit(overrunner)
+        mech.job_started(overrunner, acct, limits)
+        clock.advance(200.0)
+        assert overrunner.state is JobState.COMPLETED  # ran to completion
+        assert mech.violations == []
+
+
+class TestSandboxEnforcement:
+    def test_admission_checks_policy_cpus(self, scheduler, clock):
+        mech = SandboxEnforcement(scheduler, clock)
+        outcome = mech.admit(job(cpus=8), account(), ResourceLimits(max_cpus=2))
+        assert not outcome.admitted
+
+    def test_continuous_enforcement_kills_overrunner(self, scheduler, clock):
+        mech = SandboxEnforcement(scheduler, clock, interval=1.0)
+        acct = account()
+        overrunner = job(cpus=2, runtime=100.0)
+        limits = ResourceLimits(max_cpus=4, max_cpu_seconds=10.0)
+        assert mech.admit(overrunner, acct, limits).admitted
+        scheduler.submit(overrunner)
+        mech.job_started(overrunner, acct, limits)
+        clock.advance(200.0)
+        assert overrunner.state is JobState.FAILED
+        assert len(mech.violations) == 1
+
+    def test_sandbox_released_on_completion(self, scheduler, clock):
+        mech = SandboxEnforcement(scheduler, clock, interval=1.0)
+        acct = account()
+        fine = job(cpus=1, runtime=5.0)
+        limits = ResourceLimits(max_cpu_seconds=100.0)
+        mech.admit(fine, acct, limits)
+        scheduler.submit(fine)
+        mech.job_started(fine, acct, limits)
+        clock.advance(10.0)
+        mech.job_finished(fine, acct)
+        assert mech.active_sandboxes == 0
+
+    def test_account_usage_updated_on_finish(self, scheduler, clock):
+        mech = SandboxEnforcement(scheduler, clock)
+        acct = account()
+        j = job(cpus=2, runtime=10.0)
+        mech.admit(j, acct, ResourceLimits())
+        scheduler.submit(j)
+        mech.job_started(j, acct, ResourceLimits())
+        clock.advance(10.0)
+        mech.job_finished(j, acct)
+        assert acct.cpu_seconds_used == pytest.approx(20.0)
+        assert acct.running_jobs == 0
+
+
+class TestVehicleContrast:
+    def test_only_sandbox_stops_runtime_violations(self, clock):
+        """The §6.1 comparison in one test: same over-limit job under
+        each vehicle; only the sandbox detects and stops it."""
+        results = {}
+        for name, build in (
+            ("static", lambda s: StaticAccountEnforcement()),
+            ("dynamic", lambda s: DynamicAccountEnforcement()),
+            ("sandbox", lambda s: SandboxEnforcement(s, clock, interval=1.0)),
+        ):
+            scheduler = BatchScheduler(
+                Cluster.homogeneous(name, 4, 4), clock
+            )
+            mech = build(scheduler)
+            acct = dynamic_account() if name == "dynamic" else account()
+            # Declares 10 cpu-seconds, actually needs 100s of runtime.
+            overrunner = BatchJob(
+                account=acct.username, executable="sim", cpus=1, runtime=100.0
+            )
+            limits = ResourceLimits(max_cpus=4, max_cpu_seconds=10.0)
+            outcome = mech.admit(overrunner, acct, limits)
+            assert outcome.admitted
+            scheduler.submit(overrunner)
+            mech.job_started(overrunner, acct, limits)
+            clock.advance(200.0)
+            results[name] = (overrunner.state, len(mech.violations))
+
+        assert results["static"] == (JobState.COMPLETED, 0)
+        assert results["dynamic"] == (JobState.COMPLETED, 0)
+        assert results["sandbox"][0] is JobState.FAILED
+        assert results["sandbox"][1] == 1

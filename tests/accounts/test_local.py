@@ -1,0 +1,80 @@
+"""Static local accounts."""
+
+import pytest
+
+from repro.accounts.local import AccountLimits, AccountRegistry, LocalAccount
+
+
+class TestAccountLimits:
+    def test_unrestricted_allows_everything(self):
+        limits = AccountLimits.unrestricted()
+        assert limits.allows_executable("anything")
+        assert limits.max_cpus_per_job is None
+
+    def test_executable_whitelist(self):
+        limits = AccountLimits(allowed_executables=frozenset({"a", "b"}))
+        assert limits.allows_executable("a")
+        assert not limits.allows_executable("c")
+
+
+class TestLocalAccount:
+    def test_default_home(self):
+        account = LocalAccount(username="bo", uid=5001)
+        assert account.home == "/home/bo"
+
+    def test_quota_remaining(self):
+        account = LocalAccount(
+            username="bo",
+            uid=5001,
+            limits=AccountLimits(cpu_quota_seconds=100.0),
+        )
+        assert account.quota_remaining() == 100.0
+        account.cpu_seconds_used = 30.0
+        assert account.quota_remaining() == 70.0
+        account.cpu_seconds_used = 150.0
+        assert account.quota_remaining() == 0.0
+
+    def test_no_quota_means_none(self):
+        account = LocalAccount(username="bo", uid=5001)
+        assert account.quota_remaining() is None
+
+    def test_reconfigure(self):
+        account = LocalAccount(username="bo", uid=5001)
+        account.reconfigure(
+            AccountLimits(max_cpus_per_job=2), groups=("vo", "dev")
+        )
+        assert account.limits.max_cpus_per_job == 2
+        assert account.groups == ("vo", "dev")
+
+
+class TestAccountRegistry:
+    def test_create_and_get(self):
+        registry = AccountRegistry()
+        account = registry.create("bo", groups=("users",))
+        assert registry.get("bo") is account
+        assert registry.exists("bo")
+        assert "bo" in registry
+        assert len(registry) == 1
+
+    def test_uids_are_unique(self):
+        registry = AccountRegistry()
+        uids = {registry.create(f"user{i}").uid for i in range(10)}
+        assert len(uids) == 10
+
+    def test_duplicate_name_rejected(self):
+        registry = AccountRegistry()
+        registry.create("bo")
+        with pytest.raises(ValueError):
+            registry.create("bo")
+
+    def test_missing_account_raises(self):
+        with pytest.raises(KeyError):
+            AccountRegistry().get("ghost")
+
+    def test_remove(self):
+        registry = AccountRegistry()
+        registry.create("bo")
+        registry.remove("bo")
+        assert not registry.exists("bo")
+        with pytest.raises(KeyError):
+            registry.remove("bo")

@@ -1,0 +1,158 @@
+"""Sandbox monitoring and kills."""
+
+import pytest
+
+from repro.accounts.sandbox import ResourceLimits, Sandbox
+from repro.lrm.cluster import Cluster
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def scheduler(clock):
+    return BatchScheduler(Cluster.homogeneous("c", 2, 4), clock)
+
+
+def running_job(scheduler, cpus=2, runtime=100.0):
+    job = BatchJob(account="a", executable="sim", cpus=cpus, runtime=runtime)
+    scheduler.submit(job)
+    return job
+
+
+class TestLimits:
+    def test_unlimited(self):
+        assert ResourceLimits.unlimited().is_unlimited
+        assert not ResourceLimits(max_cpus=1).is_unlimited
+
+
+class TestAdmission:
+    def test_cpu_cap_kills_at_admission(self, scheduler, clock):
+        job = running_job(scheduler, cpus=4)
+        sandbox = Sandbox(
+            job, ResourceLimits(max_cpus=2), scheduler, clock
+        ).start()
+        assert job.state is JobState.FAILED
+        assert sandbox.violations[0].limit == "cpus"
+
+    def test_within_cap_starts_monitoring(self, scheduler, clock):
+        job = running_job(scheduler, cpus=2)
+        sandbox = Sandbox(
+            job, ResourceLimits(max_cpus=4, max_cpu_seconds=1e9), scheduler, clock
+        ).start()
+        assert sandbox.active
+        assert job.state is JobState.RUNNING
+
+
+class TestContinuousEnforcement:
+    def test_cpu_seconds_violation_kills(self, scheduler, clock):
+        job = running_job(scheduler, cpus=2, runtime=100.0)
+        sandbox = Sandbox(
+            job,
+            ResourceLimits(max_cpu_seconds=20.0),
+            scheduler,
+            clock,
+            interval=1.0,
+        ).start()
+        clock.advance(50.0)
+        assert job.state is JobState.FAILED
+        assert "sandbox" in job.exit_reason
+        violation = sandbox.violations[0]
+        assert violation.limit == "cpu-seconds"
+        # 2 cpus * 10s = 20 cpu-seconds; first sample past that is t=11.
+        assert violation.detected_at == pytest.approx(11.0)
+
+    def test_wall_seconds_violation_kills(self, scheduler, clock):
+        job = running_job(scheduler, cpus=1, runtime=100.0)
+        Sandbox(
+            job,
+            ResourceLimits(max_wall_seconds=30.0),
+            scheduler,
+            clock,
+            interval=1.0,
+        ).start()
+        clock.advance(32.0)
+        assert job.state is JobState.FAILED
+
+    def test_detection_latency_scales_with_interval(self, scheduler, clock):
+        job = running_job(scheduler, cpus=1, runtime=1000.0)
+        sandbox = Sandbox(
+            job,
+            ResourceLimits(max_cpu_seconds=10.0),
+            scheduler,
+            clock,
+            interval=7.0,
+        ).start()
+        clock.advance(100.0)
+        violation = sandbox.violations[0]
+        # violation at t>10; samples at 7, 14 -> detected at 14.
+        assert violation.detected_at == pytest.approx(14.0)
+
+    def test_job_within_limits_is_untouched(self, scheduler, clock):
+        job = running_job(scheduler, cpus=1, runtime=10.0)
+        sandbox = Sandbox(
+            job,
+            ResourceLimits(max_cpu_seconds=1000.0),
+            scheduler,
+            clock,
+            interval=1.0,
+        ).start()
+        clock.advance(20.0)
+        assert job.state is JobState.COMPLETED
+        assert sandbox.violations == []
+
+    def test_monitor_stops_when_job_finishes(self, scheduler, clock):
+        job = running_job(scheduler, cpus=1, runtime=5.0)
+        sandbox = Sandbox(
+            job, ResourceLimits(max_cpu_seconds=1e9), scheduler, clock, interval=1.0
+        ).start()
+        clock.advance(10.0)
+        assert not sandbox.active
+
+    def test_suspended_job_does_not_accrue_cpu_seconds(self, scheduler, clock):
+        job = running_job(scheduler, cpus=2, runtime=100.0)
+        sandbox = Sandbox(
+            job,
+            ResourceLimits(max_cpu_seconds=30.0),
+            scheduler,
+            clock,
+            interval=1.0,
+        ).start()
+        clock.advance(5.0)  # 10 cpu-seconds consumed
+        scheduler.suspend(job.job_id)
+        clock.advance(1000.0)
+        assert job.state is JobState.SUSPENDED
+        assert sandbox.violations == []
+
+    def test_violation_callback_invoked(self, scheduler, clock):
+        seen = []
+        job = running_job(scheduler, cpus=2, runtime=100.0)
+        Sandbox(
+            job,
+            ResourceLimits(max_cpu_seconds=4.0),
+            scheduler,
+            clock,
+            interval=1.0,
+            on_violation=seen.append,
+        ).start()
+        clock.advance(10.0)
+        assert len(seen) == 1
+        assert seen[0].job_id == job.job_id
+
+    def test_unlimited_sandbox_never_samples(self, scheduler, clock):
+        job = running_job(scheduler, cpus=1, runtime=10.0)
+        sandbox = Sandbox(
+            job, ResourceLimits.unlimited(), scheduler, clock, interval=1.0
+        ).start()
+        clock.advance(20.0)
+        assert sandbox.samples == 0
+
+    def test_bad_interval_rejected(self, scheduler, clock):
+        job = running_job(scheduler)
+        with pytest.raises(ValueError):
+            Sandbox(job, ResourceLimits(), scheduler, clock, interval=0.0)

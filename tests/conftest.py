@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gsi.credentials import CertificateAuthority
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+BO = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"
+KATE = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"
+OUTSIDER = "/O=Elsewhere/OU=unknown/CN=Eve Mallory"
+GROUP_PREFIX = "/O=Grid/O=Globus/OU=mcs.anl.gov"
+
+
+@pytest.fixture
+def figure3_policy():
+    """The paper's Figure 3 policy, parsed fresh per test."""
+    return parse_policy(FIGURE3_POLICY_TEXT, name="figure3")
+
+
+@pytest.fixture
+def ca():
+    """A trust anchor with deterministic lifetime starting at t=0."""
+    return CertificateAuthority("/O=Grid/CN=Test CA", now=0.0)
+
+
+@pytest.fixture
+def bo_credential(ca):
+    return ca.issue(BO, now=0.0)
+
+
+@pytest.fixture
+def kate_credential(ca):
+    return ca.issue(KATE, now=0.0)

@@ -1,0 +1,216 @@
+"""Policy analysis: lint, capabilities, who-can, diff."""
+
+import pytest
+
+from repro.core.analysis import (
+    LintLevel,
+    capabilities,
+    diff_policies,
+    lint,
+    who_can,
+)
+from repro.core.parser import parse_policy
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+BOB = "/O=Grid/OU=org/CN=Bob"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestLint:
+    def test_clean_policy_has_no_findings(self, figure3_policy):
+        assert lint(figure3_policy) == []
+
+    def test_missing_action_guard(self):
+        policy = parse_policy(f"{ALICE}: &(executable=sim)")
+        assert "no-action-guard" in codes(lint(policy))
+
+    def test_unknown_action_is_an_error(self):
+        policy = parse_policy(f"{ALICE}: &(action=teleport)")
+        findings = lint(policy)
+        assert "unknown-action" in codes(findings)
+        assert any(f.level is LintLevel.ERROR for f in findings)
+
+    def test_empty_numeric_range(self):
+        policy = parse_policy(f"{ALICE}: &(action=start)(count>8)(count<2)")
+        assert "empty-range" in codes(lint(policy))
+
+    def test_satisfiable_range_not_flagged(self):
+        policy = parse_policy(f"{ALICE}: &(action=start)(count>=1)(count<=8)")
+        assert "empty-range" not in codes(lint(policy))
+
+    def test_non_numeric_bound(self):
+        policy = parse_policy(f"{ALICE}: &(action=start)(count<lots)")
+        assert "non-numeric-bound" in codes(lint(policy))
+
+    def test_self_outside_jobowner(self):
+        policy = parse_policy(f"{ALICE}: &(action=start)(executable=self)")
+        assert "self-outside-jobowner" in codes(lint(policy))
+
+    def test_self_on_jobowner_is_fine(self):
+        policy = parse_policy(f"{ALICE}: &(action=cancel)(jobowner=self)")
+        assert "self-outside-jobowner" not in codes(lint(policy))
+
+    def test_duplicate_assertion(self):
+        policy = parse_policy(
+            f"{ALICE}: &(action=start)(executable=a) &(action=start)(executable=a)"
+        )
+        assert "duplicate-assertion" in codes(lint(policy))
+
+    def test_unconstrained_start(self):
+        policy = parse_policy(f"{ALICE}: &(action=start)")
+        assert "unconstrained-start" in codes(lint(policy))
+
+    def test_findings_carry_location(self):
+        policy = parse_policy(
+            f"""
+            {ALICE}: &(action=start)(executable=a)
+            {BOB}: &(action=teleport)
+            """
+        )
+        finding = next(f for f in lint(policy) if f.code == "unknown-action")
+        assert finding.statement_index == 1
+        assert finding.assertion_index == 0
+
+
+class TestCapabilities:
+    POLICY = f"""
+    {ALICE}:
+        &(action=start)(executable=sim)(count<4)
+        &(action=cancel)(jobowner=self)
+    /O=Grid/OU=org:
+        &(action=information)
+    """
+
+    def test_all_grants_listed(self):
+        policy = parse_policy(self.POLICY)
+        found = capabilities(policy, ALICE)
+        actions = sorted(c.action for c in found)
+        assert actions == ["cancel", "information", "start"]
+
+    def test_constraints_attached(self):
+        policy = parse_policy(self.POLICY)
+        start = next(c for c in capabilities(policy, ALICE) if c.action == "start")
+        assert start.constraints.has("executable")
+        assert not start.constraints.has("action")
+
+    def test_group_member_gets_group_grants_only(self):
+        policy = parse_policy(self.POLICY)
+        found = capabilities(policy, BOB)
+        assert [c.action for c in found] == ["information"]
+
+    def test_outsider_gets_nothing(self):
+        policy = parse_policy(self.POLICY)
+        assert capabilities(policy, "/O=Mars/CN=Marvin") == ()
+
+
+class TestWhoCan:
+    def test_who_can_cancel_nfc_jobs(self, figure3_policy):
+        from tests.conftest import BO, KATE
+
+        job = parse_specification("&(executable=test2)(jobtag=NFC)")
+        allowed = who_can(
+            figure3_policy,
+            "cancel",
+            job,
+            candidates=[BO, KATE, "/O=Other/CN=Eve"],
+            jobowner=BO,
+        )
+        assert [str(dn) for dn in allowed] == [KATE]
+
+    def test_who_can_honours_requirements(self, figure3_policy):
+        from tests.conftest import BO, KATE
+
+        untagged = parse_specification(
+            "&(executable=test1)(directory=/sandbox/test)(count=1)"
+        )
+        allowed = who_can(figure3_policy, "start", untagged, candidates=[BO, KATE])
+        assert allowed == ()
+
+
+class TestImpact:
+    OLD = f"{ALICE}: &(action=start)(executable=sim)(count<4)"
+    NEW = f"{ALICE}: &(action=start)(executable=sim)(count<8)"
+
+    def requests(self):
+        from repro.core.request import AuthorizationRequest
+
+        return [
+            AuthorizationRequest.start(
+                ALICE, parse_specification(f"&(executable=sim)(count={n})")
+            )
+            for n in (1, 2, 4, 6, 9)
+        ]
+
+    def test_widening_reports_newly_permitted(self):
+        from repro.core.analysis import impact
+
+        report = impact(
+            parse_policy(self.OLD), parse_policy(self.NEW), self.requests()
+        )
+        assert report.total == 5
+        assert report.permitted_before == 2  # counts 1, 2
+        assert report.permitted_after == 4   # counts 1, 2, 4, 6
+        assert len(report.newly_permitted) == 2
+        assert report.newly_denied == ()
+        assert report.unchanged == 3
+
+    def test_tightening_reports_newly_denied(self):
+        from repro.core.analysis import impact
+
+        report = impact(
+            parse_policy(self.NEW), parse_policy(self.OLD), self.requests()
+        )
+        assert len(report.newly_denied) == 2
+        assert report.newly_permitted == ()
+
+    def test_identical_policies_report_no_flips(self):
+        from repro.core.analysis import impact
+
+        report = impact(
+            parse_policy(self.OLD), parse_policy(self.OLD), self.requests()
+        )
+        assert report.newly_permitted == ()
+        assert report.newly_denied == ()
+        assert report.unchanged == report.total
+
+    def test_str_is_informative(self):
+        from repro.core.analysis import impact
+
+        report = impact(
+            parse_policy(self.OLD), parse_policy(self.NEW), self.requests()
+        )
+        text = str(report)
+        assert "5 requests" in text
+        assert "+2" in text
+
+
+class TestDiff:
+    def test_no_changes(self, figure3_policy):
+        diff = diff_policies(figure3_policy, figure3_policy)
+        assert diff.is_empty
+        assert "no changes" in str(diff)
+
+    def test_added_and_removed(self):
+        old = parse_policy(f"{ALICE}: &(action=start)(executable=a)")
+        new = parse_policy(
+            f"""
+            {ALICE}: &(action=start)(executable=a)
+            {BOB}: &(action=cancel)(jobowner=self)
+            """
+        )
+        diff = diff_policies(old, new)
+        assert len(diff.added) == 1
+        assert len(diff.removed) == 0
+        reverse = diff_policies(new, old)
+        assert len(reverse.removed) == 1
+
+    def test_modified_statement_shows_as_both(self):
+        old = parse_policy(f"{ALICE}: &(action=start)(count<4)")
+        new = parse_policy(f"{ALICE}: &(action=start)(count<8)")
+        diff = diff_policies(old, new)
+        assert len(diff.added) == 1
+        assert len(diff.removed) == 1

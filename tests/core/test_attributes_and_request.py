@@ -1,0 +1,132 @@
+"""Extended attributes, actions, and authorization requests."""
+
+import pytest
+
+from repro.core.attributes import ACTION, JOBOWNER, JOBTAG, Action
+from repro.core.request import AuthorizationRequest
+from repro.gsi.names import DistinguishedName
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+BOB = "/O=Grid/OU=org/CN=Bob"
+
+
+class TestAction:
+    def test_parse_canonical_values(self):
+        assert Action.parse("start") is Action.START
+        assert Action.parse("cancel") is Action.CANCEL
+        assert Action.parse("information") is Action.INFORMATION
+        assert Action.parse("signal") is Action.SIGNAL
+
+    def test_parse_is_case_insensitive(self):
+        assert Action.parse("START") is Action.START
+
+    def test_status_aliases_information(self):
+        assert Action.parse("status") is Action.INFORMATION
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            Action.parse("explode")
+
+    def test_management_classification(self):
+        assert not Action.START.is_management
+        assert Action.CANCEL.is_management
+        assert Action.SIGNAL.is_management
+
+
+class TestStartRequests:
+    def test_requester_is_owner(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=x)")
+        )
+        assert request.owner == request.requester
+        assert request.is_self_managed
+
+    def test_evaluation_spec_adds_computed_attributes(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=x)")
+        )
+        spec = request.evaluation_specification()
+        assert spec.first_value(ACTION) == "start"
+        assert spec.first_value(JOBOWNER) == ALICE
+
+    def test_spoofed_action_is_replaced(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=x)(action=cancel)")
+        )
+        spec = request.evaluation_specification()
+        values = [
+            str(v)
+            for r in spec.relations_for(ACTION)
+            for v in r.values
+        ]
+        assert values == ["start"]
+
+    def test_spoofed_jobowner_is_replaced(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification(f'&(executable=x)(jobowner="{BOB}")')
+        )
+        spec = request.evaluation_specification()
+        assert spec.first_value(JOBOWNER) == ALICE
+
+    def test_jobtag_accessor(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=x)(jobtag=NFC)")
+        )
+        assert request.jobtag == "NFC"
+
+    def test_jobtag_absent(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=x)")
+        )
+        assert request.jobtag is None
+
+
+class TestManagementRequests:
+    def test_manage_carries_owner(self):
+        request = AuthorizationRequest.manage(
+            ALICE, "cancel", parse_specification("&(executable=x)"), jobowner=BOB
+        )
+        assert str(request.owner) == BOB
+        assert not request.is_self_managed
+
+    def test_manage_accepts_action_enum(self):
+        request = AuthorizationRequest.manage(
+            ALICE,
+            Action.SIGNAL,
+            parse_specification("&(executable=x)"),
+            jobowner=BOB,
+        )
+        assert request.action is Action.SIGNAL
+
+    def test_manage_rejects_start(self):
+        with pytest.raises(ValueError):
+            AuthorizationRequest.manage(
+                ALICE, "start", parse_specification("&(executable=x)"), jobowner=BOB
+            )
+
+    def test_accepts_distinguished_name_objects(self):
+        dn = DistinguishedName.parse(ALICE)
+        request = AuthorizationRequest.manage(
+            dn, "cancel", parse_specification("&(a=1)"), jobowner=dn
+        )
+        assert request.is_self_managed
+
+    def test_evaluation_spec_owner_is_initiator_not_requester(self):
+        request = AuthorizationRequest.manage(
+            ALICE, "cancel", parse_specification("&(executable=x)"), jobowner=BOB
+        )
+        spec = request.evaluation_specification()
+        assert spec.first_value(JOBOWNER) == BOB
+
+    def test_str_mentions_action_and_job(self):
+        request = AuthorizationRequest.manage(
+            ALICE,
+            "cancel",
+            parse_specification("&(executable=x)"),
+            jobowner=BOB,
+            job_id="42",
+        )
+        text = str(request)
+        assert "cancel" in text
+        assert "42" in text

@@ -1,0 +1,81 @@
+"""Callout chain ordering and multi-callout configuration files."""
+
+import pytest
+
+from repro.core.builtin_callouts import permit_all
+from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry
+from repro.core.decision import Decision
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=chain/CN=Alice"
+
+
+@pytest.fixture
+def request_():
+    return AuthorizationRequest.start(ALICE, parse_specification("&(executable=x)"))
+
+
+class TestChainOrdering:
+    def test_callouts_invoked_in_configuration_order(self, request_):
+        calls = []
+
+        def make(name):
+            def callout(request):
+                calls.append(name)
+                return Decision.permit(source=name)
+
+            return callout
+
+        registry = CalloutRegistry()
+        for name in ("first", "second", "third"):
+            registry.register(GRAM_AUTHZ_CALLOUT, make(name), label=name)
+        registry.invoke(GRAM_AUTHZ_CALLOUT, request_)
+        assert calls == ["first", "second", "third"]
+
+    def test_labels_preserved_in_order(self, request_):
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="envelope")
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="fine-grain")
+        assert registry.callout_labels(GRAM_AUTHZ_CALLOUT) == (
+            "envelope",
+            "fine-grain",
+        )
+
+    def test_chain_permit_reports_count(self, request_):
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all)
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all)
+        decision = registry.invoke(GRAM_AUTHZ_CALLOUT, request_)
+        assert decision.is_permit
+        assert "2 callout(s)" in decision.reasons[0]
+
+
+class TestMultiLineConfigurationFile:
+    def test_several_callouts_from_one_file(self, tmp_path, request_):
+        config = tmp_path / "callouts.conf"
+        config.write_text(
+            "gram.authz  repro.core.builtin_callouts  permit_all\n"
+            "gram.authz  repro.core.builtin_callouts  initiator_only\n"
+            "gatekeeper.authz  repro.core.builtin_callouts  permit_all\n"
+        )
+        registry = CalloutRegistry()
+        assert registry.configure_from_file(str(config)) == 3
+        assert len(registry.callout_labels(GRAM_AUTHZ_CALLOUT)) == 2
+        assert len(registry.callout_labels("gatekeeper.authz")) == 1
+        # Chain works end to end (permit_all then initiator_only, both
+        # permit a start request).
+        assert registry.invoke(GRAM_AUTHZ_CALLOUT, request_).is_permit
+
+    def test_file_order_is_chain_order(self, tmp_path, request_):
+        config = tmp_path / "callouts.conf"
+        config.write_text(
+            "gram.authz  repro.core.builtin_callouts  deny_all\n"
+            "gram.authz  repro.core.builtin_callouts  broken_callout\n"
+        )
+        registry = CalloutRegistry()
+        registry.configure_from_file(str(config))
+        # deny_all comes first and short-circuits before the broken
+        # callout can blow up — proving file order is invocation order.
+        decision = registry.invoke(GRAM_AUTHZ_CALLOUT, request_)
+        assert decision.is_deny

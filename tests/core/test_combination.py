@@ -1,0 +1,131 @@
+"""Multi-source policy combination (paper requirement 1)."""
+
+import pytest
+
+from repro.core.combination import CombinationAlgorithm, CombinedEvaluator
+from repro.core.decision import Decision, Effect
+from repro.core.errors import AuthorizationSystemFailure
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+
+VO = f"""
+{ALICE}: &(action=start)(executable=sim)(count<8)
+"""
+
+LOCAL = """
+/O=Grid/OU=org: &(action=start)(count<=4)(queue!=reserved)
+"""
+
+
+def combined(algorithm=CombinationAlgorithm.ALL_MUST_PERMIT):
+    return CombinedEvaluator(
+        [
+            PolicyEvaluator(parse_policy(VO, name="vo")),
+            PolicyEvaluator(parse_policy(LOCAL, name="local")),
+        ],
+        algorithm=algorithm,
+    )
+
+
+def start(rsl: str, who: str = ALICE) -> AuthorizationRequest:
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+class TestAllMustPermit:
+    def test_both_permit(self):
+        decision = combined().evaluate(start("&(executable=sim)(count=2)"))
+        assert decision.is_permit
+
+    def test_vo_denies(self):
+        decision = combined().evaluate(start("&(executable=other)(count=2)"))
+        assert decision.is_deny
+        assert any("[vo]" in reason for reason in decision.reasons)
+
+    def test_local_denies(self):
+        """VO allows count<8 but the site caps at 4: site wins."""
+        decision = combined().evaluate(start("&(executable=sim)(count=6)"))
+        assert decision.is_deny
+        assert any("[local]" in reason for reason in decision.reasons)
+
+    def test_effective_envelope_is_intersection(self):
+        ok = combined().evaluate(start("&(executable=sim)(count=4)"))
+        assert ok.is_permit
+
+    def test_abstaining_source_blocks(self):
+        """A user the VO says nothing about gets nothing."""
+        stranger = "/O=Grid/OU=org/CN=Stranger"
+        decision = combined().evaluate(
+            start("&(executable=sim)(count=2)", who=stranger)
+        )
+        assert decision.is_deny
+        assert any("grants nothing" in reason for reason in decision.reasons)
+
+
+class TestPermitOverridesNotApplicable:
+    def test_abstaining_source_defers(self):
+        stranger = "/O=Grid/OU=org/CN=Stranger"
+        evaluator = combined(CombinationAlgorithm.PERMIT_OVERRIDES_NOT_APPLICABLE)
+        decision = evaluator.evaluate(
+            start("&(executable=anything)(count=2)", who=stranger)
+        )
+        # local permits (prefix match), vo abstains -> permit
+        assert decision.is_permit
+
+    def test_explicit_deny_still_wins(self):
+        evaluator = combined(CombinationAlgorithm.PERMIT_OVERRIDES_NOT_APPLICABLE)
+        decision = evaluator.evaluate(start("&(executable=sim)(count=9)"))
+        assert decision.is_deny
+
+    def test_all_abstain_is_deny(self):
+        outsider = "/O=Mars/CN=Marvin"
+        evaluator = combined(CombinationAlgorithm.PERMIT_OVERRIDES_NOT_APPLICABLE)
+        decision = evaluator.evaluate(
+            start("&(executable=sim)(count=1)", who=outsider)
+        )
+        assert decision.is_deny
+
+
+class TestSystemFailures:
+    def test_broken_source_raises_system_failure(self):
+        class Exploder:
+            source = "broken"
+
+            def evaluate(self, request):
+                raise RuntimeError("pdp crashed")
+
+        evaluator = CombinedEvaluator(
+            [PolicyEvaluator(parse_policy(VO, name="vo")), Exploder()]
+        )
+        with pytest.raises(AuthorizationSystemFailure):
+            evaluator.evaluate(start("&(executable=sim)(count=2)"))
+
+    def test_indeterminate_decision_raises(self):
+        evaluator = combined()
+        with pytest.raises(AuthorizationSystemFailure):
+            evaluator.combine(
+                [Decision.permit(source="vo"), Decision.indeterminate("boom", source="x")]
+            )
+
+    def test_failure_is_not_a_denial(self):
+        """System failure must surface as its own error class, never
+        silently merge into deny (the paper's error distinction)."""
+        evaluator = combined()
+        try:
+            evaluator.combine([Decision.indeterminate("boom", source="x")])
+        except AuthorizationSystemFailure as exc:
+            assert "boom" in str(exc)
+        else:
+            pytest.fail("expected AuthorizationSystemFailure")
+
+
+class TestConstruction:
+    def test_needs_at_least_one_source(self):
+        with pytest.raises(ValueError):
+            CombinedEvaluator([])
+
+    def test_sources_listed(self):
+        assert combined().sources == ("vo", "local")

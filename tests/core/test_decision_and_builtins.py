@@ -1,0 +1,98 @@
+"""Decision objects and the stock callout implementations."""
+
+import pytest
+
+from repro.core.builtin_callouts import (
+    combined_policy_callout,
+    deny_all,
+    initiator_only,
+    permit_all,
+    policy_callout,
+)
+from repro.core.combination import CombinationAlgorithm
+from repro.core.decision import Decision, Effect
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=d/CN=Alice"
+BOB = "/O=Grid/OU=d/CN=Bob"
+
+
+def start(who=ALICE, rsl="&(executable=x)"):
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+class TestDecision:
+    def test_factories(self):
+        assert Decision.permit().effect is Effect.PERMIT
+        assert Decision.deny().effect is Effect.DENY
+        assert Decision.not_applicable().effect is Effect.NOT_APPLICABLE
+        assert Decision.indeterminate("why").effect is Effect.INDETERMINATE
+
+    def test_default_deny_classification(self):
+        assert not Decision.permit().is_deny
+        assert Decision.deny().is_deny
+        assert Decision.not_applicable().is_deny
+        assert Decision.indeterminate("x").is_deny
+
+    def test_with_source(self):
+        decision = Decision.permit().with_source("vo")
+        assert decision.source == "vo"
+        assert decision.is_permit
+
+    def test_str_includes_source_and_reasons(self):
+        decision = Decision.deny(reasons=("too big",), source="vo")
+        text = str(decision)
+        assert "deny" in text
+        assert "vo" in text
+        assert "too big" in text
+
+    def test_reasons_are_tuples(self):
+        decision = Decision.deny(reasons=["a", "b"])
+        assert decision.reasons == ("a", "b")
+
+
+class TestStockCallouts:
+    def test_permit_and_deny_all(self):
+        assert permit_all(start()).is_permit
+        assert deny_all(start()).is_deny
+
+    def test_initiator_only_permits_start(self):
+        assert initiator_only(start()).is_permit
+
+    def test_initiator_only_management(self):
+        own = AuthorizationRequest.manage(
+            ALICE, "cancel", parse_specification("&(executable=x)"), jobowner=ALICE
+        )
+        other = AuthorizationRequest.manage(
+            ALICE, "cancel", parse_specification("&(executable=x)"), jobowner=BOB
+        )
+        assert initiator_only(own).is_permit
+        assert initiator_only(other).is_deny
+
+    def test_policy_callout_wraps_evaluator(self):
+        policy = parse_policy(f"{ALICE}: &(action=start)(executable=x)")
+        callout = policy_callout(PolicyEvaluator(policy, source="vo"))
+        assert callout(start()).is_permit
+        assert callout(start(rsl="&(executable=y)")).is_deny
+        assert "vo" in callout.__name__
+
+    def test_combined_policy_callout(self):
+        vo = parse_policy(f"{ALICE}: &(action=start)(count<4)", name="vo")
+        local = parse_policy("/O=Grid/OU=d: &(action=start)(count<=2)", name="local")
+        callout = combined_policy_callout([vo, local])
+        assert callout(start(rsl="&(executable=x)(count=2)")).is_permit
+        assert callout(start(rsl="&(executable=x)(count=3)")).is_deny
+
+    def test_combined_callout_permissive_algorithm(self):
+        vo = parse_policy(f"{ALICE}: &(action=start)(count<4)", name="vo")
+        local = parse_policy("/O=Grid/OU=d: &(action=start)(count<=8)", name="local")
+        callout = combined_policy_callout(
+            [vo, local],
+            algorithm=CombinationAlgorithm.PERMIT_OVERRIDES_NOT_APPLICABLE,
+        )
+        # Bob has no VO grant; under the permissive algorithm the VO
+        # abstains and the local grant carries him.
+        assert callout(start(who=BOB, rsl="&(executable=x)(count=2)")).is_permit

@@ -1,0 +1,231 @@
+"""Differential testing: production evaluator vs. a reference oracle.
+
+The oracle below re-implements the documented language semantics in
+the most direct way possible — nested loops, no early exits, no
+shared code with the production evaluator.  Hypothesis then compares
+the two on randomly generated policies × requests.  A disagreement
+means either the implementation or the documentation is wrong.
+"""
+
+from typing import Optional
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import CASE_INSENSITIVE_ATTRIBUTES, NULL, SELF
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.core.request import AuthorizationRequest
+from repro.rsl.ast import Relation, Relop, Specification
+
+ORG = "/O=Grid/OU=oracle"
+
+
+# ---------------------------------------------------------------------------
+# The reference oracle
+# ---------------------------------------------------------------------------
+
+
+def oracle_values(spec, attribute):
+    out = []
+    for relation in spec:
+        if relation.attribute == attribute and relation.op is Relop.EQ:
+            for value in relation.values:
+                text = str(value)
+                if text and text != NULL:
+                    out.append(text)
+    return out
+
+
+def oracle_number(text):
+    """Finite decimal numbers only — nan/inf/underscores are strings."""
+    if "_" in text:
+        return None
+    try:
+        number = float(text)
+    except ValueError:
+        return None
+    if number != number or abs(number) == float("inf"):
+        return None
+    return number
+
+
+def oracle_equal(attribute, a, b):
+    na, nb = oracle_number(a), oracle_number(b)
+    if na is not None and nb is not None:
+        return na == nb
+    if attribute in CASE_INSENSITIVE_ATTRIBUTES:
+        return a.lower() == b.lower()
+    return a == b
+
+
+def oracle_relation(relation, request_spec, requester):
+    attribute = relation.attribute
+    present = oracle_values(request_spec, attribute)
+    asserted = []
+    for value in relation.values:
+        text = str(value)
+        if text == SELF:
+            text = requester
+        asserted.append(text)
+
+    if relation.op is Relop.EQ:
+        if NULL in asserted:
+            return len(present) == 0
+        if not present:
+            return False
+        return all(
+            any(oracle_equal(attribute, p, a) for a in asserted) for p in present
+        )
+    if relation.op is Relop.NEQ:
+        if NULL in asserted:
+            return len(present) > 0
+        return not any(
+            oracle_equal(attribute, p, a) for p in present for a in asserted
+        )
+    # ordering
+    if len(asserted) != 1:
+        return False
+    bound = oracle_number(asserted[0])
+    if bound is None or not present:
+        return False
+    compare = {
+        Relop.LT: lambda x: x < bound,
+        Relop.LTE: lambda x: x <= bound,
+        Relop.GT: lambda x: x > bound,
+        Relop.GTE: lambda x: x >= bound,
+    }[relation.op]
+    for p in present:
+        number = oracle_number(p)
+        if number is None or not compare(number):
+            return False
+    return True
+
+
+def oracle_assertion(assertion_spec, request_spec, requester):
+    return all(
+        oracle_relation(relation, request_spec, requester)
+        for relation in assertion_spec
+    )
+
+
+def oracle_decide(policy, request) -> bool:
+    """True = permit, False = deny (default deny)."""
+    requester = str(request.requester)
+    request_spec = request.evaluation_specification()
+
+    # Requirements first.
+    for statement in policy:
+        if statement.kind is not StatementKind.REQUIREMENT:
+            continue
+        if not statement.subject.matches(request.requester):
+            continue
+        for assertion in statement.assertions:
+            guard = assertion.guard()
+            guard_holds = (
+                len(guard) == 0
+                or oracle_assertion(guard, request_spec, requester)
+            )
+            if guard_holds and not oracle_assertion(
+                assertion.body(), request_spec, requester
+            ):
+                return False
+
+    # Grants.
+    for statement in policy:
+        if statement.kind is not StatementKind.GRANT:
+            continue
+        if not statement.subject.matches(request.requester):
+            continue
+        for assertion in statement.assertions:
+            if oracle_assertion(assertion.spec, request_spec, requester):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Random policies and requests over a tiny, collision-rich vocabulary
+# ---------------------------------------------------------------------------
+
+attributes = st.sampled_from(["executable", "jobtag", "count", "queue"])
+small_values = st.sampled_from(["a", "b", "NFC", "nfc", "1", "2", "4", NULL])
+operators = st.sampled_from(list(Relop))
+users = st.sampled_from([f"{ORG}/CN=U{i}" for i in range(4)])
+actions = st.sampled_from(["start", "cancel", "information"])
+
+
+@st.composite
+def relations(draw):
+    op = draw(operators)
+    attribute = draw(attributes)
+    count = 1 if op.is_ordering else draw(st.integers(1, 2))
+    values = [draw(small_values) for _ in range(count)]
+    if attribute == "jobowner":
+        values = [SELF]
+    return Relation.make(attribute, op, values)
+
+
+@st.composite
+def policies(draw):
+    statements = []
+    for _ in range(draw(st.integers(0, 4))):
+        kind = draw(
+            st.sampled_from([StatementKind.GRANT, StatementKind.REQUIREMENT])
+        )
+        subject = (
+            Subject.prefix(ORG)
+            if draw(st.booleans())
+            else Subject.identity(draw(users))
+        )
+        assertions = []
+        for _ in range(draw(st.integers(1, 2))):
+            parts = [Relation.make("action", Relop.EQ, draw(actions))]
+            for _ in range(draw(st.integers(0, 3))):
+                parts.append(draw(relations()))
+            assertions.append(PolicyAssertion(spec=Specification.make(parts)))
+        statements.append(
+            PolicyStatement(
+                subject=subject, assertions=tuple(assertions), kind=kind
+            )
+        )
+    return Policy.make(statements, name="oracle")
+
+
+@st.composite
+def requests(draw):
+    parts = []
+    for attribute in ("executable", "jobtag", "count", "queue"):
+        if draw(st.booleans()):
+            parts.append(
+                Relation.make(attribute, Relop.EQ, draw(small_values))
+            )
+    if not parts:
+        parts.append(Relation.make("executable", Relop.EQ, "a"))
+    spec = Specification.make(parts)
+    who = draw(users)
+    action = draw(actions)
+    if action == "start":
+        return AuthorizationRequest.start(who, spec)
+    return AuthorizationRequest.manage(
+        who, action, spec, jobowner=draw(users)
+    )
+
+
+class TestDifferentialOracle:
+    @given(policy=policies(), request=requests())
+    @settings(max_examples=600, deadline=None)
+    def test_production_evaluator_matches_the_oracle(self, policy, request):
+        production = PolicyEvaluator(policy).evaluate(request).is_permit
+        reference = oracle_decide(policy, request)
+        assert production == reference, (
+            f"\npolicy:\n{policy}\nrequest: {request}\n"
+            f"spec: {request.evaluation_specification()}\n"
+            f"production={production} oracle={reference}"
+        )

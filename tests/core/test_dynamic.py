@@ -1,0 +1,136 @@
+"""Dynamic policies: versioned stores and time windows."""
+
+import pytest
+
+from repro.core.dynamic import (
+    DynamicEvaluator,
+    DynamicPolicy,
+    PolicyStore,
+    TimeWindow,
+)
+from repro.core.model import PolicyAssertion, PolicyStatement, Subject
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+from repro.sim.clock import Clock
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+BASE = f"{ALICE}: &(action=start)(executable=sim)(count<4)"
+
+
+def start(rsl="&(executable=sim)(count=2)", who=ALICE):
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+class TestTimeWindow:
+    def test_contains(self):
+        window = TimeWindow(not_before=10.0, not_after=20.0)
+        assert not window.contains(9.9)
+        assert window.contains(10.0)
+        assert window.contains(19.9)
+        assert not window.contains(20.0)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(not_before=10.0, not_after=10.0)
+
+
+class TestDynamicPolicy:
+    def demo_statement(self):
+        return PolicyStatement(
+            subject=Subject.identity(ALICE),
+            assertions=(
+                PolicyAssertion.parse("&(action=start)(executable=demo)(count<=32)"),
+            ),
+        )
+
+    def test_windowed_grant_appears_and_disappears(self):
+        clock = Clock()
+        dynamic = DynamicPolicy(parse_policy(BASE, name="vo"))
+        dynamic.add_window(self.demo_statement(), not_before=100.0, not_after=200.0)
+        evaluator = DynamicEvaluator(dynamic, clock)
+        demo_request = start("&(executable=demo)(count=16)")
+
+        assert evaluator.evaluate(demo_request).is_deny      # before
+        clock.advance(150.0)
+        assert evaluator.evaluate(demo_request).is_permit    # during the demo
+        clock.advance(100.0)
+        assert evaluator.evaluate(demo_request).is_deny      # after
+
+    def test_base_policy_unaffected_by_windows(self):
+        clock = Clock()
+        dynamic = DynamicPolicy(parse_policy(BASE, name="vo"))
+        dynamic.add_window(self.demo_statement(), not_before=100.0, not_after=200.0)
+        evaluator = DynamicEvaluator(dynamic, clock)
+        for t in (0.0, 150.0, 250.0):
+            clock.run_until(t)
+            assert evaluator.evaluate(start()).is_permit
+
+    def test_snapshot_without_active_windows_is_base(self):
+        dynamic = DynamicPolicy(parse_policy(BASE, name="vo"))
+        dynamic.add_window(self.demo_statement(), not_before=100.0, not_after=200.0)
+        assert dynamic.snapshot(0.0) is dynamic.base
+        assert len(dynamic.snapshot(150.0)) == len(dynamic.base) + 1
+
+
+class TestPolicyStore:
+    def test_hot_reload_changes_decisions(self):
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        big = start("&(executable=sim)(count=16)")
+        assert store.evaluate(big).is_deny
+        store.install_text(f"{ALICE}: &(action=start)(executable=sim)(count<32)")
+        assert store.evaluate(big).is_permit
+
+    def test_versions_increment_and_diff(self):
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        assert store.version == 1
+        diff = store.install_text(
+            BASE + f"\n{ALICE}: &(action=cancel)(jobowner=self)"
+        )
+        assert store.version == 2
+        assert len(diff.added) == 1
+
+    def test_rollback(self):
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        store.install_text(f"{ALICE}: &(action=start)(executable=other)")
+        assert store.evaluate(start()).is_deny
+        store.rollback(to_version=1)
+        assert store.version == 3  # rollback is a new version
+        assert store.evaluate(start()).is_permit
+
+    def test_rollback_to_unknown_version(self):
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        with pytest.raises(KeyError):
+            store.rollback(42)
+
+    def test_listeners_notified_with_diff(self):
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        seen = []
+        store.listeners.append(lambda version, diff: seen.append((version.version, diff)))
+        store.install_text(f"{ALICE}: &(action=start)(executable=other)")
+        assert len(seen) == 1
+        assert seen[0][0] == 2
+        assert not seen[0][1].is_empty
+
+    def test_history_preserved(self):
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        store.install_text(f"{ALICE}: &(action=start)(executable=v2)")
+        store.install_text(f"{ALICE}: &(action=start)(executable=v3)")
+        assert [v.version for v in store.history()] == [1, 2, 3]
+
+    def test_store_callout_sees_updates(self):
+        """The PEP-facing callout reflects new versions immediately."""
+        from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry
+        from repro.core.pep import EnforcementPoint
+        from repro.core.errors import AuthorizationDenied
+
+        store = PolicyStore(parse_policy(BASE, name="vo"))
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, store.callout())
+        pep = EnforcementPoint(registry=registry)
+
+        big = start("&(executable=sim)(count=16)")
+        with pytest.raises(AuthorizationDenied):
+            pep.authorize(big)
+        store.install_text(f"{ALICE}: &(action=start)(executable=sim)(count<32)")
+        assert pep.authorize(big).is_permit

@@ -1,0 +1,154 @@
+"""The default-deny policy decision point."""
+
+import pytest
+
+from repro.core.decision import Effect
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+BOB = "/O=Grid/OU=org/CN=Bob"
+EVE = "/O=Other/CN=Eve"
+
+
+def evaluator(text: str) -> PolicyEvaluator:
+    return PolicyEvaluator(parse_policy(text, name="test"))
+
+
+def start(who: str, rsl: str) -> AuthorizationRequest:
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+def manage(who: str, action: str, rsl: str, owner: str) -> AuthorizationRequest:
+    return AuthorizationRequest.manage(
+        who, action, parse_specification(rsl), jobowner=owner
+    )
+
+
+class TestDefaultDeny:
+    def test_unknown_user_is_not_applicable(self):
+        ev = evaluator(f"{ALICE}: &(action=start)")
+        decision = ev.evaluate(start(EVE, "&(executable=x)"))
+        assert decision.effect is Effect.NOT_APPLICABLE
+        assert decision.is_deny
+
+    def test_known_user_unmatched_request_is_denied(self):
+        ev = evaluator(f"{ALICE}: &(action=start)(executable=good)")
+        decision = ev.evaluate(start(ALICE, "&(executable=bad)"))
+        assert decision.effect is Effect.DENY
+        assert decision.reasons
+
+    def test_action_not_granted_is_denied(self):
+        ev = evaluator(f"{ALICE}: &(action=start)(executable=x)")
+        decision = ev.evaluate(manage(ALICE, "cancel", "&(executable=x)", ALICE))
+        assert decision.is_deny
+
+
+class TestGrants:
+    def test_matching_grant_permits(self):
+        ev = evaluator(f"{ALICE}: &(action=start)(executable=x)")
+        decision = ev.evaluate(start(ALICE, "&(executable=x)"))
+        assert decision.is_permit
+        assert "granted by" in decision.reasons[0]
+
+    def test_any_assertion_suffices(self):
+        ev = evaluator(
+            f"{ALICE}: &(action=start)(executable=a) &(action=start)(executable=b)"
+        )
+        assert ev.evaluate(start(ALICE, "&(executable=b)")).is_permit
+
+    def test_any_statement_suffices(self):
+        text = f"""
+        {ALICE}: &(action=start)(executable=a)
+        {ALICE}: &(action=start)(executable=b)
+        """
+        ev = evaluator(text)
+        assert ev.evaluate(start(ALICE, "&(executable=b)")).is_permit
+
+    def test_group_grant_via_prefix(self):
+        ev = evaluator("/O=Grid/OU=org: &(action=information)")
+        decision = ev.evaluate(manage(BOB, "information", "&(executable=x)", ALICE))
+        assert decision.is_permit
+
+    def test_jobowner_self_grant(self):
+        ev = evaluator(f"/O=Grid/OU=org: &(action=cancel)(jobowner=self)")
+        own = manage(ALICE, "cancel", "&(executable=x)", ALICE)
+        others = manage(ALICE, "cancel", "&(executable=x)", BOB)
+        assert ev.evaluate(own).is_permit
+        assert ev.evaluate(others).is_deny
+
+
+class TestRequirements:
+    POLICY = f"""
+    &/O=Grid/OU=org:
+        (action=start)(jobtag!=NULL)
+    {ALICE}: &(action=start)(executable=x)
+    """
+
+    def test_requirement_blocks_even_granted_requests(self):
+        ev = evaluator(self.POLICY)
+        decision = ev.evaluate(start(ALICE, "&(executable=x)"))
+        assert decision.is_deny
+        assert "requirement" in decision.reasons[0]
+
+    def test_requirement_satisfied_grant_applies(self):
+        ev = evaluator(self.POLICY)
+        decision = ev.evaluate(start(ALICE, "&(executable=x)(jobtag=T)"))
+        assert decision.is_permit
+
+    def test_requirement_guard_limits_scope(self):
+        """The jobtag requirement guards on start; cancel is exempt."""
+        text = self.POLICY + f"\n{ALICE}: &(action=cancel)(jobowner=self)"
+        ev = evaluator(text)
+        decision = ev.evaluate(manage(ALICE, "cancel", "&(executable=x)", ALICE))
+        assert decision.is_permit
+
+    def test_requirement_alone_grants_nothing(self):
+        ev = evaluator("&/O=Grid/OU=org: (action=start)(jobtag!=NULL)")
+        decision = ev.evaluate(start(ALICE, "&(executable=x)(jobtag=T)"))
+        assert decision.is_deny
+
+    def test_requirement_does_not_apply_to_outsiders(self):
+        text = self.POLICY + f"\n{EVE}: &(action=start)(executable=x)"
+        ev = evaluator(text)
+        # Eve is outside /O=Grid/OU=org: no jobtag requirement for her.
+        assert ev.evaluate(start(EVE, "&(executable=x)")).is_permit
+
+
+class TestComputedAttributes:
+    def test_client_cannot_spoof_action(self):
+        """action in the submitted RSL is replaced by the real action."""
+        ev = evaluator(f"{ALICE}: &(action=cancel)")
+        request = start(ALICE, "&(executable=x)(action=cancel)")
+        assert ev.evaluate(request).is_deny
+
+    def test_client_cannot_spoof_jobowner(self):
+        ev = evaluator(f'{ALICE}: &(action=cancel)(jobowner="{ALICE}")')
+        request = manage(ALICE, "cancel", f'&(executable=x)(jobowner="{ALICE}")', BOB)
+        assert ev.evaluate(request).is_deny
+
+
+class TestBookkeeping:
+    def test_evaluation_counter(self):
+        ev = evaluator(f"{ALICE}: &(action=start)")
+        for _ in range(3):
+            ev.evaluate(start(ALICE, "&(executable=x)"))
+        assert ev.evaluations == 3
+
+    def test_source_attached_to_decisions(self):
+        ev = PolicyEvaluator(
+            parse_policy(f"{ALICE}: &(action=start)", name="vo-policy")
+        )
+        decision = ev.evaluate(start(ALICE, "&(executable=x)"))
+        assert decision.source == "vo-policy"
+
+    def test_deny_reasons_deduplicated_and_bounded(self):
+        statements = "\n".join(
+            f"{ALICE}: &(action=start)(executable=good{i})" for i in range(20)
+        )
+        ev = evaluator(statements)
+        decision = ev.evaluate(start(ALICE, "&(executable=bad)"))
+        assert decision.is_deny
+        assert len(decision.reasons) <= 6

@@ -1,0 +1,147 @@
+"""End-to-end semantics of the paper's Figure 3 policy.
+
+Every claim the paper's prose makes about Figure 3 is asserted here:
+
+* the group requirement forces jobtags on start requests;
+* Bo Liu "can only start jobs using the test1 and test2 executables",
+  from /sandbox/test, with the stated jobtags, and count < 4;
+* Kate Keahey may start TRANSP with jobtag NFC and may "cancel all
+  the jobs with jobtag NFC; for example, jobs based on the executable
+  test1 started by Bo Liu" (the paper says test1 but the rule binds
+  on the jobtag; we follow the rule).
+"""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+from tests.conftest import BO, KATE, OUTSIDER
+
+
+@pytest.fixture
+def pdp(figure3_policy):
+    return PolicyEvaluator(figure3_policy)
+
+
+def start(who, rsl):
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+def manage(who, action, rsl, owner):
+    return AuthorizationRequest.manage(
+        who, action, parse_specification(rsl), jobowner=owner
+    )
+
+
+class TestGroupRequirement:
+    def test_start_without_jobtag_denied_for_group_members(self, pdp):
+        request = start(BO, "&(executable=test1)(directory=/sandbox/test)(count=1)")
+        assert pdp.evaluate(request).is_deny
+
+    def test_requirement_names_the_missing_attribute(self, pdp):
+        request = start(BO, "&(executable=test1)(directory=/sandbox/test)(count=1)")
+        decision = pdp.evaluate(request)
+        assert any("jobtag" in reason for reason in decision.reasons)
+
+
+class TestBoLiu:
+    def test_may_start_test1_as_ads(self, pdp):
+        request = start(
+            BO, "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+        )
+        assert pdp.evaluate(request).is_permit
+
+    def test_may_start_test2_as_nfc(self, pdp):
+        request = start(
+            BO, "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=3)"
+        )
+        assert pdp.evaluate(request).is_permit
+
+    def test_may_not_cross_jobtags(self, pdp):
+        """test1 is bound to ADS and test2 to NFC."""
+        request = start(
+            BO, "&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+        )
+        assert pdp.evaluate(request).is_deny
+
+    def test_may_not_start_other_executables(self, pdp):
+        request = start(
+            BO, "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)"
+        )
+        assert pdp.evaluate(request).is_deny
+
+    def test_count_constraint_is_strict(self, pdp):
+        at_limit = start(
+            BO, "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)"
+        )
+        below = start(
+            BO, "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)"
+        )
+        assert pdp.evaluate(at_limit).is_deny
+        assert pdp.evaluate(below).is_permit
+
+    def test_directory_constraint(self, pdp):
+        request = start(
+            BO, "&(executable=test1)(directory=/tmp)(jobtag=ADS)(count=1)"
+        )
+        assert pdp.evaluate(request).is_deny
+
+    def test_may_not_cancel_even_own_jobs(self, pdp):
+        """Figure 3 gives Bo no cancel rights at all."""
+        request = manage(
+            BO, "cancel", "&(executable=test1)(jobtag=ADS)", owner=BO
+        )
+        assert pdp.evaluate(request).is_deny
+
+
+class TestKateKeahey:
+    def test_may_start_transp_as_nfc(self, pdp):
+        request = start(
+            KATE, "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"
+        )
+        assert pdp.evaluate(request).is_permit
+
+    def test_may_cancel_bos_nfc_job(self, pdp):
+        """The paper's headline example of VO-wide job management."""
+        bos_job = "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)"
+        request = manage(KATE, "cancel", bos_job, owner=BO)
+        assert pdp.evaluate(request).is_permit
+
+    def test_may_not_cancel_ads_jobs(self, pdp):
+        bos_job = "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+        request = manage(KATE, "cancel", bos_job, owner=BO)
+        assert pdp.evaluate(request).is_deny
+
+    def test_may_not_cancel_untagged_jobs(self, pdp):
+        request = manage(KATE, "cancel", "&(executable=test2)", owner=BO)
+        assert pdp.evaluate(request).is_deny
+
+    def test_may_not_signal(self, pdp):
+        request = manage(
+            KATE, "signal", "&(executable=test2)(jobtag=NFC)", owner=BO
+        )
+        assert pdp.evaluate(request).is_deny
+
+    def test_may_not_start_test1(self, pdp):
+        request = start(
+            KATE, "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)"
+        )
+        assert pdp.evaluate(request).is_deny
+
+
+class TestOutsiders:
+    def test_outsider_gets_nothing(self, pdp):
+        request = start(
+            OUTSIDER,
+            "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=1)",
+        )
+        decision = pdp.evaluate(request)
+        assert decision.is_deny
+
+    def test_outsider_cannot_manage(self, pdp):
+        request = manage(
+            OUTSIDER, "cancel", "&(executable=test2)(jobtag=NFC)", owner=BO
+        )
+        assert pdp.evaluate(request).is_deny

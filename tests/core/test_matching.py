@@ -1,0 +1,177 @@
+"""Relation-matching semantics (the heart of the policy language)."""
+
+import pytest
+
+from repro.core.matching import MatchContext, match_assertion, match_relation
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import Relation, Relop, Specification
+from repro.rsl.parser import parse_specification
+
+BO = DistinguishedName.parse("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")
+CTX = MatchContext(requester=BO)
+
+
+def check(assertion_text: str, request_text: str, context=CTX) -> bool:
+    assertion = parse_specification(assertion_text)
+    request = parse_specification(request_text)
+    return match_assertion(assertion, request, context).satisfied
+
+
+class TestEquality:
+    def test_exact_match(self):
+        assert check("&(executable=test1)", "&(executable=test1)")
+
+    def test_mismatch(self):
+        assert not check("&(executable=test1)", "&(executable=test2)")
+
+    def test_value_set_membership(self):
+        assert check("&(executable=test1 test2)", "&(executable=test2)")
+
+    def test_absent_attribute_fails_equality(self):
+        """required presence: (executable=test1) needs an executable."""
+        assert not check("&(executable=test1)", "&(count=1)")
+
+    def test_every_request_value_must_be_permitted(self):
+        assert not check("&(args=a b)", "&(args=a c)")
+        assert check("&(args=a b)", "&(args=a b)")
+
+    def test_numeric_equality_ignores_representation(self):
+        assert check("&(count=4)", "&(count=4.0)")
+
+    def test_nan_and_inf_words_compare_as_strings(self):
+        """Regression (found by hypothesis): float('nan') != itself,
+        so words that Python would parse as nan/inf must be compared
+        as plain strings — (x=NAN) matches a request value NAN."""
+        assert check("&(label=NAN)", "&(label=NAN)")
+        assert check("&(label=inf)", "&(label=inf)")
+        assert not check("&(label=NAN)", "&(label=nan)")  # case-sensitive
+        # And they never satisfy numeric bounds.
+        assert not check("&(count<4)", "&(count=NAN)")
+        assert not check("&(count>4)", "&(count=inf)")
+
+    def test_string_comparison_is_case_sensitive_by_default(self):
+        assert not check("&(executable=TRANSP)", "&(executable=transp)")
+
+    def test_jobtag_comparison_is_case_insensitive(self):
+        """Figure 3 relies on (jobtag=nfc) matching NFC jobs."""
+        assert check("&(jobtag=nfc)", "&(jobtag=NFC)")
+
+    def test_action_comparison_is_case_insensitive(self):
+        assert check("&(action=START)", "&(action=start)")
+
+
+class TestRequiredNotToContain:
+    def test_eq_null_requires_absence(self):
+        assert check("&(queue=NULL)", "&(count=1)")
+        assert not check("&(queue=NULL)", "&(queue=fast)")
+
+    def test_neq_forbids_specific_value(self):
+        assert check("&(queue!=reserved)", "&(queue=default)")
+        assert not check("&(queue!=reserved)", "&(queue=reserved)")
+
+    def test_neq_satisfied_by_absence(self):
+        assert check("&(queue!=reserved)", "&(count=1)")
+
+    def test_neq_with_value_set(self):
+        assert not check("&(queue!=a b)", "&(queue=b)")
+        assert check("&(queue!=a b)", "&(queue=c)")
+
+
+class TestRequiredToContain:
+    def test_neq_null_requires_presence(self):
+        """The paper's (jobtag != NULL) requirement."""
+        assert check("&(jobtag!=NULL)", "&(jobtag=ADS)")
+        assert not check("&(jobtag!=NULL)", "&(count=1)")
+
+    def test_explicit_null_value_counts_as_absent(self):
+        assert not check("&(jobtag!=NULL)", "&(jobtag=NULL)")
+
+    def test_empty_string_value_counts_as_absent(self):
+        assert not check("&(jobtag!=NULL)", '&(jobtag="")')
+
+
+class TestOrdering:
+    def test_count_less_than(self):
+        assert check("&(count<4)", "&(count=3)")
+        assert not check("&(count<4)", "&(count=4)")
+
+    def test_all_four_operators(self):
+        assert check("&(count<=4)", "&(count=4)")
+        assert check("&(count>=4)", "&(count=4)")
+        assert check("&(count>2)", "&(count=3)")
+        assert not check("&(count>2)", "&(count=2)")
+
+    def test_absent_attribute_fails_ordering(self):
+        assert not check("&(count<4)", "&(executable=x)")
+
+    def test_non_numeric_request_value_fails(self):
+        assert not check("&(count<4)", "&(count=many)")
+
+    def test_non_numeric_bound_fails(self):
+        assert not check("&(count<lots)", "&(count=1)")
+
+    def test_every_value_must_satisfy_bound(self):
+        assert not check("&(count<4)", "&(count=1)(count=9)")
+
+    def test_float_bounds(self):
+        assert check("&(maxwalltime<=3600.5)", "&(maxwalltime=3600)")
+
+
+class TestSelfResolution:
+    def test_jobowner_self_matches_requester(self):
+        assert check("&(jobowner=self)", f'&(jobowner="{BO}")')
+
+    def test_jobowner_self_rejects_other(self):
+        assert not check(
+            "&(jobowner=self)",
+            '&(jobowner="/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey")',
+        )
+
+    def test_self_without_requester_stays_literal(self):
+        context = MatchContext(requester=None)
+        assert not check("&(jobowner=self)", f'&(jobowner="{BO}")', context)
+
+
+class TestVariableReferences:
+    def test_unresolved_variable_fails_closed(self):
+        assertion = parse_specification("&(directory=$(VO_HOME))")
+        request = parse_specification("&(directory=/x)")
+        outcome = match_assertion(assertion, request, CTX)
+        assert not outcome.satisfied
+        assert "VO_HOME" in outcome.reason
+
+
+class TestConjunction:
+    def test_all_relations_must_hold(self):
+        assertion = "&(executable=test1)(count<4)(jobtag=ADS)"
+        assert check(assertion, "&(executable=test1)(count=2)(jobtag=ADS)")
+        assert not check(assertion, "&(executable=test1)(count=2)(jobtag=NFC)")
+        assert not check(assertion, "&(executable=test1)(count=9)(jobtag=ADS)")
+
+    def test_first_failure_reported(self):
+        assertion = parse_specification("&(executable=test1)(count<4)")
+        request = parse_specification("&(executable=wrong)(count=9)")
+        outcome = match_assertion(assertion, request, CTX)
+        assert "executable" in outcome.reason
+
+    def test_unmentioned_attributes_are_unconstrained(self):
+        """Policies constrain what they mention; extra request
+        attributes pass through (the resource's own policy source can
+        forbid them)."""
+        assert check("&(executable=test1)", "&(executable=test1)(queue=gold)")
+
+
+class TestMatchRelationDirect:
+    def test_request_constraint_relations_do_not_supply_values(self):
+        """(count<4) in a *request* supplies no value for matching."""
+        relation = Relation.make("count", Relop.EQ, 2)
+        request = parse_specification("&(count<2)")
+        outcome = match_relation(relation, request, CTX)
+        assert not outcome.satisfied
+
+    def test_ordering_with_two_bounds_rejected(self):
+        relation = Relation.make("count", Relop.LT, ["4", "8"])
+        request = parse_specification("&(count=1)")
+        outcome = match_relation(relation, request, CTX)
+        assert not outcome.satisfied
+        assert "exactly one bound" in outcome.reason

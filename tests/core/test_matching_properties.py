@@ -1,0 +1,112 @@
+"""Property-based invariants of relation matching."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attributes import NULL
+from repro.core.matching import MatchContext, match_relation
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import Relation, Relop, Specification
+
+CTX = MatchContext(requester=DistinguishedName.parse("/O=Grid/CN=Tester"))
+
+attr_names = st.sampled_from(["executable", "directory", "queue", "custom"])
+word_values = st.text(
+    alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=8
+)
+numbers = st.integers(min_value=0, max_value=1000)
+
+
+def spec_with(attribute, *values):
+    return Specification.make(
+        [Relation.make(attribute, Relop.EQ, list(values))] if values else []
+    )
+
+
+class TestEqNeqDuality:
+    @given(attr=attr_names, value=word_values, present=word_values)
+    @settings(max_examples=200)
+    def test_eq_and_neq_disagree_when_attribute_present(
+        self, attr, value, present
+    ):
+        """For a present single-valued attribute, (a=v) and (a!=v)
+        are exact complements."""
+        request = spec_with(attr, present)
+        eq = match_relation(Relation.make(attr, Relop.EQ, value), request, CTX)
+        neq = match_relation(Relation.make(attr, Relop.NEQ, value), request, CTX)
+        assert eq.satisfied != neq.satisfied
+
+    @given(attr=attr_names, value=word_values)
+    @settings(max_examples=100)
+    def test_absent_attribute_fails_eq_and_passes_neq(self, attr, value):
+        request = Specification.make(
+            [Relation.make("other", Relop.EQ, "x")]
+        )
+        eq = match_relation(Relation.make(attr, Relop.EQ, value), request, CTX)
+        neq = match_relation(Relation.make(attr, Relop.NEQ, value), request, CTX)
+        assert not eq.satisfied
+        assert neq.satisfied
+
+
+class TestNullDuality:
+    @given(attr=attr_names, present=st.booleans(), value=word_values)
+    @settings(max_examples=150)
+    def test_eq_null_and_neq_null_are_complements(self, attr, present, value):
+        request = spec_with(attr, value) if present else spec_with(attr)
+        required_absent = match_relation(
+            Relation.make(attr, Relop.EQ, NULL), request, CTX
+        )
+        required_present = match_relation(
+            Relation.make(attr, Relop.NEQ, NULL), request, CTX
+        )
+        assert required_absent.satisfied != required_present.satisfied
+        assert required_present.satisfied == present
+
+
+class TestOrderingProperties:
+    @given(attr=attr_names, value=numbers, bound=numbers)
+    @settings(max_examples=200)
+    def test_lt_matches_python_semantics(self, attr, value, bound):
+        request = spec_with(attr, value)
+        outcome = match_relation(
+            Relation.make(attr, Relop.LT, bound), request, CTX
+        )
+        assert outcome.satisfied == (value < bound)
+
+    @given(attr=attr_names, value=numbers, bound=numbers)
+    @settings(max_examples=200)
+    def test_lte_gte_cover_all_cases(self, attr, value, bound):
+        request = spec_with(attr, value)
+        lte = match_relation(Relation.make(attr, Relop.LTE, bound), request, CTX)
+        gte = match_relation(Relation.make(attr, Relop.GTE, bound), request, CTX)
+        # At least one of <=, >= always holds for comparable numbers.
+        assert lte.satisfied or gte.satisfied
+        if lte.satisfied and gte.satisfied:
+            assert value == bound
+
+    @given(attr=attr_names, values=st.lists(numbers, min_size=1, max_size=5), bound=numbers)
+    @settings(max_examples=150)
+    def test_multivalued_ordering_requires_all(self, attr, values, bound):
+        request = Specification.make(
+            [Relation.make(attr, Relop.EQ, values)]
+        )
+        outcome = match_relation(
+            Relation.make(attr, Relop.LT, bound), request, CTX
+        )
+        assert outcome.satisfied == all(v < bound for v in values)
+
+
+class TestFailureReasons:
+    @given(attr=attr_names, value=word_values, wanted=word_values)
+    @settings(max_examples=100)
+    def test_unsatisfied_relations_always_explain_themselves(
+        self, attr, value, wanted
+    ):
+        request = spec_with(attr, value)
+        outcome = match_relation(
+            Relation.make(attr, Relop.EQ, wanted), request, CTX
+        )
+        if not outcome.satisfied:
+            assert attr in outcome.reason

@@ -1,0 +1,130 @@
+"""Policy object model."""
+
+import pytest
+
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.gsi.names import DistinguishedName
+
+BO = DistinguishedName.parse("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")
+KATE = DistinguishedName.parse("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey")
+
+
+class TestSubject:
+    def test_exact_matches_only_itself(self):
+        subject = Subject.identity(BO)
+        assert subject.matches(BO)
+        assert not subject.matches(KATE)
+
+    def test_exact_does_not_match_extension(self):
+        """CN=Bo Liu must not catch CN=Bo Liukonen."""
+        subject = Subject.identity(BO)
+        longer = DistinguishedName.parse(str(BO) + "konen")
+        assert not subject.matches(longer)
+
+    def test_prefix_matches_group(self):
+        subject = Subject.prefix("/O=Grid/O=Globus/OU=mcs.anl.gov")
+        assert subject.matches(BO)
+        assert subject.matches(KATE)
+
+    def test_prefix_rejects_outsider(self):
+        subject = Subject.prefix("/O=Grid/O=Globus/OU=mcs.anl.gov")
+        outsider = DistinguishedName.parse("/O=Other/CN=Eve")
+        assert not subject.matches(outsider)
+
+    def test_prefix_is_string_based(self):
+        """The paper matches raw string prefixes, even mid-component."""
+        subject = Subject.prefix("/O=Grid/O=Globus/OU=mcs")
+        assert subject.matches(BO)
+
+    def test_str_marks_prefixes(self):
+        assert str(Subject.prefix("/O=G")).endswith("*")
+        assert not str(Subject.identity(BO)).endswith("*")
+
+
+class TestPolicyAssertion:
+    def test_parse(self):
+        assertion = PolicyAssertion.parse("&(action=start)(count<4)")
+        assert assertion.actions == ("start",)
+
+    def test_guard_and_body_split(self):
+        assertion = PolicyAssertion.parse("&(action=start)(count<4)(jobtag=NFC)")
+        assert [r.attribute for r in assertion.guard()] == ["action"]
+        assert sorted(r.attribute for r in assertion.body()) == ["count", "jobtag"]
+
+    def test_multiple_actions(self):
+        assertion = PolicyAssertion.parse("&(action=cancel information)(jobtag=NFC)")
+        assert assertion.actions == ("cancel", "information")
+
+    def test_actions_lowercased(self):
+        assertion = PolicyAssertion.parse("&(action=START)")
+        assert assertion.actions == ("start",)
+
+
+class TestPolicyStatement:
+    def test_requires_assertions(self):
+        with pytest.raises(ValueError):
+            PolicyStatement(subject=Subject.identity(BO), assertions=())
+
+    def test_applies_to(self):
+        statement = PolicyStatement(
+            subject=Subject.identity(BO),
+            assertions=(PolicyAssertion.parse("&(action=start)"),),
+        )
+        assert statement.applies_to(BO)
+        assert not statement.applies_to(KATE)
+
+    def test_str_shows_requirement_marker(self):
+        statement = PolicyStatement(
+            subject=Subject.prefix("/O=Grid"),
+            assertions=(PolicyAssertion.parse("&(action=start)(jobtag!=NULL)"),),
+            kind=StatementKind.REQUIREMENT,
+        )
+        assert str(statement).startswith("&")
+
+
+class TestPolicy:
+    def build(self):
+        grant_bo = PolicyStatement(
+            subject=Subject.identity(BO),
+            assertions=(PolicyAssertion.parse("&(action=start)"),),
+        )
+        requirement = PolicyStatement(
+            subject=Subject.prefix("/O=Grid"),
+            assertions=(PolicyAssertion.parse("&(action=start)(jobtag!=NULL)"),),
+            kind=StatementKind.REQUIREMENT,
+        )
+        return Policy.make([requirement, grant_bo], name="test")
+
+    def test_grants_for_filters_by_kind_and_subject(self):
+        policy = self.build()
+        assert len(policy.grants_for(BO)) == 1
+        assert len(policy.grants_for(KATE)) == 0
+
+    def test_requirements_for(self):
+        policy = self.build()
+        assert len(policy.requirements_for(BO)) == 1
+        assert len(policy.requirements_for(KATE)) == 1
+
+    def test_empty_policy(self):
+        policy = Policy.empty("nothing")
+        assert len(policy) == 0
+        assert policy.grants_for(BO) == ()
+
+    def test_merged_with_concatenates(self):
+        policy = self.build()
+        merged = policy.merged_with(self.build())
+        assert len(merged) == 4
+
+    def test_str_round_trips_through_parser(self):
+        from repro.core.parser import parse_policy
+
+        policy = self.build()
+        reparsed = parse_policy(str(policy), name="again")
+        assert len(reparsed) == len(policy)
+        assert [s.kind for s in reparsed] == [s.kind for s in policy]

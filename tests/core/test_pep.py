@@ -1,0 +1,105 @@
+"""The policy enforcement point."""
+
+import pytest
+
+from repro.core.builtin_callouts import broken_callout, deny_all, permit_all
+from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry
+from repro.core.errors import AuthorizationDenied, AuthorizationSystemFailure
+from repro.core.pep import EnforcementPoint, PEPPlacement
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+
+
+def make_pep(callout):
+    registry = CalloutRegistry()
+    registry.register(GRAM_AUTHZ_CALLOUT, callout)
+    return EnforcementPoint(registry=registry)
+
+
+@pytest.fixture
+def request_():
+    return AuthorizationRequest.start(ALICE, parse_specification("&(executable=x)"))
+
+
+class TestAuthorize:
+    def test_permit_returns_decision(self, request_):
+        pep = make_pep(permit_all)
+        decision = pep.authorize(request_)
+        assert decision.is_permit
+        assert pep.permits == 1
+
+    def test_denial_raises_with_reasons(self, request_):
+        pep = make_pep(deny_all)
+        with pytest.raises(AuthorizationDenied) as excinfo:
+            pep.authorize(request_)
+        assert excinfo.value.reasons
+        assert pep.denials == 1
+
+    def test_system_failure_propagates(self, request_):
+        pep = make_pep(broken_callout)
+        with pytest.raises(AuthorizationSystemFailure):
+            pep.authorize(request_)
+        assert pep.failures == 1
+
+    def test_unconfigured_registry_fails_closed(self, request_):
+        pep = EnforcementPoint(registry=CalloutRegistry())
+        with pytest.raises(AuthorizationSystemFailure):
+            pep.authorize(request_)
+
+
+class TestDecide:
+    def test_decide_swallows_denial(self, request_):
+        pep = make_pep(deny_all)
+        decision = pep.decide(request_)
+        assert decision.is_deny
+
+    def test_decide_still_raises_on_system_failure(self, request_):
+        pep = make_pep(broken_callout)
+        with pytest.raises(AuthorizationSystemFailure):
+            pep.decide(request_)
+
+
+class TestAudit:
+    def test_every_decision_is_audited(self, request_):
+        pep = make_pep(permit_all)
+        pep.authorize(request_)
+        assert len(pep.audit_log) == 1
+        record = pep.audit_log[0]
+        assert record.permitted
+        assert record.request is request_
+
+    def test_failures_audited_with_message(self, request_):
+        pep = make_pep(broken_callout)
+        with pytest.raises(AuthorizationSystemFailure):
+            pep.authorize(request_)
+        record = pep.audit_log[0]
+        assert not record.permitted
+        assert record.failure
+
+    def test_audit_log_is_bounded(self, request_):
+        pep = make_pep(permit_all)
+        pep.audit_limit = 5
+        for _ in range(12):
+            pep.authorize(request_)
+        assert len(pep.audit_log) == 5
+        assert pep.permits == 12
+
+    def test_decisions_made(self, request_):
+        pep = make_pep(permit_all)
+        pep.authorize(request_)
+        pep.authorize(request_)
+        assert pep.decisions_made == 2
+
+
+class TestPlacement:
+    def test_default_placement_is_job_manager(self):
+        assert make_pep(permit_all).placement is PEPPlacement.JOB_MANAGER
+
+    def test_gatekeeper_placement(self):
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all)
+        pep = EnforcementPoint(registry=registry, placement=PEPPlacement.GATEKEEPER)
+        assert pep.placement is PEPPlacement.GATEKEEPER
+        assert "gatekeeper" in str(pep)

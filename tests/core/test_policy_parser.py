@@ -1,0 +1,151 @@
+"""The Figure 3 policy-file syntax."""
+
+import pytest
+
+from repro.core.errors import PolicyParseError
+from repro.core.model import StatementKind
+from repro.core.parser import (
+    make_subject,
+    parse_policy,
+    parse_policy_file,
+    split_assertions,
+)
+
+
+class TestBasicStatements:
+    def test_single_grant(self):
+        policy = parse_policy("/O=Grid/CN=Alice: &(action=start)(count<4)")
+        assert len(policy) == 1
+        statement = policy.statements[0]
+        assert statement.kind is StatementKind.GRANT
+        assert len(statement.assertions) == 1
+
+    def test_requirement_marker(self):
+        policy = parse_policy("&/O=Grid/OU=org: (action=start)(jobtag!=NULL)")
+        assert policy.statements[0].kind is StatementKind.REQUIREMENT
+
+    def test_multiple_assertions_on_one_line(self):
+        policy = parse_policy(
+            "/O=Grid/CN=Alice: &(action=start)(executable=a) &(action=cancel)"
+        )
+        assert len(policy.statements[0].assertions) == 2
+
+    def test_assertions_on_continuation_lines(self):
+        text = """
+        /O=Grid/CN=Alice:
+            &(action=start)(executable=a)
+            &(action=cancel)(jobowner=self)
+        """
+        policy = parse_policy(text)
+        assert len(policy.statements[0].assertions) == 2
+
+    def test_multiple_statements(self):
+        text = """
+        /O=Grid/CN=Alice: &(action=start)
+        /O=Grid/CN=Bob: &(action=cancel)
+        """
+        policy = parse_policy(text)
+        assert len(policy) == 2
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # the VO policy
+        /O=Grid/CN=Alice: &(action=start)   # inline comment
+
+        # done
+        """
+        policy = parse_policy(text)
+        assert len(policy) == 1
+
+    def test_hash_inside_quotes_is_not_a_comment(self):
+        policy = parse_policy('/O=Grid/CN=A: &(action=start)(comment="#1 job")')
+        spec = policy.statements[0].assertions[0].spec
+        assert spec.first_value("comment") == "#1 job"
+
+    def test_policy_name_recorded(self):
+        policy = parse_policy("/O=Grid/CN=A: &(action=start)", name="vo")
+        assert policy.name == "vo"
+        assert policy.statements[0].origin == "vo"
+
+
+class TestSubjectInterpretation:
+    def test_cn_terminated_is_exact(self):
+        subject = make_subject("/O=Grid/OU=x/CN=Alice")
+        assert subject.exact
+
+    def test_ou_terminated_is_prefix(self):
+        subject = make_subject("/O=Grid/O=Globus/OU=mcs.anl.gov")
+        assert not subject.exact
+
+    def test_explicit_star_forces_prefix(self):
+        subject = make_subject("/O=Grid/OU=x/CN=Ali*")
+        assert not subject.exact
+        assert subject.pattern == "/O=Grid/OU=x/CN=Ali"
+
+
+class TestAssertionSplitting:
+    def test_split_on_top_level_ampersand(self):
+        chunks = split_assertions("&(a=1)(b=2) &(c=3)")
+        assert len(chunks) == 2
+
+    def test_leading_assertion_may_omit_ampersand(self):
+        chunks = split_assertions("(a=1)(b=2) &(c=3)")
+        assert len(chunks) == 2
+
+    def test_single_assertion(self):
+        chunks = split_assertions("(action = start)(jobtag != NULL)")
+        assert len(chunks) == 1
+
+
+class TestErrors:
+    def test_body_before_subject_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("&(action=start)")
+
+    def test_statement_without_assertions_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("/O=Grid/CN=Alice:")
+
+    def test_bad_rsl_in_assertion_rejected(self):
+        with pytest.raises(PolicyParseError) as excinfo:
+            parse_policy("/O=Grid/CN=Alice: &(action=)")
+        assert "assertion" in str(excinfo.value)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PolicyParseError) as excinfo:
+            parse_policy("\n\n/O=Grid/CN=Alice: &(broken")
+        assert "line 3" in str(excinfo.value)
+
+    def test_missing_file_raises_parse_error(self, tmp_path):
+        with pytest.raises(PolicyParseError):
+            parse_policy_file(str(tmp_path / "missing.policy"))
+
+
+class TestFileLoading:
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "vo.policy"
+        path.write_text("/O=Grid/CN=Alice: &(action=start)\n")
+        policy = parse_policy_file(str(path))
+        assert len(policy) == 1
+        assert policy.name == str(path)
+
+
+class TestFigure3Structure:
+    def test_figure3_parses_into_three_statements(self, figure3_policy):
+        assert len(figure3_policy) == 3
+
+    def test_first_statement_is_group_requirement(self, figure3_policy):
+        first = figure3_policy.statements[0]
+        assert first.kind is StatementKind.REQUIREMENT
+        assert not first.subject.exact
+
+    def test_bo_liu_has_two_grants(self, figure3_policy):
+        bo_statement = figure3_policy.statements[1]
+        assert bo_statement.kind is StatementKind.GRANT
+        assert bo_statement.subject.exact
+        assert len(bo_statement.assertions) == 2
+
+    def test_kate_can_start_and_cancel(self, figure3_policy):
+        kate_statement = figure3_policy.statements[2]
+        actions = {a for ass in kate_statement.assertions for a in ass.actions}
+        assert actions == {"start", "cancel"}

@@ -1,0 +1,142 @@
+"""Property-based invariants of policy evaluation."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.ast import Relation, Relop, Specification
+
+ORG = "/O=Grid/OU=prop"
+
+executables = st.sampled_from(["sim", "transp", "compile", "analyze"])
+jobtags = st.sampled_from(["NFC", "ADS", "DEMO"])
+counts = st.integers(min_value=1, max_value=64)
+user_indices = st.integers(min_value=0, max_value=9)
+
+
+def user(index: int) -> str:
+    return f"{ORG}/CN=User{index}"
+
+
+@st.composite
+def requests(draw):
+    spec = Specification.make(
+        [
+            Relation.make("executable", Relop.EQ, draw(executables)),
+            Relation.make("jobtag", Relop.EQ, draw(jobtags)),
+            Relation.make("count", Relop.EQ, draw(counts)),
+        ]
+    )
+    return AuthorizationRequest.start(user(draw(user_indices)), spec)
+
+
+@st.composite
+def policies(draw):
+    statements = []
+    for index in range(draw(st.integers(min_value=0, max_value=6))):
+        owner = user(draw(user_indices))
+        assertion = PolicyAssertion(
+            spec=Specification.make(
+                [
+                    Relation.make("action", Relop.EQ, "start"),
+                    Relation.make("executable", Relop.EQ, draw(executables)),
+                    Relation.make("count", Relop.LT, draw(counts)),
+                ]
+            )
+        )
+        statements.append(
+            PolicyStatement(subject=Subject.identity(owner), assertions=(assertion,))
+        )
+    return Policy.make(statements, name="prop")
+
+
+class TestEvaluatorProperties:
+    @given(request=requests())
+    @settings(max_examples=100)
+    def test_empty_policy_denies_everything(self, request):
+        evaluator = PolicyEvaluator(Policy.empty("empty"))
+        assert evaluator.evaluate(request).is_deny
+
+    @given(request=requests(), policy=policies())
+    @settings(max_examples=150)
+    def test_evaluation_is_deterministic(self, request, policy):
+        evaluator = PolicyEvaluator(policy)
+        first = evaluator.evaluate(request)
+        second = evaluator.evaluate(request)
+        assert first.effect is second.effect
+        assert first.reasons == second.reasons
+
+    @given(request=requests(), policy=policies())
+    @settings(max_examples=150)
+    def test_adding_statements_never_revokes_a_permit(self, request, policy):
+        """Grant statements are monotone: more grants, never fewer permits
+        (requirements are the only non-monotone construct, and these
+        generated policies contain none)."""
+        evaluator = PolicyEvaluator(policy)
+        before = evaluator.evaluate(request)
+        extra = PolicyStatement(
+            subject=Subject.identity(user(0)),
+            assertions=(PolicyAssertion.parse("&(action=start)(executable=never)"),),
+        )
+        widened = PolicyEvaluator(policy.merged_with(Policy.make([extra])))
+        after = widened.evaluate(request)
+        if before.is_permit:
+            assert after.is_permit
+
+    @given(request=requests(), policy=policies())
+    @settings(max_examples=150)
+    def test_statement_order_does_not_change_the_effect(self, request, policy):
+        forward = PolicyEvaluator(policy).evaluate(request)
+        reversed_policy = Policy.make(tuple(reversed(policy.statements)), name="rev")
+        backward = PolicyEvaluator(reversed_policy).evaluate(request)
+        assert forward.is_permit == backward.is_permit
+
+    @given(policy=policies())
+    @settings(max_examples=100)
+    def test_policy_text_round_trips_semantics(self, policy):
+        """Serializing a policy and re-parsing preserves decisions."""
+        reparsed = parse_policy(str(policy), name="again")
+        assert len(reparsed) == len(policy)
+        probe = AuthorizationRequest.start(
+            user(0),
+            Specification.make(
+                [
+                    Relation.make("executable", Relop.EQ, "sim"),
+                    Relation.make("count", Relop.EQ, 1),
+                ]
+            ),
+        )
+        original = PolicyEvaluator(policy).evaluate(probe)
+        recovered = PolicyEvaluator(reparsed).evaluate(probe)
+        assert original.is_permit == recovered.is_permit
+
+    @given(request=requests())
+    @settings(max_examples=100)
+    def test_self_grant_permits_exactly_the_owner(self, request):
+        policy = parse_policy(f"{ORG}: &(action=cancel)(jobowner=self)")
+        evaluator = PolicyEvaluator(policy)
+        own = AuthorizationRequest.manage(
+            request.requester,
+            "cancel",
+            request.job_description,
+            jobowner=request.requester,
+        )
+        other = AuthorizationRequest.manage(
+            request.requester,
+            "cancel",
+            request.job_description,
+            jobowner=f"{ORG}/CN=SomeoneElse",
+        )
+        assert evaluator.evaluate(own).is_permit
+        assert evaluator.evaluate(other).is_deny

@@ -1,0 +1,125 @@
+"""Interactions between multiple requirement statements and grants."""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+
+ORG = "/O=Grid/OU=req2"
+ALICE = f"{ORG}/CN=Alice"
+BOB = f"{ORG}/OU=special/CN=Bob"
+
+
+def evaluate(policy_text, who, action="start", rsl="&(executable=sim)", owner=None):
+    evaluator = PolicyEvaluator(parse_policy(policy_text, name="t"))
+    spec = parse_specification(rsl)
+    if action == "start":
+        request = AuthorizationRequest.start(who, spec)
+    else:
+        request = AuthorizationRequest.manage(
+            who, action, spec, jobowner=owner or who
+        )
+    return evaluator.evaluate(request)
+
+
+class TestMultipleRequirements:
+    POLICY = f"""
+    &{ORG}: (action=start)(jobtag!=NULL)
+    &{ORG}: (action=start)(maxcputime!=NULL)
+    {ALICE}: &(action=start)(executable=sim)
+    """
+
+    def test_all_requirements_must_hold(self):
+        denied_no_tag = evaluate(
+            self.POLICY, ALICE, rsl="&(executable=sim)(maxcputime=10)"
+        )
+        denied_no_budget = evaluate(
+            self.POLICY, ALICE, rsl="&(executable=sim)(jobtag=T)"
+        )
+        permitted = evaluate(
+            self.POLICY, ALICE, rsl="&(executable=sim)(jobtag=T)(maxcputime=10)"
+        )
+        assert denied_no_tag.is_deny
+        assert denied_no_budget.is_deny
+        assert permitted.is_permit
+
+    def test_first_violated_requirement_reported(self):
+        decision = evaluate(self.POLICY, ALICE, rsl="&(executable=sim)")
+        assert "jobtag" in decision.reasons[0]
+
+
+class TestNestedScopeRequirements:
+    POLICY = f"""
+    &{ORG}: (action=start)(jobtag!=NULL)
+    &{ORG}/OU=special: (action=start)(queue=NULL)
+    {ALICE}: &(action=start)(executable=sim)
+    {BOB}: &(action=start)(executable=sim)
+    """
+
+    def test_narrower_requirement_binds_only_its_subjects(self):
+        # Alice is outside OU=special: she may name a queue.
+        alice_with_queue = evaluate(
+            self.POLICY, ALICE, rsl="&(executable=sim)(jobtag=T)(queue=gold)"
+        )
+        assert alice_with_queue.is_permit
+        # Bob is inside it: the queue attribute is forbidden for him.
+        bob_with_queue = evaluate(
+            self.POLICY, BOB, rsl="&(executable=sim)(jobtag=T)(queue=gold)"
+        )
+        assert bob_with_queue.is_deny
+        bob_plain = evaluate(
+            self.POLICY, BOB, rsl="&(executable=sim)(jobtag=T)"
+        )
+        assert bob_plain.is_permit
+
+
+class TestMultiActionGuards:
+    POLICY = f"""
+    &{ORG}: (action=cancel suspend)(jobtag!=NULL)
+    {ALICE}:
+        &(action=cancel)(jobowner=self)
+        &(action=suspend)(jobowner=self)
+        &(action=information)(jobowner=self)
+    """
+
+    def test_guard_with_two_actions_covers_both(self):
+        cancel_untagged = evaluate(
+            self.POLICY, ALICE, action="cancel", rsl="&(executable=sim)"
+        )
+        suspend_untagged = evaluate(
+            self.POLICY, ALICE, action="suspend", rsl="&(executable=sim)"
+        )
+        assert cancel_untagged.is_deny
+        assert suspend_untagged.is_deny
+
+    def test_unguarded_action_exempt(self):
+        info = evaluate(
+            self.POLICY, ALICE, action="information", rsl="&(executable=sim)"
+        )
+        assert info.is_permit
+
+    def test_guarded_actions_pass_with_tag(self):
+        cancel_tagged = evaluate(
+            self.POLICY, ALICE, action="cancel", rsl="&(executable=sim)(jobtag=T)"
+        )
+        assert cancel_tagged.is_permit
+
+
+class TestActionlessRequirement:
+    def test_requirement_without_action_guard_applies_everywhere(self):
+        policy = f"""
+        &{ORG}: (jobtag!=NULL)
+        {ALICE}:
+            &(action=start)(executable=sim)
+            &(action=information)(jobowner=self)
+        """
+        start_untagged = evaluate(policy, ALICE, rsl="&(executable=sim)")
+        info_untagged = evaluate(
+            policy, ALICE, action="information", rsl="&(executable=sim)"
+        )
+        assert start_untagged.is_deny
+        assert info_untagged.is_deny
+        tagged = evaluate(policy, ALICE, rsl="&(executable=sim)(jobtag=T)")
+        assert tagged.is_permit

@@ -1,0 +1,123 @@
+"""Credential propagation into the authorization callout.
+
+The paper's callout receives "the credential of the user requesting a
+remote job [and] the credential of the user who originally started
+the job" — these tests pin that the extended GRAM actually delivers
+credentials to the PEP, and that the CAS callout consumes them.
+"""
+
+import pytest
+
+from repro.core.callout import GRAM_AUTHZ_CALLOUT
+from repro.core.decision import Decision
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode
+from repro.gram.service import GramService, ServiceConfig
+from repro.vo.cas import CASServer, attach_cas_policy, cas_callout
+from repro.vo.organization import VirtualOrganization
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+from tests.conftest import BO, KATE
+
+GOOD = "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(runtime=50)"
+
+
+class TestCredentialReachesTheCallout:
+    def test_start_request_carries_submitter_credential(self):
+        policy = parse_policy(f"{BO}: &(action=start)(jobtag!=NULL)", name="vo")
+        service = GramService(ServiceConfig(policies=(policy,)))
+        seen = []
+        original = service.registry._callouts[GRAM_AUTHZ_CALLOUT][0][1]
+
+        def spy(request):
+            seen.append(request.credential)
+            return original(request)
+
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(GRAM_AUTHZ_CALLOUT, spy)
+
+        credential = service.add_user(BO, "boliu")
+        GramClient(credential, service.gatekeeper).submit(
+            "&(executable=x)(jobtag=T)(runtime=5)"
+        )
+        assert len(seen) == 1
+        assert seen[0] is credential
+
+    def test_management_request_carries_requester_credential(self):
+        policy = parse_policy(
+            f"""
+            {BO}: &(action=start)(jobtag!=NULL)
+            {KATE}: &(action=cancel)(jobtag=NFC)
+            """,
+            name="vo",
+        )
+        service = GramService(ServiceConfig(policies=(policy,)))
+        bo_credential = service.add_user(BO, "boliu")
+        kate_credential = service.add_user(KATE, "keahey")
+        bo = GramClient(bo_credential, service.gatekeeper)
+        kate = GramClient(kate_credential, service.gatekeeper)
+        submitted = bo.submit("&(executable=x)(jobtag=NFC)(runtime=50)")
+
+        seen = []
+        original = service.registry._callouts[GRAM_AUTHZ_CALLOUT][0][1]
+
+        def spy(request):
+            seen.append(request.credential)
+            return original(request)
+
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(GRAM_AUTHZ_CALLOUT, spy)
+        kate.cancel(submitted.contact)
+        assert seen == [kate_credential]
+
+
+class TestCASAsFirstClassCallout:
+    def build(self):
+        service = GramService(ServiceConfig())
+        vo = VirtualOrganization("NFC")
+        vo.add_member(BO)
+        cas_credential = service.ca.issue("/O=Grid/CN=CAS", now=0.0)
+        cas = CASServer(
+            vo, cas_credential, parse_policy(FIGURE3_POLICY_TEXT, name="vo")
+        )
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(
+            GRAM_AUTHZ_CALLOUT,
+            cas_callout(cas_credential.key_pair.public, service.clock),
+        )
+        return service, cas
+
+    def test_cas_proxy_is_sufficient(self):
+        service, cas = self.build()
+        identity = service.add_user(BO, "boliu")
+        proxy = attach_cas_policy(identity, cas.issue(identity, now=0.0), now=0.0)
+        client = GramClient(proxy, service.gatekeeper)
+        assert client.submit(GOOD).ok
+
+    def test_cas_policy_still_constrains(self):
+        service, cas = self.build()
+        identity = service.add_user(BO, "boliu")
+        proxy = attach_cas_policy(identity, cas.issue(identity, now=0.0), now=0.0)
+        client = GramClient(proxy, service.gatekeeper)
+        response = client.submit("&(executable=rogue)(jobtag=ADS)(count=1)")
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_plain_credential_is_denied_not_crashed(self):
+        service, _ = self.build()
+        identity = service.add_user(BO, "boliu")
+        client = GramClient(identity, service.gatekeeper)
+        response = client.submit(GOOD)
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_expired_cas_policy_denied(self):
+        service, cas = self.build()
+        identity = service.add_user(BO, "boliu")
+        proxy = attach_cas_policy(
+            identity, cas.issue(identity, now=0.0, lifetime=100.0), now=0.0
+        )
+        client = GramClient(proxy, service.gatekeeper)
+        service.run(200.0)
+        response = client.submit(GOOD)
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("not valid" in reason for reason in response.reasons)

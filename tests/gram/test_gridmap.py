@@ -1,0 +1,100 @@
+"""The grid-mapfile ACL."""
+
+import pytest
+
+from repro.gram.gridmap import GridMapError, GridMapFile
+
+BO = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"
+KATE = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"
+
+SAMPLE = f'''
+# VO members
+"{BO}" boliu
+"{KATE}" keahey,fusion
+'''
+
+
+class TestParsing:
+    def test_parse_sample(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        assert len(gridmap) == 2
+        assert gridmap.map_to_account(BO) == "boliu"
+
+    def test_multiple_accounts_first_is_default(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        entry = gridmap.lookup(KATE)
+        assert entry.accounts == ("keahey", "fusion")
+        assert entry.default_account == "keahey"
+
+    def test_comments_and_blanks_skipped(self):
+        gridmap = GridMapFile.parse("# nothing\n\n")
+        assert len(gridmap) == 0
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GridMapError):
+            GridMapFile.parse('"/O=Grid/CN=X"')
+
+    def test_unquoted_dn_with_spaces_rejected(self):
+        with pytest.raises(GridMapError):
+            GridMapFile.parse(f"{BO} boliu")
+
+    def test_empty_accounts_rejected(self):
+        with pytest.raises(GridMapError):
+            GridMapFile.parse('"/O=Grid/CN=X" ,,')
+
+
+class TestLookup:
+    def test_authorizes(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        assert gridmap.authorizes(BO)
+        assert not gridmap.authorizes("/O=Other/CN=Eve")
+
+    def test_contains(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        assert BO in gridmap
+
+    def test_lookup_is_exact_not_prefix(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        assert gridmap.lookup(BO + "/CN=proxy") is None
+
+    def test_missing_identity_maps_to_none(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        assert gridmap.map_to_account("/O=Other/CN=Eve") is None
+
+
+class TestMutation:
+    def test_add_merges_accounts(self):
+        gridmap = GridMapFile()
+        gridmap.add(BO, "boliu")
+        gridmap.add(BO, "shared", "boliu")
+        assert gridmap.lookup(BO).accounts == ("boliu", "shared")
+
+    def test_add_validates_dn(self):
+        with pytest.raises(ValueError):
+            GridMapFile().add("not a dn", "account")
+
+    def test_add_requires_accounts(self):
+        with pytest.raises(GridMapError):
+            GridMapFile().add(BO)
+
+    def test_remove(self):
+        gridmap = GridMapFile.parse(SAMPLE)
+        gridmap.remove(BO)
+        assert not gridmap.authorizes(BO)
+        with pytest.raises(KeyError):
+            gridmap.remove(BO)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = GridMapFile.parse(SAMPLE)
+        again = GridMapFile.parse(original.serialize())
+        assert len(again) == len(original)
+        assert again.map_to_account(BO) == "boliu"
+        assert again.lookup(KATE).accounts == ("keahey", "fusion")
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "grid-mapfile"
+        path.write_text(SAMPLE)
+        gridmap = GridMapFile.load(str(path))
+        assert gridmap.authorizes(BO)

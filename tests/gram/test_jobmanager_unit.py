@@ -1,0 +1,155 @@
+"""Direct Job Manager Instance unit tests (edge paths)."""
+
+import pytest
+
+from repro.accounts.local import LocalAccount
+from repro.core.builtin_callouts import permit_all
+from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry
+from repro.core.pep import EnforcementPoint
+from repro.gram.jobmanager import AuthorizationMode, JobManagerInstance
+from repro.gram.protocol import GramErrorCode, GramJobState, JobContact
+from repro.gsi.credentials import CertificateAuthority
+from repro.lrm.cluster import Cluster
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+
+OWNER = "/O=Grid/OU=jm/CN=Owner"
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+
+
+@pytest.fixture
+def parts(ca):
+    clock = Clock()
+    scheduler = BatchScheduler(Cluster.homogeneous("c", 2, 4), clock)
+    registry = CalloutRegistry()
+    registry.register(GRAM_AUTHZ_CALLOUT, permit_all)
+    pep = EnforcementPoint(registry=registry)
+    return clock, scheduler, pep
+
+
+def make_jmi(parts, ca, mode=AuthorizationMode.EXTENDED):
+    clock, scheduler, pep = parts
+    from repro.gsi.names import DistinguishedName
+
+    return JobManagerInstance(
+        contact=JobContact.fresh("jm.example.org"),
+        owner=DistinguishedName.parse(OWNER),
+        account=LocalAccount(username="owner", uid=7000),
+        scheduler=scheduler,
+        clock=clock,
+        mode=mode,
+        pep=pep,
+        trust_anchors=[ca],
+    )
+
+
+class TestConstruction:
+    def test_extended_requires_pep(self, parts, ca):
+        clock, scheduler, _ = parts
+        from repro.gsi.names import DistinguishedName
+
+        with pytest.raises(ValueError):
+            JobManagerInstance(
+                contact=JobContact.fresh("h"),
+                owner=DistinguishedName.parse(OWNER),
+                account=LocalAccount(username="owner", uid=7001),
+                scheduler=scheduler,
+                clock=clock,
+                mode=AuthorizationMode.EXTENDED,
+                pep=None,
+            )
+
+
+class TestStartEdgeCases:
+    def test_unparsable_rsl(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        response = jmi.start("&(((")
+        assert response.code is GramErrorCode.BAD_RSL
+
+    def test_missing_executable(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        response = jmi.start("&(count=2)")
+        assert response.code is GramErrorCode.BAD_RSL
+
+    def test_state_before_start_is_none(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        assert jmi.state() is None
+
+
+class TestManagementEdgeCases:
+    def test_manage_before_start(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        owner_cred = ca.issue(OWNER, now=0.0)
+        response = jmi.handle(owner_cred, "cancel")
+        assert response.code is GramErrorCode.NO_SUCH_JOB
+
+    def test_unknown_action(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(runtime=100)")
+        owner_cred = ca.issue(OWNER, now=0.0)
+        response = jmi.handle(owner_cred, "reboot")
+        assert response.code is GramErrorCode.BAD_RSL
+
+    def test_signal_without_value(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(runtime=100)")
+        owner_cred = ca.issue(OWNER, now=0.0)
+        response = jmi.handle(owner_cred, "signal")
+        assert response.code is GramErrorCode.BAD_RSL
+
+    def test_signal_with_value(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(runtime=100)")
+        owner_cred = ca.issue(OWNER, now=0.0)
+        response = jmi.handle(owner_cred, "signal", value=7)
+        assert response.ok
+        assert jmi.job.priority == 7
+
+    def test_cancel_after_completion_is_graceful(self, parts, ca):
+        clock, _, _ = parts
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(runtime=5)")
+        clock.advance(10.0)
+        owner_cred = ca.issue(OWNER, now=0.0)
+        response = jmi.handle(owner_cred, "cancel")
+        assert response.ok
+        assert response.state is GramJobState.DONE
+
+    def test_status_alias_for_information(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(runtime=100)")
+        owner_cred = ca.issue(OWNER, now=0.0)
+        response = jmi.handle(owner_cred, "status")
+        assert response.ok
+
+    def test_legacy_mode_reports_owner_in_denial(self, parts, ca):
+        jmi = make_jmi(parts, ca, mode=AuthorizationMode.LEGACY)
+        jmi.start("&(executable=sim)(runtime=100)")
+        other = ca.issue("/O=Grid/OU=jm/CN=Other", now=0.0)
+        response = jmi.handle(other, "cancel")
+        assert response.code is GramErrorCode.NOT_JOB_OWNER
+        assert response.job_owner == OWNER
+
+
+class TestStateMapping:
+    def test_lifecycle_states(self, parts, ca):
+        clock, scheduler, _ = parts
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(count=8)(runtime=50)")
+        assert jmi.state() is GramJobState.ACTIVE
+        scheduler.suspend(jmi.job.job_id)
+        assert jmi.state() is GramJobState.SUSPENDED
+        scheduler.resume(jmi.job.job_id)
+        clock.advance(100.0)
+        assert jmi.state() is GramJobState.DONE
+
+    def test_failed_job_maps_to_failed(self, parts, ca):
+        clock, scheduler, _ = parts
+        jmi = make_jmi(parts, ca)
+        jmi.start("&(executable=sim)(runtime=1000)(maxwalltime=10)")
+        clock.advance(20.0)
+        assert jmi.state() is GramJobState.FAILED

@@ -1,0 +1,103 @@
+"""Stock GT2 behaviour (LEGACY mode) vs. the paper's extension.
+
+These tests pin down exactly the shortcomings of §4.3 that the
+extension removes: identity-only start authorization and the static
+initiator-only management rule.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.service import GramService, ServiceConfig
+
+from tests.conftest import BO, KATE
+
+ANY_JOB = "&(executable=anything)(count=4)(runtime=100)"
+
+
+@pytest.fixture
+def legacy():
+    return GramService(ServiceConfig(mode=AuthorizationMode.LEGACY))
+
+
+@pytest.fixture
+def legacy_bo(legacy):
+    return GramClient(legacy.add_user(BO, "boliu"), legacy.gatekeeper)
+
+
+@pytest.fixture
+def legacy_kate(legacy):
+    return GramClient(legacy.add_user(KATE, "keahey"), legacy.gatekeeper)
+
+
+class TestLegacyStartAuthorization:
+    def test_any_mapped_user_runs_anything(self, legacy_bo):
+        """§4.3 shortcoming 1: start authorization is account-existence."""
+        response = legacy_bo.submit(ANY_JOB)
+        assert response.ok
+
+    def test_unmapped_user_still_rejected(self, legacy):
+        eve_credential = legacy.ca.issue("/O=Other/CN=Eve", now=0.0)
+        response = GramClient(eve_credential, legacy.gatekeeper).submit(ANY_JOB)
+        assert response.code is GramErrorCode.GRIDMAP_LOOKUP_FAILED
+
+
+class TestLegacyManagementRule:
+    def test_initiator_manages_own_job(self, legacy, legacy_bo):
+        submitted = legacy_bo.submit(ANY_JOB)
+        assert legacy_bo.status(submitted.contact).ok
+        assert legacy_bo.cancel(submitted.contact).ok
+
+    def test_non_initiator_blocked_with_not_job_owner(
+        self, legacy, legacy_bo, legacy_kate
+    ):
+        """§4.3 shortcoming 2: only the initiator may manage — no VO
+        policy can change that in stock GT2."""
+        submitted = legacy_bo.submit(ANY_JOB)
+        response = legacy_kate.cancel(submitted.contact)
+        assert response.code is GramErrorCode.NOT_JOB_OWNER
+        assert response.job_owner == BO
+
+    def test_extension_removes_the_limitation(self):
+        """The same cross-user cancel succeeds in EXTENDED mode under a
+        jobtag policy — the before/after of the paper."""
+        policy = parse_policy(
+            f"""
+            {BO}: &(action=start)(jobtag!=NULL)
+            {KATE}: &(action=cancel)(jobtag=NFC)
+            """,
+            name="vo",
+        )
+        service = GramService(
+            ServiceConfig(mode=AuthorizationMode.EXTENDED, policies=(policy,))
+        )
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        kate = GramClient(service.add_user(KATE, "keahey"), service.gatekeeper)
+        submitted = bo.submit("&(executable=sim)(jobtag=NFC)(count=1)(runtime=50)")
+        assert submitted.ok
+        response = kate.cancel(submitted.contact)
+        assert response.ok
+        assert response.state is GramJobState.FAILED
+
+
+class TestModeConfigDifferences:
+    def test_legacy_never_invokes_policy_callout(self, legacy, legacy_bo):
+        legacy_bo.submit(ANY_JOB)
+        # The registry holds the initiator rule; the JM start path in
+        # LEGACY mode must not consult the PEP at all.
+        assert legacy.pep.decisions_made == 0
+
+    def test_extended_invokes_callout_per_action(self):
+        policy = parse_policy(
+            f"{BO}: &(action=start)(jobtag!=NULL) &(action=information)",
+            name="vo",
+        )
+        service = GramService(ServiceConfig(policies=(policy,)))
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        submitted = bo.submit("&(executable=sim)(jobtag=T)(runtime=10)")
+        bo.status(submitted.contact)
+        bo.status(submitted.contact)
+        assert service.pep.decisions_made == 3  # 1 start + 2 information

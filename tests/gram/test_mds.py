@@ -1,0 +1,120 @@
+"""The miniature MDS information service."""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.mds import InformationService, ResourceRecord
+from repro.gram.service import GramService, ServiceConfig
+
+ALICE = "/O=Grid/OU=mds/CN=Alice"
+POLICY = f"{ALICE}: &(action=start)(executable=sim)(count<=32) &(action=cancel)(jobowner=self)"
+
+
+def record(name="r1", free=8, total=16, published=0.0, queues=("default",)):
+    return ResourceRecord(
+        name=name,
+        host=f"{name}.example.org",
+        total_cpus=total,
+        free_cpus=free,
+        queue_depth=0,
+        queues=queues,
+        policy_sources=("vo",),
+        published_at=published,
+    )
+
+
+class TestPublishAndLookup:
+    def test_publish_lookup(self):
+        mds = InformationService()
+        mds.publish(record())
+        found = mds.lookup("r1")
+        assert found is not None
+        assert found.free_cpus == 8
+
+    def test_republish_replaces(self):
+        mds = InformationService()
+        mds.publish(record(free=8))
+        mds.publish(record(free=2))
+        assert mds.lookup("r1").free_cpus == 2
+        assert len(mds) == 1
+
+    def test_unpublish(self):
+        mds = InformationService()
+        mds.publish(record())
+        mds.unpublish("r1")
+        assert mds.lookup("r1") is None
+
+    def test_utilization(self):
+        assert record(free=4, total=16).utilization == 0.75
+        assert record(free=0, total=0).utilization == 0.0
+
+
+class TestAging:
+    def test_stale_records_hidden(self):
+        mds = InformationService(max_age=60.0)
+        mds.publish(record(published=0.0))
+        assert mds.lookup("r1", now=30.0) is not None
+        assert mds.lookup("r1", now=100.0) is None
+        assert mds.records(now=100.0) == ()
+
+    def test_no_aging_by_default(self):
+        mds = InformationService()
+        mds.publish(record(published=0.0))
+        assert mds.lookup("r1", now=1e9) is not None
+
+
+class TestQueries:
+    def build(self):
+        mds = InformationService()
+        mds.publish(record("small", free=2, total=4))
+        mds.publish(record("medium", free=8, total=16))
+        mds.publish(record("large", free=32, total=64, queues=("default", "gold")))
+        return mds
+
+    def test_find_by_capacity_ordered(self):
+        mds = self.build()
+        found = mds.find(min_free_cpus=4)
+        assert [r.name for r in found] == ["large", "medium"]
+
+    def test_find_by_queue(self):
+        mds = self.build()
+        found = mds.find(queue="gold")
+        assert [r.name for r in found] == ["large"]
+
+    def test_find_with_predicate(self):
+        mds = self.build()
+        found = mds.find(predicate=lambda r: r.utilization < 0.51)
+        assert {r.name for r in found} == {"small", "medium", "large"}
+
+    def test_find_nothing(self):
+        mds = self.build()
+        assert mds.find(min_free_cpus=1000) == ()
+
+
+class TestServiceSnapshots:
+    def test_publish_service_reflects_live_state(self):
+        service = GramService(
+            ServiceConfig(
+                node_count=2,
+                cpus_per_node=4,
+                policies=(parse_policy(POLICY, name="vo"),),
+            )
+        )
+        client = GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+        mds = InformationService()
+        before = mds.publish_service("site", service)
+        assert before.free_cpus == 8
+        assert before.policy_sources == ("vo",)
+
+        client.submit("&(executable=sim)(count=6)(runtime=100)")
+        after = mds.publish_service("site", service)
+        assert after.free_cpus == 2
+        assert mds.lookup("site").free_cpus == 2
+
+    def test_snapshot_carries_simulated_time(self):
+        service = GramService(ServiceConfig())
+        service.run(42.0)
+        mds = InformationService()
+        snapshot = mds.publish_service("site", service)
+        assert snapshot.published_at == 42.0

@@ -1,0 +1,120 @@
+"""GRAM protocol vocabulary."""
+
+import pytest
+
+from repro.gram.protocol import (
+    GramErrorCode,
+    GramJobState,
+    GramResponse,
+    JobContact,
+    TraceRecorder,
+)
+
+
+class TestErrorCodes:
+    def test_authorization_errors_classified(self):
+        assert GramErrorCode.AUTHORIZATION_DENIED.is_authorization_error
+        assert GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE.is_authorization_error
+        assert not GramErrorCode.BAD_RSL.is_authorization_error
+        assert not GramErrorCode.NOT_JOB_OWNER.is_authorization_error
+
+    def test_success_is_zero(self):
+        assert GramErrorCode.SUCCESS.value == 0
+
+
+class TestJobStates:
+    def test_terminal_states(self):
+        assert GramJobState.DONE.is_terminal
+        assert GramJobState.FAILED.is_terminal
+        assert not GramJobState.ACTIVE.is_terminal
+        assert not GramJobState.SUSPENDED.is_terminal
+
+
+class TestJobContact:
+    def test_fresh_contacts_are_unique(self):
+        a = JobContact.fresh("host.example.org")
+        b = JobContact.fresh("host.example.org")
+        assert a.job_id != b.job_id
+
+    def test_url_shape(self):
+        contact = JobContact.fresh("host.example.org")
+        assert contact.url.startswith("https://host.example.org:2119/jobmanager/")
+
+
+class TestGramResponse:
+    def test_ok(self):
+        assert GramResponse(code=GramErrorCode.SUCCESS).ok
+        assert not GramResponse(code=GramErrorCode.BAD_RSL).ok
+
+    def test_str_includes_reasons(self):
+        response = GramResponse(
+            code=GramErrorCode.AUTHORIZATION_DENIED,
+            message="denied",
+            reasons=("over the count limit",),
+        )
+        text = str(response)
+        assert "AUTHORIZATION_DENIED" in text
+        assert "over the count limit" in text
+
+
+class TestWireSerialization:
+    def test_full_response_round_trips(self):
+        response = GramResponse(
+            code=GramErrorCode.AUTHORIZATION_DENIED,
+            message="denied",
+            reasons=("reason one", "reason two"),
+            contact=JobContact(host="h.example.org", job_id="42"),
+            state=GramJobState.ACTIVE,
+            job_owner="/O=Grid/CN=Owner",
+        )
+        again = GramResponse.from_wire(response.to_wire())
+        assert again == response
+
+    def test_minimal_response_round_trips(self):
+        response = GramResponse(code=GramErrorCode.SUCCESS)
+        again = GramResponse.from_wire(response.to_wire())
+        assert again == response
+        assert again.contact is None
+        assert again.state is None
+
+    def test_reasons_survive_the_wire(self):
+        """The paper's error extension is only real if reasons cross
+        the protocol boundary."""
+        response = GramResponse(
+            code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
+            reasons=("callout crashed",),
+        )
+        again = GramResponse.from_wire(response.to_wire())
+        assert again.reasons == ("callout crashed",)
+        assert again.code.is_authorization_error
+
+    def test_garbage_rejected(self):
+        from repro.gram.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            GramResponse.from_wire("{not json")
+        with pytest.raises(ProtocolError):
+            GramResponse.from_wire('{"code": "NO_SUCH_CODE"}')
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        trace = TraceRecorder()
+        trace.record("client", "gatekeeper", "submit")
+        trace.record("gatekeeper", "job-manager", "spawn")
+        assert len(trace) == 2
+        assert trace.edges() == (
+            ("client", "gatekeeper"),
+            ("gatekeeper", "job-manager"),
+        )
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record("a", "b", "x")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_describe_is_readable(self):
+        trace = TraceRecorder()
+        trace.record("client", "gatekeeper", "submit job request")
+        assert "client -> gatekeeper: submit job request" in trace.describe()

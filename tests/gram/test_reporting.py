@@ -1,0 +1,108 @@
+"""Per-VO accounting and denial reports."""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.reporting import (
+    authorization_stats,
+    denial_report,
+    vo_usage,
+)
+from repro.gram.service import GramService, ServiceConfig
+from repro.vo.organization import VirtualOrganization
+
+ORG = "/O=Grid/OU=report"
+ALICE = f"{ORG}/CN=Alice"
+BOB = f"{ORG}/CN=Bob"
+POLICY = f"""
+{ORG}:
+    &(action=start)(executable=sim)(count<=4)
+    &(action=cancel)(jobowner=self)
+"""
+
+
+@pytest.fixture
+def deployment():
+    service = GramService(
+        ServiceConfig(policies=(parse_policy(POLICY, name="vo"),))
+    )
+    vo = VirtualOrganization("ReportVO")
+    clients = {}
+    for identity, account in ((ALICE, "alice"), (BOB, "bob")):
+        credential = service.add_user(identity, account)
+        vo.add_member(identity)
+        clients[identity] = GramClient(credential, service.gatekeeper)
+    account_of = {ALICE: "alice", BOB: "bob"}
+    return service, vo, clients, account_of
+
+
+class TestVOUsage:
+    def test_usage_rolls_up_across_members(self, deployment):
+        service, vo, clients, account_of = deployment
+        clients[ALICE].submit("&(executable=sim)(count=2)(runtime=10)")
+        clients[ALICE].submit("&(executable=sim)(count=1)(runtime=10)")
+        clients[BOB].submit("&(executable=sim)(count=4)(runtime=10)")
+        service.run(20.0)
+        report = vo_usage(vo, service.scheduler, account_of)
+        assert report.jobs_submitted == 3
+        assert report.jobs_completed == 3
+        assert report.cpu_seconds == pytest.approx(2 * 10 + 1 * 10 + 4 * 10)
+        assert report.members_seen == 2
+
+    def test_non_member_usage_excluded(self, deployment):
+        service, vo, clients, account_of = deployment
+        stranger = service.add_user(f"{ORG}/CN=Stranger", "stranger")
+        GramClient(stranger, service.gatekeeper).submit(
+            "&(executable=sim)(count=4)(runtime=10)"
+        )
+        service.run(20.0)
+        report = vo_usage(vo, service.scheduler, account_of)
+        assert report.jobs_submitted == 0
+
+    def test_idle_vo_reports_zeroes(self, deployment):
+        service, vo, _, account_of = deployment
+        report = vo_usage(vo, service.scheduler, account_of)
+        assert report.jobs_submitted == 0
+        assert report.members_seen == 0
+
+
+class TestDenialReport:
+    def test_denials_grouped_and_counted(self, deployment):
+        service, _, clients, _ = deployment
+        for _ in range(3):
+            clients[ALICE].submit("&(executable=rogue)(count=1)")
+        clients[BOB].submit("&(executable=sim)(count=8)")
+        report = denial_report(service.pep)
+        assert len(report) == 2
+        top = report[0]
+        assert top.requester == ALICE
+        assert top.count == 3
+        assert top.action == "start"
+        assert top.sample_reason
+
+    def test_limit_respected(self, deployment):
+        service, _, clients, _ = deployment
+        for index in range(5):
+            clients[ALICE].submit(f"&(executable=rogue{index})(count=1)")
+        assert len(denial_report(service.pep, limit=1)) == 1
+
+    def test_empty_pep_gives_empty_report(self, deployment):
+        service, _, _, _ = deployment
+        assert denial_report(service.pep) == ()
+
+
+class TestStats:
+    def test_stats_summarise_the_pep(self, deployment):
+        service, _, clients, _ = deployment
+        clients[ALICE].submit("&(executable=sim)(count=2)(runtime=10)")
+        clients[ALICE].submit("&(executable=rogue)(count=1)")
+        stats = authorization_stats(service.pep)
+        assert stats.permits == 1
+        assert stats.denials == 1
+        assert stats.total == 2
+        assert stats.denial_rate == pytest.approx(0.5)
+
+    def test_zero_division_guard(self, deployment):
+        service, _, _, _ = deployment
+        assert authorization_stats(service.pep).denial_rate == 0.0

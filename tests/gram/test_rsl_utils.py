@@ -1,0 +1,89 @@
+"""Job-description canonicalisation."""
+
+import pytest
+
+from repro.gram.rsl_utils import (
+    DEFAULT_COUNT,
+    DEFAULT_QUEUE,
+    DEFAULT_RUNTIME,
+    JobDescription,
+    JobDescriptionError,
+)
+from repro.rsl.parser import parse_specification
+
+
+def describe(rsl: str) -> JobDescription:
+    return JobDescription.from_spec(parse_specification(rsl))
+
+
+class TestRequiredFields:
+    def test_executable_required(self):
+        with pytest.raises(JobDescriptionError):
+            describe("&(count=2)")
+
+    def test_minimal_description(self):
+        description = describe("&(executable=sim)")
+        assert description.executable == "sim"
+        assert description.count == DEFAULT_COUNT
+        assert description.queue == DEFAULT_QUEUE
+        assert description.runtime == DEFAULT_RUNTIME
+
+
+class TestDefaults:
+    def test_count_default_is_canonicalised_into_spec(self):
+        description = describe("&(executable=sim)")
+        assert description.spec.first_value("count") == "1"
+
+    def test_explicit_count_not_duplicated(self):
+        description = describe("&(executable=sim)(count=4)")
+        assert len(description.spec.relations_for("count")) == 1
+        assert description.count == 4
+
+    def test_runtime_defaults_to_walltime(self):
+        description = describe("&(executable=sim)(maxwalltime=600)")
+        assert description.runtime == 600.0
+
+    def test_explicit_runtime_wins(self):
+        description = describe("&(executable=sim)(maxwalltime=600)(runtime=50)")
+        assert description.runtime == 50.0
+
+
+class TestValidation:
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(JobDescriptionError):
+            describe("&(executable=sim)(count=0)")
+
+    def test_non_numeric_count_rejected(self):
+        with pytest.raises(JobDescriptionError):
+            describe("&(executable=sim)(count=many)")
+
+    def test_non_numeric_walltime_rejected(self):
+        with pytest.raises(JobDescriptionError):
+            describe("&(executable=sim)(maxwalltime=long)")
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(JobDescriptionError):
+            describe("&(executable=sim)(runtime=-5)")
+
+
+class TestAccessors:
+    def test_full_description(self):
+        description = describe(
+            "&(executable=TRANSP)(directory=/opt/nfc)(count=8)(queue=batch)"
+            "(jobtag=NFC)(maxwalltime=3600)(maxcputime=7200)(runtime=1800)"
+        )
+        assert description.executable == "TRANSP"
+        assert description.directory == "/opt/nfc"
+        assert description.count == 8
+        assert description.queue == "batch"
+        assert description.jobtag == "NFC"
+        assert description.max_walltime == 3600.0
+        assert description.max_cputime == 7200.0
+        assert description.runtime == 1800.0
+
+    def test_absent_optionals_are_none_or_empty(self):
+        description = describe("&(executable=sim)")
+        assert description.directory == ""
+        assert description.jobtag is None
+        assert description.max_walltime is None
+        assert description.max_cputime is None

@@ -1,0 +1,224 @@
+"""End-to-end behaviour of the assembled GRAM resource.
+
+These tests exercise the Gatekeeper → Job Manager → LRM path through
+the public `GramService` + `GramClient` API.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.service import GramService, ServiceConfig
+from repro.gsi.credentials import CertificateAuthority
+from repro.gsi.proxy import delegate
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+from tests.conftest import BO, KATE, OUTSIDER
+
+LOCAL_POLICY = """
+/O=Grid/O=Globus/OU=mcs.anl.gov:
+    &(action=start)(count<=32)
+    &(action=cancel)
+    &(action=information)
+    &(action=signal)
+"""
+
+BO_START = (
+    "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)(runtime=100)"
+)
+
+
+# Figure 3 grants Bo no management rights at all — faithful, but the
+# lifecycle tests need the owner to at least observe their job, so the
+# VO policy here adds a self-information grant on top of Figure 3.
+VO_POLICY = FIGURE3_POLICY_TEXT + f"\n{BO}:\n    &(action=information)(jobowner=self)\n"
+
+
+@pytest.fixture
+def service():
+    svc = GramService(
+        ServiceConfig(
+            policies=(
+                parse_policy(VO_POLICY, name="vo"),
+                parse_policy(LOCAL_POLICY, name="local"),
+            ),
+        )
+    )
+    return svc
+
+
+@pytest.fixture
+def bo(service):
+    return GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+
+
+@pytest.fixture
+def kate(service):
+    return GramClient(service.add_user(KATE, "keahey"), service.gatekeeper)
+
+
+class TestSubmission:
+    def test_authorized_submit_succeeds(self, service, bo):
+        response = bo.submit(BO_START)
+        assert response.ok
+        assert response.state is GramJobState.ACTIVE
+        assert response.contact is not None
+        assert service.gatekeeper.active_job_managers == 1
+
+    def test_policy_denial_carries_reasons(self, bo):
+        response = bo.submit("&(executable=evil)(jobtag=NFC)(count=1)")
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert response.reasons
+
+    def test_missing_jobtag_denied_by_requirement(self, bo):
+        response = bo.submit("&(executable=test2)(directory=/sandbox/test)(count=2)")
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("jobtag" in reason for reason in response.reasons)
+
+    def test_local_policy_caps_count(self, kate):
+        response = kate.submit(
+            "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=64)"
+        )
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_unmapped_user_rejected_by_gridmap(self, service):
+        eve_credential = service.ca.issue(OUTSIDER, now=0.0)
+        eve = GramClient(eve_credential, service.gatekeeper)
+        response = eve.submit(BO_START)
+        assert response.code is GramErrorCode.GRIDMAP_LOOKUP_FAILED
+
+    def test_untrusted_ca_rejected(self, service):
+        rogue_ca = CertificateAuthority("/O=Rogue/CN=CA", now=0.0)
+        rogue = GramClient(rogue_ca.issue(BO, now=0.0), service.gatekeeper)
+        response = rogue.submit(BO_START)
+        assert response.code is GramErrorCode.AUTHENTICATION_FAILED
+
+    def test_bad_rsl_reported(self, bo):
+        response = bo.submit("&(executable=")
+        assert response.code is GramErrorCode.BAD_RSL
+
+    def test_missing_executable_reported(self, bo):
+        response = bo.submit("&(count=2)(jobtag=NFC)")
+        assert response.code is GramErrorCode.BAD_RSL
+
+    def test_submit_with_delegated_proxy(self, service):
+        bo_identity = service.add_user(BO, "boliu2")
+        proxy = delegate(bo_identity, now=service.clock.now)
+        client = GramClient(proxy, service.gatekeeper)
+        response = client.submit(BO_START)
+        assert response.ok, response
+
+
+class TestJobLifecycle:
+    def test_job_runs_to_completion(self, service, bo):
+        response = bo.submit(BO_START)
+        service.run(100.0)
+        status = bo.status(response.contact)
+        assert status.state is GramJobState.DONE
+
+    def test_owner_observes_progress(self, service, bo):
+        response = bo.submit(BO_START)
+        service.run(50.0)
+        assert bo.status(response.contact).state is GramJobState.ACTIVE
+
+    def test_status_of_unknown_contact(self, service, bo):
+        from repro.gram.protocol import JobContact
+
+        response = bo.status(JobContact(host="x", job_id="ghost"))
+        assert response.code is GramErrorCode.NO_SUCH_JOB
+
+
+class TestVOWideManagement:
+    def test_kate_cancels_bos_nfc_job(self, service, bo, kate):
+        """The paper's flagship scenario, through the full stack."""
+        submitted = bo.submit(BO_START)
+        assert submitted.ok
+        service.run(10.0)
+        cancelled = kate.cancel(submitted.contact)
+        assert cancelled.ok
+        assert cancelled.state is GramJobState.FAILED
+        assert kate.job_owner(submitted.contact) == BO
+        assert not kate.owns(submitted.contact)
+
+    def test_kate_cannot_cancel_ads_jobs(self, service, bo, kate):
+        submitted = bo.submit(
+            "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)"
+            "(count=2)(runtime=100)"
+        )
+        assert submitted.ok
+        denied = kate.cancel(submitted.contact)
+        assert denied.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_bo_cannot_cancel_own_job_without_grant(self, service, bo):
+        """Figure 3 grants Bo no cancel right — not even on her own job."""
+        submitted = bo.submit(BO_START)
+        denied = bo.cancel(submitted.contact)
+        assert denied.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_management_by_unauthenticated_credential(self, service, bo):
+        submitted = bo.submit(BO_START)
+        rogue_ca = CertificateAuthority("/O=Rogue/CN=CA", now=0.0)
+        impostor = GramClient(rogue_ca.issue(KATE, now=0.0), service.gatekeeper)
+        response = impostor.cancel(submitted.contact)
+        assert response.code is GramErrorCode.AUTHENTICATION_FAILED
+
+
+class TestEnforcementIntegration:
+    def test_enforcement_rejection_surfaces(self):
+        policy = parse_policy(f"{BO}: &(action=start)(count<=16)", name="vo")
+        service = GramService(
+            ServiceConfig(policies=(policy,), enforcement="static")
+        )
+        credential = service.add_user(BO, "boliu")
+        account = service.accounts.get("boliu")
+        from repro.accounts.local import AccountLimits
+
+        account.limits = AccountLimits(max_cpus_per_job=2)
+        client = GramClient(credential, service.gatekeeper)
+        response = client.submit("&(executable=sim)(count=8)(runtime=10)")
+        assert response.code is GramErrorCode.ENFORCEMENT_REJECTED
+
+    def test_sandbox_kills_overrunning_job(self):
+        policy = parse_policy(
+            f"{BO}: &(action=start)(maxcputime<=10) &(action=information)",
+            name="vo",
+        )
+        service = GramService(
+            ServiceConfig(policies=(policy,), enforcement="sandbox")
+        )
+        client = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        # Declares maxcputime=10 (policy-compliant) but actually runs 100s.
+        response = client.submit(
+            "&(executable=sim)(count=1)(maxcputime=10)(runtime=100)"
+        )
+        assert response.ok
+        service.run(200.0)
+        status = client.status(response.contact)
+        assert status.state is GramJobState.FAILED
+        assert len(service.enforcement.violations) == 1
+
+
+class TestResourceExhaustion:
+    def test_oversized_job_is_resource_unavailable(self, service, kate):
+        response = kate.submit(
+            "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=32)"
+        )
+        # service default: 8 nodes x 4 cpus = 32 -> fits exactly
+        assert response.ok
+        too_big = GramService(
+            ServiceConfig(
+                node_count=1,
+                cpus_per_node=2,
+                policies=(
+                    parse_policy(FIGURE3_POLICY_TEXT, name="vo"),
+                    parse_policy(LOCAL_POLICY, name="local"),
+                ),
+            )
+        )
+        client = GramClient(too_big.add_user(KATE, "keahey"), too_big.gatekeeper)
+        response = client.submit(
+            "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=16)"
+        )
+        assert response.code is GramErrorCode.RESOURCE_UNAVAILABLE

@@ -1,0 +1,118 @@
+"""Certificates, credentials and the toy CA."""
+
+import pytest
+
+from repro.gsi.credentials import (
+    CertificateAuthority,
+    Credential,
+    make_certificate,
+)
+from repro.gsi.errors import GSIError
+from repro.gsi.keys import KeyPair
+from repro.gsi.names import DistinguishedName
+
+ALICE = "/O=Grid/OU=test/CN=Alice"
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("/O=Grid/CN=Test CA", now=0.0)
+
+
+class TestCertificateAuthority:
+    def test_root_is_self_signed(self, ca):
+        assert ca.certificate.subject == ca.dn
+        assert ca.certificate.issuer == ca.dn
+        assert ca.certificate.signed_by(ca.key_pair.public)
+        assert ca.certificate.is_ca
+
+    def test_issue_identity(self, ca):
+        credential = ca.issue(ALICE, now=0.0)
+        assert str(credential.subject) == ALICE
+        assert credential.certificate.issuer == ca.dn
+        assert credential.certificate.signed_by(ca.key_pair.public)
+        assert not credential.certificate.is_ca
+
+    def test_issued_serials_are_unique(self, ca):
+        serials = {ca.issue(f"/O=Grid/CN=U{i}").certificate.serial for i in range(10)}
+        assert len(serials) == 10
+
+    def test_cannot_issue_own_name(self, ca):
+        with pytest.raises(GSIError):
+            ca.issue(str(ca.dn))
+
+    def test_issue_with_extensions(self, ca):
+        credential = ca.issue(ALICE, extensions={"vo": "NFC"})
+        assert credential.certificate.extension_dict == {"vo": "NFC"}
+
+    def test_issued_count(self, ca):
+        assert ca.issued_count == 0
+        ca.issue(ALICE)
+        assert ca.issued_count == 1
+
+
+class TestRevocation:
+    def test_revoke_and_check(self, ca):
+        credential = ca.issue(ALICE)
+        assert not ca.is_revoked(credential.certificate)
+        ca.revoke(credential.certificate, "compromised")
+        assert ca.is_revoked(credential.certificate)
+
+    def test_cannot_revoke_foreign_certificate(self, ca):
+        other = CertificateAuthority("/O=Other/CN=CA")
+        foreign = other.issue(ALICE)
+        with pytest.raises(GSIError):
+            ca.revoke(foreign.certificate)
+
+
+class TestCertificate:
+    def test_validity_window(self, ca):
+        credential = ca.issue(ALICE, now=100.0, lifetime=50.0)
+        certificate = credential.certificate
+        assert not certificate.valid_at(99.0)
+        assert certificate.valid_at(100.0)
+        assert certificate.valid_at(150.0)
+        assert not certificate.valid_at(151.0)
+
+    def test_empty_window_rejected(self, ca):
+        with pytest.raises(GSIError):
+            make_certificate(
+                subject=DistinguishedName.parse(ALICE),
+                issuer=ca.dn,
+                public_key=KeyPair().public,
+                signer=ca.key_pair,
+                not_before=10.0,
+                not_after=10.0,
+            )
+
+    def test_signature_covers_subject(self, ca):
+        """Two certs differing only in subject have different payloads."""
+        a = ca.issue("/O=Grid/CN=A").certificate
+        b = ca.issue("/O=Grid/CN=B").certificate
+        assert a.payload() != b.payload()
+
+    def test_signed_by_wrong_key_fails(self, ca):
+        certificate = ca.issue(ALICE).certificate
+        assert not certificate.signed_by(KeyPair().public)
+
+
+class TestCredential:
+    def test_identity_of_plain_credential(self, ca):
+        credential = ca.issue(ALICE)
+        assert credential.identity == credential.subject
+
+    def test_prove_possession(self, ca):
+        credential = ca.issue(ALICE)
+        proof = credential.prove_possession(b"nonce")
+        assert credential.certificate.public_key.verify(b"possession:nonce", proof)
+
+    def test_possession_proof_is_challenge_specific(self, ca):
+        credential = ca.issue(ALICE)
+        proof = credential.prove_possession(b"nonce-1")
+        assert not credential.certificate.public_key.verify(
+            b"possession:nonce-2", proof
+        )
+
+    def test_full_chain_of_identity(self, ca):
+        credential = ca.issue(ALICE)
+        assert credential.full_chain() == (credential.certificate,)

@@ -1,0 +1,103 @@
+"""Property-based tests for the simulated GSI."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gsi.credentials import CertificateAuthority
+from repro.gsi.errors import GSIError, VerificationError
+from repro.gsi.names import DistinguishedName
+from repro.gsi.proxy import delegate
+from repro.gsi.verification import verify_credential
+
+_cn_chars = string.ascii_letters + string.digits + " .-_"
+
+cn_values = st.text(alphabet=_cn_chars, min_size=1, max_size=20).filter(
+    lambda s: s.strip() == s and s.strip()
+)
+
+
+class TestNameProperties:
+    @given(parts=st.lists(cn_values, min_size=1, max_size=6))
+    @settings(max_examples=150)
+    def test_parse_str_round_trip(self, parts):
+        text = "".join(f"/CN={part}" for part in parts)
+        dn = DistinguishedName.parse(text)
+        assert str(dn) == text
+        assert DistinguishedName.parse(str(dn)) == dn
+
+    @given(
+        parts=st.lists(cn_values, min_size=2, max_size=6),
+        cut=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=100)
+    def test_every_component_prefix_matches(self, parts, cut):
+        text = "".join(f"/CN={part}" for part in parts)
+        dn = DistinguishedName.parse(text)
+        cut = min(cut, len(parts) - 1)
+        prefix_text = "".join(f"/CN={part}" for part in parts[:cut])
+        prefix = DistinguishedName.parse(prefix_text)
+        assert dn.startswith(prefix)
+        assert dn.matches_string_prefix(prefix_text)
+
+    @given(parts=st.lists(cn_values, min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_child_then_parent_is_identity(self, parts):
+        text = "".join(f"/CN={part}" for part in parts)
+        dn = DistinguishedName.parse(text)
+        assert dn.child("CN", "proxy").parent == dn
+
+
+class TestDelegationProperties:
+    @given(depth=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_any_depth_chain_verifies(self, depth):
+        ca = CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+        credential = ca.issue("/O=Grid/CN=User", now=0.0)
+        for hop in range(depth):
+            credential = delegate(credential, now=float(hop))
+        result = verify_credential(credential, [ca], at_time=float(depth))
+        assert result.proxy_depth == depth
+        assert str(result.identity) == "/O=Grid/CN=User"
+
+    @given(
+        depth=st.integers(min_value=1, max_value=5),
+        drop=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_truncated_chain_fails(self, depth, drop):
+        from repro.gsi.credentials import Credential
+
+        ca = CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+        credential = ca.issue("/O=Grid/CN=User", now=0.0)
+        for hop in range(depth):
+            credential = delegate(credential, now=float(hop))
+        drop = drop % len(credential.chain) + 1 if credential.chain else 1
+        truncated = Credential(
+            certificate=credential.certificate,
+            key_pair=credential.key_pair,
+            chain=credential.chain[:-drop],
+        )
+        try:
+            verify_credential(truncated, [ca], at_time=float(depth))
+        except GSIError:
+            pass  # expected: every truncation must fail
+        else:
+            raise AssertionError("truncated chain verified")
+
+    @given(
+        lifetime=st.floats(min_value=1.0, max_value=1000.0),
+        offset=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_validity_window_is_exact(self, lifetime, offset):
+        ca = CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+        credential = ca.issue("/O=Grid/CN=User", now=0.0, lifetime=lifetime)
+        inside = offset <= lifetime
+        try:
+            verify_credential(credential, [ca], at_time=offset)
+            verified = True
+        except GSIError:
+            verified = False
+        assert verified == inside

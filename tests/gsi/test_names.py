@@ -1,0 +1,135 @@
+"""Distinguished-name parsing and matching."""
+
+import pytest
+
+from repro.gsi.names import DistinguishedName
+
+BO = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"
+
+
+class TestParsing:
+    def test_round_trip(self):
+        dn = DistinguishedName.parse(BO)
+        assert str(dn) == BO
+
+    def test_components(self):
+        dn = DistinguishedName.parse(BO)
+        assert dn.rdns == (
+            ("O", "Grid"),
+            ("O", "Globus"),
+            ("OU", "mcs.anl.gov"),
+            ("CN", "Bo Liu"),
+        )
+
+    def test_attribute_types_uppercased(self):
+        dn = DistinguishedName.parse("/o=Grid/cn=Alice")
+        assert dn.rdns == (("O", "Grid"), ("CN", "Alice"))
+
+    def test_must_start_with_slash(self):
+        with pytest.raises(ValueError):
+            DistinguishedName.parse("O=Grid/CN=X")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistinguishedName.parse("/")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError):
+            DistinguishedName.parse("/O=Grid/Globus")
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError):
+            DistinguishedName.parse("/O=Grid/CN=")
+
+    def test_escaped_slash_in_value(self):
+        dn = DistinguishedName.parse(r"/O=Grid/CN=web\/service")
+        assert dn.common_name == "web/service"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            DistinguishedName.parse(42)
+
+    def test_whitespace_trimmed(self):
+        dn = DistinguishedName.parse("  /O=Grid/CN=A  ")
+        assert str(dn) == "/O=Grid/CN=A"
+
+
+class TestAccessors:
+    def test_common_name(self):
+        assert DistinguishedName.parse(BO).common_name == "Bo Liu"
+
+    def test_common_name_absent(self):
+        assert DistinguishedName.parse("/O=Grid/OU=x").common_name == ""
+
+    def test_common_name_takes_last_cn(self):
+        dn = DistinguishedName.parse("/O=G/CN=base/CN=proxy")
+        assert dn.common_name == "proxy"
+
+    def test_len_and_iter(self):
+        dn = DistinguishedName.parse(BO)
+        assert len(dn) == 4
+        assert list(dn)[0] == ("O", "Grid")
+
+    def test_child_appends(self):
+        dn = DistinguishedName.parse("/O=Grid/CN=Bo")
+        child = dn.child("CN", "proxy")
+        assert str(child) == "/O=Grid/CN=Bo/CN=proxy"
+
+    def test_child_rejects_empty(self):
+        dn = DistinguishedName.parse("/O=Grid/CN=Bo")
+        with pytest.raises(ValueError):
+            dn.child("CN", "  ")
+
+    def test_parent(self):
+        dn = DistinguishedName.parse("/O=Grid/CN=Bo/CN=proxy")
+        assert str(dn.parent) == "/O=Grid/CN=Bo"
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            DistinguishedName.parse("/O=Grid").parent
+
+
+class TestMatching:
+    def test_component_prefix(self):
+        dn = DistinguishedName.parse(BO)
+        prefix = DistinguishedName.parse("/O=Grid/O=Globus")
+        assert dn.startswith(prefix)
+        assert not prefix.startswith(dn)
+
+    def test_string_prefix_matches_figure3_group(self):
+        dn = DistinguishedName.parse(BO)
+        assert dn.matches_string_prefix("/O=Grid/O=Globus/OU=mcs.anl.gov")
+
+    def test_string_prefix_can_cut_mid_component(self):
+        dn = DistinguishedName.parse(BO)
+        assert dn.matches_string_prefix("/O=Grid/O=Globus/OU=mcs")
+
+    def test_string_prefix_mismatch(self):
+        dn = DistinguishedName.parse(BO)
+        assert not dn.matches_string_prefix("/O=Other")
+
+    def test_is_proxy_of_direct(self):
+        base = DistinguishedName.parse("/O=Grid/CN=Bo")
+        proxy = base.child("CN", "proxy")
+        assert proxy.is_proxy_of(base)
+
+    def test_is_proxy_of_multi_level(self):
+        base = DistinguishedName.parse("/O=Grid/CN=Bo")
+        deep = base.child("CN", "proxy").child("CN", "proxy")
+        assert deep.is_proxy_of(base)
+
+    def test_is_proxy_of_rejects_non_cn_extension(self):
+        base = DistinguishedName.parse("/O=Grid/CN=Bo")
+        fake = base.child("OU", "dept")
+        assert not fake.is_proxy_of(base)
+
+    def test_is_proxy_of_rejects_self(self):
+        base = DistinguishedName.parse("/O=Grid/CN=Bo")
+        assert not base.is_proxy_of(base)
+
+    def test_equality_and_hash(self):
+        a = DistinguishedName.parse(BO)
+        b = DistinguishedName.parse(BO)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

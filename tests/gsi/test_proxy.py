@@ -1,0 +1,125 @@
+"""Proxy certificates and delegation."""
+
+import pytest
+
+from repro.gsi.credentials import CertificateAuthority
+from repro.gsi.errors import GSIError
+from repro.gsi.proxy import (
+    IMPERSONATION,
+    ProxyCertificate,
+    ProxyPolicy,
+    delegate,
+    effective_policy,
+)
+
+ALICE = "/O=Grid/OU=test/CN=Alice"
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("/O=Grid/CN=Test CA", now=0.0)
+
+
+@pytest.fixture
+def alice(ca):
+    return ca.issue(ALICE, now=0.0)
+
+
+class TestDelegation:
+    def test_proxy_subject_extends_delegator(self, alice):
+        proxy = delegate(alice, now=1.0)
+        assert str(proxy.subject) == ALICE + "/CN=proxy"
+        assert isinstance(proxy.certificate, ProxyCertificate)
+
+    def test_proxy_signed_by_delegator_not_ca(self, alice):
+        proxy = delegate(alice, now=1.0)
+        assert proxy.certificate.issuer == alice.subject
+        assert proxy.certificate.signed_by(alice.key_pair.public)
+
+    def test_proxy_has_fresh_key(self, alice):
+        proxy = delegate(alice, now=1.0)
+        assert (
+            proxy.key_pair.public.fingerprint
+            != alice.key_pair.public.fingerprint
+        )
+
+    def test_chain_grows_with_each_hop(self, alice):
+        hop1 = delegate(alice, now=1.0)
+        hop2 = delegate(hop1, now=2.0)
+        assert len(hop2.full_chain()) == 3
+        assert hop2.chain[-1] is alice.certificate
+
+    def test_identity_is_base_subject(self, alice):
+        hop2 = delegate(delegate(alice, now=1.0), now=2.0)
+        assert str(hop2.identity) == ALICE
+
+    def test_custom_label(self, alice):
+        proxy = delegate(alice, now=1.0, label="cas-proxy")
+        assert proxy.subject.common_name == "cas-proxy"
+
+    def test_empty_label_rejected(self, alice):
+        with pytest.raises(GSIError):
+            delegate(alice, label="   ")
+
+    def test_proxy_lifetime_clamped_to_parent(self, ca):
+        short = ca.issue(ALICE, now=0.0, lifetime=100.0)
+        proxy = delegate(short, now=50.0, lifetime=1000.0)
+        assert proxy.certificate.not_after == 100.0
+
+    def test_cannot_delegate_from_expired_parent(self, ca):
+        short = ca.issue(ALICE, now=0.0, lifetime=100.0)
+        with pytest.raises(GSIError):
+            delegate(short, now=200.0)
+
+
+class TestPathLength:
+    def test_path_length_zero_blocks_further_delegation(self, alice):
+        proxy = delegate(alice, now=1.0, path_length=0)
+        with pytest.raises(GSIError):
+            delegate(proxy, now=2.0)
+
+    def test_path_length_decrements(self, alice):
+        proxy = delegate(alice, now=1.0, path_length=2)
+        hop2 = delegate(proxy, now=2.0)
+        assert hop2.certificate.path_length == 1
+        hop3 = delegate(hop2, now=3.0)
+        assert hop3.certificate.path_length == 0
+        with pytest.raises(GSIError):
+            delegate(hop3, now=4.0)
+
+    def test_negative_path_length_rejected(self, alice):
+        with pytest.raises(GSIError):
+            delegate(alice, path_length=-1)
+
+
+class TestPolicies:
+    def test_default_is_impersonation(self, alice):
+        proxy = delegate(alice, now=1.0)
+        assert proxy.certificate.policy.is_impersonation
+
+    def test_restricted_proxy_carries_policy(self, alice):
+        policy = ProxyPolicy(language="CAS-RSL", text="&(action=start)")
+        proxy = delegate(alice, now=1.0, policy=policy)
+        assert proxy.certificate.policy == policy
+
+    def test_effective_policy_none_for_impersonation(self, alice):
+        proxy = delegate(delegate(alice, now=1.0), now=2.0)
+        assert effective_policy(proxy) is None
+
+    def test_effective_policy_finds_restriction_deep_in_chain(self, alice):
+        restricted = delegate(
+            alice, now=1.0, policy=ProxyPolicy("CAS-RSL", "&(action=start)")
+        )
+        further = delegate(restricted, now=2.0)
+        found = effective_policy(further)
+        assert found is not None
+        assert found.text == "&(action=start)"
+
+    def test_leafmost_restriction_wins(self, alice):
+        outer = delegate(alice, now=1.0, policy=ProxyPolicy("CAS-RSL", "outer"))
+        inner = delegate(outer, now=2.0, policy=ProxyPolicy("CAS-RSL", "inner"))
+        found = effective_policy(inner)
+        assert found.text == "inner"
+
+    def test_impersonation_constant(self):
+        assert IMPERSONATION.is_impersonation

@@ -1,0 +1,136 @@
+"""Credential-chain verification."""
+
+import pytest
+
+from repro.gsi.credentials import CertificateAuthority, Credential
+from repro.gsi.errors import (
+    CertificateExpiredError,
+    SignatureError,
+    UntrustedIssuerError,
+    VerificationError,
+)
+from repro.gsi.keys import KeyPair
+from repro.gsi.proxy import delegate
+from repro.gsi.verification import verify_chain, verify_credential
+
+ALICE = "/O=Grid/OU=test/CN=Alice"
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("/O=Grid/CN=Test CA", now=0.0)
+
+
+@pytest.fixture
+def alice(ca):
+    return ca.issue(ALICE, now=0.0)
+
+
+class TestHappyPaths:
+    def test_identity_credential_verifies(self, ca, alice):
+        result = verify_credential(alice, [ca], at_time=10.0)
+        assert str(result.identity) == ALICE
+        assert result.proxy_depth == 0
+        assert result.anchor == ca.dn
+
+    def test_single_proxy_verifies(self, ca, alice):
+        proxy = delegate(alice, now=1.0)
+        result = verify_credential(proxy, [ca], at_time=10.0)
+        assert str(result.identity) == ALICE
+        assert result.proxy_depth == 1
+        assert result.chain_length == 2
+
+    def test_deep_delegation_verifies(self, ca, alice):
+        credential = alice
+        for _ in range(5):
+            credential = delegate(credential, now=1.0)
+        result = verify_credential(credential, [ca], at_time=10.0)
+        assert result.proxy_depth == 5
+        assert str(result.identity) == ALICE
+
+    def test_multiple_anchors(self, ca, alice):
+        other = CertificateAuthority("/O=Other/CN=CA", now=0.0)
+        result = verify_credential(alice, [other, ca], at_time=10.0)
+        assert result.anchor == ca.dn
+
+
+class TestFailures:
+    def test_empty_chain_rejected(self, ca):
+        with pytest.raises(VerificationError):
+            verify_chain([], [ca], at_time=0.0)
+
+    def test_no_anchors_rejected(self, alice):
+        with pytest.raises(UntrustedIssuerError):
+            verify_chain(alice.full_chain(), [], at_time=0.0)
+
+    def test_untrusted_issuer_rejected(self, alice):
+        stranger = CertificateAuthority("/O=Stranger/CN=CA", now=0.0)
+        with pytest.raises(UntrustedIssuerError):
+            verify_credential(alice, [stranger], at_time=10.0)
+
+    def test_expired_certificate_rejected(self, ca):
+        short = ca.issue(ALICE, now=0.0, lifetime=10.0)
+        with pytest.raises(CertificateExpiredError):
+            verify_credential(short, [ca], at_time=11.0)
+
+    def test_not_yet_valid_rejected(self, ca):
+        future = ca.issue(ALICE, now=100.0)
+        with pytest.raises(CertificateExpiredError):
+            verify_credential(future, [ca], at_time=50.0)
+
+    def test_expired_proxy_rejected(self, ca, alice):
+        proxy = delegate(alice, now=0.0, lifetime=5.0)
+        with pytest.raises(CertificateExpiredError):
+            verify_credential(proxy, [ca], at_time=6.0)
+
+    def test_revoked_identity_rejected(self, ca, alice):
+        ca.revoke(alice.certificate)
+        with pytest.raises(VerificationError):
+            verify_credential(alice, [ca], at_time=1.0)
+
+    def test_revoked_base_poisons_proxies(self, ca, alice):
+        proxy = delegate(alice, now=0.0)
+        ca.revoke(alice.certificate)
+        with pytest.raises(VerificationError):
+            verify_credential(proxy, [ca], at_time=1.0)
+
+    def test_truncated_chain_rejected(self, ca, alice):
+        """A proxy presented without its ancestry cannot verify."""
+        proxy = delegate(alice, now=0.0)
+        orphan = Credential(certificate=proxy.certificate, key_pair=proxy.key_pair)
+        with pytest.raises(VerificationError):
+            verify_credential(orphan, [ca], at_time=1.0)
+
+    def test_stolen_certificate_fails_possession(self, ca, alice):
+        """Holding the public certificate without the key is not enough."""
+        thief_keys = KeyPair("thief")
+        stolen = Credential(certificate=alice.certificate, key_pair=thief_keys)
+        with pytest.raises(SignatureError):
+            verify_credential(stolen, [ca], at_time=1.0)
+
+    def test_explicit_possession_proof_checked(self, ca, alice):
+        bad_proof = KeyPair("eve").sign(b"possession:gatekeeper-challenge")
+        with pytest.raises(SignatureError):
+            verify_credential(
+                alice, [ca], at_time=1.0, possession_proof=bad_proof
+            )
+
+    def test_valid_explicit_possession_proof(self, ca, alice):
+        proof = alice.prove_possession(b"challenge-42")
+        result = verify_credential(
+            alice, [ca], at_time=1.0, challenge=b"challenge-42",
+            possession_proof=proof,
+        )
+        assert str(result.identity) == ALICE
+
+    def test_chain_with_foreign_cert_spliced_in(self, ca, alice):
+        """An attacker cannot splice someone else's proxy into a chain."""
+        mallory = ca.issue("/O=Grid/CN=Mallory", now=0.0)
+        mallory_proxy = delegate(mallory, now=0.0)
+        frankenstein = Credential(
+            certificate=mallory_proxy.certificate,
+            key_pair=mallory_proxy.key_pair,
+            chain=alice.full_chain(),
+        )
+        with pytest.raises(UntrustedIssuerError):
+            verify_credential(frankenstein, [ca], at_time=1.0)

@@ -1,0 +1,71 @@
+"""MDS-informed brokering over a federation.
+
+The federation broker peeks at live site state; a real VO tool would
+query the information service instead.  This test wires the two
+together: sites publish into MDS, a planner picks by the directory's
+(possibly stale) view, and placement still succeeds.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.mds import InformationService
+from repro.vo.federation import FederatedDeployment
+
+ALICE = "/O=Grid/OU=mdsb/CN=Alice"
+VO_POLICY = f"""
+{ALICE}:
+    &(action=start)(executable=sim)(count<=8)(jobtag!=NULL)
+    &(action=information)(jobowner=self)
+"""
+JOB = "&(executable=sim)(count=8)(jobtag=T)(runtime=100)"
+
+
+@pytest.fixture
+def setup():
+    federation = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+    federation.add_site("small", node_count=2, cpus_per_node=4)
+    federation.add_site("large", node_count=8, cpus_per_node=4)
+    credential = federation.add_member(ALICE, "alice")
+    mds = InformationService(max_age=300.0)
+    for site in federation.sites:
+        mds.publish_service(site.name, site.service)
+    return federation, credential, mds
+
+
+class TestMDSDrivenPlacement:
+    def test_planner_picks_the_emptiest_advertised_site(self, setup):
+        federation, credential, mds = setup
+        best = mds.find(min_free_cpus=8)[0]
+        assert best.name == "large"
+        client = GramClient(
+            credential, federation.site(best.name).service.gatekeeper
+        )
+        assert client.submit(JOB).ok
+
+    def test_republishing_tracks_consumption(self, setup):
+        federation, credential, mds = setup
+        client = GramClient(
+            credential, federation.site("large").service.gatekeeper
+        )
+        for _ in range(3):
+            assert client.submit(JOB).ok
+        mds.publish_service("large", federation.site("large").service)
+        record = mds.lookup("large")
+        assert record.free_cpus == 8  # 32 - 3*8
+
+    def test_stale_records_age_out_of_planning(self, setup):
+        federation, credential, mds = setup
+        federation.run(400.0)  # beyond max_age without republish
+        now = federation.site("large").service.clock.now
+        assert mds.find(min_free_cpus=1, now=now) == ()
+        # Republish and the directory is useful again.
+        for site in federation.sites:
+            mds.publish_service(site.name, site.service)
+        assert len(mds.find(min_free_cpus=1, now=now)) == 2
+
+    def test_directory_reflects_policy_sources(self, setup):
+        _, _, mds = setup
+        record = mds.lookup("small")
+        assert "vo" in record.policy_sources

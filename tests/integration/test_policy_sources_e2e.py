@@ -1,0 +1,165 @@
+"""Pluggable policy sources through the real callout API (paper §5).
+
+The prototype demonstrated the same policies served by plain files,
+Akenti and CAS.  Here all three source types drive a live GRAM
+resource through the callout registry, and agree.
+"""
+
+import pytest
+
+from repro.core.callout import GRAM_AUTHZ_CALLOUT
+from repro.core.decision import Decision, Effect
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode
+from repro.gram.service import GramService, ServiceConfig
+from repro.gsi.keys import KeyPair
+from repro.vo.akenti import akenti_sources_from_policy
+from repro.vo.cas import CASPolicySource, CASServer, attach_cas_policy
+from repro.vo.organization import VirtualOrganization
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+from tests.conftest import BO, KATE
+
+GOOD = "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(runtime=50)"
+BAD = "&(executable=rogue)(directory=/sandbox/test)(jobtag=ADS)(count=2)(runtime=50)"
+
+
+class TestAkentiBackedResource:
+    def build(self):
+        policy = parse_policy(FIGURE3_POLICY_TEXT, name="vo")
+        stakeholder_key = KeyPair("vo-stakeholder")
+        engine = akenti_sources_from_policy(
+            policy, resource="cluster", stakeholder="VO", stakeholder_key=stakeholder_key
+        )
+        service = GramService(ServiceConfig())
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(
+            GRAM_AUTHZ_CALLOUT, lambda request: engine.decide(request), label="akenti"
+        )
+        return service
+
+    def test_akenti_permits_conforming_start(self):
+        service = self.build()
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        assert bo.submit(GOOD).ok
+
+    def test_akenti_denies_rogue_start(self):
+        service = self.build()
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        assert bo.submit(BAD).code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_akenti_authorizes_cross_user_cancel(self):
+        service = self.build()
+        bo = GramClient(service.add_user(BO, "boliu"), service.gatekeeper)
+        kate = GramClient(service.add_user(KATE, "keahey"), service.gatekeeper)
+        submitted = bo.submit(
+            "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)"
+            "(count=2)(runtime=50)"
+        )
+        assert submitted.ok
+        assert kate.cancel(submitted.contact).ok
+
+
+class TestCASBackedResource:
+    def build(self):
+        service = GramService(ServiceConfig())
+        vo = VirtualOrganization("NFC")
+        vo.add_member(BO)
+        vo.add_member(KATE)
+        cas_credential = service.ca.issue("/O=Grid/CN=NFC CAS", now=0.0)
+        cas = CASServer(vo, cas_credential, parse_policy(FIGURE3_POLICY_TEXT, name="vo"))
+        source = CASPolicySource(cas_credential.key_pair.public)
+
+        # Resource side: per-request credential lookup.  The callout
+        # closure captures the "current credential" the way the JM
+        # would pass it through the callout arguments.
+        holder = {}
+
+        def cas_callout(request):
+            credential = holder.get("credential")
+            if credential is None:
+                return Decision.indeterminate("no credential bound")
+            return source.evaluate(request, credential, now=service.clock.now)
+
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(GRAM_AUTHZ_CALLOUT, cas_callout, label="cas")
+        return service, cas, holder
+
+    def test_cas_credential_carries_enforceable_policy(self):
+        service, cas, holder = self.build()
+        bo_identity = service.add_user(BO, "boliu")
+        signed = cas.issue(bo_identity, now=service.clock.now)
+        bo_proxy = attach_cas_policy(bo_identity, signed, now=service.clock.now)
+        holder["credential"] = bo_proxy
+
+        bo = GramClient(bo_proxy, service.gatekeeper)
+        assert bo.submit(GOOD).ok
+        assert bo.submit(BAD).code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_plain_credential_without_cas_policy_fails(self):
+        service, _, holder = self.build()
+        bo_identity = service.add_user(BO, "boliu")
+        holder["credential"] = bo_identity
+        bo = GramClient(bo_identity, service.gatekeeper)
+        response = bo.submit(GOOD)
+        # NOT_APPLICABLE from the only source -> denied, not a crash.
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+
+class TestSourceAgreement:
+    def test_file_akenti_and_cas_agree_on_a_request_matrix(self):
+        """The generality claim: identical decisions from all three
+        representations of the Figure 3 policy."""
+        from repro.core.evaluator import PolicyEvaluator
+        from repro.core.request import AuthorizationRequest
+        from repro.rsl.parser import parse_specification
+        from repro.gsi.credentials import CertificateAuthority
+
+        policy = parse_policy(FIGURE3_POLICY_TEXT, name="vo")
+        file_pdp = PolicyEvaluator(policy)
+        akenti = akenti_sources_from_policy(
+            policy, "cluster", "VO", KeyPair("stake")
+        )
+
+        ca = CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+        vo = VirtualOrganization("NFC")
+        vo.add_member(BO)
+        vo.add_member(KATE)
+        cas_credential = ca.issue("/O=Grid/CN=CAS", now=0.0)
+        cas = CASServer(vo, cas_credential, policy)
+        cas_source = CASPolicySource(cas_credential.key_pair.public)
+        credentials = {
+            who: attach_cas_policy(
+                ca.issue(who, now=0.0), cas.issue(ca.issue(who, now=0.0), now=0.0), now=0.0
+            )
+            for who in (BO, KATE)
+        }
+
+        probes = []
+        for who in (BO, KATE):
+            for rsl in (
+                "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)",
+                "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)",
+                "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=1)",
+                "&(executable=rogue)(count=2)",
+            ):
+                probes.append(
+                    AuthorizationRequest.start(who, parse_specification(rsl))
+                )
+        probes.append(
+            AuthorizationRequest.manage(
+                KATE,
+                "cancel",
+                parse_specification("&(executable=test2)(jobtag=NFC)"),
+                jobowner=BO,
+            )
+        )
+
+        for probe in probes:
+            file_verdict = file_pdp.evaluate(probe).is_permit
+            akenti_verdict = akenti.decide(probe).is_permit
+            cas_verdict = cas_source.evaluate(
+                probe, credentials[str(probe.requester)], now=1.0
+            ).is_permit
+            assert file_verdict == akenti_verdict == cas_verdict, str(probe)

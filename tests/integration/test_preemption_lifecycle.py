@@ -1,0 +1,126 @@
+"""Management-sequence edge cases across the full stack.
+
+The §2 preemption story involves sequences of management actions
+(suspend → start urgent → resume; cancel-after-suspend; double
+suspend) whose interactions must stay consistent across the JM, the
+scheduler and enforcement.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.service import GramService, ServiceConfig
+
+ADMIN = "/O=Grid/OU=pre/CN=Admin"
+USER = "/O=Grid/OU=pre/CN=User"
+
+POLICY = f"""
+&/O=Grid/OU=pre: (action=start)(jobtag!=NULL)
+{USER}:
+    &(action=start)(executable=sim)(count<=16)(jobtag!=NULL)
+    &(action=information)(jobowner=self)
+{ADMIN}:
+    &(action=start)(executable=sim)(count<=16)(jobtag!=NULL)
+    &(action=suspend)(jobtag=VO)
+    &(action=resume)(jobtag=VO)
+    &(action=cancel)(jobtag=VO)
+    &(action=signal)(jobtag=VO)
+    &(action=information)(jobtag!=NULL)
+"""
+
+LONG_JOB = "&(executable=sim)(count=16)(jobtag=VO)(runtime=1000)"
+
+
+@pytest.fixture
+def stack():
+    service = GramService(
+        ServiceConfig(
+            node_count=4,
+            cpus_per_node=4,
+            policies=(parse_policy(POLICY, name="vo"),),
+        )
+    )
+    user = GramClient(service.add_user(USER, "user"), service.gatekeeper)
+    admin = GramClient(service.add_user(ADMIN, "admin"), service.gatekeeper)
+    return service, user, admin
+
+
+class TestSuspendResumeSequences:
+    def test_double_suspend_is_an_error_not_a_crash(self, stack):
+        service, user, admin = stack
+        job = user.submit(LONG_JOB)
+        assert admin.suspend(job.contact).ok
+        second = admin.suspend(job.contact)
+        assert second.code is GramErrorCode.NO_SUCH_JOB  # LRM refuses
+        # The job is still intact and resumable.
+        assert admin.resume(job.contact).ok
+
+    def test_resume_without_suspend_is_an_error(self, stack):
+        service, user, admin = stack
+        job = user.submit(LONG_JOB)
+        response = admin.resume(job.contact)
+        assert response.code is GramErrorCode.NO_SUCH_JOB
+
+    def test_cancel_while_suspended(self, stack):
+        service, user, admin = stack
+        job = user.submit(LONG_JOB)
+        admin.suspend(job.contact)
+        cancelled = admin.cancel(job.contact)
+        assert cancelled.ok
+        assert cancelled.state is GramJobState.FAILED
+        assert service.cluster.free_cpus == service.cluster.total_cpus
+
+    def test_suspend_resume_preserves_progress(self, stack):
+        service, user, admin = stack
+        job = user.submit(
+            "&(executable=sim)(count=16)(jobtag=VO)(runtime=100)"
+        )
+        service.run(40.0)
+        admin.suspend(job.contact)
+        service.run(500.0)
+        admin.resume(job.contact)
+        service.run(59.0)
+        assert user.status(job.contact).state is GramJobState.ACTIVE
+        service.run(2.0)
+        assert user.status(job.contact).state is GramJobState.DONE
+
+    def test_full_preemption_story(self, stack):
+        service, user, admin = stack
+        long_job = user.submit(LONG_JOB)
+        urgent = admin.submit(
+            "&(executable=sim)(count=16)(jobtag=VO)(runtime=30)"
+        )
+        assert urgent.ok
+        assert urgent.state is GramJobState.PENDING  # cluster full
+
+        assert admin.suspend(long_job.contact).ok
+        # The urgent job starts the moment CPUs free up.
+        assert admin.status(urgent.contact).state is GramJobState.ACTIVE
+        service.run(30.0)
+        assert admin.status(urgent.contact).state is GramJobState.DONE
+        assert admin.resume(long_job.contact).ok
+        assert user.status(long_job.contact).state is GramJobState.ACTIVE
+
+
+class TestSignalSequences:
+    def test_priority_signal_reorders_waiting_jobs(self, stack):
+        service, user, admin = stack
+        blocker = user.submit(LONG_JOB)
+        first = user.submit("&(executable=sim)(count=16)(jobtag=VO)(runtime=10)")
+        second = user.submit("&(executable=sim)(count=16)(jobtag=VO)(runtime=10)")
+        assert first.state is GramJobState.PENDING
+        assert second.state is GramJobState.PENDING
+        assert admin.signal(second.contact, priority=50).ok
+        admin.cancel(blocker.contact)
+        # The boosted job starts first.
+        assert admin.status(second.contact).state is GramJobState.ACTIVE
+        assert admin.status(first.contact).state is GramJobState.PENDING
+
+    def test_signal_terminal_job_is_graceful(self, stack):
+        service, user, admin = stack
+        job = user.submit("&(executable=sim)(count=1)(jobtag=VO)(runtime=5)")
+        service.run(10.0)
+        response = admin.signal(job.contact, priority=9)
+        assert response.code is GramErrorCode.NO_SUCH_JOB

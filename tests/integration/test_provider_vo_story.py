@@ -1,0 +1,143 @@
+"""The complete §2 story: provider envelope + VO fine-grain policy +
+enforcement + reporting, in one deployment.
+
+The resource provider grants the VO a coarse allocation; the VO
+divides it among its two user classes; enforcement holds jobs to
+their declared budgets; the provider reads a roll-up of what the VO
+consumed; VO admins read why members were denied.
+"""
+
+import pytest
+
+from repro.core.callout import GRAM_AUTHZ_CALLOUT
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.reporting import authorization_stats, denial_report, vo_usage
+from repro.gram.service import GramService, ServiceConfig
+from repro.vo.allocation import AllocationMeter, VOAllocation, allocation_callout
+from repro.vo.organization import VirtualOrganization
+
+ORG = "/O=Grid/O=Fusion/OU=story"
+DEV = f"{ORG}/OU=dev/CN=Dev"
+ANALYST = f"{ORG}/OU=analysis/CN=Ana"
+
+VO_POLICY = f"""
+&{ORG}: (action=start)(jobtag!=NULL)
+{ORG}/OU=dev:
+    &(action=start)(directory=/sandbox/dev)(count<2)(maxcputime<=60)
+    &(action=information)(jobowner=self)
+{ORG}/OU=analysis:
+    &(action=start)(executable=TRANSP)(count<=8)(maxcputime<=4000)
+    &(action=information)(jobowner=self)
+    &(action=cancel)(jobowner=self)
+"""
+
+
+@pytest.fixture
+def deployment():
+    service = GramService(
+        ServiceConfig(
+            node_count=4,
+            cpus_per_node=4,
+            policies=(parse_policy(VO_POLICY, name="nfc"),),
+            enforcement="sandbox",
+        )
+    )
+    vo = VirtualOrganization("NFC")
+    dev_cred = service.add_user(DEV, "dev")
+    ana_cred = service.add_user(ANALYST, "ana")
+    vo.add_member(DEV, groups=("dev",))
+    vo.add_member(ANALYST, groups=("analysis",))
+    account_of = {DEV: "dev", ANALYST: "ana"}
+
+    allocation = VOAllocation(vo=vo, cpu_seconds_budget=5000.0, concurrent_cpu_cap=12)
+    meter = AllocationMeter(allocation, service.scheduler, account_of)
+    existing = service.registry._callouts[GRAM_AUTHZ_CALLOUT][0][1]
+    service.registry.clear(GRAM_AUTHZ_CALLOUT)
+    service.registry.register(GRAM_AUTHZ_CALLOUT, allocation_callout(meter))
+    service.registry.register(GRAM_AUTHZ_CALLOUT, existing)
+
+    dev = GramClient(dev_cred, service.gatekeeper)
+    analyst = GramClient(ana_cred, service.gatekeeper)
+    return service, vo, meter, account_of, dev, analyst
+
+
+class TestTheWholeStory:
+    def test_provider_envelope_and_vo_policy_compose(self, deployment):
+        service, vo, meter, account_of, dev, analyst = deployment
+
+        # 1. The analyst runs the sanctioned application — permitted.
+        big = analyst.submit(
+            "&(executable=TRANSP)(count=8)(jobtag=NFC)(maxcputime=4000)(runtime=100)"
+        )
+        assert big.ok
+
+        # 2. A second big job would exceed the provider's concurrent cap.
+        over_cap = analyst.submit(
+            "&(executable=TRANSP)(count=8)(jobtag=NFC)(maxcputime=400)(runtime=10)"
+        )
+        assert over_cap.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("concurrent-CPU cap" in r for r in over_cap.reasons)
+
+        # 3. The developer fits inside what remains of the cap.
+        small = dev.submit(
+            "&(executable=gcc)(directory=/sandbox/dev)(count=1)(jobtag=DEBUG)"
+            "(maxcputime=30)(runtime=10)"
+        )
+        assert small.ok
+
+        # 4. VO fine-grain policy still bites inside the envelope.
+        rogue = dev.submit(
+            "&(executable=gcc)(directory=/tmp)(count=1)(jobtag=DEBUG)(maxcputime=30)"
+        )
+        assert rogue.code is GramErrorCode.AUTHORIZATION_DENIED
+
+        # 5. Enforcement kills a job that overruns its declaration.
+        liar = dev.submit(
+            "&(executable=gcc)(directory=/sandbox/dev)(count=1)(jobtag=DEBUG)"
+            "(maxcputime=10)(runtime=500)"
+        )
+        assert liar.ok
+        service.run(600.0)
+        assert dev.status(liar.contact).state is GramJobState.FAILED
+
+        # 6. The provider reads the VO roll-up.
+        report = vo_usage(vo, service.scheduler, account_of)
+        assert report.jobs_submitted == 3
+        assert report.cpu_seconds > 0
+        assert report.cpu_seconds <= 5000.0  # inside the budget
+
+        # 7. The VO admin reads the denial report.
+        denials = denial_report(service.pep)
+        assert denials  # both denied requests are visible
+        stats = authorization_stats(service.pep)
+        assert stats.denials >= 2
+        assert stats.failures == 0
+
+    def test_budget_drains_across_the_vo(self, deployment):
+        service, vo, meter, account_of, dev, analyst = deployment
+        # Burn most of the budget with one long analyst run (staying
+        # inside its own declared maxcputime so the sandbox lets it
+        # finish: 8 CPUs x 450 s = 3600 cpu-s of the 5000 budget).
+        burner = analyst.submit(
+            "&(executable=TRANSP)(count=8)(jobtag=NFC)(maxcputime=4000)(runtime=450)"
+        )
+        assert burner.ok
+        service.run(470.0)
+        assert meter.remaining_budget() == pytest.approx(1400.0)
+
+        # Even the developer's tiny job is now blocked once the
+        # budget fully drains (8 CPUs x 175 s = the remaining 1400).
+        top_up = analyst.submit(
+            "&(executable=TRANSP)(count=8)(jobtag=NFC)(maxcputime=1400)(runtime=175)"
+        )
+        assert top_up.ok
+        service.run(200.0)
+        assert meter.remaining_budget() == 0.0
+        blocked = dev.submit(
+            "&(executable=gcc)(directory=/sandbox/dev)(count=1)(jobtag=DEBUG)"
+            "(maxcputime=10)(runtime=5)"
+        )
+        assert blocked.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("exhausted" in r for r in blocked.reasons)

@@ -1,0 +1,188 @@
+"""The four requirements of paper §2, each verified end to end.
+
+1. Combining policies from different sources.
+2. Fine-grain control of how resources are used.
+3. VO-wide management of jobs and resource allocations.
+4. Fine-grain, dynamic enforcement mechanisms.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.service import GramService, ServiceConfig
+
+ORG = "/O=Grid/O=Fusion/OU=req"
+ALICE = f"{ORG}/CN=Alice Analyst"
+ADMIN = f"{ORG}/CN=Andy Admin"
+
+
+class TestRequirement1CombiningPolicies:
+    """Resource-owner and VO policies are both enforced on one request."""
+
+    VO = f"""
+    {ALICE}: &(action=start)(executable=TRANSP)(count<=16)
+    """
+    LOCAL = f"""
+    {ORG}: &(action=start)(count<=4)
+    """
+
+    def build(self):
+        service = GramService(
+            ServiceConfig(
+                policies=(
+                    parse_policy(self.VO, name="vo"),
+                    parse_policy(self.LOCAL, name="local"),
+                )
+            )
+        )
+        return service, GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+
+    def test_intersection_permits(self):
+        _, alice = self.build()
+        assert alice.submit("&(executable=TRANSP)(count=4)(runtime=5)").ok
+
+    def test_vo_policy_alone_is_not_enough(self):
+        """VO allows 16 CPUs but the site allows 4: site limit binds."""
+        _, alice = self.build()
+        response = alice.submit("&(executable=TRANSP)(count=8)(runtime=5)")
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("[local]" in reason for reason in response.reasons)
+
+    def test_site_policy_alone_is_not_enough(self):
+        _, alice = self.build()
+        response = alice.submit("&(executable=rogue)(count=2)(runtime=5)")
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("[vo]" in reason for reason in response.reasons)
+
+
+class TestRequirement2FineGrainControl:
+    """Beyond yes/no access: executables, directories, sizes, queues."""
+
+    VO = f"""
+    {ALICE}:
+        &(action=start)(executable=TRANSP)(directory=/opt/vo)(count<4)(queue!=reserved)
+    """
+
+    def build(self):
+        from repro.lrm.queues import JobQueue
+
+        service = GramService(
+            ServiceConfig(
+                policies=(parse_policy(self.VO, name="vo"),),
+                queues=(JobQueue("default"), JobQueue("reserved", priority=9)),
+            )
+        )
+        return GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+
+    def test_exact_conforming_request_permitted(self):
+        alice = self.build()
+        assert alice.submit(
+            "&(executable=TRANSP)(directory=/opt/vo)(count=2)(runtime=5)"
+        ).ok
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            "&(executable=OTHER)(directory=/opt/vo)(count=2)(runtime=5)",
+            "&(executable=TRANSP)(directory=/tmp)(count=2)(runtime=5)",
+            "&(executable=TRANSP)(directory=/opt/vo)(count=4)(runtime=5)",
+            "&(executable=TRANSP)(directory=/opt/vo)(count=2)(queue=reserved)(runtime=5)",
+        ],
+        ids=["executable", "directory", "count", "reserved-queue"],
+    )
+    def test_each_dimension_is_enforced(self, mutation):
+        alice = self.build()
+        response = alice.submit(mutation)
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+
+class TestRequirement3VOWideManagement:
+    """Jobs are resources: non-initiators manage them under policy,
+    scoped by jobtag, excluding jobs outside the VO's domain."""
+
+    VO = f"""
+    &{ORG}: (action=start)(jobtag!=NULL)
+    {ALICE}: &(action=start)(executable=TRANSP)(count<=4)(jobtag!=NULL)
+    {ADMIN}:
+        &(action=start)(executable=TRANSP)(count<=4)(jobtag!=NULL)
+        &(action=cancel)(jobtag=VO)
+        &(action=information)(jobtag=VO)
+    """
+
+    def build(self):
+        service = GramService(ServiceConfig(policies=(parse_policy(self.VO, name="vo"),)))
+        alice = GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+        admin = GramClient(service.add_user(ADMIN, "admin"), service.gatekeeper)
+        return service, alice, admin
+
+    def test_admin_manages_vo_tagged_job(self):
+        _, alice, admin = self.build()
+        submitted = alice.submit(
+            "&(executable=TRANSP)(count=2)(jobtag=VO)(runtime=100)"
+        )
+        assert submitted.ok
+        assert admin.status(submitted.contact).ok
+        assert admin.cancel(submitted.contact).ok
+
+    def test_jobs_outside_the_vo_domain_are_untouchable(self):
+        """A job tagged for a personal allocation is not under VO
+        management even though the same user submitted it."""
+        _, alice, admin = self.build()
+        personal = alice.submit(
+            "&(executable=TRANSP)(count=2)(jobtag=PERSONAL)(runtime=100)"
+        )
+        assert personal.ok
+        response = admin.cancel(personal.contact)
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_dynamic_job_population(self):
+        """Management policy needs no per-job configuration: any new
+        job with the right tag is instantly manageable (static methods
+        of policy management would not be effective — §2 req 3)."""
+        service, alice, admin = self.build()
+        contacts = [
+            alice.submit(
+                "&(executable=TRANSP)(count=1)(jobtag=VO)(runtime=100)"
+            ).contact
+            for _ in range(5)
+        ]
+        for contact in contacts:
+            assert admin.cancel(contact).ok
+
+
+class TestRequirement4DynamicEnforcement:
+    """Enforcement reacts to the request, not the account."""
+
+    VO = f"""
+    {ALICE}:
+        &(action=start)(executable=TRANSP)(maxcputime<=50)(count<=2)
+        &(action=information)
+    """
+
+    def test_two_jobs_same_user_different_limits(self):
+        """Same user, same account — but each job is held to the
+        limits *it* declared, something per-account static
+        configuration cannot express (§4.3 shortcoming 4)."""
+        service = GramService(
+            ServiceConfig(
+                policies=(parse_policy(self.VO, name="vo"),),
+                enforcement="sandbox",
+            )
+        )
+        alice = GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+
+        modest = alice.submit(
+            "&(executable=TRANSP)(count=1)(maxcputime=10)(runtime=5)"
+        )
+        greedy = alice.submit(
+            "&(executable=TRANSP)(count=1)(maxcputime=10)(runtime=500)"
+        )
+        assert modest.ok and greedy.ok
+        service.run(600.0)
+        assert alice.status(modest.contact).state is GramJobState.DONE
+        assert alice.status(greedy.contact).state is GramJobState.FAILED
+        violations = service.enforcement.violations
+        assert len(violations) == 1
+        assert violations[0].limit == "cpu-seconds"

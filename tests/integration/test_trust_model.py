@@ -1,0 +1,73 @@
+"""The §6.2 Job Manager trust-model limitation, demonstrated.
+
+"A user managing a job may cancel a job started by somebody else ...
+but they may not apply their higher resource rights to, for example,
+raise the job's priority" — because the JMI runs with the initiator's
+local credential, not the manager's.
+"""
+
+import pytest
+
+from repro.accounts.local import AccountLimits
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.service import GramService, ServiceConfig
+
+USER = "/O=Grid/OU=trust/CN=Lowly User"
+ADMIN = "/O=Grid/OU=trust/CN=Mighty Admin"
+
+POLICY = f"""
+{USER}:
+    &(action=start)(executable=sim)(jobtag!=NULL)
+    &(action=information)(jobowner=self)
+{ADMIN}:
+    &(action=cancel)(jobtag=VO)
+    &(action=signal)(jobtag=VO)
+    &(action=information)(jobtag=VO)
+"""
+
+
+@pytest.fixture
+def stack():
+    service = GramService(
+        ServiceConfig(policies=(parse_policy(POLICY, name="vo"),))
+    )
+    user_cred = service.add_user(USER, "lowly")
+    admin_cred = service.add_user(ADMIN, "mighty")
+    # The initiator's account can only hold priority 5; the admin's
+    # own account could go to 100 — but the JMI doesn't run as them.
+    service.accounts.get("lowly").limits = AccountLimits(max_priority=5)
+    service.accounts.get("mighty").limits = AccountLimits(max_priority=100)
+    user = GramClient(user_cred, service.gatekeeper)
+    admin = GramClient(admin_cred, service.gatekeeper)
+    return service, user, admin
+
+
+class TestTrustLimitation:
+    def test_authorized_manager_can_cancel(self, stack):
+        service, user, admin = stack
+        job = user.submit("&(executable=sim)(jobtag=VO)(runtime=100)")
+        assert admin.cancel(job.contact).ok
+
+    def test_priority_clamped_to_initiators_ceiling(self, stack):
+        """The signal is *authorized* (policy grants it) but its
+        effect is capped by the account the JMI runs under."""
+        service, user, admin = stack
+        job = user.submit("&(executable=sim)(jobtag=VO)(runtime=100)")
+        response = admin.signal(job.contact, priority=50)
+        assert response.ok  # authorization succeeded
+        lrm_job = service.scheduler.job(job.contact.job_id)
+        assert lrm_job.priority == 5  # ... but the effect was clamped
+
+    def test_priority_below_ceiling_applies_fully(self, stack):
+        service, user, admin = stack
+        job = user.submit("&(executable=sim)(jobtag=VO)(runtime=100)")
+        admin.signal(job.contact, priority=3)
+        assert service.scheduler.job(job.contact.job_id).priority == 3
+
+    def test_unlimited_account_has_no_clamp(self, stack):
+        service, user, admin = stack
+        service.accounts.get("lowly").limits = AccountLimits()  # no ceiling
+        job = user.submit("&(executable=sim)(jobtag=VO)(runtime=100)")
+        admin.signal(job.contact, priority=50)
+        assert service.scheduler.job(job.contact.job_id).priority == 50

@@ -1,0 +1,97 @@
+"""Cluster and allocation behaviour."""
+
+import pytest
+
+from repro.lrm.cluster import Allocation, Cluster, Node
+from repro.lrm.errors import AllocationError
+
+
+class TestNode:
+    def test_take_and_give_back(self):
+        node = Node("n1", cpus=4)
+        node.take(3)
+        assert node.free == 1
+        node.give_back(2)
+        assert node.free == 3
+
+    def test_overcommit_rejected(self):
+        node = Node("n1", cpus=4)
+        with pytest.raises(AllocationError):
+            node.take(5)
+
+    def test_over_release_rejected(self):
+        node = Node("n1", cpus=4)
+        node.take(1)
+        with pytest.raises(AllocationError):
+            node.give_back(2)
+
+    def test_zero_cpu_node_rejected(self):
+        with pytest.raises(ValueError):
+            Node("n1", cpus=0)
+
+
+class TestCluster:
+    def test_homogeneous_construction(self):
+        cluster = Cluster.homogeneous("c", node_count=3, cpus_per_node=4)
+        assert cluster.total_cpus == 12
+        assert cluster.free_cpus == 12
+        assert len(cluster.nodes) == 3
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster("c", [Node("same", 1), Node("same", 1)])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster("c", [])
+
+    def test_allocation_spans_nodes(self):
+        cluster = Cluster.homogeneous("c", node_count=2, cpus_per_node=4)
+        allocation = cluster.allocate(6)
+        assert allocation.total_cpus == 6
+        assert len(allocation.parts) == 2
+        assert cluster.free_cpus == 2
+
+    def test_release_restores_capacity(self):
+        cluster = Cluster.homogeneous("c", node_count=2, cpus_per_node=4)
+        allocation = cluster.allocate(5)
+        cluster.release(allocation)
+        assert cluster.free_cpus == 8
+
+    def test_cannot_allocate_more_than_free(self):
+        cluster = Cluster.homogeneous("c", node_count=1, cpus_per_node=4)
+        cluster.allocate(3)
+        with pytest.raises(AllocationError):
+            cluster.allocate(2)
+
+    def test_zero_allocation_rejected(self):
+        cluster = Cluster.homogeneous("c", node_count=1, cpus_per_node=4)
+        with pytest.raises(AllocationError):
+            cluster.allocate(0)
+
+    def test_fits_vs_can_allocate(self):
+        cluster = Cluster.homogeneous("c", node_count=1, cpus_per_node=4)
+        cluster.allocate(3)
+        assert cluster.fits(4)          # could run once resources free up
+        assert not cluster.can_allocate(4)  # not right now
+        assert not cluster.fits(5)      # never
+
+    def test_utilization(self):
+        cluster = Cluster.homogeneous("c", node_count=1, cpus_per_node=4)
+        assert cluster.utilization == 0.0
+        cluster.allocate(2)
+        assert cluster.utilization == 0.5
+
+    def test_release_unknown_node_rejected(self):
+        cluster = Cluster.homogeneous("c", node_count=1, cpus_per_node=4)
+        bogus = Allocation(parts=(("ghost", 1),))
+        with pytest.raises(AllocationError):
+            cluster.release(bogus)
+
+    def test_many_small_allocations_fill_exactly(self):
+        cluster = Cluster.homogeneous("c", node_count=4, cpus_per_node=4)
+        allocations = [cluster.allocate(1) for _ in range(16)]
+        assert cluster.free_cpus == 0
+        for allocation in allocations:
+            cluster.release(allocation)
+        assert cluster.free_cpus == 16

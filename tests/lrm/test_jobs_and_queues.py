@@ -1,0 +1,84 @@
+"""Job model and queue configuration."""
+
+import pytest
+
+from repro.lrm.errors import QueueError
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.queues import JobQueue
+
+
+class TestBatchJob:
+    def test_auto_job_id(self):
+        a = BatchJob(account="x", executable="e", cpus=1, runtime=1.0)
+        b = BatchJob(account="x", executable="e", cpus=1, runtime=1.0)
+        assert a.job_id != b.job_id
+
+    def test_explicit_job_id_kept(self):
+        j = BatchJob(account="x", executable="e", cpus=1, runtime=1.0, job_id="mine")
+        assert j.job_id == "mine"
+
+    def test_nonpositive_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            BatchJob(account="x", executable="e", cpus=0, runtime=1.0)
+
+    def test_negative_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            BatchJob(account="x", executable="e", cpus=1, runtime=-1.0)
+
+    def test_terminal_states(self):
+        assert JobState.COMPLETED.is_terminal
+        assert JobState.CANCELLED.is_terminal
+        assert JobState.FAILED.is_terminal
+        assert not JobState.RUNNING.is_terminal
+        assert not JobState.SUSPENDED.is_terminal
+
+    def test_cpu_seconds_zero_before_start(self):
+        j = BatchJob(account="x", executable="e", cpus=4, runtime=10.0)
+        assert j.cpu_seconds == 0.0
+
+    def test_wait_time_none_before_start(self):
+        j = BatchJob(account="x", executable="e", cpus=1, runtime=1.0)
+        assert j.wait_time is None
+        assert j.wall_time is None
+
+
+class TestJobQueue:
+    def test_unlimited_queue_admits_anything(self):
+        queue = JobQueue(name="default")
+        queue.admit(BatchJob(account="x", executable="e", cpus=999, runtime=1e9))
+
+    def test_cpu_cap(self):
+        queue = JobQueue(name="q", max_cpus_per_job=4)
+        queue.admit(BatchJob(account="x", executable="e", cpus=4, runtime=1.0))
+        with pytest.raises(QueueError):
+            queue.admit(BatchJob(account="x", executable="e", cpus=5, runtime=1.0))
+
+    def test_walltime_cap_requires_declared_bound(self):
+        queue = JobQueue(name="q", max_walltime=100.0)
+        with pytest.raises(QueueError):
+            queue.admit(BatchJob(account="x", executable="e", cpus=1, runtime=1.0))
+
+    def test_walltime_cap_rejects_large_request(self):
+        queue = JobQueue(name="q", max_walltime=100.0)
+        with pytest.raises(QueueError):
+            queue.admit(
+                BatchJob(
+                    account="x", executable="e", cpus=1, runtime=1.0, max_walltime=200.0
+                )
+            )
+
+    def test_effective_walltime_takes_minimum(self):
+        queue = JobQueue(name="q", max_walltime=100.0)
+        tight = BatchJob(
+            account="x", executable="e", cpus=1, runtime=1.0, max_walltime=50.0
+        )
+        assert queue.effective_walltime(tight) == 50.0
+        loose = BatchJob(
+            account="x", executable="e", cpus=1, runtime=1.0, max_walltime=500.0
+        )
+        assert queue.effective_walltime(loose) == 100.0
+
+    def test_effective_walltime_unbounded(self):
+        queue = JobQueue(name="q")
+        j = BatchJob(account="x", executable="e", cpus=1, runtime=1.0)
+        assert queue.effective_walltime(j) is None

@@ -1,0 +1,95 @@
+"""Property-based invariants of the batch scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lrm.cluster import Cluster
+from repro.lrm.jobs import BatchJob, JobState
+from repro.lrm.scheduler import BatchScheduler
+from repro.sim.clock import Clock
+
+job_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),   # cpus
+        st.floats(min_value=0.5, max_value=50.0),  # runtime
+        st.integers(min_value=0, max_value=5),   # priority
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run_workload(specs):
+    clock = Clock()
+    cluster = Cluster.homogeneous("c", node_count=2, cpus_per_node=4)
+    scheduler = BatchScheduler(cluster, clock)
+    jobs = []
+    for index, (cpus, runtime, priority) in enumerate(specs):
+        job = BatchJob(
+            account=f"acct{index % 3}",
+            executable="sim",
+            cpus=cpus,
+            runtime=runtime,
+            priority=priority,
+        )
+        scheduler.submit(job)
+        jobs.append(job)
+        clock.advance(0.25)
+    clock.advance(sum(runtime for _, runtime, _ in specs) + 100.0)
+    return scheduler, cluster, jobs, clock
+
+
+class TestSchedulerProperties:
+    @given(specs=job_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_every_job_eventually_completes(self, specs):
+        _, _, jobs, _ = run_workload(specs)
+        assert all(job.state is JobState.COMPLETED for job in jobs)
+
+    @given(specs=job_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_is_fully_released_at_the_end(self, specs):
+        _, cluster, _, _ = run_workload(specs)
+        assert cluster.free_cpus == cluster.total_cpus
+
+    @given(specs=job_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_cpus_never_oversubscribed(self, specs):
+        """Check the invariant at every event boundary."""
+        clock = Clock()
+        cluster = Cluster.homogeneous("c", node_count=2, cpus_per_node=4)
+        scheduler = BatchScheduler(cluster, clock)
+        for index, (cpus, runtime, priority) in enumerate(specs):
+            scheduler.submit(
+                BatchJob(
+                    account="a",
+                    executable="sim",
+                    cpus=cpus,
+                    runtime=runtime,
+                    priority=priority,
+                )
+            )
+            assert 0 <= cluster.used_cpus <= cluster.total_cpus
+        while clock.step() is not None:
+            assert 0 <= cluster.used_cpus <= cluster.total_cpus
+            running = scheduler.jobs(JobState.RUNNING)
+            assert sum(j.cpus for j in running) == cluster.used_cpus
+
+    @given(specs=job_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_conserves_cpu_seconds(self, specs):
+        scheduler, _, jobs, _ = run_workload(specs)
+        expected = sum(job.cpus * job.runtime for job in jobs)
+        recorded = sum(
+            scheduler.usage(acct).cpu_seconds for acct in {j.account for j in jobs}
+        )
+        assert recorded == pytest.approx(expected, rel=1e-6)
+
+    @given(specs=job_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_wait_times_are_nonnegative(self, specs):
+        _, _, jobs, _ = run_workload(specs)
+        for job in jobs:
+            assert job.wait_time is not None
+            assert job.wait_time >= 0.0

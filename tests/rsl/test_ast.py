@@ -1,0 +1,175 @@
+"""AST helper behaviour."""
+
+import pytest
+
+from repro.rsl.ast import (
+    MultiRequest,
+    Relation,
+    Relop,
+    Specification,
+    Value,
+    VariableReference,
+)
+
+
+class TestValue:
+    def test_of_string(self):
+        value = Value.of("hello")
+        assert value.text == "hello"
+        assert not value.is_numeric
+
+    def test_of_int(self):
+        value = Value.of(42)
+        assert value.text == "42"
+        assert value.number == 42.0
+
+    def test_of_float(self):
+        value = Value.of(2.5)
+        assert value.number == 2.5
+
+    def test_numeric_string_detected(self):
+        assert Value.of("3.14").is_numeric
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            Value.of(True)
+
+    def test_equality_by_text_only(self):
+        assert Value.of("4") == Value(text="4", number=None)
+
+
+class TestRelop:
+    def test_from_symbol(self):
+        assert Relop.from_symbol("<=") is Relop.LTE
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            Relop.from_symbol("==")
+
+    def test_ordering_property(self):
+        assert Relop.LT.is_ordering
+        assert Relop.GTE.is_ordering
+        assert not Relop.EQ.is_ordering
+        assert not Relop.NEQ.is_ordering
+
+
+class TestRelation:
+    def test_make_lowercases_attribute(self):
+        relation = Relation.make("Count", "=", 4)
+        assert relation.attribute == "count"
+
+    def test_make_with_string_op(self):
+        relation = Relation.make("a", "!=", "x")
+        assert relation.op is Relop.NEQ
+
+    def test_make_with_value_list(self):
+        relation = Relation.make("args", "=", ["-v", "-x"])
+        assert relation.value_texts() == ("-v", "-x")
+
+    def test_make_requires_values(self):
+        with pytest.raises(ValueError):
+            Relation.make("a", "=", [])
+
+    def test_value_accessor_single(self):
+        relation = Relation.make("a", "=", "x")
+        assert str(relation.value) == "x"
+
+    def test_value_accessor_rejects_multi(self):
+        relation = Relation.make("a", "=", ["x", "y"])
+        with pytest.raises(ValueError):
+            relation.value
+
+
+class TestSpecification:
+    def build(self):
+        return Specification.make(
+            [
+                Relation.make("executable", "=", "prog"),
+                Relation.make("count", "<", 4),
+                Relation.make("count", ">=", 1),
+            ]
+        )
+
+    def test_len_and_iter(self):
+        spec = self.build()
+        assert len(spec) == 3
+        assert len(list(spec)) == 3
+
+    def test_relations_for_is_case_insensitive(self):
+        spec = self.build()
+        assert len(spec.relations_for("COUNT")) == 2
+
+    def test_first_value_only_sees_equality(self):
+        spec = self.build()
+        assert spec.first_value("count") is None
+        assert spec.first_value("executable") == "prog"
+
+    def test_has(self):
+        spec = self.build()
+        assert spec.has("count")
+        assert not spec.has("queue")
+
+    def test_without_removes_all_relations(self):
+        spec = self.build().without("count")
+        assert not spec.has("count")
+        assert spec.has("executable")
+
+    def test_replace_swaps_every_relation(self):
+        spec = self.build().replace("count", Relation.make("count", "=", 2))
+        assert len(spec.relations_for("count")) == 1
+        assert spec.first_value("count") == "2"
+
+    def test_merged_with_concatenates(self):
+        extra = Specification.from_pairs({"queue": "fast"})
+        merged = self.build().merged_with(extra)
+        assert merged.has("queue")
+        assert len(merged) == 4
+
+    def test_from_pairs_builds_equalities(self):
+        spec = Specification.from_pairs({"a": 1, "b": "two"})
+        assert spec.first_value("a") == "1"
+        assert spec.first_value("b") == "two"
+
+    def test_to_dict_flattens_equalities(self):
+        spec = Specification.make(
+            [
+                Relation.make("a", "=", 1),
+                Relation.make("a", "=", 2),
+                Relation.make("b", "<", 3),
+            ]
+        )
+        flattened = spec.to_dict()
+        assert flattened["a"] == ("1", "2")
+        assert "b" not in flattened
+
+
+class TestSubstitution:
+    def test_bound_variable_replaced(self):
+        spec = Specification.make(
+            [Relation.make("stdout", "=", VariableReference("HOME"))]
+        )
+        resolved = spec.substitute({"HOME": "/home/bo"})
+        assert resolved.first_value("stdout") == "/home/bo"
+        assert resolved.unbound_variables() == ()
+
+    def test_unbound_variable_left_in_place(self):
+        spec = Specification.make(
+            [Relation.make("stdout", "=", VariableReference("HOME"))]
+        )
+        resolved = spec.substitute({})
+        assert resolved.unbound_variables() == ("HOME",)
+
+    def test_substitution_does_not_mutate(self):
+        spec = Specification.make(
+            [Relation.make("stdout", "=", VariableReference("HOME"))]
+        )
+        spec.substitute({"HOME": "/x"})
+        assert spec.unbound_variables() == ("HOME",)
+
+
+class TestMultiRequest:
+    def test_iteration(self):
+        specs = [Specification.from_pairs({"a": i}) for i in range(3)]
+        multi = MultiRequest.make(specs)
+        assert len(multi) == 3
+        assert [s.first_value("a") for s in multi] == ["0", "1", "2"]

@@ -1,0 +1,139 @@
+"""RSL '#' concatenation."""
+
+import pytest
+
+from repro.rsl.ast import Concatenation, Value, VariableReference
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_specification
+from repro.rsl.unparser import unparse
+
+
+class TestParsing:
+    def test_ground_concatenation_folds_at_parse_time(self):
+        spec = parse_specification("&(x=abc#def)")
+        assert spec.first_value("x") == "abcdef"
+
+    def test_quoted_parts_fold(self):
+        spec = parse_specification('&(x="a b"#"c d")')
+        assert spec.first_value("x") == "a bc d"
+
+    def test_variable_concatenation_survives(self):
+        spec = parse_specification("&(stdout=$(HOME)#/out.log)")
+        value = spec.relations_for("stdout")[0].values[0]
+        assert isinstance(value, Concatenation)
+        assert value.variable_names() == ("HOME",)
+
+    def test_three_part_concatenation(self):
+        spec = parse_specification("&(path=$(ROOT)#/bin/#$(NAME))")
+        value = spec.relations_for("path")[0].values[0]
+        assert isinstance(value, Concatenation)
+        assert len(value.parts) == 3
+
+    def test_dangling_hash_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_specification("&(x=a#)")
+
+    def test_leading_hash_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_specification("&(x=#a)")
+
+
+class TestSubstitution:
+    def test_bound_concatenation_collapses(self):
+        spec = parse_specification("&(stdout=$(HOME)#/out.log)")
+        resolved = spec.substitute({"HOME": "/home/bo"})
+        assert resolved.first_value("stdout") == "/home/bo/out.log"
+        assert resolved.unbound_variables() == ()
+
+    def test_partially_bound_concatenation_stays(self):
+        spec = parse_specification("&(path=$(ROOT)#/x/#$(NAME))")
+        resolved = spec.substitute({"ROOT": "/opt"})
+        assert "NAME" in resolved.unbound_variables()
+        # ROOT is reported too: the concatenation is still unresolved.
+        assert "ROOT" in resolved.unbound_variables()
+
+    def test_unbound_listed(self):
+        spec = parse_specification("&(stdout=$(HOME)#/out.log)")
+        assert spec.unbound_variables() == ("HOME",)
+
+
+class TestUnparsing:
+    def test_concatenation_round_trips(self):
+        spec = parse_specification("&(stdout=$(HOME)#/out.log)")
+        again = parse_specification(unparse(spec))
+        value = again.relations_for("stdout")[0].values[0]
+        assert isinstance(value, Concatenation)
+        assert unparse(again) == unparse(spec)
+
+
+class TestModel:
+    def test_concatenation_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            Concatenation(parts=(Value.of("only"),))
+
+    def test_is_ground(self):
+        ground = Concatenation(parts=(Value.of("a"), Value.of("b")))
+        assert ground.is_ground
+        mixed = Concatenation(parts=(Value.of("a"), VariableReference("X")))
+        assert not mixed.is_ground
+
+    def test_resolve(self):
+        mixed = Concatenation(parts=(Value.of("a/"), VariableReference("X")))
+        assert mixed.resolve({"X": "b"}).text == "a/b"
+        assert mixed.resolve({}) is None
+
+
+class TestPolicyInteraction:
+    def test_unresolved_concatenation_in_policy_fails_closed(self):
+        from repro.core.evaluator import PolicyEvaluator
+        from repro.core.model import (
+            Policy,
+            PolicyAssertion,
+            PolicyStatement,
+            Subject,
+        )
+        from repro.core.request import AuthorizationRequest
+
+        alice = "/O=Grid/CN=Alice"
+        assertion = PolicyAssertion(
+            spec=parse_specification("&(action=start)(directory=$(VO_ROOT)#/apps)")
+        )
+        policy = Policy.make(
+            [PolicyStatement(subject=Subject.identity(alice), assertions=(assertion,))]
+        )
+        request = AuthorizationRequest.start(
+            alice, parse_specification("&(executable=x)(directory=/vo/apps)")
+        )
+        decision = PolicyEvaluator(policy).evaluate(request)
+        assert decision.is_deny
+
+    def test_resolved_policy_concatenation_grants(self):
+        from repro.core.evaluator import PolicyEvaluator
+        from repro.core.model import (
+            Policy,
+            PolicyAssertion,
+            PolicyStatement,
+            Subject,
+        )
+        from repro.core.request import AuthorizationRequest
+
+        alice = "/O=Grid/CN=Alice"
+        raw = parse_specification("&(action=start)(directory=$(VO_ROOT)#/apps)")
+        assertion = PolicyAssertion(spec=raw.substitute({"VO_ROOT": "/vo"}))
+        policy = Policy.make(
+            [PolicyStatement(subject=Subject.identity(alice), assertions=(assertion,))]
+        )
+        request = AuthorizationRequest.start(
+            alice, parse_specification("&(executable=x)(directory=/vo/apps)")
+        )
+        assert PolicyEvaluator(policy).evaluate(request).is_permit
+
+
+class TestHashInStrings:
+    def test_hash_inside_quoted_string_is_literal(self):
+        spec = parse_specification('&(comment="issue #42")')
+        assert spec.first_value("comment") == "issue #42"
+
+    def test_hash_after_string_concatenates(self):
+        spec = parse_specification('&(x="a#b"#"c")')
+        assert spec.first_value("x") == "a#bc"

@@ -1,0 +1,128 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.lexer import TokenType, tokenize
+
+
+def types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestStructuralTokens:
+    def test_parens_and_amp(self):
+        assert types("&()") == [
+            TokenType.AMP,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.EOF,
+        ]
+
+    def test_plus_prefix(self):
+        assert types("+(") [0] is TokenType.PLUS
+
+    def test_whitespace_is_skipped(self):
+        assert types("  &\t( \n )  ") == [
+            TokenType.AMP,
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.EOF,
+        ]
+
+    def test_empty_input_yields_only_eof(self):
+        assert types("") == [TokenType.EOF]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_each_operator(self, op):
+        tokens = tokenize(f"(a{op}b)")
+        ops = [t for t in tokens if t.type is TokenType.OP]
+        assert len(ops) == 1
+        assert ops[0].text == op
+
+    def test_bang_without_equals_is_an_error(self):
+        with pytest.raises(RSLSyntaxError):
+            tokenize("(a ! b)")
+
+    def test_less_equal_not_split(self):
+        tokens = [t for t in tokenize("(count<=4)") if t.type is TokenType.OP]
+        assert [t.text for t in tokens] == ["<="]
+
+
+class TestWords:
+    def test_path_is_one_word(self):
+        assert "/sandbox/test" in texts("(directory=/sandbox/test)")
+
+    def test_word_with_dots_and_dashes(self):
+        assert "my-app.v2" in texts("(executable=my-app.v2)")
+
+    def test_word_stops_at_operator(self):
+        assert texts("(a=b)") == ["(", "a", "=", "b", ")"]
+
+    def test_distinguished_name_fragment(self):
+        words = texts("(jobowner=/O=Grid/CN=Bo)")
+        # '=' inside a DN splits it; the relation parser reassembles
+        # values, but the lexer treats '=' as an operator char.
+        assert "(" in words
+
+    def test_numbers_are_words(self):
+        assert "42" in texts("(count=42)")
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        tokens = tokenize('(args="-l /tmp")')
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert [t.text for t in strings] == ["-l /tmp"]
+
+    def test_single_quoted(self):
+        tokens = tokenize("(args='hello world')")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert [t.text for t in strings] == ["hello world"]
+
+    def test_doubled_quote_escapes(self):
+        tokens = tokenize('(a="say ""hi""")')
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].text == 'say "hi"'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(RSLSyntaxError):
+            tokenize('(a="oops)')
+
+    def test_empty_string_is_a_token(self):
+        tokens = tokenize('(a="")')
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].text == ""
+
+
+class TestVariableReferences:
+    def test_basic_varref(self):
+        tokens = tokenize("(stdout=$(HOME))")
+        refs = [t for t in tokens if t.type is TokenType.VARREF]
+        assert [t.text for t in refs] == ["HOME"]
+
+    def test_unterminated_varref_raises(self):
+        with pytest.raises(RSLSyntaxError):
+            tokenize("(a=$(HOME")
+
+    def test_empty_varref_raises(self):
+        with pytest.raises(RSLSyntaxError):
+            tokenize("(a=$())")
+
+    def test_dollar_without_paren_is_a_word(self):
+        words = texts("(cost=$5)")
+        assert "$5" in words
+
+
+class TestPositions:
+    def test_positions_point_into_source(self):
+        text = "&(abc=def)"
+        for token in tokenize(text):
+            if token.type is TokenType.WORD:
+                assert text[token.position : token.position + len(token.text)] == token.text

@@ -1,0 +1,116 @@
+"""RSL parser behaviour."""
+
+import pytest
+
+from repro.rsl.ast import MultiRequest, Relop, Specification, VariableReference
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_rsl, parse_specification
+
+
+class TestSpecifications:
+    def test_single_relation(self):
+        spec = parse_specification("&(executable=/bin/date)")
+        assert len(spec) == 1
+        assert spec.first_value("executable") == "/bin/date"
+
+    def test_ampersand_is_optional(self):
+        with_amp = parse_specification("&(a=1)(b=2)")
+        without = parse_specification("(a=1)(b=2)")
+        assert str(with_amp) == str(without)
+
+    def test_multiple_relations_keep_order(self):
+        spec = parse_specification("&(a=1)(b=2)(c=3)")
+        assert spec.attributes == ("a", "b", "c")
+
+    def test_attribute_names_are_case_insensitive(self):
+        spec = parse_specification("&(Executable=test)(COUNT=4)")
+        assert spec.first_value("executable") == "test"
+        assert spec.first_value("count") == "4"
+
+    def test_figure3_bo_liu_line_parses(self):
+        spec = parse_specification(
+            "&(action = start)(executable = test1)(directory = /sandbox/test)"
+            "(jobtag = ADS)(count<4)"
+        )
+        assert spec.first_value("executable") == "test1"
+        relation = spec.relations_for("count")[0]
+        assert relation.op is Relop.LT
+        assert str(relation.values[0]) == "4"
+
+    def test_same_attribute_twice_gives_two_relations(self):
+        spec = parse_specification("&(count>=1)(count<=8)")
+        assert len(spec.relations_for("count")) == 2
+
+    def test_multiple_values_in_one_relation(self):
+        spec = parse_specification('&(arguments="-v" "-x" input.dat)')
+        relation = spec.relations_for("arguments")[0]
+        assert relation.value_texts() == ("-v", "-x", "input.dat")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("")
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("   \n ")
+
+    def test_bare_ampersand_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("&")
+
+    def test_relation_without_value_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("&(a=)")
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("&(abc)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("&(a=1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("&(a=1) garbage")
+
+
+class TestMultiRequests:
+    def test_two_specifications(self):
+        result = parse_rsl("+(&(a=1))(&(b=2))")
+        assert isinstance(result, MultiRequest)
+        assert len(result) == 2
+        first, second = result
+        assert first.first_value("a") == "1"
+        assert second.first_value("b") == "2"
+
+    def test_empty_multirequest_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_rsl("+")
+
+    def test_parse_specification_rejects_multirequest(self):
+        with pytest.raises(RSLSyntaxError):
+            parse_specification("+(&(a=1))")
+
+
+class TestValues:
+    def test_numeric_values_have_numbers(self):
+        spec = parse_specification("&(count=4)(ratio=0.5)")
+        assert spec.relations_for("count")[0].values[0].number == 4.0
+        assert spec.relations_for("ratio")[0].values[0].number == 0.5
+
+    def test_non_numeric_value_has_no_number(self):
+        spec = parse_specification("&(executable=prog)")
+        assert spec.relations_for("executable")[0].values[0].number is None
+
+    def test_variable_reference_survives(self):
+        spec = parse_specification("&(stdout=$(GLOBUS_HOME))")
+        value = spec.relations_for("stdout")[0].values[0]
+        assert isinstance(value, VariableReference)
+        assert value.name == "GLOBUS_HOME"
+
+    def test_quoted_values_preserve_spaces(self):
+        spec = parse_specification('&(comment="hello grid world")')
+        assert spec.first_value("comment") == "hello grid world"
+
+    def test_negative_numbers(self):
+        spec = parse_specification("&(nice=-5)")
+        assert spec.relations_for("nice")[0].values[0].number == -5.0

@@ -1,0 +1,68 @@
+"""Fuzzing: the parser must reject garbage with RSLSyntaxError only."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_rsl
+
+garbage = st.text(
+    alphabet=string.printable,
+    min_size=0,
+    max_size=60,
+)
+
+structured_noise = st.lists(
+    st.sampled_from(["&", "+", "(", ")", "=", "!=", "<", ">", "a", "1", '"', " "]),
+    min_size=0,
+    max_size=30,
+).map("".join)
+
+
+class TestParserRobustness:
+    @given(text=garbage)
+    @settings(max_examples=300)
+    def test_arbitrary_text_never_crashes(self, text):
+        """Any input either parses or raises RSLSyntaxError — no other
+        exception type may escape (the Job Manager relies on this to
+        map failures to BAD_RSL)."""
+        try:
+            parse_rsl(text)
+        except RSLSyntaxError:
+            pass
+
+    @given(text=structured_noise)
+    @settings(max_examples=300)
+    def test_structural_noise_never_crashes(self, text):
+        try:
+            parse_rsl(text)
+        except RSLSyntaxError:
+            pass
+
+    @given(text=garbage)
+    @settings(max_examples=150)
+    def test_successful_parses_unparse_and_reparse(self, text):
+        from repro.rsl.unparser import unparse
+
+        try:
+            node = parse_rsl(text)
+        except RSLSyntaxError:
+            return
+        rendered = unparse(node)
+        again = parse_rsl(rendered)  # must not raise
+        assert unparse(again) == rendered
+
+
+class TestPolicyParserRobustness:
+    @given(text=garbage)
+    @settings(max_examples=200)
+    def test_policy_parser_never_crashes(self, text):
+        from repro.core.errors import PolicyParseError
+        from repro.core.parser import parse_policy
+
+        try:
+            parse_policy(text)
+        except PolicyParseError:
+            pass

@@ -1,0 +1,96 @@
+"""Property-based round-trip tests for the RSL pipeline."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsl.ast import MultiRequest, Relation, Relop, Specification, Value
+from repro.rsl.parser import parse_rsl
+from repro.rsl.unparser import unparse
+
+_word_chars = string.ascii_letters + string.digits + "/._-:"
+
+attribute_names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=12
+)
+
+word_values = st.text(alphabet=_word_chars, min_size=1, max_size=20)
+
+quoted_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " '\"()=<>!&+",
+    min_size=0,
+    max_size=20,
+)
+
+numeric_values = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@st.composite
+def values(draw):
+    kind = draw(st.sampled_from(["word", "quoted", "number"]))
+    if kind == "word":
+        return Value.of(draw(word_values))
+    if kind == "quoted":
+        return Value.of(draw(quoted_values), quoted=True)
+    return Value.of(draw(numeric_values))
+
+
+@st.composite
+def relations(draw):
+    op = draw(st.sampled_from(list(Relop)))
+    if op.is_ordering:
+        vals = (Value.of(draw(numeric_values)),)
+    else:
+        vals = tuple(draw(st.lists(values(), min_size=1, max_size=3)))
+    return Relation(attribute=draw(attribute_names), op=op, values=vals)
+
+
+@st.composite
+def specifications(draw):
+    rels = draw(st.lists(relations(), min_size=1, max_size=6))
+    return Specification.make(rels)
+
+
+@st.composite
+def multirequests(draw):
+    specs = draw(st.lists(specifications(), min_size=1, max_size=3))
+    return MultiRequest.make(specs)
+
+
+class TestRoundTripProperties:
+    @given(spec=specifications())
+    @settings(max_examples=200)
+    def test_specification_round_trip(self, spec):
+        """unparse → parse reproduces attribute/op/value structure."""
+        reparsed = parse_rsl(unparse(spec))
+        assert isinstance(reparsed, Specification)
+        assert len(reparsed) == len(spec)
+        for original, parsed in zip(spec, reparsed):
+            assert parsed.attribute == original.attribute
+            assert parsed.op is original.op
+            assert parsed.value_texts() == original.value_texts()
+
+    @given(spec=specifications())
+    @settings(max_examples=100)
+    def test_unparse_is_idempotent_after_one_round(self, spec):
+        once = unparse(parse_rsl(unparse(spec)))
+        twice = unparse(parse_rsl(once))
+        assert once == twice
+
+    @given(multi=multirequests())
+    @settings(max_examples=100)
+    def test_multirequest_round_trip(self, multi):
+        reparsed = parse_rsl(unparse(multi))
+        assert isinstance(reparsed, MultiRequest)
+        assert len(reparsed) == len(multi)
+
+    @given(spec=specifications())
+    @settings(max_examples=100)
+    def test_numeric_values_survive(self, spec):
+        reparsed = parse_rsl(unparse(spec))
+        for original, parsed in zip(spec, reparsed):
+            for ov, pv in zip(original.values, parsed.values):
+                if isinstance(ov, Value) and ov.is_numeric and not ov.quoted:
+                    assert isinstance(pv, Value)
+                    assert pv.number == ov.number

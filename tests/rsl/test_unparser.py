@@ -1,0 +1,61 @@
+"""Unparser behaviour and simple round-trips."""
+
+import pytest
+
+from repro.rsl.ast import Relation, Specification, Value, VariableReference
+from repro.rsl.parser import parse_rsl, parse_specification
+from repro.rsl.unparser import unparse, unparse_value
+
+
+class TestUnparseValue:
+    def test_bare_word_stays_bare(self):
+        assert unparse_value(Value.of("/bin/prog")) == "/bin/prog"
+
+    def test_spaces_force_quoting(self):
+        assert unparse_value(Value.of("hello world")) == '"hello world"'
+
+    def test_empty_value_quoted(self):
+        assert unparse_value(Value.of("")) == '""'
+
+    def test_embedded_quote_doubled(self):
+        assert unparse_value(Value.of('say "hi"')) == '"say ""hi"""'
+
+    def test_variable_reference(self):
+        assert unparse_value(VariableReference("HOME")) == "$(HOME)"
+
+    def test_parenthesis_forces_quoting(self):
+        assert unparse_value(Value.of("a(b)")) == '"a(b)"'
+
+
+class TestRoundTrips:
+    CASES = [
+        "&(executable=test1)(count<4)",
+        "&(action=start)(jobtag!=NULL)",
+        '&(arguments="-l" "/tmp files")',
+        "&(directory=/sandbox/test)(maxwalltime<=3600)",
+        "+(&(a=1))(&(b=2)(c>=3))",
+        "&(stdout=$(HOME))",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_unparse_parse_is_stable(self, text):
+        once = parse_rsl(text)
+        rendered = unparse(once)
+        twice = parse_rsl(rendered)
+        assert unparse(twice) == rendered
+
+    def test_semantics_preserved(self):
+        spec = parse_specification("&(Executable = test1)(COUNT < 4)")
+        again = parse_specification(unparse(spec))
+        assert again.first_value("executable") == "test1"
+        assert again.relations_for("count")[0].op.value == "<"
+
+    def test_unparse_rejects_unknown_node(self):
+        with pytest.raises(TypeError):
+            unparse(42)
+
+    def test_str_matches_unparse(self):
+        spec = parse_specification("&(a=1)(b=2)")
+        assert str(spec) == unparse(spec)
+        relation = spec.relations[0]
+        assert str(relation) == "(a=1)"

@@ -1,0 +1,133 @@
+"""Discrete-event clock behaviour."""
+
+import pytest
+
+from repro.sim.clock import Clock, SimulationError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=100.0).now == 100.0
+
+    def test_call_at_fires_in_time_order(self):
+        clock = Clock()
+        fired = []
+        clock.call_at(5.0, lambda: fired.append("b"))
+        clock.call_at(1.0, lambda: fired.append("a"))
+        clock.call_at(9.0, lambda: fired.append("c"))
+        clock.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self):
+        clock = Clock()
+        fired = []
+        for label in "abc":
+            clock.call_at(3.0, lambda l=label: fired.append(l))
+        clock.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_call_after_is_relative(self):
+        clock = Clock(start=10.0)
+        seen = []
+        clock.call_after(5.0, lambda: seen.append(clock.now))
+        clock.run()
+        assert seen == [15.0]
+
+    def test_scheduling_in_past_rejected(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(SimulationError):
+            clock.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock().call_after(-1.0, lambda: None)
+
+
+class TestStepAndRun:
+    def test_step_advances_to_event_time(self):
+        clock = Clock()
+        clock.call_at(7.0, lambda: None)
+        event = clock.step()
+        assert event is not None
+        assert clock.now == 7.0
+
+    def test_step_on_empty_queue_returns_none(self):
+        assert Clock().step() is None
+
+    def test_run_until_fires_only_due_events(self):
+        clock = Clock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(1))
+        clock.call_at(10.0, lambda: fired.append(10))
+        count = clock.run_until(5.0)
+        assert count == 1
+        assert fired == [1]
+        assert clock.now == 5.0
+        assert clock.pending == 1
+
+    def test_run_until_past_deadline_rejected(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(SimulationError):
+            clock.run_until(5.0)
+
+    def test_run_until_lands_exactly_on_deadline(self):
+        clock = Clock()
+        clock.run_until(42.0)
+        assert clock.now == 42.0
+
+    def test_advance_is_relative(self):
+        clock = Clock(start=10.0)
+        clock.advance(5.0)
+        assert clock.now == 15.0
+
+    def test_events_scheduled_during_run_fire(self):
+        clock = Clock()
+        fired = []
+
+        def chain():
+            fired.append(clock.now)
+            if clock.now < 3.0:
+                clock.call_after(1.0, chain)
+
+        clock.call_at(1.0, chain)
+        clock.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_event_budget_guards_infinite_loops(self):
+        clock = Clock()
+
+        def forever():
+            clock.call_after(1.0, forever)
+
+        clock.call_after(1.0, forever)
+        with pytest.raises(SimulationError):
+            clock.run(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        clock = Clock()
+        fired = []
+        event = clock.call_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        clock.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        clock = Clock()
+        event = clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        assert clock.pending == 2
+        event.cancel()
+        assert clock.pending == 1
+
+    def test_processed_counts_only_fired(self):
+        clock = Clock()
+        event = clock.call_at(1.0, lambda: None)
+        clock.call_at(2.0, lambda: None)
+        event.cancel()
+        clock.run()
+        assert clock.processed == 1

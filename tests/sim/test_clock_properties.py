@@ -1,0 +1,74 @@
+"""Property-based invariants of the event clock."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import Clock
+
+
+class TestClockProperties:
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        clock = Clock()
+        fire_times = []
+        for delay in delays:
+            clock.call_after(delay, lambda: fire_times.append(clock.now))
+        clock.run()
+        assert fire_times == sorted(fire_times)
+        assert len(fire_times) == len(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_time_never_moves_backwards(self, delays):
+        clock = Clock()
+        observed = []
+        for delay in delays:
+            clock.call_after(delay, lambda: observed.append(clock.now))
+        previous = clock.now
+        while clock.step() is not None:
+            assert clock.now >= previous
+            previous = clock.now
+
+    @given(
+        delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=30),
+        cancel_index=st.integers(min_value=0, max_value=28),
+    )
+    @settings(max_examples=100)
+    def test_cancelled_events_never_fire(self, delays, cancel_index):
+        clock = Clock()
+        fired = []
+        events = [
+            clock.call_after(delay, lambda i=i: fired.append(i))
+            for i, delay in enumerate(delays)
+        ]
+        victim = events[cancel_index % len(events)]
+        victim.cancel()
+        clock.run()
+        cancelled_id = events.index(victim)
+        assert cancelled_id not in fired
+        assert len(fired) == len(delays) - 1
+
+    @given(
+        splits=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10)
+    )
+    @settings(max_examples=50)
+    def test_run_until_in_pieces_equals_run(self, splits):
+        """Advancing in arbitrary increments fires the same events."""
+
+        def build():
+            clock = Clock()
+            fired = []
+            for i in range(10):
+                clock.call_at(float(i), lambda i=i: fired.append(i))
+            return clock, fired
+
+        clock_a, fired_a = build()
+        clock_a.run_until(sum(splits))
+
+        clock_b, fired_b = build()
+        for split in splits:
+            clock_b.advance(split)
+
+        assert fired_a == fired_b
+        assert clock_a.now == clock_b.now

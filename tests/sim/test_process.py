@@ -1,0 +1,171 @@
+"""Simulated process lifecycle."""
+
+import pytest
+
+from repro.sim.clock import Clock, SimulationError
+from repro.sim.process import PeriodicTask, ProcessState, SimProcess
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+class TestBasicLifecycle:
+    def test_completes_after_duration(self, clock):
+        proc = SimProcess(clock, duration=10.0, name="p")
+        proc.start()
+        clock.advance(9.9)
+        assert proc.state is ProcessState.RUNNING
+        clock.advance(0.2)
+        assert proc.state is ProcessState.DONE
+        assert proc.finished_at == 10.0
+
+    def test_completion_callback_fires(self, clock):
+        done = []
+        proc = SimProcess(clock, duration=5.0, on_complete=done.append)
+        proc.start()
+        clock.advance(5.0)
+        assert done == [proc]
+
+    def test_zero_duration_completes_immediately_on_tick(self, clock):
+        proc = SimProcess(clock, duration=0.0)
+        proc.start()
+        clock.run()
+        assert proc.state is ProcessState.DONE
+
+    def test_negative_duration_rejected(self, clock):
+        with pytest.raises(SimulationError):
+            SimProcess(clock, duration=-1.0)
+
+    def test_cannot_start_twice(self, clock):
+        proc = SimProcess(clock, duration=1.0)
+        proc.start()
+        with pytest.raises(SimulationError):
+            proc.start()
+
+
+class TestSuspendResume:
+    def test_suspension_pauses_progress(self, clock):
+        proc = SimProcess(clock, duration=10.0)
+        proc.start()
+        clock.advance(4.0)
+        proc.suspend()
+        assert proc.state is ProcessState.SUSPENDED
+        assert proc.consumed == 4.0
+        clock.advance(100.0)
+        assert proc.state is ProcessState.SUSPENDED
+        proc.resume()
+        clock.advance(6.0)
+        assert proc.state is ProcessState.DONE
+        assert proc.finished_at == 110.0
+
+    def test_cpu_time_counts_only_running(self, clock):
+        proc = SimProcess(clock, duration=10.0)
+        proc.start()
+        clock.advance(3.0)
+        proc.suspend()
+        clock.advance(50.0)
+        assert proc.cpu_time == 3.0
+
+    def test_remaining_accounts_for_progress(self, clock):
+        proc = SimProcess(clock, duration=10.0)
+        proc.start()
+        clock.advance(4.0)
+        assert proc.remaining == pytest.approx(6.0)
+
+    def test_suspend_requires_running(self, clock):
+        proc = SimProcess(clock, duration=1.0)
+        with pytest.raises(SimulationError):
+            proc.suspend()
+
+    def test_resume_requires_suspended(self, clock):
+        proc = SimProcess(clock, duration=1.0)
+        proc.start()
+        with pytest.raises(SimulationError):
+            proc.resume()
+
+    def test_repeated_suspend_resume_cycles(self, clock):
+        proc = SimProcess(clock, duration=6.0)
+        proc.start()
+        for _ in range(3):
+            clock.advance(1.0)
+            proc.suspend()
+            clock.advance(10.0)
+            proc.resume()
+        clock.advance(3.0)
+        assert proc.state is ProcessState.DONE
+        assert proc.cpu_time == pytest.approx(6.0)
+
+
+class TestKill:
+    def test_kill_prevents_completion(self, clock):
+        proc = SimProcess(clock, duration=5.0)
+        proc.start()
+        clock.advance(2.0)
+        proc.kill()
+        clock.advance(10.0)
+        assert proc.state is ProcessState.KILLED
+        assert proc.cpu_time == 2.0
+
+    def test_kill_is_idempotent(self, clock):
+        proc = SimProcess(clock, duration=5.0)
+        proc.start()
+        proc.kill()
+        proc.kill()
+        assert proc.state is ProcessState.KILLED
+
+    def test_kill_after_done_is_noop(self, clock):
+        proc = SimProcess(clock, duration=1.0)
+        proc.start()
+        clock.advance(1.0)
+        proc.kill()
+        assert proc.state is ProcessState.DONE
+
+    def test_is_active(self, clock):
+        proc = SimProcess(clock, duration=1.0)
+        assert proc.is_active
+        proc.start()
+        assert proc.is_active
+        proc.kill()
+        assert not proc.is_active
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self, clock):
+        times = []
+        task = PeriodicTask(clock, interval=2.0, callback=lambda t: times.append(clock.now))
+        task.start()
+        clock.run_until(7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_stop_cancels_future_ticks(self, clock):
+        count = []
+        task = PeriodicTask(clock, interval=1.0, callback=lambda t: count.append(1))
+        task.start()
+        clock.run_until(3.0)
+        task.stop()
+        clock.run_until(10.0)
+        assert len(count) == 3
+
+    def test_callback_can_stop_its_own_task(self, clock):
+        def until_three(task):
+            if task.fired >= 3:
+                task.stop()
+
+        task = PeriodicTask(clock, interval=1.0, callback=until_three)
+        task.start()
+        clock.run_until(100.0)
+        assert task.fired == 3
+        assert task.stopped
+
+    def test_zero_interval_rejected(self, clock):
+        with pytest.raises(SimulationError):
+            PeriodicTask(clock, interval=0.0, callback=lambda t: None)
+
+    def test_cannot_restart_stopped_task(self, clock):
+        task = PeriodicTask(clock, interval=1.0, callback=lambda t: None)
+        task.start()
+        task.stop()
+        with pytest.raises(SimulationError):
+            task.start()

@@ -1,0 +1,196 @@
+"""The repro.cli command-line tools."""
+
+import pytest
+
+from repro.cli import main
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+
+GOOD_POLICY = f"""
+{ALICE}:
+    &(action=start)(executable=sim)(count<4)
+    &(action=cancel)(jobowner=self)
+"""
+
+BAD_POLICY = f"""
+{ALICE}:
+    &(action=teleport)
+    &(executable=anything)
+"""
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "vo.policy"
+    path.write_text(GOOD_POLICY)
+    return str(path)
+
+
+@pytest.fixture
+def bad_policy_file(tmp_path):
+    path = tmp_path / "bad.policy"
+    path.write_text(BAD_POLICY)
+    return str(path)
+
+
+class TestCheck:
+    def test_clean_policy_passes(self, policy_file, capsys):
+        assert main(["check", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_errors_fail(self, bad_policy_file, capsys):
+        assert main(["check", bad_policy_file]) == 1
+        out = capsys.readouterr().out
+        assert "unknown-action" in out
+
+    def test_strict_fails_on_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.policy"
+        path.write_text(f"{ALICE}: &(executable=x)")
+        assert main(["check", str(path)]) == 0
+        assert main(["check", str(path), "--strict"]) == 1
+
+    def test_unparsable_policy_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.policy"
+        path.write_text("&(not a policy")
+        assert main(["check", str(path)]) == 2
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        assert main(["check", str(tmp_path / "missing")]) == 2
+
+
+class TestEvaluate:
+    def test_permit_exits_zero(self, policy_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                policy_file,
+                "--user",
+                ALICE,
+                "--rsl",
+                "&(executable=sim)(count=2)",
+            ]
+        )
+        assert code == 0
+        assert "permit" in capsys.readouterr().out
+
+    def test_deny_exits_one(self, policy_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                policy_file,
+                "--user",
+                ALICE,
+                "--rsl",
+                "&(executable=sim)(count=8)",
+            ]
+        )
+        assert code == 1
+        assert "deny" in capsys.readouterr().out
+
+    def test_management_with_jobowner(self, policy_file, capsys):
+        code = main(
+            [
+                "evaluate",
+                policy_file,
+                "--user",
+                ALICE,
+                "--action",
+                "cancel",
+                "--rsl",
+                "&(executable=sim)",
+                "--jobowner",
+                ALICE,
+            ]
+        )
+        assert code == 0
+
+    def test_bad_rsl_is_usage_error(self, policy_file, capsys):
+        code = main(
+            ["evaluate", policy_file, "--user", ALICE, "--rsl", "&(broken"]
+        )
+        assert code == 2
+
+
+class TestCapabilities:
+    def test_lists_grants(self, policy_file, capsys):
+        assert main(["capabilities", policy_file, "--user", ALICE]) == 0
+        out = capsys.readouterr().out
+        assert "start" in out
+        assert "cancel" in out
+
+    def test_unknown_user_exits_one(self, policy_file, capsys):
+        code = main(
+            ["capabilities", policy_file, "--user", "/O=Mars/CN=Marvin"]
+        )
+        assert code == 1
+        assert "default deny" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_diff_shows_changes(self, policy_file, tmp_path, capsys):
+        new = tmp_path / "new.policy"
+        new.write_text(
+            GOOD_POLICY + f"\n{ALICE}: &(action=information)(jobowner=self)\n"
+        )
+        assert main(["diff", policy_file, str(new)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("+") >= 1
+
+    def test_identical_policies(self, policy_file, capsys):
+        assert main(["diff", policy_file, policy_file]) == 0
+        assert "no changes" in capsys.readouterr().out
+
+
+class TestXACMLExport:
+    def test_export_to_stdout(self, policy_file, capsys):
+        assert main(["xacml-export", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "<Policy " in out
+        assert "deny-overrides" in out
+
+    def test_export_to_file_round_trips(self, policy_file, tmp_path, capsys):
+        out_path = tmp_path / "policy.xml"
+        assert main(["xacml-export", policy_file, "--output", str(out_path)]) == 0
+        from repro.xacml import policy_from_xml
+
+        recovered = policy_from_xml(out_path.read_text())
+        assert len(recovered.rules) == 2
+
+    def test_export_bad_policy_is_usage_error(self, tmp_path):
+        path = tmp_path / "bad.policy"
+        path.write_text("&(broken")
+        assert main(["xacml-export", str(path)]) == 2
+
+
+class TestAuditSummary:
+    def test_summarizes_exported_log(self, tmp_path, capsys):
+        from repro.core.parser import parse_policy
+        from repro.gram.audit import export_audit_log
+        from repro.gram.client import GramClient
+        from repro.gram.service import GramService, ServiceConfig
+
+        service = GramService(
+            ServiceConfig(policies=(parse_policy(GOOD_POLICY, name="vo"),))
+        )
+        client = GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+        client.submit("&(executable=sim)(count=2)(runtime=5)")
+        client.submit("&(executable=rogue)(count=1)")
+        log_path = tmp_path / "audit.jsonl"
+        export_audit_log(service.pep, str(log_path))
+
+        assert main(["audit-summary", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 decisions" in out
+        assert "1 denials" in out
+
+    def test_missing_log_is_usage_error(self, tmp_path, capsys):
+        assert main(["audit-summary", str(tmp_path / "nope.jsonl")]) == 2
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "AUTHORIZATION_DENIED" in out
+        assert "SUCCESS" in out

@@ -1,0 +1,46 @@
+"""Every example script must run cleanly — examples are executable docs."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[p.stem for p in EXAMPLE_SCRIPTS]
+)
+class TestExamples:
+    def test_example_runs_and_produces_output(self, script, capsys):
+        module = load_module(script)
+        assert hasattr(module, "main"), f"{script.name} must define main()"
+        module.main()
+        out = capsys.readouterr().out
+        assert out.strip(), f"{script.name} printed nothing"
+
+    def test_example_has_a_docstring(self, script):
+        module = load_module(script)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+
+def test_expected_example_set_present():
+    names = {p.stem for p in EXAMPLE_SCRIPTS}
+    required = {
+        "quickstart",
+        "vo_job_management",
+        "fusion_collaboratory",
+        "policy_sources",
+        "dynamic_policy",
+        "federated_vo",
+    }
+    assert required <= names, f"missing examples: {required - names}"

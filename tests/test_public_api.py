@@ -1,0 +1,67 @@
+"""Public-API stability: every advertised name imports and exists.
+
+A downstream user's `from repro import X` must not break silently;
+this test pins the exported surface of every package.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.rsl",
+    "repro.gsi",
+    "repro.vo",
+    "repro.gram",
+    "repro.lrm",
+    "repro.accounts",
+    "repro.sim",
+    "repro.workloads",
+    "repro.xacml",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} must declare __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} is advertised but missing"
+
+    def test_package_has_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__) > 60, (
+            f"{package} needs a substantive docstring"
+        )
+
+
+class TestTopLevelSurface:
+    def test_headline_classes_available(self):
+        import repro
+
+        for name in (
+            "GramService",
+            "GramClient",
+            "ServiceConfig",
+            "parse_policy",
+            "PolicyEvaluator",
+            "AuthorizationRequest",
+            "CertificateAuthority",
+            "parse_specification",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_version_is_a_string(self):
+        import repro
+
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_cli_is_importable_and_has_main(self):
+        from repro import cli
+
+        assert callable(cli.main)

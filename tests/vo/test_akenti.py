@@ -1,0 +1,237 @@
+"""Akenti-style certificate-based authorization."""
+
+import pytest
+
+from repro.core.decision import Effect
+from repro.core.model import Subject
+from repro.core.request import AuthorizationRequest
+from repro.gsi.keys import KeyPair
+from repro.rsl.parser import parse_specification
+from repro.vo.akenti import (
+    AkentiEngine,
+    AttributeCertificate,
+    ConditionKind,
+    UseCondition,
+    akenti_sources_from_policy,
+)
+
+from tests.conftest import BO, KATE, OUTSIDER
+
+
+def start(who, rsl):
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+@pytest.fixture
+def stakeholder_key():
+    return KeyPair("stakeholder")
+
+
+@pytest.fixture
+def engine(stakeholder_key):
+    eng = AkentiEngine(resource="cluster")
+    eng.trust_stakeholder("site", stakeholder_key.public)
+    return eng
+
+
+def grant(stakeholder_key, subject_pattern, constraint, **kwargs):
+    return UseCondition.issue(
+        stakeholder="site",
+        stakeholder_key=stakeholder_key,
+        resource="cluster",
+        subject=Subject.prefix(subject_pattern),
+        constraint=parse_specification(constraint),
+        **kwargs,
+    )
+
+
+class TestUseConditions:
+    def test_satisfied_condition_permits(self, engine, stakeholder_key):
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(executable=sim)")
+        )
+        assert engine.decide(start(BO, "&(executable=sim)")).is_permit
+
+    def test_unsatisfied_condition_denies(self, engine, stakeholder_key):
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(executable=sim)")
+        )
+        assert engine.decide(start(BO, "&(executable=other)")).is_deny
+
+    def test_no_applicable_condition_is_not_applicable(self, engine, stakeholder_key):
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(executable=sim)")
+        )
+        decision = engine.decide(start(OUTSIDER, "&(executable=sim)"))
+        assert decision.effect is Effect.NOT_APPLICABLE
+
+    def test_condition_for_other_resource_rejected(self, engine, stakeholder_key):
+        condition = UseCondition.issue(
+            stakeholder="site",
+            stakeholder_key=stakeholder_key,
+            resource="other-cluster",
+            subject=Subject.prefix("/O=Grid"),
+            constraint=parse_specification("&(action=start)"),
+        )
+        with pytest.raises(ValueError):
+            engine.add_condition(condition)
+
+    def test_untrusted_stakeholder_is_indeterminate(self, engine):
+        rogue = KeyPair("rogue")
+        engine.add_condition(grant(rogue, "/O=Grid", "&(action=start)"))
+        decision = engine.decide(start(BO, "&(executable=sim)"))
+        assert decision.effect is Effect.INDETERMINATE
+
+    def test_tampered_condition_is_indeterminate(self, engine, stakeholder_key):
+        good = grant(stakeholder_key, "/O=Grid", "&(action=start)(count<4)")
+        from dataclasses import replace
+
+        tampered = replace(
+            good, constraint=parse_specification("&(action=start)(count<400)")
+        )
+        engine.add_condition(tampered)
+        decision = engine.decide(start(BO, "&(executable=sim)(count=100)"))
+        assert decision.effect is Effect.INDETERMINATE
+
+
+class TestStakeholderIntersection:
+    def test_all_stakeholders_must_be_satisfied(self, engine, stakeholder_key):
+        vo_key = KeyPair("vo")
+        engine.trust_stakeholder("vo", vo_key.public)
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(count<16)")
+        )
+        engine.add_condition(
+            UseCondition.issue(
+                stakeholder="vo",
+                stakeholder_key=vo_key,
+                resource="cluster",
+                subject=Subject.prefix("/O=Grid"),
+                constraint=parse_specification("&(action=start)(executable=sim)"),
+            )
+        )
+        ok = start(BO, "&(executable=sim)(count=2)")
+        bad_exe = start(BO, "&(executable=other)(count=2)")
+        bad_count = start(BO, "&(executable=sim)(count=20)")
+        assert engine.decide(ok).is_permit
+        assert engine.decide(bad_exe).is_deny
+        assert engine.decide(bad_count).is_deny
+
+    def test_alternatives_within_one_stakeholder(self, engine, stakeholder_key):
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(executable=a)")
+        )
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(executable=b)")
+        )
+        assert engine.decide(start(BO, "&(executable=b)")).is_permit
+
+
+class TestObligations:
+    def test_obligation_denies_on_violation(self, engine, stakeholder_key):
+        engine.add_condition(
+            grant(stakeholder_key, "/O=Grid", "&(action=start)(executable=sim)")
+        )
+        engine.add_condition(
+            grant(
+                stakeholder_key,
+                "/O=Grid",
+                "&(action=start)(jobtag!=NULL)",
+                kind=ConditionKind.OBLIGATION,
+            )
+        )
+        untagged = start(BO, "&(executable=sim)")
+        tagged = start(BO, "&(executable=sim)(jobtag=NFC)")
+        assert engine.decide(untagged).is_deny
+        assert engine.decide(tagged).is_permit
+
+
+class TestAttributeCertificates:
+    def test_attribute_gated_condition(self, engine, stakeholder_key):
+        attr_key = KeyPair("attr-authority")
+        engine.trust_attribute_issuer("vo-registry", attr_key.public)
+        engine.add_condition(
+            grant(
+                stakeholder_key,
+                "/O=Grid",
+                "&(action=start)(executable=sim)",
+                required_attributes=[("group", "analysis")],
+            )
+        )
+        request = start(BO, "&(executable=sim)")
+        assert engine.decide(request).is_deny
+
+        engine.add_attribute_certificate(
+            AttributeCertificate.issue("vo-registry", attr_key, BO, "group", "analysis")
+        )
+        assert engine.decide(request).is_permit
+
+    def test_attribute_from_untrusted_issuer_ignored(self, engine, stakeholder_key):
+        rogue = KeyPair("rogue-issuer")
+        engine.add_condition(
+            grant(
+                stakeholder_key,
+                "/O=Grid",
+                "&(action=start)",
+                required_attributes=[("group", "analysis")],
+            )
+        )
+        engine.add_attribute_certificate(
+            AttributeCertificate.issue("rogue", rogue, BO, "group", "analysis")
+        )
+        assert engine.decide(start(BO, "&(executable=x)")).is_deny
+
+    def test_user_attributes_verified(self, engine):
+        attr_key = KeyPair("attr-authority")
+        engine.trust_attribute_issuer("reg", attr_key.public)
+        engine.add_attribute_certificate(
+            AttributeCertificate.issue("reg", attr_key, BO, "role", "admin")
+        )
+        from repro.gsi.names import DistinguishedName
+
+        held = engine.user_attributes(DistinguishedName.parse(BO))
+        assert ("role", "admin") in held
+
+
+class TestPolicyRepresentation:
+    def test_figure3_as_akenti_agrees_with_native_evaluator(
+        self, figure3_policy, stakeholder_key
+    ):
+        """The paper's 'same policies in Akenti' experiment, in miniature."""
+        from repro.core.evaluator import PolicyEvaluator
+
+        engine = akenti_sources_from_policy(
+            figure3_policy, "cluster", "VO", stakeholder_key
+        )
+        native = PolicyEvaluator(figure3_policy)
+
+        probes = [
+            start(BO, "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"),
+            start(BO, "&(executable=test1)(directory=/sandbox/test)(count=2)"),
+            start(BO, "&(executable=bad)(directory=/sandbox/test)(jobtag=ADS)(count=2)"),
+            start(KATE, "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"),
+            AuthorizationRequest.manage(
+                KATE,
+                "cancel",
+                parse_specification("&(executable=test2)(jobtag=NFC)"),
+                jobowner=BO,
+            ),
+            AuthorizationRequest.manage(
+                KATE,
+                "cancel",
+                parse_specification("&(executable=test1)(jobtag=ADS)"),
+                jobowner=BO,
+            ),
+        ]
+        for probe in probes:
+            assert (
+                engine.decide(probe).is_permit
+                == native.evaluate(probe).is_permit
+            ), f"disagreement on {probe}"
+
+    def test_condition_count_matches_assertions(self, figure3_policy, stakeholder_key):
+        engine = akenti_sources_from_policy(
+            figure3_policy, "cluster", "VO", stakeholder_key
+        )
+        expected = sum(len(s.assertions) for s in figure3_policy)
+        assert engine.condition_count == expected

@@ -1,0 +1,124 @@
+"""VO-level coarse allocations enforced by the resource provider."""
+
+import pytest
+
+from repro.core.callout import GRAM_AUTHZ_CALLOUT
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode
+from repro.gram.service import GramService, ServiceConfig
+from repro.vo.allocation import (
+    AllocationMeter,
+    VOAllocation,
+    allocation_callout,
+)
+from repro.vo.organization import VirtualOrganization
+
+ORG = "/O=Grid/OU=alloc"
+ALICE = f"{ORG}/CN=Alice"
+BOB = f"{ORG}/CN=Bob"
+OUTSIDER = "/O=Tenant/CN=Other"
+
+POLICY = f"""
+{ORG}:
+    &(action=start)(executable=sim)(count<=8)
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobowner=self)
+/O=Tenant:
+    &(action=start)(executable=sim)(count<=8)
+    &(action=information)(jobowner=self)
+"""
+
+
+def build(budget=None, cap=None):
+    service = GramService(
+        ServiceConfig(policies=(parse_policy(POLICY, name="vo"),))
+    )
+    vo = VirtualOrganization("Fusion")
+    clients = {}
+    account_of = {}
+    for identity, account in ((ALICE, "alice"), (BOB, "bob")):
+        credential = service.add_user(identity, account)
+        vo.add_member(identity)
+        account_of[identity] = account
+        clients[identity] = GramClient(credential, service.gatekeeper)
+    outsider_cred = service.add_user(OUTSIDER, "tenant")
+    clients[OUTSIDER] = GramClient(outsider_cred, service.gatekeeper)
+    account_of[OUTSIDER] = "tenant"
+
+    allocation = VOAllocation(
+        vo=vo, cpu_seconds_budget=budget, concurrent_cpu_cap=cap
+    )
+    meter = AllocationMeter(allocation, service.scheduler, account_of)
+    # Chain: the provider's envelope first, then the fine-grain policy.
+    existing = service.registry._callouts[GRAM_AUTHZ_CALLOUT][0][1]
+    service.registry.clear(GRAM_AUTHZ_CALLOUT)
+    service.registry.register(GRAM_AUTHZ_CALLOUT, allocation_callout(meter))
+    service.registry.register(GRAM_AUTHZ_CALLOUT, existing)
+    return service, clients, meter
+
+
+class TestConcurrentCap:
+    def test_vo_capped_as_a_whole(self):
+        service, clients, _ = build(cap=8)
+        assert clients[ALICE].submit("&(executable=sim)(count=4)(runtime=100)").ok
+        assert clients[BOB].submit("&(executable=sim)(count=4)(runtime=100)").ok
+        third = clients[ALICE].submit("&(executable=sim)(count=4)(runtime=100)")
+        assert third.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("concurrent-CPU cap" in r for r in third.reasons)
+
+    def test_cap_frees_up_when_jobs_finish(self):
+        service, clients, _ = build(cap=8)
+        clients[ALICE].submit("&(executable=sim)(count=8)(runtime=50)")
+        blocked = clients[BOB].submit("&(executable=sim)(count=2)(runtime=10)")
+        assert blocked.code is GramErrorCode.AUTHORIZATION_DENIED
+        service.run(60.0)
+        assert clients[BOB].submit("&(executable=sim)(count=2)(runtime=10)").ok
+
+    def test_other_tenants_unaffected(self):
+        service, clients, _ = build(cap=4)
+        clients[ALICE].submit("&(executable=sim)(count=4)(runtime=100)")
+        # VO is at its cap, but the outsider is not part of it.
+        assert clients[OUTSIDER].submit("&(executable=sim)(count=8)(runtime=10)").ok
+
+
+class TestCpuSecondsBudget:
+    def test_budget_exhaustion_blocks_new_starts(self):
+        service, clients, meter = build(budget=100.0)
+        assert clients[ALICE].submit("&(executable=sim)(count=2)(runtime=50)").ok
+        service.run(60.0)  # consumed 100 cpu-seconds
+        assert meter.remaining_budget() == pytest.approx(0.0)
+        blocked = clients[BOB].submit("&(executable=sim)(count=1)(runtime=10)")
+        assert blocked.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert any("exhausted" in r for r in blocked.reasons)
+
+    def test_in_flight_consumption_counts(self):
+        service, clients, meter = build(budget=1000.0)
+        clients[ALICE].submit("&(executable=sim)(count=4)(runtime=100)")
+        service.run(50.0)
+        # 4 cpus * 50s = 200 consumed so far, still running.
+        assert meter.cpu_seconds_used() == pytest.approx(200.0)
+        assert meter.remaining_budget() == pytest.approx(800.0)
+
+    def test_unmetered_allocation_never_blocks(self):
+        service, clients, meter = build(budget=None)
+        for _ in range(5):
+            assert clients[ALICE].submit(
+                "&(executable=sim)(count=4)(runtime=10)"
+            ).ok
+            service.run(20.0)
+        assert meter.remaining_budget() is None
+
+
+class TestInteractionWithFineGrainPolicy:
+    def test_fine_grain_denial_still_applies_inside_the_envelope(self):
+        service, clients, _ = build(cap=32)
+        rogue = clients[ALICE].submit("&(executable=rogue)(count=1)")
+        assert rogue.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_management_not_gated_by_allocation(self):
+        service, clients, _ = build(cap=8)
+        submitted = clients[ALICE].submit("&(executable=sim)(count=8)(runtime=100)")
+        # Cap is full, but the owner can still query and cancel.
+        assert clients[ALICE].status(submitted.contact).ok
+        assert clients[ALICE].cancel(submitted.contact).ok

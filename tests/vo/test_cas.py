@@ -1,0 +1,173 @@
+"""The Community Authorization Service flow."""
+
+import pytest
+
+from repro.core.decision import Effect
+from repro.core.request import AuthorizationRequest
+from repro.gsi.credentials import CertificateAuthority
+from repro.gsi.proxy import delegate
+from repro.rsl.parser import parse_specification
+from repro.vo.cas import (
+    CASPolicySource,
+    CASServer,
+    SignedPolicy,
+    attach_cas_policy,
+    extract_cas_policy,
+)
+from repro.vo.organization import VirtualOrganization
+from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+from repro.core.parser import parse_policy
+
+from tests.conftest import BO, KATE, OUTSIDER
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("/O=Grid/CN=CA", now=0.0)
+
+
+@pytest.fixture
+def community(ca):
+    vo = VirtualOrganization("NFC")
+    vo.add_member(BO, groups=("dev",))
+    vo.add_member(KATE, groups=("analysis",))
+    cas_credential = ca.issue("/O=Grid/CN=NFC Community", now=0.0)
+    policy = parse_policy(FIGURE3_POLICY_TEXT, name="community")
+    return CASServer(vo, cas_credential, policy)
+
+
+@pytest.fixture
+def bo_proxy(ca, community):
+    bo_credential = ca.issue(BO, now=0.0)
+    signed = community.issue(bo_credential, now=10.0)
+    return attach_cas_policy(bo_credential, signed, now=10.0)
+
+
+def start(who, rsl):
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+GOOD_RSL = "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+
+
+class TestIssuance:
+    def test_member_gets_signed_policy(self, ca, community):
+        credential = ca.issue(BO, now=0.0)
+        signed = community.issue(credential, now=5.0)
+        assert signed.subject == BO
+        assert signed.community == "NFC"
+        assert "Bo Liu" in signed.policy_text
+        assert community.issued == 1
+
+    def test_policy_excerpt_contains_only_applicable_statements(self, ca, community):
+        credential = ca.issue(BO, now=0.0)
+        signed = community.issue(credential, now=5.0)
+        # Kate's personal grants must not travel in Bo's credential.
+        assert "Kate Keahey" not in signed.policy_text
+
+    def test_non_member_refused(self, ca, community):
+        outsider = ca.issue(OUTSIDER, now=0.0)
+        with pytest.raises(PermissionError):
+            community.issue(outsider, now=5.0)
+
+
+class TestSerialization:
+    def test_round_trip(self, ca, community):
+        signed = community.issue(ca.issue(BO, now=0.0), now=5.0)
+        again = SignedPolicy.deserialize(signed.serialize())
+        assert again == signed
+
+    def test_malformed_json_rejected(self):
+        from repro.core.errors import PolicyParseError
+
+        with pytest.raises(PolicyParseError):
+            SignedPolicy.deserialize("{not json")
+
+
+class TestCredentialCarriage:
+    def test_extension_travels_in_proxy(self, bo_proxy):
+        signed = extract_cas_policy(bo_proxy)
+        assert signed is not None
+        assert signed.subject == BO
+
+    def test_extension_found_through_further_delegation(self, bo_proxy):
+        further = delegate(bo_proxy, now=11.0)
+        assert extract_cas_policy(further) is not None
+
+    def test_plain_credential_has_no_policy(self, ca):
+        assert extract_cas_policy(ca.issue(BO, now=0.0)) is None
+
+
+class TestResourceSideEvaluation:
+    def test_permit_via_carried_policy(self, community, bo_proxy):
+        source = CASPolicySource(community.credential.key_pair.public)
+        decision = source.evaluate(start(BO, GOOD_RSL), bo_proxy, now=20.0)
+        assert decision.is_permit
+
+    def test_deny_via_carried_policy(self, community, bo_proxy):
+        source = CASPolicySource(community.credential.key_pair.public)
+        decision = source.evaluate(
+            start(BO, "&(executable=evil)(jobtag=ADS)(count=1)"), bo_proxy, now=20.0
+        )
+        assert decision.is_deny
+
+    def test_missing_policy_is_not_applicable(self, ca, community):
+        source = CASPolicySource(community.credential.key_pair.public)
+        plain = ca.issue(BO, now=0.0)
+        decision = source.evaluate(start(BO, GOOD_RSL), plain, now=20.0)
+        assert decision.effect is Effect.NOT_APPLICABLE
+
+    def test_wrong_cas_key_denies(self, ca, bo_proxy):
+        wrong = ca.issue("/O=Grid/CN=Impostor CAS", now=0.0)
+        source = CASPolicySource(wrong.key_pair.public)
+        decision = source.evaluate(start(BO, GOOD_RSL), bo_proxy, now=20.0)
+        assert decision.is_deny
+        assert any("signature" in reason for reason in decision.reasons)
+
+    def test_expired_policy_denies(self, community, bo_proxy):
+        source = CASPolicySource(community.credential.key_pair.public)
+        decision = source.evaluate(
+            start(BO, GOOD_RSL), bo_proxy, now=10.0 + 9 * 3600
+        )
+        assert decision.is_deny
+        assert any("not valid" in reason for reason in decision.reasons)
+
+    def test_requester_must_match_policy_subject(self, community, bo_proxy):
+        """Kate presenting Bo's CAS policy gets denied."""
+        source = CASPolicySource(community.credential.key_pair.public)
+        decision = source.evaluate(start(KATE, GOOD_RSL), bo_proxy, now=20.0)
+        assert decision.is_deny
+
+    def test_tampered_policy_text_denies(self, community, ca, bo_proxy):
+        """Editing the carried policy invalidates the signature."""
+        signed = extract_cas_policy(bo_proxy)
+        tampered = SignedPolicy(
+            community=signed.community,
+            issuer=signed.issuer,
+            subject=signed.subject,
+            policy_text=signed.policy_text.replace("count<4", "count<400"),
+            not_before=signed.not_before,
+            not_after=signed.not_after,
+            signature=signed.signature,
+        )
+        bo_credential = ca.issue(BO, now=0.0)
+        forged_proxy = attach_cas_policy(bo_credential, tampered, now=10.0)
+        source = CASPolicySource(community.credential.key_pair.public)
+        decision = source.evaluate(
+            start(BO, "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=100)"),
+            forged_proxy,
+            now=20.0,
+        )
+        assert decision.is_deny
+        assert any("signature" in reason for reason in decision.reasons)
+
+    def test_empty_excerpt_denies(self, ca, community):
+        """A member with no applicable statements gets deny, not NA."""
+        nobody = f"/O=Grid/CN=Quiet Member"
+        community.vo.add_member(nobody)
+        credential = ca.issue(nobody, now=0.0)
+        signed = community.issue(credential, now=10.0)
+        proxy = attach_cas_policy(credential, signed, now=10.0)
+        source = CASPolicySource(community.credential.key_pair.public)
+        decision = source.evaluate(start(nobody, GOOD_RSL), proxy, now=20.0)
+        assert decision.effect is Effect.DENY

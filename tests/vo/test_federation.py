@@ -1,0 +1,166 @@
+"""Multi-site federation: one VO policy environment, many resources."""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.vo.federation import FederatedDeployment, VOBroker
+
+ALICE = "/O=Grid/OU=fed/CN=Alice"
+
+VO_POLICY = f"""
+{ALICE}:
+    &(action=start)(executable=TRANSP)(count<=8)(jobtag!=NULL)
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobowner=self)
+"""
+
+JOB = "&(executable=TRANSP)(count=8)(jobtag=NFC)(runtime=100)"
+ROGUE = "&(executable=rogue)(count=1)(jobtag=NFC)"
+
+
+@pytest.fixture
+def federation():
+    deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+    deployment.add_site("argonne", node_count=2, cpus_per_node=4)
+    deployment.add_site("lbnl", node_count=4, cpus_per_node=4)
+    deployment.add_member(ALICE, "alice")
+    return deployment
+
+
+@pytest.fixture
+def broker(federation):
+    credential = federation.add_member(ALICE, "alice")
+    return VOBroker(federation, credential)
+
+
+class TestConsistentPolicyEnvironment:
+    def test_policy_denial_is_identical_at_every_site(self, federation):
+        """The §1 claim: one consistent policy environment."""
+        from repro.gram.client import GramClient
+
+        credential = federation.add_member(ALICE, "alice")
+        for site in federation.sites:
+            client = GramClient(credential, site.service.gatekeeper)
+            response = client.submit(ROGUE)
+            assert response.code is GramErrorCode.AUTHORIZATION_DENIED, site.name
+
+    def test_one_credential_works_everywhere(self, federation):
+        from repro.gram.client import GramClient
+
+        credential = federation.add_member(ALICE, "alice")
+        for site in federation.sites:
+            client = GramClient(credential, site.service.gatekeeper)
+            assert client.submit(JOB).ok, site.name
+
+    def test_site_local_policy_differs_without_breaking_vo_policy(self):
+        deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+        strict_local = parse_policy(
+            "/O=Grid/OU=fed: &(action=start)(count<=2) &(action=cancel) &(action=information)",
+            name="strict-site",
+        )
+        deployment.add_site("open", node_count=4, cpus_per_node=4)
+        deployment.add_site("strict", node_count=4, cpus_per_node=4, local_policy=strict_local)
+        credential = deployment.add_member(ALICE, "alice")
+
+        from repro.gram.client import GramClient
+
+        open_client = GramClient(
+            credential, deployment.site("open").service.gatekeeper
+        )
+        strict_client = GramClient(
+            credential, deployment.site("strict").service.gatekeeper
+        )
+        big = "&(executable=TRANSP)(count=8)(jobtag=NFC)(runtime=10)"
+        assert open_client.submit(big).ok
+        assert (
+            strict_client.submit(big).code is GramErrorCode.AUTHORIZATION_DENIED
+        )
+
+
+class TestBroker:
+    def test_places_on_least_loaded_site(self, federation, broker):
+        placement = broker.submit(JOB)
+        assert placement.ok
+        assert placement.site == "lbnl"  # 16 free CPUs > 8
+
+    def test_falls_through_when_a_site_is_full(self, federation, broker):
+        first = broker.submit(JOB)   # lbnl, 8 cpus -> both sites now have 8 free
+        second = broker.submit(JOB)  # either site; takes the fuller-free one
+        third = broker.submit(JOB)   # remaining capacity
+        assert first.ok and second.ok and third.ok
+        sites_used = {first.site, second.site, third.site}
+        assert sites_used == {"argonne", "lbnl"}
+
+    def test_submission_beyond_capacity_queues(self, federation, broker):
+        """Batch semantics: a full federation queues work, it does not
+        reject it — only a job that could never fit is refused."""
+        for _ in range(3):
+            assert broker.submit(JOB).ok
+        fourth = broker.submit(JOB)
+        assert fourth.ok
+        assert fourth.response.state is GramJobState.PENDING
+        federation.run(250.0)
+        assert broker.status(fourth.response.contact).state is GramJobState.DONE
+
+    def test_impossible_job_is_resource_unavailable_everywhere(self):
+        """A policy-compliant job no site can physically fit falls
+        through every site and reports RESOURCE_UNAVAILABLE."""
+        tiny = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+        tiny.add_site("small-a", node_count=1, cpus_per_node=2)
+        tiny.add_site("small-b", node_count=1, cpus_per_node=4)
+        credential = tiny.add_member(ALICE, "alice")
+        broker = VOBroker(tiny, credential)
+        placement = broker.submit(JOB)  # 8 CPUs, within policy
+        assert not placement.ok
+        assert placement.response.code is GramErrorCode.RESOURCE_UNAVAILABLE
+        # Every site was tried before giving up.
+        total_submissions = sum(
+            site.service.gatekeeper.submissions for site in tiny.sites
+        )
+        assert total_submissions == len(tiny.sites)
+
+    def test_policy_denial_not_retried_at_other_sites(self, federation, broker):
+        placement = broker.submit(ROGUE)
+        assert placement.response.code is GramErrorCode.AUTHORIZATION_DENIED
+        # Only the first site was asked: policy is federation-wide.
+        total_submissions = sum(
+            site.service.gatekeeper.submissions for site in federation.sites
+        )
+        assert total_submissions == 1
+
+    def test_management_routed_to_the_right_site(self, federation, broker):
+        placement = broker.submit(JOB)
+        federation.run(10.0)
+        status = broker.status(placement.response.contact)
+        assert status.ok
+        assert status.state is GramJobState.ACTIVE
+        cancelled = broker.cancel(placement.response.contact)
+        assert cancelled.ok
+
+    def test_jobs_complete_across_the_federation(self, federation, broker):
+        placements = [broker.submit(JOB) for _ in range(3)]
+        federation.run(150.0)
+        for placement in placements:
+            response = broker.status(placement.response.contact)
+            assert response.state is GramJobState.DONE, placement.site
+
+    def test_placements_recorded(self, federation, broker):
+        placement = broker.submit(JOB)
+        assert broker.placements() == {
+            placement.response.contact.job_id: placement.site
+        }
+
+
+class TestLateSiteJoin:
+    def test_members_enrolled_at_sites_added_later(self):
+        deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+        deployment.add_member(ALICE, "alice")
+        deployment.add_site("late", node_count=2, cpus_per_node=4)
+        from repro.gram.client import GramClient
+
+        credential = deployment.add_member(ALICE, "alice")
+        client = GramClient(
+            credential, deployment.site("late").service.gatekeeper
+        )
+        assert client.submit(JOB).ok

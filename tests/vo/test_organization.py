@@ -1,0 +1,92 @@
+"""VO membership, groups and roles."""
+
+import pytest
+
+from repro.vo.organization import VirtualOrganization
+
+PREFIX = "/O=Grid/O=Fusion/OU=nfc"
+
+
+@pytest.fixture
+def vo():
+    org = VirtualOrganization("NFC")
+    org.add_member(f"{PREFIX}/CN=Dev One", groups=("dev",))
+    org.add_member(f"{PREFIX}/CN=Ana One", groups=("analysis",))
+    org.add_member(f"{PREFIX}/CN=Adm One", groups=("analysis",), roles=("admin",))
+    return org
+
+
+class TestMembership:
+    def test_member_count(self, vo):
+        assert len(vo) == 3
+
+    def test_is_member(self, vo):
+        assert vo.is_member(f"{PREFIX}/CN=Dev One")
+        assert not vo.is_member("/O=Other/CN=Eve")
+
+    def test_member_lookup(self, vo):
+        member = vo.member(f"{PREFIX}/CN=Adm One")
+        assert member.has_role("admin")
+        assert member.in_group("analysis")
+
+    def test_unknown_member_raises(self, vo):
+        with pytest.raises(KeyError):
+            vo.member("/O=Other/CN=Eve")
+
+    def test_re_adding_merges_groups(self, vo):
+        vo.add_member(f"{PREFIX}/CN=Dev One", groups=("analysis",))
+        member = vo.member(f"{PREFIX}/CN=Dev One")
+        assert member.groups == frozenset({"dev", "analysis"})
+        assert len(vo) == 3
+
+    def test_remove_member(self, vo):
+        vo.remove_member(f"{PREFIX}/CN=Dev One")
+        assert not vo.is_member(f"{PREFIX}/CN=Dev One")
+        assert vo.group_members("dev") == ()
+
+    def test_remove_unknown_raises(self, vo):
+        with pytest.raises(KeyError):
+            vo.remove_member("/O=Other/CN=Eve")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualOrganization("   ")
+
+
+class TestGroupsAndRoles:
+    def test_group_members(self, vo):
+        analysts = vo.group_members("analysis")
+        assert len(analysts) == 2
+
+    def test_role_holders(self, vo):
+        admins = vo.role_holders("admin")
+        assert len(admins) == 1
+        assert admins[0].identity.common_name == "Adm One"
+
+    def test_groups_listing(self, vo):
+        assert vo.groups() == ("analysis", "dev")
+
+    def test_unknown_group_is_empty(self, vo):
+        assert vo.group_members("nope") == ()
+
+
+class TestCommonPrefix:
+    def test_shared_root_found(self, vo):
+        prefix = vo.common_prefix()
+        assert prefix is not None
+        assert PREFIX.startswith(prefix) or prefix.startswith("/O=Grid")
+        for member in vo:
+            assert str(member.identity).startswith(prefix)
+
+    def test_empty_vo_has_no_prefix(self):
+        assert VirtualOrganization("empty").common_prefix() is None
+
+    def test_disjoint_members_share_only_the_attribute_stub(self):
+        org = VirtualOrganization("mixed")
+        org.add_member("/O=AAA/CN=One")
+        org.add_member("/O=BBB/CN=Two")
+        prefix = org.common_prefix()
+        # Whatever is returned must be a true common string prefix.
+        if prefix is not None:
+            for member in org:
+                assert str(member.identity).startswith(prefix)

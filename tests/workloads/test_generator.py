@@ -1,0 +1,119 @@
+"""Workload and policy generators."""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.model import StatementKind
+from repro.workloads.generator import (
+    PolicyShape,
+    WorkloadGenerator,
+    generate_identity,
+    generate_policy,
+    generate_users,
+)
+
+
+class TestIdentityGeneration:
+    def test_identities_are_deterministic(self):
+        assert generate_identity(3) == generate_identity(3)
+
+    def test_identities_are_distinct(self):
+        users = generate_users(50)
+        assert len({str(u) for u in users}) == 50
+
+    def test_identities_share_org_prefix(self):
+        for user in generate_users(5):
+            assert str(user).startswith("/O=Grid/O=Globus/OU=synth.example.org")
+
+
+class TestPolicyGeneration:
+    def test_shape_is_respected(self):
+        shape = PolicyShape(
+            users=5,
+            statements_per_user=2,
+            assertions_per_statement=3,
+            group_requirements=1,
+        )
+        policy = generate_policy(shape)
+        grants = [s for s in policy if s.kind is StatementKind.GRANT]
+        requirements = [s for s in policy if s.kind is StatementKind.REQUIREMENT]
+        assert len(grants) == 10
+        assert len(requirements) == 1
+        assert all(len(s.assertions) == 3 for s in grants)
+
+    def test_same_seed_same_policy(self):
+        a = generate_policy(PolicyShape(seed=42))
+        b = generate_policy(PolicyShape(seed=42))
+        assert str(a) == str(b)
+
+    def test_different_seed_different_policy(self):
+        a = generate_policy(PolicyShape(seed=1))
+        b = generate_policy(PolicyShape(seed=2))
+        assert str(a) != str(b)
+
+    def test_generated_policy_round_trips_through_parser(self):
+        from repro.core.parser import parse_policy
+
+        policy = generate_policy(PolicyShape(users=4))
+        reparsed = parse_policy(str(policy))
+        assert len(reparsed) == len(policy)
+
+    def test_every_user_has_a_grant(self):
+        shape = PolicyShape(users=8)
+        policy = generate_policy(shape)
+        for user in generate_users(8):
+            assert policy.grants_for(user)
+
+
+class TestWorkloadGenerator:
+    def build(self, permit_bias=0.7):
+        shape = PolicyShape(users=10)
+        policy = generate_policy(shape)
+        return WorkloadGenerator(
+            policy, generate_users(10), seed=5, permit_bias=permit_bias
+        ), policy
+
+    def test_deterministic_given_seed(self):
+        first, _ = self.build()
+        second, _ = self.build()
+        a = [str(r) for r in first.batch(20)]
+        b = [str(r) for r in second.batch(20)]
+        assert a == b
+
+    def test_permit_bias_steers_outcomes(self):
+        generous, policy = self.build(permit_bias=1.0)
+        stingy, _ = self.build(permit_bias=0.0)
+        evaluator = PolicyEvaluator(policy)
+        generous_permits = sum(
+            1 for _ in range(100) if evaluator.evaluate(generous.start_request()).is_permit
+        )
+        stingy_permits = sum(
+            1 for _ in range(100) if evaluator.evaluate(stingy.start_request()).is_permit
+        )
+        assert generous_permits > 80
+        assert stingy_permits < generous_permits
+
+    def test_conforming_requests_actually_conform(self):
+        generator, policy = self.build(permit_bias=1.0)
+        evaluator = PolicyEvaluator(policy)
+        for _ in range(50):
+            request = generator.start_request()
+            decision = evaluator.evaluate(request)
+            assert decision.is_permit, decision
+
+    def test_management_requests_have_owners(self):
+        generator, _ = self.build()
+        request = generator.management_request()
+        assert request.action.is_management
+        assert request.jobowner is not None
+
+    def test_batch_mixes_request_kinds(self):
+        generator, _ = self.build()
+        batch = generator.batch(200, management_fraction=0.5)
+        management = sum(1 for r in batch if r.action.is_management)
+        assert 50 < management < 150
+
+    def test_empty_user_population_rejected(self):
+        _, policy = self.build()
+        with pytest.raises(ValueError):
+            WorkloadGenerator(policy, [])

@@ -1,0 +1,134 @@
+"""The National Fusion Collaboratory scenario."""
+
+import pytest
+
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.workloads.scenarios import build_fusion_scenario, figure3_policy
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_fusion_scenario(developers=2, analysts=2, admins=1)
+
+
+def first(clients):
+    return next(iter(clients.values()))
+
+
+class TestFigure3Helper:
+    def test_policy_parses(self):
+        assert len(figure3_policy()) == 3
+
+
+class TestScenarioShape:
+    def test_population(self, scenario):
+        assert len(scenario.developers) == 2
+        assert len(scenario.analysts) == 2
+        assert len(scenario.admins) == 1
+        assert len(scenario.vo) == 5
+
+    def test_vo_groups(self, scenario):
+        assert set(scenario.vo.groups()) == {"dev", "analysis", "admin"}
+
+
+class TestTwoUserClasses:
+    """Paper §2: developers run many things small; analysts run the
+    sanctioned service big."""
+
+    def test_developer_runs_arbitrary_tools_in_dev_tree(self, scenario):
+        dev = first(scenario.developers)
+        response = dev.submit(
+            "&(executable=gdb)(directory=/sandbox/dev)(jobtag=DEBUG)"
+            "(count=1)(maxwalltime=300)(runtime=60)"
+        )
+        assert response.ok, response
+
+    def test_developer_capped_small(self, scenario):
+        dev = first(scenario.developers)
+        response = dev.submit(
+            "&(executable=gdb)(directory=/sandbox/dev)(jobtag=DEBUG)"
+            "(count=8)(maxwalltime=300)(runtime=60)"
+        )
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_analyst_runs_transp_big(self, scenario):
+        analyst = first(scenario.analysts)
+        response = analyst.submit(
+            "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=NFC)"
+            "(count=16)(runtime=100)"
+        )
+        assert response.ok, response
+
+    def test_analyst_cannot_run_arbitrary_code(self, scenario):
+        analyst = first(scenario.analysts)
+        response = analyst.submit(
+            "&(executable=gdb)(directory=/opt/nfc/bin)(jobtag=NFC)(count=1)"
+        )
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+    def test_jobtag_obligatory_for_everyone(self, scenario):
+        analyst = first(scenario.analysts)
+        response = analyst.submit(
+            "&(executable=TRANSP)(directory=/opt/nfc/bin)(count=4)"
+        )
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+
+
+class TestAdministratorRights:
+    def test_admin_manages_any_nfc_job(self, scenario):
+        analyst = first(scenario.analysts)
+        admin = first(scenario.admins)
+        submitted = analyst.submit(
+            "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=NFC)"
+            "(count=4)(runtime=500)"
+        )
+        assert submitted.ok
+        assert admin.status(submitted.contact).ok
+        assert admin.signal(submitted.contact, priority=10).ok
+        assert admin.cancel(submitted.contact).ok
+
+    def test_admin_suspends_for_urgent_work(self):
+        """The §2 story: suspend a long job, run the urgent one.
+
+        A fresh 16-CPU deployment so one analyst job (at the policy's
+        count<=16 cap) genuinely fills the resource.
+        """
+        tight = build_fusion_scenario(
+            developers=0, analysts=1, admins=1, node_count=4, cpus_per_node=4
+        )
+        analyst = first(tight.analysts)
+        admin = first(tight.admins)
+        service = tight.service
+
+        long_job = analyst.submit(
+            "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=NFC)"
+            "(count=16)(runtime=10000)"
+        )
+        assert long_job.ok, long_job
+        suspended = admin.suspend(long_job.contact)
+        assert suspended.ok, suspended
+        assert suspended.state is GramJobState.SUSPENDED
+
+        urgent = admin.submit(
+            "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=URGENT)"
+            "(count=16)(runtime=50)"
+        )
+        assert urgent.ok, urgent
+        service.run(60.0)
+        assert admin.status(urgent.contact).state is GramJobState.DONE
+
+        resumed = admin.resume(long_job.contact)
+        assert resumed.ok
+        assert resumed.state is GramJobState.ACTIVE
+
+    def test_analyst_cannot_manage_others_jobs(self, scenario):
+        analysts = list(scenario.analysts.values())
+        submitted = analysts[0].submit(
+            "&(executable=TRANSP)(directory=/opt/nfc/bin)(jobtag=NFC)"
+            "(count=2)(runtime=500)"
+        )
+        assert submitted.ok
+        denied = analysts[1].cancel(submitted.contact)
+        assert denied.code is GramErrorCode.AUTHORIZATION_DENIED
+        # but the owner can
+        assert analysts[0].cancel(submitted.contact).ok

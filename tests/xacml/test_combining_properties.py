@@ -1,0 +1,136 @@
+"""Property-based invariants of the XACML combining algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xacml.conditions import Not, TrueCondition
+from repro.xacml.context import RequestContext
+from repro.xacml.engine import XACMLDecision, evaluate_policy
+from repro.xacml.model import (
+    SUBJECT_ID,
+    CombiningAlgorithm,
+    Rule,
+    RuleEffect,
+    XACMLPolicy,
+)
+
+
+def context():
+    ctx = RequestContext()
+    ctx.add(SUBJECT_ID, "/O=Grid/CN=Someone")
+    return ctx
+
+
+#: Rule archetypes: (effect, applicable?)
+rule_kinds = st.sampled_from(
+    [
+        (RuleEffect.PERMIT, True),
+        (RuleEffect.PERMIT, False),
+        (RuleEffect.DENY, True),
+        (RuleEffect.DENY, False),
+    ]
+)
+
+
+def build_rules(kinds):
+    rules = []
+    for index, (effect, applicable) in enumerate(kinds):
+        condition = TrueCondition() if applicable else Not(TrueCondition())
+        rules.append(
+            Rule(rule_id=f"r{index}", effect=effect, condition=condition)
+        )
+    return tuple(rules)
+
+
+class TestCombiningProperties:
+    @given(kinds=st.lists(rule_kinds, min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_deny_overrides_is_order_independent(self, kinds):
+        forward = XACMLPolicy(
+            policy_id="p",
+            rules=build_rules(kinds),
+            combining=CombiningAlgorithm.DENY_OVERRIDES,
+        )
+        backward = XACMLPolicy(
+            policy_id="p",
+            rules=tuple(reversed(build_rules(kinds))),
+            combining=CombiningAlgorithm.DENY_OVERRIDES,
+        )
+        assert evaluate_policy(forward, context()) is evaluate_policy(
+            backward, context()
+        )
+
+    @given(kinds=st.lists(rule_kinds, min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_deny_overrides_matches_set_semantics(self, kinds):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=build_rules(kinds),
+            combining=CombiningAlgorithm.DENY_OVERRIDES,
+        )
+        outcome = evaluate_policy(policy, context())
+        applicable_effects = {
+            effect for effect, applicable in kinds if applicable
+        }
+        if RuleEffect.DENY in applicable_effects:
+            assert outcome is XACMLDecision.DENY
+        elif RuleEffect.PERMIT in applicable_effects:
+            assert outcome is XACMLDecision.PERMIT
+        else:
+            assert outcome is XACMLDecision.NOT_APPLICABLE
+
+    @given(kinds=st.lists(rule_kinds, min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_permit_overrides_dual(self, kinds):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=build_rules(kinds),
+            combining=CombiningAlgorithm.PERMIT_OVERRIDES,
+        )
+        outcome = evaluate_policy(policy, context())
+        applicable_effects = {
+            effect for effect, applicable in kinds if applicable
+        }
+        if RuleEffect.PERMIT in applicable_effects:
+            assert outcome is XACMLDecision.PERMIT
+        elif RuleEffect.DENY in applicable_effects:
+            assert outcome is XACMLDecision.DENY
+        else:
+            assert outcome is XACMLDecision.NOT_APPLICABLE
+
+    @given(kinds=st.lists(rule_kinds, min_size=1, max_size=8))
+    @settings(max_examples=200)
+    def test_first_applicable_respects_order(self, kinds):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=build_rules(kinds),
+            combining=CombiningAlgorithm.FIRST_APPLICABLE,
+        )
+        outcome = evaluate_policy(policy, context())
+        expected = XACMLDecision.NOT_APPLICABLE
+        for effect, applicable in kinds:
+            if applicable:
+                expected = (
+                    XACMLDecision.PERMIT
+                    if effect is RuleEffect.PERMIT
+                    else XACMLDecision.DENY
+                )
+                break
+        assert outcome is expected
+
+    @given(kinds=st.lists(rule_kinds, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_algorithms_agree_when_effects_are_uniform(self, kinds):
+        """With only PERMIT rules (or only DENY rules), every
+        algorithm returns the same decision."""
+        uniform = [(RuleEffect.PERMIT, applicable) for _, applicable in kinds]
+        outcomes = set()
+        for algorithm in CombiningAlgorithm:
+            policy = XACMLPolicy(
+                policy_id="p",
+                rules=build_rules(uniform),
+                combining=algorithm,
+            )
+            outcomes.add(evaluate_policy(policy, context()))
+        assert len(outcomes) == 1

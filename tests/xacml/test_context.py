@@ -1,0 +1,91 @@
+"""RequestContext construction from GRAM requests."""
+
+import pytest
+
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+from repro.xacml.context import RequestContext
+from repro.xacml.model import (
+    ACTION_ID,
+    SUBJECT_ID,
+    AttributeDesignator,
+    Category,
+)
+
+ALICE = "/O=Grid/OU=ctx/CN=Alice"
+BOB = "/O=Grid/OU=ctx/CN=Bob"
+
+
+def resource(attribute):
+    return AttributeDesignator(Category.RESOURCE, attribute)
+
+
+class TestFromRequest:
+    def test_subject_and_action_bags(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=sim)")
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(SUBJECT_ID) == (ALICE,)
+        assert context.bag(ACTION_ID) == ("start",)
+
+    def test_resource_attributes_land_in_resource_category(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=sim)(count=4)(jobtag=NFC)")
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(resource("executable")) == ("sim",)
+        assert context.bag(resource("count")) == ("4",)
+        assert context.bag(resource("jobtag")) == ("NFC",)
+
+    def test_jobowner_computed_for_management(self):
+        request = AuthorizationRequest.manage(
+            ALICE, "cancel", parse_specification("&(executable=sim)"), jobowner=BOB
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(resource("jobowner")) == (BOB,)
+        assert context.bag(ACTION_ID) == ("cancel",)
+
+    def test_spoofed_action_in_rsl_is_ignored(self):
+        """Context hardening: the action bag reflects the real action,
+        never an (action=...) the client wrote into its RSL."""
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=sim)(action=cancel)")
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(ACTION_ID) == ("start",)
+        # And the bogus value does not leak into the resource category.
+        assert context.bag(resource("action")) == ()
+
+    def test_spoofed_jobowner_is_replaced(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification(f'&(executable=sim)(jobowner="{BOB}")')
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(resource("jobowner")) == (ALICE,)
+
+    def test_constraint_relations_supply_no_values(self):
+        """A request is a description: (count<4) is not a value."""
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=sim)(count<4)")
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(resource("count")) == ()
+
+    def test_multi_valued_attributes(self):
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification('&(executable=sim)(arguments="-a" "-b")')
+        )
+        context = RequestContext.from_request(request)
+        assert context.bag(resource("arguments")) == ("-a", "-b")
+
+
+class TestManualConstruction:
+    def test_add_appends(self):
+        context = RequestContext()
+        context.add(SUBJECT_ID, "a")
+        context.add(SUBJECT_ID, "b", "c")
+        assert context.bag(SUBJECT_ID) == ("a", "b", "c")
+
+    def test_missing_bag_is_empty(self):
+        assert RequestContext().bag(SUBJECT_ID) == ()

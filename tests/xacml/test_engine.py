@@ -1,0 +1,208 @@
+"""The miniature XACML engine: targets, rules, combining algorithms."""
+
+import pytest
+
+from repro.xacml.conditions import (
+    AllValuesIn,
+    AllValuesSatisfy,
+    And,
+    AnyValueIn,
+    Not,
+    Present,
+    TrueCondition,
+)
+from repro.xacml.context import RequestContext
+from repro.xacml.engine import XACMLDecision, evaluate_policy
+from repro.xacml.model import (
+    ACTION_ID,
+    SUBJECT_ID,
+    AllOf,
+    AnyOf,
+    AttributeDesignator,
+    Category,
+    CombiningAlgorithm,
+    Match,
+    Rule,
+    RuleEffect,
+    Target,
+    XACMLPolicy,
+)
+
+ALICE = "/O=Grid/OU=org/CN=Alice"
+EXE = AttributeDesignator(Category.RESOURCE, "executable")
+COUNT = AttributeDesignator(Category.RESOURCE, "count")
+
+
+def context(subject=ALICE, action="start", executable="sim", count="2"):
+    ctx = RequestContext()
+    ctx.add(SUBJECT_ID, subject)
+    ctx.add(ACTION_ID, action)
+    if executable is not None:
+        ctx.add(EXE, executable)
+    if count is not None:
+        ctx.add(COUNT, count)
+    return ctx
+
+
+def subject_target(pattern=ALICE, match_id="string-equal"):
+    return Target(
+        any_ofs=(
+            AnyOf(
+                all_ofs=(
+                    AllOf(
+                        matches=(
+                            Match(
+                                designator=SUBJECT_ID,
+                                match_id=match_id,
+                                value=pattern,
+                            ),
+                        )
+                    ),
+                )
+            ),
+        )
+    )
+
+
+def permit_rule(condition=None, target=None, rule_id="r1"):
+    return Rule(
+        rule_id=rule_id,
+        effect=RuleEffect.PERMIT,
+        target=target or Target.empty(),
+        condition=condition,
+    )
+
+
+class TestTargets:
+    def test_empty_target_matches_everything(self):
+        policy = XACMLPolicy(policy_id="p", rules=(permit_rule(),))
+        assert evaluate_policy(policy, context()) is XACMLDecision.PERMIT
+
+    def test_subject_equal_match(self):
+        policy = XACMLPolicy(
+            policy_id="p", rules=(permit_rule(target=subject_target()),)
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.PERMIT
+        assert (
+            evaluate_policy(policy, context(subject="/O=Grid/CN=Other"))
+            is XACMLDecision.NOT_APPLICABLE
+        )
+
+    def test_subject_prefix_match(self):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(
+                permit_rule(
+                    target=subject_target("/O=Grid/OU=org", "string-starts-with")
+                ),
+            ),
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.PERMIT
+
+    def test_policy_level_target_gates_all_rules(self):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(permit_rule(),),
+            target=subject_target("/O=Elsewhere"),
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.NOT_APPLICABLE
+
+
+class TestConditions:
+    def test_present(self):
+        assert Present(EXE).holds(context().bag)
+        assert not Present(EXE).holds(context(executable=None).bag)
+
+    def test_all_values_in(self):
+        condition = AllValuesIn(EXE, "executable", ("sim", "transp"))
+        assert condition.holds(context(executable="sim").bag)
+        assert not condition.holds(context(executable="rogue").bag)
+
+    def test_any_value_in(self):
+        condition = AnyValueIn(EXE, "executable", ("rogue",))
+        assert not condition.holds(context(executable="sim").bag)
+        assert condition.holds(context(executable="rogue").bag)
+
+    def test_all_values_satisfy(self):
+        condition = AllValuesSatisfy(COUNT, "<", 4.0)
+        assert condition.holds(context(count="2").bag)
+        assert not condition.holds(context(count="8").bag)
+        assert not condition.holds(context(count="many").bag)
+
+    def test_numeric_equality_in_membership(self):
+        condition = AllValuesIn(COUNT, "count", ("4",))
+        assert condition.holds(context(count="4.0").bag)
+
+    def test_combinators(self):
+        yes = TrueCondition()
+        no = Not(TrueCondition())
+        assert And(parts=(yes, yes)).holds(context().bag)
+        assert not And(parts=(yes, no)).holds(context().bag)
+        assert Not(no).holds(context().bag)
+
+    def test_failed_condition_is_not_applicable(self):
+        rule = permit_rule(condition=Not(TrueCondition()))
+        policy = XACMLPolicy(policy_id="p", rules=(rule,))
+        assert evaluate_policy(policy, context()) is XACMLDecision.NOT_APPLICABLE
+
+    def test_crashing_condition_is_indeterminate(self):
+        class Bomb(TrueCondition):
+            def holds(self, bags):
+                raise RuntimeError("boom")
+
+        policy = XACMLPolicy(policy_id="p", rules=(permit_rule(condition=Bomb()),))
+        assert evaluate_policy(policy, context()) is XACMLDecision.INDETERMINATE
+
+
+class TestCombiningAlgorithms:
+    def deny_rule(self, condition=None):
+        return Rule(
+            rule_id="deny", effect=RuleEffect.DENY, condition=condition
+        )
+
+    def test_deny_overrides(self):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(permit_rule(), self.deny_rule()),
+            combining=CombiningAlgorithm.DENY_OVERRIDES,
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.DENY
+
+    def test_permit_overrides(self):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(self.deny_rule(), permit_rule()),
+            combining=CombiningAlgorithm.PERMIT_OVERRIDES,
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.PERMIT
+
+    def test_first_applicable_takes_the_first_decision(self):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(
+                permit_rule(condition=Not(TrueCondition()), rule_id="skipped"),
+                self.deny_rule(),
+                permit_rule(rule_id="late"),
+            ),
+            combining=CombiningAlgorithm.FIRST_APPLICABLE,
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.DENY
+
+    def test_nothing_applicable(self):
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(permit_rule(target=subject_target("/O=Elsewhere")),),
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.NOT_APPLICABLE
+
+    def test_indeterminate_beats_permit_under_deny_overrides(self):
+        class Bomb(TrueCondition):
+            def holds(self, bags):
+                raise RuntimeError("boom")
+
+        policy = XACMLPolicy(
+            policy_id="p",
+            rules=(permit_rule(), permit_rule(condition=Bomb(), rule_id="bomb")),
+            combining=CombiningAlgorithm.DENY_OVERRIDES,
+        )
+        assert evaluate_policy(policy, context()) is XACMLDecision.INDETERMINATE

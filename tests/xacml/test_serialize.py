@@ -1,0 +1,116 @@
+"""XACML XML round-trips."""
+
+import pytest
+
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+from repro.workloads.generator import (
+    PolicyShape,
+    WorkloadGenerator,
+    generate_policy,
+    generate_users,
+)
+from repro.xacml.bridge import XACMLEvaluator, xacml_from_policy
+from repro.xacml.model import CombiningAlgorithm
+from repro.xacml.serialize import (
+    XACMLSerializationError,
+    policy_from_xml,
+    policy_to_xml,
+)
+
+from tests.conftest import BO, KATE
+
+
+class TestRoundTrip:
+    def test_figure3_policy_round_trips_structurally(self, figure3_policy):
+        xacml = xacml_from_policy(figure3_policy)
+        text = policy_to_xml(xacml)
+        again = policy_from_xml(text)
+        assert again.policy_id == xacml.policy_id
+        assert again.combining is xacml.combining
+        assert len(again.rules) == len(xacml.rules)
+        for original, parsed in zip(xacml.rules, again.rules):
+            assert parsed.rule_id == original.rule_id
+            assert parsed.effect is original.effect
+
+    def test_round_trip_preserves_decisions(self, figure3_policy):
+        """Semantics survive the XML boundary — the exchange property
+        §6.3 wants from a standard language."""
+        xacml = xacml_from_policy(figure3_policy)
+        recovered = policy_from_xml(policy_to_xml(xacml))
+        before = XACMLEvaluator(xacml)
+        after = XACMLEvaluator(recovered)
+        probes = [
+            AuthorizationRequest.start(
+                BO,
+                parse_specification(
+                    "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)"
+                ),
+            ),
+            AuthorizationRequest.start(
+                BO, parse_specification("&(executable=rogue)(jobtag=ADS)(count=2)")
+            ),
+            AuthorizationRequest.manage(
+                KATE,
+                "cancel",
+                parse_specification("&(executable=test2)(jobtag=NFC)"),
+                jobowner=BO,
+            ),
+        ]
+        for probe in probes:
+            assert before.evaluate(probe).is_permit == after.evaluate(probe).is_permit
+
+    def test_random_policies_round_trip_decisions(self):
+        policy = generate_policy(PolicyShape(users=6, seed=99))
+        xacml = xacml_from_policy(policy)
+        recovered = policy_from_xml(policy_to_xml(xacml))
+        native = PolicyEvaluator(policy)
+        restored = XACMLEvaluator(recovered)
+        generator = WorkloadGenerator(policy, generate_users(6), seed=1)
+        for request in generator.batch(50):
+            assert (
+                native.evaluate(request).is_permit
+                == restored.evaluate(request).is_permit
+            ), str(request)
+
+    def test_xml_looks_like_xacml(self, figure3_policy):
+        text = policy_to_xml(xacml_from_policy(figure3_policy))
+        assert "<Policy " in text
+        assert "RuleCombiningAlgId" in text
+        assert "deny-overrides" in text
+        assert "<AnyOf>" in text
+        assert "<AttributeDesignator" in text
+
+    def test_combining_algorithms_survive(self, figure3_policy):
+        from dataclasses import replace
+
+        for algorithm in CombiningAlgorithm:
+            xacml = replace(xacml_from_policy(figure3_policy), combining=algorithm)
+            again = policy_from_xml(policy_to_xml(xacml))
+            assert again.combining is algorithm
+
+
+class TestErrors:
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(XACMLSerializationError):
+            policy_from_xml("<Policy")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XACMLSerializationError):
+            policy_from_xml("<NotAPolicy/>")
+
+    def test_unknown_combining_rejected(self):
+        with pytest.raises(XACMLSerializationError):
+            policy_from_xml('<Policy PolicyId="p" RuleCombiningAlgId="bogus"/>')
+
+    def test_unknown_function_rejected(self):
+        text = (
+            '<Policy PolicyId="p" RuleCombiningAlgId='
+            '"urn:oasis:names:tc:xacml:3.0:rule-combining-algorithm:deny-overrides">'
+            '<Rule RuleId="r" Effect="Permit"><Condition>'
+            '<Apply FunctionId="urn:repro:function:frobnicate"/>'
+            "</Condition></Rule></Policy>"
+        )
+        with pytest.raises(XACMLSerializationError):
+            policy_from_xml(text)
