@@ -14,7 +14,6 @@ evaluation per action); the double-PEP variant costs the most.  The
 absolute numbers are simulator-scale, the ordering is the result.
 """
 
-import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient
@@ -85,6 +84,102 @@ class TestCalloutOverheadBench:
 
         response = benchmark(status)
         assert response.ok
+
+
+class TestDecisionCacheBench:
+    """B-OVH extension: the policy-epoch decision cache on repeats.
+
+    The paper's job-monitoring pattern — a client polling the same
+    job's status over and over — asks the PEP the exact same question
+    each time.  With the decision cache keyed on (subject, action,
+    jobtag, jobowner, job description, policy epochs), every repeat
+    after the first skips policy evaluation entirely.
+    """
+
+    REPEATS = 200
+
+    @staticmethod
+    def build_pep(cached):
+        from repro.core.builtin_callouts import combined_policy_callout
+        from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry
+        from repro.core.pep import EnforcementPoint
+        from repro.core.pipeline import DecisionCache
+
+        callout = combined_policy_callout(
+            [
+                parse_policy(VO_TEXT, name="vo"),
+                parse_policy(SITE_POLICY_TEXT, name="local"),
+            ]
+        )
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, callout)
+        cache = (
+            DecisionCache(epoch_sources=[callout.evaluator]) if cached else None
+        )
+        return EnforcementPoint(registry=registry, cache=cache)
+
+    @staticmethod
+    def poll_request():
+        from repro.core.request import AuthorizationRequest
+        from repro.rsl.parser import parse_specification
+
+        return AuthorizationRequest.manage(
+            BO,
+            "information",
+            parse_specification(JOB),
+            jobowner=BO,
+            job_id="job-1",
+        )
+
+    def repeated_polls(self, pep, request):
+        for _ in range(self.REPEATS):
+            decision = pep.authorize(request)
+        return decision
+
+    def test_bench_uncached_repeated_decisions(self, benchmark):
+        pep = self.build_pep(cached=False)
+        request = self.poll_request()
+        decision = benchmark(self.repeated_polls, pep, request)
+        assert decision.is_permit
+
+    def test_bench_cached_repeated_decisions(self, benchmark):
+        pep = self.build_pep(cached=True)
+        request = self.poll_request()
+        pep.authorize(request)  # warm: the one real evaluation
+        decision = benchmark(self.repeated_polls, pep, request)
+        assert decision.is_permit
+        assert decision.context.cache_status == "hit"
+
+    def test_cached_repeats_are_at_least_5x_faster(self):
+        """The acceptance bar: cached repeat decisions >= 5x faster."""
+        import time
+
+        request = self.poll_request()
+        uncached = self.build_pep(cached=False)
+        cached = self.build_pep(cached=True)
+        # Warm both paths (imports, cache population, bytecode).
+        self.repeated_polls(uncached, request)
+        self.repeated_polls(cached, request)
+
+        best = {}
+        for label, pep in (("uncached", uncached), ("cached", cached)):
+            timings = []
+            for _ in range(5):
+                started = time.perf_counter()
+                self.repeated_polls(pep, request)
+                timings.append(time.perf_counter() - started)
+            best[label] = min(timings) / self.REPEATS
+        speedup = best["uncached"] / best["cached"]
+        emit(
+            "B-OVH — decision cache on repeated identical requests",
+            [
+                f"uncached per decision: {best['uncached'] * 1e6:9.2f} us",
+                f"cached   per decision: {best['cached'] * 1e6:9.2f} us",
+                f"speedup: {speedup:.1f}x",
+            ],
+        )
+        assert cached.cache.hits > 0
+        assert speedup >= 5.0, f"cache speedup only {speedup:.1f}x"
 
 
 class TestOverheadShape:

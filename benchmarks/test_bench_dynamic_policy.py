@@ -8,7 +8,6 @@ static baseline, and asserts the semantic artifact: a demo window
 flips decisions at its exact boundaries.
 """
 
-import pytest
 
 from repro.core.dynamic import DynamicEvaluator, DynamicPolicy, PolicyStore
 from repro.core.evaluator import PolicyEvaluator

@@ -13,9 +13,8 @@ cluster utilization is driven by the analysts' big jobs.
 
 import random
 
-import pytest
 
-from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.protocol import GramErrorCode
 from repro.workloads.scenarios import build_fusion_scenario
 
 from benchmarks.conftest import emit

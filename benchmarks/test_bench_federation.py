@@ -11,7 +11,6 @@ Checks:
 * **timing** — per-placement cost through the broker.
 """
 
-import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient

@@ -12,7 +12,6 @@ the exact hand-off sequence, then times the stock submission path
 (the baseline for the B-OVH overhead comparison).
 """
 
-import pytest
 
 from repro.gram.client import GramClient
 from repro.gram.jobmanager import AuthorizationMode

@@ -8,7 +8,6 @@ trace, asserts that the callout fires at every decision point, and
 shows the new error vocabulary on the wire.
 """
 
-import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient

@@ -6,7 +6,6 @@ reproduced artifact.  Also times policy parsing and single-request
 evaluation of exactly this policy.
 """
 
-import pytest
 
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.parser import parse_policy

@@ -5,7 +5,6 @@ end-to-end and reported as a row; the timing benchmark measures the
 full four-requirement scenario sweep.
 """
 
-import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient

@@ -119,7 +119,7 @@ class DynamicAccountPool:
     # -- internals ----------------------------------------------------------
 
     def _active_leases(self) -> List[AccountLease]:
-        return [l for l in self._leases.values() if l.active(self.clock.now)]
+        return [lease for lease in self._leases.values() if lease.active(self.clock.now)]
 
     def _reap_expired(self) -> None:
         for lease in list(self._leases.values()):

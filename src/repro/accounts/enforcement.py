@@ -24,8 +24,8 @@ LRM, :meth:`job_started` right after submission, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.accounts.local import LocalAccount
 from repro.accounts.sandbox import (

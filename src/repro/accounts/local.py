@@ -13,7 +13,7 @@ benchmarks demonstrate.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Tuple
 
 _uid_counter = itertools.count(5000)

@@ -14,7 +14,7 @@ its overhead — sampled in bench B-ENF).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.lrm.jobs import BatchJob

@@ -72,6 +72,15 @@ from repro.core.dynamic import (
     PolicyStore,
     TimeWindow,
 )
+from repro.core.pipeline import (
+    DecisionCache,
+    DecisionContext,
+    MetricsMiddleware,
+    SourceRecord,
+    StageRecord,
+    TracingMiddleware,
+    current_context,
+)
 
 __all__ = [
     "ACTION",
@@ -116,4 +125,11 @@ __all__ = [
     "DynamicEvaluator",
     "PolicyStore",
     "TimeWindow",
+    "DecisionCache",
+    "DecisionContext",
+    "MetricsMiddleware",
+    "SourceRecord",
+    "StageRecord",
+    "TracingMiddleware",
+    "current_context",
 ]

@@ -22,9 +22,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.attributes import ACTION, Action, JOBOWNER, SELF
+from repro.core.attributes import Action, JOBOWNER, SELF
 from repro.core.evaluator import PolicyEvaluator
-from repro.core.matching import MatchContext, match_assertion
 from repro.core.model import (
     Policy,
     PolicyAssertion,

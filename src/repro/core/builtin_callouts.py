@@ -54,12 +54,18 @@ def initiator_only(request: AuthorizationRequest) -> Decision:
 def policy_callout(
     evaluator: PolicyEvaluator,
 ):
-    """Wrap a single-policy evaluator as a callout."""
+    """Wrap a single-policy evaluator as a callout.
+
+    The evaluator rides along as ``callout.evaluator`` so callers can
+    hand it to a :class:`~repro.core.pipeline.DecisionCache` as an
+    epoch source.
+    """
 
     def callout(request: AuthorizationRequest) -> Decision:
         return evaluator.evaluate(request)
 
     callout.__name__ = f"policy:{evaluator.source}"
+    callout.evaluator = evaluator
     return callout
 
 
@@ -67,7 +73,11 @@ def combined_policy_callout(
     policies: Sequence[Policy],
     algorithm: CombinationAlgorithm = CombinationAlgorithm.ALL_MUST_PERMIT,
 ):
-    """Build the paper's standard callout: VO ∧ local policy sources."""
+    """Build the paper's standard callout: VO ∧ local policy sources.
+
+    The :class:`CombinedEvaluator` rides along as ``callout.evaluator``
+    so callers can wire its per-source epochs into a decision cache.
+    """
     evaluators = [PolicyEvaluator(p, source=p.name or f"policy-{i}") for i, p in enumerate(policies)]
     combined = CombinedEvaluator(evaluators, algorithm=algorithm)
 
@@ -75,4 +85,5 @@ def combined_policy_callout(
         return combined.evaluate(request)
 
     callout.__name__ = "combined:" + "+".join(combined.sources)
+    callout.evaluator = combined
     return callout

@@ -32,12 +32,16 @@ Configuration file format (one callout per line)::
 from __future__ import annotations
 
 import importlib
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.decision import Decision, Effect
 from repro.core.errors import AuthorizationSystemFailure
 from repro.core.request import AuthorizationRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import DecisionContext
 
 #: The abstract callout type the Job Manager invokes before every
 #: job-start and job-management action.
@@ -134,7 +138,13 @@ class CalloutRegistry:
         )
 
     def configure_from_file(self, path: str) -> int:
-        """Parse a callout configuration file; returns callouts loaded."""
+        """Parse a callout configuration file; returns callouts loaded.
+
+        All-or-nothing: every line is parsed and every implementation
+        loaded *before* anything is registered, so a failure midway
+        through the file leaves the registry exactly as it was — no
+        partial configuration from the earlier lines.
+        """
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 lines = handle.readlines()
@@ -142,7 +152,7 @@ class CalloutRegistry:
             raise AuthorizationSystemFailure(
                 f"cannot read callout configuration {path!r}: {exc}"
             )
-        loaded = 0
+        staged: List[Tuple[str, AuthorizationCallout, str]] = []
         for line_number, raw in enumerate(lines, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
@@ -153,13 +163,19 @@ class CalloutRegistry:
                     f"{path}:{line_number}: expected 'type module symbol', "
                     f"got {line!r}"
                 )
-            self.configure(
-                CalloutConfiguration(
-                    type_name=parts[0], module=parts[1], symbol=parts[2]
+            configuration = CalloutConfiguration(
+                type_name=parts[0], module=parts[1], symbol=parts[2]
+            )
+            staged.append(
+                (
+                    configuration.type_name,
+                    configuration.load(),
+                    f"{configuration.module}:{configuration.symbol}",
                 )
             )
-            loaded += 1
-        return loaded
+        for type_name, callout, label in staged:
+            self.register(type_name, callout, label=label)
+        return len(staged)
 
     def clear(self, type_name: Optional[str] = None) -> None:
         """Drop configured callouts (all, or one type)."""
@@ -176,28 +192,58 @@ class CalloutRegistry:
 
     # -- invocation --------------------------------------------------------
 
-    def invoke(self, type_name: str, request: AuthorizationRequest) -> Decision:
+    def invoke(
+        self,
+        type_name: str,
+        request: AuthorizationRequest,
+        context: Optional["DecisionContext"] = None,
+    ) -> Decision:
         """Invoke every callout of *type_name*; all must permit.
 
         Raises :class:`AuthorizationSystemFailure` when no callout is
         configured, when a callout raises, or when one returns
         something that is not a :class:`Decision` — all cases where no
         trustworthy decision exists.
+
+        When a decision pipeline is active (*context* given, or a
+        :func:`~repro.core.pipeline.current_context` set by the PEP),
+        each callout in the chain becomes a timed stage on it.
         """
         chain = self._callouts.get(type_name)
         if not chain:
             raise AuthorizationSystemFailure(
                 f"no callout configured for type {type_name!r}"
             )
+        if context is None:
+            from repro.core.pipeline import current_context
+
+            context = current_context()
         self.invocations += 1
         for label, callout in chain:
+            started = time.perf_counter()
             try:
                 decision = callout(request)
             except AuthorizationSystemFailure:
+                if context is not None:
+                    context.record_stage(
+                        f"callout:{label}",
+                        time.perf_counter() - started,
+                        detail="system-failure",
+                    )
                 raise
             except Exception as exc:
+                if context is not None:
+                    context.record_stage(
+                        f"callout:{label}",
+                        time.perf_counter() - started,
+                        detail="system-failure",
+                    )
                 raise AuthorizationSystemFailure(
                     f"callout {label!r} raised {type(exc).__name__}: {exc}"
+                )
+            if context is not None:
+                context.record_stage(
+                    f"callout:{label}", time.perf_counter() - started
                 )
             if not isinstance(decision, Decision):
                 raise AuthorizationSystemFailure(
@@ -211,6 +257,10 @@ class CalloutRegistry:
                 )
             if not decision.is_permit:
                 return decision
+        if len(chain) == 1:
+            # A single callout's own decision carries better provenance
+            # (its source names the policy engine, not the chain).
+            return decision
         return Decision.permit(
             reason=f"all {len(chain)} callout(s) permit", source=type_name
         )

@@ -31,9 +31,12 @@ from __future__ import annotations
 import enum
 from typing import List, Sequence, Tuple
 
+import time
+
 from repro.core.decision import Decision, Effect
 from repro.core.errors import AuthorizationSystemFailure
 from repro.core.evaluator import PolicyEvaluator
+from repro.core.pipeline import current_context, epoch_of
 from repro.core.request import AuthorizationRequest
 
 
@@ -59,10 +62,26 @@ class CombinedEvaluator:
     def sources(self) -> Tuple[str, ...]:
         return tuple(e.source for e in self.evaluators)
 
+    @property
+    def policy_epoch(self) -> Tuple:
+        """Combined epoch over all sources (for the decision cache)."""
+        return tuple(epoch_of(e) for e in self.evaluators)
+
     def evaluate(self, request: AuthorizationRequest) -> Decision:
-        """Combined decision over all sources."""
+        """Combined decision over all sources.
+
+        When a decision pipeline is active, every source becomes a
+        timed stage on the current
+        :class:`~repro.core.pipeline.DecisionContext`; sources that do
+        not record their own provenance (anything without the
+        :class:`PolicyEvaluator` hook) are recorded here so the
+        combined decision always names its contributors.
+        """
+        context = current_context()
         decisions = []
         for evaluator in self.evaluators:
+            started = time.perf_counter()
+            recorded_before = len(context.sources) if context is not None else 0
             try:
                 decision = evaluator.evaluate(request)
             except Exception as exc:  # a broken PDP must fail closed
@@ -70,6 +89,17 @@ class CombinedEvaluator:
                     f"policy source {evaluator.source!r} failed: {exc}",
                     source=evaluator.source,
                 )
+            if context is not None:
+                context.record_stage(
+                    f"source:{evaluator.source}",
+                    time.perf_counter() - started,
+                )
+                if len(context.sources) == recorded_before:
+                    context.add_source(
+                        evaluator.source,
+                        decision.effect,
+                        epoch=epoch_of(evaluator),
+                    )
             decisions.append(decision)
         return self.combine(decisions)
 

@@ -9,8 +9,11 @@ extended GRAM protocol surfaces the reasons to the client.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import DecisionContext
 
 
 class Effect(enum.Enum):
@@ -34,6 +37,14 @@ class Decision:
     effect: Effect
     reasons: Tuple[str, ...] = ()
     source: str = ""
+    #: The pipeline context that produced this decision, when it came
+    #: through an :class:`~repro.core.pep.EnforcementPoint` — the full
+    #: end-to-end explanation (stages, provenance, cache status).
+    #: Excluded from equality: two decisions are the same decision
+    #: regardless of how they were derived.
+    context: Optional["DecisionContext"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @classmethod
     def permit(cls, reason: str = "", source: str = "") -> "Decision":
@@ -69,7 +80,10 @@ class Decision:
         return self.effect is not Effect.PERMIT
 
     def with_source(self, source: str) -> "Decision":
-        return Decision(effect=self.effect, reasons=self.reasons, source=source)
+        return replace(self, source=source)
+
+    def with_context(self, context: Optional["DecisionContext"]) -> "Decision":
+        return replace(self, context=context)
 
     def __str__(self) -> str:
         label = self.effect.value

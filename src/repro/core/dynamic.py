@@ -17,7 +17,7 @@ should have priority".  Two mechanisms cover those cases:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.analysis import PolicyDiff, diff_policies
@@ -64,6 +64,9 @@ class DynamicPolicy:
     def __init__(self, base: Policy) -> None:
         self.base = base
         self._windowed: List[WindowedStatement] = []
+        #: Bumped on every mutation — the decision-cache invalidation
+        #: hook (see :mod:`repro.core.pipeline`).
+        self.policy_epoch = 0
 
     def add_window(
         self, statement: PolicyStatement, not_before: float, not_after: float
@@ -73,6 +76,7 @@ class DynamicPolicy:
             window=TimeWindow(not_before=not_before, not_after=not_after),
         )
         self._windowed.append(entry)
+        self.policy_epoch += 1
         return entry
 
     @property
@@ -103,9 +107,28 @@ class DynamicEvaluator:
         self.clock = clock
         self.source = source or dynamic.base.name or "dynamic"
 
+    @property
+    def policy_epoch(self) -> Tuple:
+        """Mutation count plus the set of windows active *right now*.
+
+        Including the active-window signature means a cached decision
+        expires the instant a time window opens or closes — not just
+        when a statement is added — so the decision cache stays
+        correct across simulated time.
+        """
+        now = self.clock.now
+        active = tuple(
+            index
+            for index, entry in enumerate(self.dynamic.windowed_statements)
+            if entry.window.contains(now)
+        )
+        return (self.dynamic.policy_epoch, active)
+
     def evaluate(self, request: AuthorizationRequest) -> Decision:
         policy = self.dynamic.snapshot(self.clock.now)
-        return PolicyEvaluator(policy, source=self.source).evaluate(request)
+        evaluator = PolicyEvaluator(policy, source=self.source)
+        evaluator.policy_epoch = self.policy_epoch
+        return evaluator.evaluate(request)
 
 
 @dataclass(frozen=True)
@@ -178,13 +201,20 @@ class PolicyStore:
     def version(self) -> int:
         return self._versions[-1].version
 
+    @property
+    def policy_epoch(self) -> int:
+        """Bumps on every install/rollback — decision-cache hook."""
+        return self.version
+
     def history(self) -> Tuple[PolicyVersion, ...]:
         return tuple(self._versions)
 
     def evaluate(self, request: AuthorizationRequest) -> Decision:
-        return PolicyEvaluator(
+        evaluator = PolicyEvaluator(
             self.current, source=f"{self.current.name or 'store'}@v{self.version}"
-        ).evaluate(request)
+        )
+        evaluator.policy_epoch = self.policy_epoch
+        return evaluator.evaluate(request)
 
     def callout(self):
         """A GRAM callout bound to this store's *current* policy."""

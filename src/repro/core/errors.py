@@ -15,19 +15,32 @@ well as authorization system failures" — two distinct classes:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import DecisionContext
 
 
 class AuthorizationError(Exception):
     """Base class for everything the authorization layer raises."""
 
+    #: The pipeline context of the failed decision, when the error
+    #: escaped an :class:`~repro.core.pep.EnforcementPoint`.
+    context: Optional["DecisionContext"] = None
+
 
 class AuthorizationDenied(AuthorizationError):
     """The request was evaluated and denied by policy."""
 
-    def __init__(self, message: str, reasons: Sequence[str] = ()) -> None:
+    def __init__(
+        self,
+        message: str,
+        reasons: Sequence[str] = (),
+        context: Optional["DecisionContext"] = None,
+    ) -> None:
         super().__init__(message)
         self.reasons: Tuple[str, ...] = tuple(reasons)
+        self.context = context
 
 
 class AuthorizationSystemFailure(AuthorizationError):

@@ -25,19 +25,45 @@ from typing import List, Optional
 from repro.core.decision import Decision
 from repro.core.matching import MatchContext, match_assertion
 from repro.core.model import Policy, PolicyStatement
+from repro.core.pipeline import current_context as _current_context
 from repro.core.request import AuthorizationRequest
 
 
 class PolicyEvaluator:
-    """Evaluates requests against a single policy source."""
+    """Evaluates requests against a single policy source.
+
+    Exposes a ``policy_epoch`` for the decision cache
+    (:mod:`repro.core.pipeline`): a plain :class:`Policy` is
+    immutable, so the epoch only moves when :meth:`replace_policy`
+    installs a different one.  Every evaluation reports itself as a
+    provenance entry on the active
+    :class:`~repro.core.pipeline.DecisionContext`, so combined and
+    single-source decisions alike can name the sources that
+    contributed.
+    """
 
     def __init__(self, policy: Policy, source: str = "") -> None:
         self.policy = policy
         self.source = source or policy.name or "policy"
         self.evaluations = 0
+        self.policy_epoch = 0
+
+    def replace_policy(self, policy: Policy) -> None:
+        """Swap the policy; bumps the epoch so cached decisions expire."""
+        self.policy = policy
+        self.policy_epoch += 1
 
     def evaluate(self, request: AuthorizationRequest) -> Decision:
         """Decide *request* under this policy alone."""
+        decision = self._evaluate(request)
+        context = _current_context()
+        if context is not None:
+            context.add_source(
+                self.source, decision.effect, epoch=self.policy_epoch
+            )
+        return decision
+
+    def _evaluate(self, request: AuthorizationRequest) -> Decision:
         self.evaluations += 1
         request_spec = request.evaluation_specification()
         context = MatchContext(requester=request.requester)

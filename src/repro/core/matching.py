@@ -50,7 +50,6 @@ from repro.rsl.ast import (
     Relation,
     Relop,
     Specification,
-    Value,
     VariableReference,
 )
 

@@ -25,8 +25,8 @@ reads:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.core.attributes import ACTION
 from repro.gsi.names import DistinguishedName

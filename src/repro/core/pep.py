@@ -7,26 +7,41 @@ job descriptions and can therefore evaluate request-dependent policy —
 but §6.2 discusses the alternative Gatekeeper placement, so the
 placement is explicit here and both are exercised by the benchmarks.
 
-The PEP fronts the callout registry: enforcement code calls
-:meth:`EnforcementPoint.authorize`, which invokes the configured
-callout chain, records an audit entry, and either returns (permitted)
-or raises :class:`AuthorizationDenied` /
-:class:`AuthorizationSystemFailure`.
+The PEP fronts the callout registry through the decision pipeline
+(:mod:`repro.core.pipeline`): every call to
+:meth:`EnforcementPoint.authorize` builds a
+:class:`~repro.core.pipeline.DecisionContext`, runs the middleware
+stack (metrics always; tracing and the policy-epoch decision cache
+when configured) around the callout chain, records an audit entry,
+and either returns the PERMIT decision (context attached) or raises
+:class:`AuthorizationDenied` / :class:`AuthorizationSystemFailure`
+(context attached to the exception).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence, Tuple
 
 from repro.core.callout import (
     GRAM_AUTHZ_CALLOUT,
     CalloutRegistry,
     default_registry,
 )
-from repro.core.decision import Decision, Effect
+from repro.core.decision import Decision
 from repro.core.errors import AuthorizationDenied, AuthorizationSystemFailure
+from repro.core.pipeline import (
+    DecisionCache,
+    DecisionContext,
+    DecisionMiddleware,
+    MetricsMiddleware,
+    NextHandler,
+    TracingMiddleware,
+    activate,
+    compose,
+)
 from repro.core.request import AuthorizationRequest
 
 
@@ -44,6 +59,9 @@ class AuditRecord:
     request: AuthorizationRequest
     decision: Optional[Decision]
     failure: str = ""
+    #: The pipeline context, when the record came through the
+    #: middleware stack — the full explanation of this line.
+    context: Optional[DecisionContext] = None
 
     @property
     def permitted(self) -> bool:
@@ -51,7 +69,14 @@ class AuditRecord:
 
 
 class EnforcementPoint:
-    """A PEP bound to a callout registry and a placement."""
+    """A PEP bound to a callout registry, a placement and a middleware stack.
+
+    The stack runs outermost-first: metrics (always present), tracing
+    (when configured), any extra middlewares, then the decision cache
+    (when configured) sitting directly in front of the callout chain
+    so a hit skips policy evaluation entirely while metrics and
+    tracing still observe it.
+    """
 
     def __init__(
         self,
@@ -59,65 +84,165 @@ class EnforcementPoint:
         callout_type: str = GRAM_AUTHZ_CALLOUT,
         placement: PEPPlacement = PEPPlacement.JOB_MANAGER,
         audit_limit: int = 10_000,
+        middlewares: Sequence[DecisionMiddleware] = (),
+        metrics: Optional[MetricsMiddleware] = None,
+        tracing: Optional[TracingMiddleware] = None,
+        cache: Optional[DecisionCache] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.callout_type = callout_type
         self.placement = placement
-        self.audit_limit = audit_limit
-        self._audit: List[AuditRecord] = []
-        self.permits = 0
-        self.denials = 0
-        self.failures = 0
+        self.metrics = metrics if metrics is not None else MetricsMiddleware()
+        self.tracing = tracing
+        self.cache = cache
+        self._extra_middlewares = list(middlewares)
+        self._chain: Optional[NextHandler] = None
+        self._audit_limit = audit_limit
+        self._audit: Deque[AuditRecord] = deque(maxlen=audit_limit)
 
-    def authorize(self, request: AuthorizationRequest) -> Decision:
+    # -- middleware stack -----------------------------------------------------
+
+    @property
+    def middlewares(self) -> Tuple[DecisionMiddleware, ...]:
+        stack = [self.metrics]
+        if self.tracing is not None:
+            stack.append(self.tracing)
+        stack.extend(self._extra_middlewares)
+        if self.cache is not None:
+            stack.append(self.cache)
+        return tuple(stack)
+
+    def add_middleware(self, middleware: DecisionMiddleware) -> None:
+        """Insert *middleware* between tracing and the decision cache."""
+        self._extra_middlewares.append(middleware)
+        self._chain = None
+
+    def use_tracing(self, tracing: Optional[TracingMiddleware] = None) -> TracingMiddleware:
+        """Enable (or replace) the tracing middleware."""
+        self.tracing = tracing if tracing is not None else TracingMiddleware()
+        self._chain = None
+        return self.tracing
+
+    def use_cache(self, cache: Optional[DecisionCache] = None) -> DecisionCache:
+        """Enable (or replace) the policy-epoch decision cache."""
+        self.cache = cache if cache is not None else DecisionCache()
+        self._chain = None
+        return self.cache
+
+    def _handler(self) -> NextHandler:
+        if self._chain is None:
+            def terminal(
+                request: AuthorizationRequest, context: DecisionContext
+            ) -> Decision:
+                return self.registry.invoke(
+                    self.callout_type, request, context=context
+                )
+
+            self._chain = compose(self.middlewares, terminal)
+        return self._chain
+
+    # -- decisions ---------------------------------------------------------------
+
+    def authorize(
+        self,
+        request: AuthorizationRequest,
+        context: Optional[DecisionContext] = None,
+    ) -> Decision:
         """Authorize *request* or raise.
 
-        Returns the PERMIT decision on success.  Raises
-        :class:`AuthorizationDenied` carrying the policy reasons on
-        denial, and :class:`AuthorizationSystemFailure` when no
-        decision could be made (fails closed).
+        Returns the PERMIT decision (with its
+        :class:`~repro.core.pipeline.DecisionContext` attached) on
+        success.  Raises :class:`AuthorizationDenied` carrying the
+        policy reasons and context on denial, and
+        :class:`AuthorizationSystemFailure` when no decision could be
+        made (fails closed).
         """
-        try:
-            decision = self.registry.invoke(self.callout_type, request)
-        except AuthorizationSystemFailure as exc:
-            self.failures += 1
-            self._record(AuditRecord(request=request, decision=None, failure=str(exc)))
-            raise
-        self._record(AuditRecord(request=request, decision=decision))
+        if context is None:
+            context = DecisionContext.from_request(
+                request, placement=self.placement.value
+            )
+        handler = self._handler()
+        with activate(context):
+            try:
+                with context.stage("pep", detail=self.placement.value):
+                    decision = handler(request, context)
+            except AuthorizationSystemFailure as exc:
+                context.finish_failure(str(exc))
+                exc.context = context
+                self._record(
+                    AuditRecord(
+                        request=request,
+                        decision=None,
+                        failure=str(exc),
+                        context=context,
+                    )
+                )
+                raise
+        context.finish(decision)
+        decision = decision.with_context(context)
+        self._record(
+            AuditRecord(request=request, decision=decision, context=context)
+        )
         if decision.is_permit:
-            self.permits += 1
             return decision
-        self.denials += 1
         raise AuthorizationDenied(
             f"{request} denied" + (f" by {decision.source}" if decision.source else ""),
             reasons=decision.reasons,
+            context=context,
         )
 
-    def decide(self, request: AuthorizationRequest) -> Decision:
+    def decide(
+        self,
+        request: AuthorizationRequest,
+        context: Optional[DecisionContext] = None,
+    ) -> Decision:
         """Like :meth:`authorize` but never raises on denial.
 
         System failures are still raised — callers must not confuse a
         broken authorization system with a policy denial.
         """
         try:
-            return self.authorize(request)
+            return self.authorize(request, context=context)
         except AuthorizationDenied as exc:
-            return Decision.deny(reasons=exc.reasons, source="pep")
+            return Decision.deny(
+                reasons=exc.reasons, source="pep"
+            ).with_context(exc.context)
+
+    # -- counters (backed by the metrics middleware) -----------------------
+
+    @property
+    def permits(self) -> int:
+        return self.metrics.permits
+
+    @property
+    def denials(self) -> int:
+        return self.metrics.denials
+
+    @property
+    def failures(self) -> int:
+        return self.metrics.failures
+
+    @property
+    def decisions_made(self) -> int:
+        return self.metrics.decisions
 
     # -- audit ------------------------------------------------------------
 
+    @property
+    def audit_limit(self) -> int:
+        return self._audit_limit
+
+    @audit_limit.setter
+    def audit_limit(self, limit: int) -> None:
+        self._audit_limit = limit
+        self._audit = deque(self._audit, maxlen=limit)
+
     def _record(self, record: AuditRecord) -> None:
         self._audit.append(record)
-        if len(self._audit) > self.audit_limit:
-            del self._audit[: len(self._audit) - self.audit_limit]
 
     @property
     def audit_log(self) -> Tuple[AuditRecord, ...]:
         return tuple(self._audit)
-
-    @property
-    def decisions_made(self) -> int:
-        return self.permits + self.denials + self.failures
 
     def __str__(self) -> str:
         return (

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.pep import AuditRecord, EnforcementPoint
 
@@ -27,6 +27,12 @@ class AuditEntry:
     outcome: str  # "permit" | "deny" | "failure"
     reasons: Tuple[str, ...]
     source: str
+    #: Pipeline provenance (when the record came through the decision
+    #: pipeline): total decision latency, cache status and the names
+    #: of the contributing policy sources.
+    duration: float = 0.0
+    cache: str = ""
+    sources: Tuple[str, ...] = ()
 
     def to_json(self) -> str:
         return json.dumps(
@@ -38,6 +44,9 @@ class AuditEntry:
                 "outcome": self.outcome,
                 "reasons": list(self.reasons),
                 "source": self.source,
+                "duration": self.duration,
+                "cache": self.cache,
+                "sources": list(self.sources),
             },
             sort_keys=True,
         )
@@ -53,6 +62,9 @@ class AuditEntry:
             outcome=data["outcome"],
             reasons=tuple(data.get("reasons", ())),
             source=data.get("source", ""),
+            duration=float(data.get("duration", 0.0)),
+            cache=data.get("cache", ""),
+            sources=tuple(data.get("sources", ())),
         )
 
     @classmethod
@@ -69,6 +81,7 @@ class AuditEntry:
             outcome = "deny"
             reasons = record.decision.reasons
             source = record.decision.source
+        context = record.context
         return cls(
             requester=str(record.request.requester),
             action=str(record.request.action),
@@ -77,6 +90,9 @@ class AuditEntry:
             outcome=outcome,
             reasons=reasons,
             source=source,
+            duration=context.duration if context is not None else 0.0,
+            cache=context.cache_status if context is not None else "",
+            sources=context.source_names if context is not None else (),
         )
 
 

@@ -19,7 +19,7 @@ Steps on a submission:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.accounts.dynamic import DynamicAccountError, DynamicAccountPool
 from repro.accounts.enforcement import EnforcementMechanism
@@ -133,11 +133,13 @@ class Gatekeeper:
                     code=GramErrorCode.AUTHORIZATION_DENIED,
                     message=str(exc),
                     reasons=exc.reasons,
+                    decision_context=exc.context,
                 )
             except AuthorizationSystemFailure as exc:
                 return GramResponse(
                     code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
                     message=str(exc),
+                    decision_context=exc.context,
                 )
 
         # 3. Map to a local account.

@@ -17,7 +17,7 @@ benchmarks can run the two architectures side by side.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Union
+from typing import Optional, Tuple
 
 from repro.accounts.enforcement import EnforcementMechanism
 from repro.accounts.local import LocalAccount
@@ -27,6 +27,7 @@ from repro.core.errors import (
     AuthorizationSystemFailure,
 )
 from repro.core.pep import EnforcementPoint
+from repro.core.pipeline import DecisionContext
 from repro.core.request import AuthorizationRequest
 from repro.gram.protocol import (
     GramErrorCode,
@@ -112,6 +113,7 @@ class JobManagerInstance:
             )
         self.description = description
 
+        context: Optional[DecisionContext] = None
         if self.mode is AuthorizationMode.EXTENDED:
             request = AuthorizationRequest.start(
                 self.owner,
@@ -120,7 +122,7 @@ class JobManagerInstance:
                 credential=self.owner_credential,
             )
             self._trace("job-manager", "pep", "authorization callout: start")
-            denied = self._authorize(request)
+            denied, context = self._authorize(request)
             if denied is not None:
                 return denied
 
@@ -143,6 +145,7 @@ class JobManagerInstance:
                     code=GramErrorCode.ENFORCEMENT_REJECTED,
                     message=outcome.reason,
                     contact=self.contact,
+                    decision_context=context,
                 )
 
         self._trace("job-manager", "lrm", "submit job")
@@ -153,6 +156,7 @@ class JobManagerInstance:
                 code=GramErrorCode.RESOURCE_UNAVAILABLE,
                 message=str(exc),
                 contact=self.contact,
+                decision_context=context,
             )
         self.job = job
         if self.enforcement is not None:
@@ -163,6 +167,7 @@ class JobManagerInstance:
             contact=self.contact,
             state=self.state(),
             job_owner=str(self.owner),
+            decision_context=context,
         )
 
     # -- management ------------------------------------------------------------
@@ -194,6 +199,7 @@ class JobManagerInstance:
                 contact=self.contact,
             )
 
+        context: Optional[DecisionContext] = None
         if self.mode is AuthorizationMode.LEGACY:
             # §4.2: identity of requester must match identity of initiator.
             if requester != self.owner:
@@ -223,13 +229,18 @@ class JobManagerInstance:
                     contact=self.contact,
                 )
             self._trace("job-manager", "pep", f"authorization callout: {action}")
-            denied = self._authorize(request)
+            denied, context = self._authorize(request)
             if denied is not None:
                 return denied
 
-        return self._execute(action, value)
+        return self._execute(action, value, context=context)
 
-    def _execute(self, action: str, value: Optional[int]) -> GramResponse:
+    def _execute(
+        self,
+        action: str,
+        value: Optional[int],
+        context: Optional[DecisionContext] = None,
+    ) -> GramResponse:
         assert self.job is not None
         self._trace("job-manager", "lrm", f"execute {action}")
         try:
@@ -243,6 +254,7 @@ class JobManagerInstance:
                         code=GramErrorCode.BAD_RSL,
                         message="signal requires a priority value",
                         contact=self.contact,
+                        decision_context=context,
                     )
                 # §6.2: the JMI executes with the *initiator's* local
                 # credential, so the effective priority is clamped to
@@ -261,18 +273,21 @@ class JobManagerInstance:
                     code=GramErrorCode.BAD_RSL,
                     message=f"unknown management action {action!r}",
                     contact=self.contact,
+                    decision_context=context,
                 )
         except LRMError as exc:
             return GramResponse(
                 code=GramErrorCode.NO_SUCH_JOB,
                 message=str(exc),
                 contact=self.contact,
+                decision_context=context,
             )
         return GramResponse(
             code=GramErrorCode.SUCCESS,
             contact=self.contact,
             state=self.state(),
             job_owner=str(self.owner),
+            decision_context=context,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -282,27 +297,43 @@ class JobManagerInstance:
             return None
         return _LRM_TO_GRAM[self.job.state]
 
-    def _authorize(self, request: AuthorizationRequest) -> Optional[GramResponse]:
-        """Run the PEP; map outcomes to protocol errors (extension)."""
+    def _authorize(
+        self, request: AuthorizationRequest
+    ) -> Tuple[Optional[GramResponse], Optional[DecisionContext]]:
+        """Run the PEP; map outcomes to protocol errors (extension).
+
+        Returns ``(error_response, context)``: the error response is
+        None when the request is permitted, and the
+        :class:`DecisionContext` explains the decision either way —
+        the caller attaches it to whatever response it builds.
+        """
         assert self.pep is not None
         try:
-            self.pep.authorize(request)
+            decision = self.pep.authorize(request)
         except AuthorizationDenied as exc:
-            return GramResponse(
-                code=GramErrorCode.AUTHORIZATION_DENIED,
-                message=str(exc),
-                reasons=exc.reasons,
-                contact=self.contact,
-                job_owner=str(self.owner),
+            return (
+                GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_DENIED,
+                    message=str(exc),
+                    reasons=exc.reasons,
+                    contact=self.contact,
+                    job_owner=str(self.owner),
+                    decision_context=exc.context,
+                ),
+                exc.context,
             )
         except AuthorizationSystemFailure as exc:
-            return GramResponse(
-                code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
-                message=str(exc),
-                contact=self.contact,
-                job_owner=str(self.owner),
+            return (
+                GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
+                    message=str(exc),
+                    contact=self.contact,
+                    job_owner=str(self.owner),
+                    decision_context=exc.context,
+                ),
+                exc.context,
             )
-        return None
+        return None, decision.context
 
     def _limits_from(self, description: JobDescription) -> ResourceLimits:
         """Enforcement limits: what the (authorized) request declared."""

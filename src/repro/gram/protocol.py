@@ -21,6 +21,8 @@ import json
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.core.pipeline import DecisionContext
+
 _contact_counter = itertools.count(1)
 
 
@@ -103,6 +105,14 @@ class GramResponse:
     #: Identity of the job initiator — the client extension "allowing
     #: it to recognize the identity of the job originator" (§5.2).
     job_owner: str = ""
+    #: The decision-pipeline context of the authorization decision
+    #: behind this response (extended mode): per-stage timings,
+    #: contributing policy sources, cache status.  Excluded from
+    #: equality — two responses saying the same thing are equal even
+    #: if one was explained and the other reconstructed.
+    decision_context: Optional[DecisionContext] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def ok(self) -> bool:
@@ -110,21 +120,21 @@ class GramResponse:
 
     def to_wire(self) -> str:
         """Serialize to the JSON wire form."""
-        return json.dumps(
-            {
-                "code": self.code.name,
-                "message": self.message,
-                "reasons": list(self.reasons),
-                "contact": (
-                    {"host": self.contact.host, "job_id": self.contact.job_id}
-                    if self.contact is not None
-                    else None
-                ),
-                "state": self.state.value if self.state is not None else None,
-                "job_owner": self.job_owner,
-            },
-            sort_keys=True,
-        )
+        data = {
+            "code": self.code.name,
+            "message": self.message,
+            "reasons": list(self.reasons),
+            "contact": (
+                {"host": self.contact.host, "job_id": self.contact.job_id}
+                if self.contact is not None
+                else None
+            ),
+            "state": self.state.value if self.state is not None else None,
+            "job_owner": self.job_owner,
+        }
+        if self.decision_context is not None:
+            data["decision_context"] = self.decision_context.to_dict()
+        return json.dumps(data, sort_keys=True)
 
     @classmethod
     def from_wire(cls, text: str) -> "GramResponse":
@@ -149,6 +159,11 @@ class GramResponse:
                     else None
                 ),
                 job_owner=data.get("job_owner", ""),
+                decision_context=(
+                    DecisionContext.from_dict(data["decision_context"])
+                    if data.get("decision_context")
+                    else None
+                ),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise ProtocolError(f"malformed GRAM response: {exc}")

@@ -9,11 +9,10 @@ from the live components (scheduler accounting + PEP audit log).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.core.pep import AuditRecord, EnforcementPoint
-from repro.gsi.names import DistinguishedName
 from repro.lrm.scheduler import BatchScheduler
 from repro.vo.organization import VirtualOrganization
 

@@ -8,8 +8,8 @@ registry, PEP, Gatekeeper.  :class:`GramService` assembles it from a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.accounts.dynamic import DynamicAccountPool
 from repro.accounts.enforcement import (
@@ -20,10 +20,16 @@ from repro.accounts.enforcement import (
 )
 from repro.accounts.local import AccountRegistry
 from repro.core.builtin_callouts import combined_policy_callout, initiator_only
-from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry, default_registry
+from repro.core.callout import (
+    GATEKEEPER_AUTHZ_CALLOUT,
+    GRAM_AUTHZ_CALLOUT,
+    CalloutRegistry,
+    default_registry,
+)
 from repro.core.combination import CombinationAlgorithm
 from repro.core.model import Policy
 from repro.core.pep import EnforcementPoint, PEPPlacement
+from repro.core.pipeline import DecisionCache, TracingMiddleware
 from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.gridmap import GridMapFile
 from repro.gram.jobmanager import AuthorizationMode
@@ -58,6 +64,14 @@ class ServiceConfig:
     #: runs.
     gt3_account_setup: bool = False
     record_trace: bool = False
+    #: Enable the policy-epoch decision cache on the Job Manager PEP
+    #: (see :class:`repro.core.pipeline.DecisionCache`) — repeated
+    #: identical checks (the job-monitoring poll loop) hit the cache
+    #: until a policy source mutates.
+    decision_cache: bool = False
+    #: Retain per-decision pipeline traces on the PEPs, exportable as
+    #: JSON lines (:class:`repro.core.pipeline.TracingMiddleware`).
+    trace_decisions: bool = False
 
 
 class GramService:
@@ -84,12 +98,26 @@ class GramService:
         self.trace = TraceRecorder() if self.config.record_trace else None
 
         self.registry: CalloutRegistry = default_registry()
+        #: The combined policy evaluator behind the configured callout
+        #: (None in LEGACY mode or when no policies are installed) —
+        #: the decision cache reads its per-source policy epochs.
+        self.combined_evaluator = None
         self._configure_callouts()
         self.pep = EnforcementPoint(
-            registry=self.registry, placement=PEPPlacement.JOB_MANAGER
+            registry=self.registry,
+            placement=PEPPlacement.JOB_MANAGER,
+            tracing=TracingMiddleware() if self.config.trace_decisions else None,
+            cache=self._build_decision_cache(),
         )
         self.gatekeeper_pep = (
-            EnforcementPoint(registry=self.registry, placement=PEPPlacement.GATEKEEPER)
+            EnforcementPoint(
+                registry=self.registry,
+                callout_type=GATEKEEPER_AUTHZ_CALLOUT,
+                placement=PEPPlacement.GATEKEEPER,
+                tracing=(
+                    TracingMiddleware() if self.config.trace_decisions else None
+                ),
+            )
             if self.config.pep_in_gatekeeper
             else None
         )
@@ -138,20 +166,35 @@ class GramService:
     def _configure_callouts(self) -> None:
         if self.config.mode is AuthorizationMode.LEGACY:
             self.registry.register(GRAM_AUTHZ_CALLOUT, initiator_only)
+            self._register_gatekeeper_callout(initiator_only)
             return
         if self.config.policies:
-            self.registry.register(
-                GRAM_AUTHZ_CALLOUT,
-                combined_policy_callout(
-                    list(self.config.policies), algorithm=self.config.combination
-                ),
+            callout = combined_policy_callout(
+                list(self.config.policies), algorithm=self.config.combination
             )
+            self.combined_evaluator = callout.evaluator
+            self.registry.register(GRAM_AUTHZ_CALLOUT, callout)
+            self._register_gatekeeper_callout(callout)
         else:
             # Extended mode with no policy configured: fail closed by
             # leaving the callout unconfigured would make every request
             # a system failure; the stock initiator rule is the sane
             # default for a resource that has not installed policies.
             self.registry.register(GRAM_AUTHZ_CALLOUT, initiator_only)
+            self._register_gatekeeper_callout(initiator_only)
+
+    def _register_gatekeeper_callout(self, callout) -> None:
+        """The §6.2 placement invokes its own abstract callout type."""
+        if self.config.pep_in_gatekeeper:
+            self.registry.register(GATEKEEPER_AUTHZ_CALLOUT, callout)
+
+    def _build_decision_cache(self) -> Optional[DecisionCache]:
+        if not self.config.decision_cache:
+            return None
+        epoch_sources = (
+            [self.combined_evaluator] if self.combined_evaluator is not None else []
+        )
+        return DecisionCache(epoch_sources=epoch_sources)
 
     def _build_enforcement(self) -> Optional[EnforcementMechanism]:
         kind = self.config.enforcement

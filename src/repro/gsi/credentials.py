@@ -12,10 +12,10 @@ stack stays deterministic and composes with :mod:`repro.sim`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.gsi.errors import GSIError, SignatureError
+from repro.gsi.errors import GSIError
 from repro.gsi.keys import KeyPair, PublicKey, Signature
 from repro.gsi.names import DistinguishedName
 

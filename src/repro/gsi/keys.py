@@ -21,7 +21,7 @@ import hashlib
 import hmac
 import itertools
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 _key_counter = itertools.count(1)

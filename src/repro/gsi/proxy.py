@@ -25,7 +25,6 @@ from typing import Mapping, Optional
 from repro.gsi.credentials import Certificate, Credential, make_certificate
 from repro.gsi.errors import GSIError
 from repro.gsi.keys import KeyPair
-from repro.gsi.names import DistinguishedName
 
 #: Default proxy lifetime: 12 simulated hours, GT2's default.
 DEFAULT_PROXY_LIFETIME = 12.0 * 3600

@@ -19,7 +19,7 @@ policy statement are keyed on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.gsi.credentials import Certificate, CertificateAuthority, Credential
 from repro.gsi.errors import (

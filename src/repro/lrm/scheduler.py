@@ -12,7 +12,7 @@ all trigger a scheduling pass on the shared :class:`~repro.sim.Clock`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.lrm.cluster import Cluster

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple, Union
 
 from repro.core.attributes import ACTION
 from repro.core.decision import Decision
@@ -169,14 +169,19 @@ class AkentiEngine:
         self._attribute_issuer_keys: Dict[str, PublicKey] = {}
         self._conditions: List[UseCondition] = []
         self._attribute_certs: List[AttributeCertificate] = []
+        #: Bumped on every trust/certificate mutation — the decision
+        #: cache invalidation hook (:mod:`repro.core.pipeline`).
+        self.policy_epoch = 0
 
     # -- trust configuration ---------------------------------------------
 
     def trust_stakeholder(self, name: str, public_key: PublicKey) -> None:
         self._stakeholder_keys[name] = public_key
+        self.policy_epoch += 1
 
     def trust_attribute_issuer(self, name: str, public_key: PublicKey) -> None:
         self._attribute_issuer_keys[name] = public_key
+        self.policy_epoch += 1
 
     # -- certificate repository --------------------------------------------
 
@@ -187,9 +192,11 @@ class AkentiEngine:
                 f"{self.resource!r}"
             )
         self._conditions.append(condition)
+        self.policy_epoch += 1
 
     def add_attribute_certificate(self, certificate: AttributeCertificate) -> None:
         self._attribute_certs.append(certificate)
+        self.policy_epoch += 1
 
     @property
     def condition_count(self) -> int:

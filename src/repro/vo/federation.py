@@ -17,8 +17,8 @@ local caps) only affect *where* permitted work runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.model import Policy
 from repro.gram.client import GramClient

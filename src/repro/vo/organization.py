@@ -10,8 +10,8 @@ generates the DN-prefix subjects the policy language keys on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple, Union
 
 from repro.gsi.names import DistinguishedName
 
@@ -50,6 +50,10 @@ class VirtualOrganization:
         self._members: Dict[str, VOMember] = {}
         self._groups: Dict[str, Set[str]] = {}
         self._roles: Dict[str, Set[str]] = {}
+        #: Bumped on every membership mutation, so decision caches
+        #: keyed on policy epochs (:mod:`repro.core.pipeline`) drop
+        #: entries the instant the community changes.
+        self.policy_epoch = 0
 
     # -- membership ---------------------------------------------------------
 
@@ -75,6 +79,7 @@ class VirtualOrganization:
             self._groups.setdefault(group, set()).add(key)
         for role in merged_roles:
             self._roles.setdefault(role, set()).add(key)
+        self.policy_epoch += 1
         return member
 
     def remove_member(self, identity: Union[str, DistinguishedName]) -> None:
@@ -86,6 +91,7 @@ class VirtualOrganization:
             self._groups.get(group, set()).discard(key)
         for role in member.roles:
             self._roles.get(role, set()).discard(key)
+        self.policy_epoch += 1
 
     def is_member(self, identity: Union[str, DistinguishedName]) -> bool:
         return str(_dn(identity)) in self._members

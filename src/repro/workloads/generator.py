@@ -7,8 +7,8 @@ seeds so benchmark runs are reproducible run to run.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.core.attributes import Action
 from repro.core.model import (

@@ -19,7 +19,7 @@ benchmark and tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.core.model import Policy
 from repro.core.parser import parse_policy

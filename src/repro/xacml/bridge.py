@@ -179,6 +179,13 @@ class XACMLEvaluator:
     def __init__(self, policy: XACMLPolicy, source: str = "") -> None:
         self.policy = policy
         self.source = source or policy.policy_id
+        #: XACML policies here are immutable; bump when swapping the
+        #: policy so epoch-keyed decision caches invalidate.
+        self.policy_epoch = 0
+
+    def replace_policy(self, policy: XACMLPolicy) -> None:
+        self.policy = policy
+        self.policy_epoch += 1
 
     def evaluate(self, request: AuthorizationRequest) -> Decision:
         context = RequestContext.from_request(request)

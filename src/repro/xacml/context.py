@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-from repro.core.attributes import ACTION, JOBOWNER
+from repro.core.attributes import ACTION
 from repro.core.matching import _request_values
 from repro.core.request import AuthorizationRequest
 from repro.xacml.model import (

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import List
 
 from repro.xacml.context import RequestContext
 from repro.xacml.model import (

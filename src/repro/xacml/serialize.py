@@ -15,7 +15,7 @@ function ids in a private namespace mirroring the condition classes.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.xacml.conditions import (
     AllValuesIn,

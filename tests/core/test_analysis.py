@@ -1,6 +1,5 @@
 """Policy analysis: lint, capabilities, who-can, diff."""
 
-import pytest
 
 from repro.core.analysis import (
     LintLevel,

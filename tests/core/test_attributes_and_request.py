@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.attributes import ACTION, JOBOWNER, JOBTAG, Action
+from repro.core.attributes import ACTION, JOBOWNER, Action
 from repro.core.request import AuthorizationRequest
 from repro.gsi.names import DistinguishedName
 from repro.rsl.parser import parse_specification

@@ -105,6 +105,44 @@ class TestConfigurationFile:
         config.write_text("\n# comment only\n\n")
         assert CalloutRegistry().configure_from_file(str(config)) == 0
 
+    def test_failure_midway_leaves_registry_unchanged(self, tmp_path, request_):
+        """All-or-nothing: a bad later line must not register earlier ones."""
+        config = tmp_path / "callouts.conf"
+        config.write_text(
+            "gram.authz  repro.core.builtin_callouts  permit_all\n"
+            "gram.authz  no.such.module  whatever\n"
+        )
+        registry = CalloutRegistry()
+        with pytest.raises(AuthorizationSystemFailure):
+            registry.configure_from_file(str(config))
+        assert not registry.configured(GRAM_AUTHZ_CALLOUT)
+
+    def test_failure_midway_preserves_prior_configuration(self, tmp_path, request_):
+        """A registry that was already configured stays exactly as it was."""
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, deny_all)
+        before = registry.callout_labels(GRAM_AUTHZ_CALLOUT)
+        config = tmp_path / "callouts.conf"
+        config.write_text(
+            "gram.authz  repro.core.builtin_callouts  permit_all\n"
+            "gram.authz  repro.core.builtin_callouts  does_not_exist\n"
+        )
+        with pytest.raises(AuthorizationSystemFailure):
+            registry.configure_from_file(str(config))
+        assert registry.callout_labels(GRAM_AUTHZ_CALLOUT) == before
+        assert registry.invoke(GRAM_AUTHZ_CALLOUT, request_).is_deny
+
+    def test_malformed_line_after_good_lines_is_atomic(self, tmp_path):
+        config = tmp_path / "callouts.conf"
+        config.write_text(
+            "gram.authz  repro.core.builtin_callouts  permit_all\n"
+            "gram.authz  only_two_fields\n"
+        )
+        registry = CalloutRegistry()
+        with pytest.raises(AuthorizationSystemFailure):
+            registry.configure_from_file(str(config))
+        assert not registry.configured(GRAM_AUTHZ_CALLOUT)
+
 
 class TestInvocation:
     def test_unconfigured_type_is_system_failure(self, request_):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.combination import CombinationAlgorithm, CombinedEvaluator
-from repro.core.decision import Decision, Effect
+from repro.core.decision import Decision
 from repro.core.errors import AuthorizationSystemFailure
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.parser import parse_policy

@@ -1,6 +1,5 @@
 """Decision objects and the stock callout implementations."""
 
-import pytest
 
 from repro.core.builtin_callouts import (
     combined_policy_callout,

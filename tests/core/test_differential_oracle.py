@@ -7,9 +7,7 @@ the two on randomly generated policies × requests.  A disagreement
 means either the implementation or the documentation is wrong.
 """
 
-from typing import Optional
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """The default-deny policy decision point."""
 
-import pytest
 
 from repro.core.decision import Effect
 from repro.core.evaluator import PolicyEvaluator

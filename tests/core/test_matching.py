@@ -1,10 +1,9 @@
 """Relation-matching semantics (the heart of the policy language)."""
 
-import pytest
 
 from repro.core.matching import MatchContext, match_assertion, match_relation
 from repro.gsi.names import DistinguishedName
-from repro.rsl.ast import Relation, Relop, Specification
+from repro.rsl.ast import Relation, Relop
 from repro.rsl.parser import parse_specification
 
 BO = DistinguishedName.parse("/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu")

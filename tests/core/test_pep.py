@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core.builtin_callouts import broken_callout, deny_all, permit_all
-from repro.core.callout import GRAM_AUTHZ_CALLOUT, CalloutRegistry
+from repro.core.callout import (
+    GATEKEEPER_AUTHZ_CALLOUT,
+    GRAM_AUTHZ_CALLOUT,
+    CalloutRegistry,
+)
 from repro.core.errors import AuthorizationDenied, AuthorizationSystemFailure
 from repro.core.pep import EnforcementPoint, PEPPlacement
 from repro.core.request import AuthorizationRequest
@@ -60,6 +64,40 @@ class TestDecide:
         with pytest.raises(AuthorizationSystemFailure):
             pep.decide(request_)
 
+    def test_decide_matches_authorize_on_permit(self, request_):
+        pep = make_pep(permit_all)
+        via_decide = pep.decide(request_)
+        via_authorize = pep.authorize(request_)
+        assert via_decide.is_permit and via_authorize.is_permit
+        assert via_decide.source == via_authorize.source
+        assert pep.permits == 2
+
+    def test_decide_matches_authorize_on_denial(self, request_):
+        pep = make_pep(deny_all)
+        via_decide = pep.decide(request_)
+        with pytest.raises(AuthorizationDenied) as excinfo:
+            pep.authorize(request_)
+        assert via_decide.reasons == excinfo.value.reasons
+        assert via_decide.context is not None
+        assert via_decide.context.effect is via_decide.effect
+        assert pep.denials == 2
+
+    def test_decide_counts_like_authorize(self, request_):
+        """Both entry points feed the same metrics and audit trail."""
+        pep = make_pep(deny_all)
+        pep.decide(request_)
+        with pytest.raises(AuthorizationDenied):
+            pep.authorize(request_)
+        assert pep.decisions_made == 2
+        assert len(pep.audit_log) == 2
+
+    def test_decide_system_failure_carries_context(self, request_):
+        pep = make_pep(broken_callout)
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            pep.decide(request_)
+        assert excinfo.value.context is not None
+        assert excinfo.value.context.failure
+
 
 class TestAudit:
     def test_every_decision_is_audited(self, request_):
@@ -103,3 +141,43 @@ class TestPlacement:
         pep = EnforcementPoint(registry=registry, placement=PEPPlacement.GATEKEEPER)
         assert pep.placement is PEPPlacement.GATEKEEPER
         assert "gatekeeper" in str(pep)
+
+    def test_gatekeeper_callout_type_is_invoked(self, request_):
+        """The §6.2 placement uses its own abstract callout type."""
+        registry = CalloutRegistry()
+        registry.register(GATEKEEPER_AUTHZ_CALLOUT, permit_all)
+        pep = EnforcementPoint(
+            registry=registry,
+            callout_type=GATEKEEPER_AUTHZ_CALLOUT,
+            placement=PEPPlacement.GATEKEEPER,
+        )
+        decision = pep.authorize(request_)
+        assert decision.is_permit
+        assert decision.context.placement == "gatekeeper"
+
+    def test_gatekeeper_type_unconfigured_fails_closed(self, request_):
+        """gram.authz being configured does not satisfy gatekeeper.authz."""
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all)
+        pep = EnforcementPoint(
+            registry=registry,
+            callout_type=GATEKEEPER_AUTHZ_CALLOUT,
+            placement=PEPPlacement.GATEKEEPER,
+        )
+        with pytest.raises(AuthorizationSystemFailure):
+            pep.authorize(request_)
+
+    def test_both_placements_agree_on_the_same_policy(self, request_):
+        """Same callout behind either placement yields the same effect."""
+        registry = CalloutRegistry()
+        registry.register(GRAM_AUTHZ_CALLOUT, deny_all)
+        registry.register(GATEKEEPER_AUTHZ_CALLOUT, deny_all)
+        jm_pep = EnforcementPoint(registry=registry)
+        gk_pep = EnforcementPoint(
+            registry=registry,
+            callout_type=GATEKEEPER_AUTHZ_CALLOUT,
+            placement=PEPPlacement.GATEKEEPER,
+        )
+        assert jm_pep.decide(request_).effect is gk_pep.decide(request_).effect
+        assert jm_pep.decide(request_).context.placement == "job-manager"
+        assert gk_pep.decide(request_).context.placement == "gatekeeper"

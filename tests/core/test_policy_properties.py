@@ -1,18 +1,11 @@
 """Property-based invariants of policy evaluation."""
 
-import string
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.evaluator import PolicyEvaluator
-from repro.core.model import (
-    Policy,
-    PolicyAssertion,
-    PolicyStatement,
-    StatementKind,
-    Subject,
-)
+from repro.core.model import Policy, PolicyAssertion, PolicyStatement, Subject
 from repro.core.parser import parse_policy
 from repro.core.request import AuthorizationRequest
 from repro.rsl.ast import Relation, Relop, Specification

@@ -1,6 +1,5 @@
 """Interactions between multiple requirement statements and grants."""
 
-import pytest
 
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.parser import parse_policy

@@ -6,10 +6,8 @@ the job" — these tests pin that the extended GRAM actually delivers
 credentials to the PEP, and that the CAS callout consumes them.
 """
 
-import pytest
 
 from repro.core.callout import GRAM_AUTHZ_CALLOUT
-from repro.core.decision import Decision
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient
 from repro.gram.protocol import GramErrorCode

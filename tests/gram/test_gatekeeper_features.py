@@ -1,6 +1,5 @@
 """Gatekeeper-specific features: PEP placement, dynamic accounts, traces."""
 
-import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient

@@ -1,6 +1,5 @@
 """The miniature MDS information service."""
 
-import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.callout import GRAM_AUTHZ_CALLOUT
 from repro.core.parser import parse_policy
-from repro.gram.client import GramClient
 from repro.gram.jobmanager import AuthorizationMode
 from repro.gram.service import GramService, ServiceConfig
 

@@ -8,7 +8,6 @@ import pytest
 
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient
-from repro.gram.jobmanager import AuthorizationMode
 from repro.gram.protocol import GramErrorCode, GramJobState
 from repro.gram.service import GramService, ServiceConfig
 from repro.gsi.credentials import CertificateAuthority

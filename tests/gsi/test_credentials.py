@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.gsi.credentials import (
-    CertificateAuthority,
-    Credential,
-    make_certificate,
-)
+from repro.gsi.credentials import CertificateAuthority, make_certificate
 from repro.gsi.errors import GSIError
 from repro.gsi.keys import KeyPair
 from repro.gsi.names import DistinguishedName

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.gsi.credentials import CertificateAuthority
-from repro.gsi.errors import GSIError, VerificationError
+from repro.gsi.errors import GSIError
 from repro.gsi.names import DistinguishedName
 from repro.gsi.proxy import delegate
 from repro.gsi.verification import verify_credential

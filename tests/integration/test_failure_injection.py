@@ -4,7 +4,6 @@ The system must fail *closed* and report authorization-system failures
 distinctly from policy denials (paper §5.2 error extension).
 """
 
-import pytest
 
 from repro.core.builtin_callouts import broken_callout
 from repro.core.callout import GRAM_AUTHZ_CALLOUT

@@ -5,10 +5,9 @@ Akenti and CAS.  Here all three source types drive a live GRAM
 resource through the callout registry, and agree.
 """
 
-import pytest
 
 from repro.core.callout import GRAM_AUTHZ_CALLOUT
-from repro.core.decision import Decision, Effect
+from repro.core.decision import Decision
 from repro.core.parser import parse_policy
 from repro.gram.client import GramClient
 from repro.gram.protocol import GramErrorCode

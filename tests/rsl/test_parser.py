@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rsl.ast import MultiRequest, Relop, Specification, VariableReference
+from repro.rsl.ast import MultiRequest, Relop, VariableReference
 from repro.rsl.errors import RSLSyntaxError
 from repro.rsl.parser import parse_rsl, parse_specification
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rsl.ast import Relation, Specification, Value, VariableReference
+from repro.rsl.ast import Value, VariableReference
 from repro.rsl.parser import parse_rsl, parse_specification
 from repro.rsl.unparser import unparse, unparse_value
 

@@ -25,7 +25,7 @@ class TestScheduling:
         clock = Clock()
         fired = []
         for label in "abc":
-            clock.call_at(3.0, lambda l=label: fired.append(l))
+            clock.call_at(3.0, lambda tag=label: fired.append(tag))
         clock.run()
         assert fired == ["a", "b", "c"]
 

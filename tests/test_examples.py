@@ -1,7 +1,6 @@
 """Every example script must run cleanly — examples are executable docs."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,10 +1,8 @@
 """The RSL→XACML bridge: decision agreement with the native PDP."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core.evaluator import PolicyEvaluator
-from repro.core.parser import parse_policy
 from repro.core.request import AuthorizationRequest
 from repro.rsl.parser import parse_specification
 from repro.workloads.generator import (

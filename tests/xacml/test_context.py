@@ -1,6 +1,5 @@
 """RequestContext construction from GRAM requests."""
 
-import pytest
 
 from repro.core.request import AuthorizationRequest
 from repro.rsl.parser import parse_specification

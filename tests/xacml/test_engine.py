@@ -1,6 +1,5 @@
 """The miniature XACML engine: targets, rules, combining algorithms."""
 
-import pytest
 
 from repro.xacml.conditions import (
     AllValuesIn,
