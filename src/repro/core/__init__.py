@@ -81,6 +81,18 @@ from repro.core.pipeline import (
     TracingMiddleware,
     current_context,
 )
+from repro.core.resilience import (
+    BreakerOpen,
+    BreakerState,
+    CalloutTimeout,
+    CircuitBreaker,
+    DegradationMode,
+    ResilienceConfig,
+    ResilienceMetrics,
+    ResilienceMiddleware,
+    ResilientCallout,
+    RetryPolicy,
+)
 
 __all__ = [
     "ACTION",
@@ -132,4 +144,14 @@ __all__ = [
     "StageRecord",
     "TracingMiddleware",
     "current_context",
+    "BreakerOpen",
+    "BreakerState",
+    "CalloutTimeout",
+    "CircuitBreaker",
+    "DegradationMode",
+    "ResilienceConfig",
+    "ResilienceMetrics",
+    "ResilienceMiddleware",
+    "ResilientCallout",
+    "RetryPolicy",
 ]

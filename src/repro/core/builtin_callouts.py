@@ -51,6 +51,32 @@ def initiator_only(request: AuthorizationRequest) -> Decision:
     )
 
 
+def gridmap_callout(gridmap):
+    """Wrap a grid-mapfile ACL (§4.1) as an authorization callout.
+
+    Permits requesters with a grid-mapfile entry, denies the rest —
+    the stock GT2 invocation rule expressed as a callout so it can be
+    chained, cached and wrapped like any other policy source.  The
+    gridmap rides along as ``callout.gridmap`` (it carries a
+    ``policy_epoch``) for cache/breaker wiring.
+    """
+
+    def callout(request: AuthorizationRequest) -> Decision:
+        if gridmap.authorizes(request.requester):
+            return Decision.permit(
+                reason=f"{request.requester} has a grid-mapfile entry",
+                source="gridmap",
+            )
+        return Decision.deny(
+            reasons=(f"{request.requester} has no grid-mapfile entry",),
+            source="gridmap",
+        )
+
+    callout.__name__ = "gridmap"
+    callout.gridmap = gridmap
+    return callout
+
+
 def policy_callout(
     evaluator: PolicyEvaluator,
 ):

@@ -177,6 +177,31 @@ class CalloutRegistry:
             self.register(type_name, callout, label=label)
         return len(staged)
 
+    def wrap(
+        self,
+        type_name: str,
+        wrapper: Callable[[str, AuthorizationCallout], AuthorizationCallout],
+        label: Optional[str] = None,
+    ) -> int:
+        """Wrap configured callouts in place; returns how many matched.
+
+        ``wrapper(label, callout)`` receives each configured callout
+        (all of *type_name*, or only the one named *label*) and
+        returns its replacement.  This is the supported hook for
+        layering behaviour — resilience wrappers, fault injection —
+        onto already-configured callouts without monkeypatching.
+        """
+        chain = self._callouts.get(type_name)
+        if not chain:
+            return 0
+        wrapped = 0
+        for index, (existing_label, callout) in enumerate(chain):
+            if label is not None and existing_label != label:
+                continue
+            chain[index] = (existing_label, wrapper(existing_label, callout))
+            wrapped += 1
+        return wrapped
+
     def clear(self, type_name: Optional[str] = None) -> None:
         """Drop configured callouts (all, or one type)."""
         if type_name is None:
@@ -212,7 +237,8 @@ class CalloutRegistry:
         chain = self._callouts.get(type_name)
         if not chain:
             raise AuthorizationSystemFailure(
-                f"no callout configured for type {type_name!r}"
+                f"no callout configured for type {type_name!r}",
+                source=type_name,
             )
         if context is None:
             from repro.core.pipeline import current_context
@@ -223,7 +249,11 @@ class CalloutRegistry:
             started = time.perf_counter()
             try:
                 decision = callout(request)
-            except AuthorizationSystemFailure:
+            except AuthorizationSystemFailure as exc:
+                if not exc.source:
+                    # Preserve the originating callout name even when a
+                    # deep layer raised without attribution.
+                    exc.source = label
                 if context is not None:
                     context.record_stage(
                         f"callout:{label}",
@@ -239,7 +269,8 @@ class CalloutRegistry:
                         detail="system-failure",
                     )
                 raise AuthorizationSystemFailure(
-                    f"callout {label!r} raised {type(exc).__name__}: {exc}"
+                    f"callout {label!r} raised {type(exc).__name__}: {exc}",
+                    source=label,
                 )
             if context is not None:
                 context.record_stage(
@@ -248,12 +279,14 @@ class CalloutRegistry:
             if not isinstance(decision, Decision):
                 raise AuthorizationSystemFailure(
                     f"callout {label!r} returned {type(decision).__name__}, "
-                    "expected Decision"
+                    "expected Decision",
+                    source=label,
                 )
             if decision.effect is Effect.INDETERMINATE:
                 raise AuthorizationSystemFailure(
                     f"callout {label!r} was indeterminate: "
-                    + "; ".join(decision.reasons)
+                    + "; ".join(decision.reasons),
+                    source=decision.source or label,
                 )
             if not decision.is_permit:
                 return decision

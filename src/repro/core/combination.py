@@ -108,7 +108,8 @@ class CombinedEvaluator:
         indeterminate = [d for d in decisions if d.effect is Effect.INDETERMINATE]
         if indeterminate:
             raise AuthorizationSystemFailure(
-                "; ".join(r for d in indeterminate for r in d.reasons)
+                "; ".join(r for d in indeterminate for r in d.reasons),
+                source=self._collect_sources(indeterminate),
             )
 
         denies = [d for d in decisions if d.effect is Effect.DENY]

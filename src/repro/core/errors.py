@@ -44,7 +44,28 @@ class AuthorizationDenied(AuthorizationError):
 
 
 class AuthorizationSystemFailure(AuthorizationError):
-    """The authorization system itself failed; the request fails closed."""
+    """The authorization system itself failed; the request fails closed.
+
+    ``source`` names the callout or policy source that failed, so the
+    GRAM error can report *which* part of the authorization system
+    broke (not just that something did).  ``kind`` classifies the
+    failure mode — the base class is a generic ``"error"``; the
+    resilience layer raises subclasses with ``"timeout"`` and
+    ``"breaker-open"``.
+    """
+
+    #: Failure-mode classification; subclasses override.
+    kind: str = "error"
+
+    def __init__(
+        self,
+        message: str,
+        source: str = "",
+        context: Optional["DecisionContext"] = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.context = context
 
 
 class PolicyParseError(AuthorizationError):

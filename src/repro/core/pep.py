@@ -87,6 +87,7 @@ class EnforcementPoint:
         middlewares: Sequence[DecisionMiddleware] = (),
         metrics: Optional[MetricsMiddleware] = None,
         tracing: Optional[TracingMiddleware] = None,
+        resilience: Optional[DecisionMiddleware] = None,
         cache: Optional[DecisionCache] = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
@@ -94,6 +95,7 @@ class EnforcementPoint:
         self.placement = placement
         self.metrics = metrics if metrics is not None else MetricsMiddleware()
         self.tracing = tracing
+        self.resilience = resilience
         self.cache = cache
         self._extra_middlewares = list(middlewares)
         self._chain: Optional[NextHandler] = None
@@ -108,6 +110,10 @@ class EnforcementPoint:
         if self.tracing is not None:
             stack.append(self.tracing)
         stack.extend(self._extra_middlewares)
+        if self.resilience is not None:
+            # Outside the cache: a cache hit never needs degradation,
+            # and a failing callout chain is caught before metrics.
+            stack.append(self.resilience)
         if self.cache is not None:
             stack.append(self.cache)
         return tuple(stack)
@@ -122,6 +128,16 @@ class EnforcementPoint:
         self.tracing = tracing if tracing is not None else TracingMiddleware()
         self._chain = None
         return self.tracing
+
+    def use_resilience(self, middleware: DecisionMiddleware) -> DecisionMiddleware:
+        """Enable (or replace) the resilience/degradation middleware.
+
+        Typically a :class:`~repro.core.resilience.ResilienceMiddleware`;
+        it sits between the extra middlewares and the decision cache.
+        """
+        self.resilience = middleware
+        self._chain = None
+        return middleware
 
     def use_cache(self, cache: Optional[DecisionCache] = None) -> DecisionCache:
         """Enable (or replace) the policy-epoch decision cache."""

@@ -116,6 +116,10 @@ class DecisionContext:
     failure: str = ""
     cache_status: str = CACHE_BYPASS
     duration: float = 0.0
+    #: Set by the resilience layer when this decision was served in a
+    #: degraded mode (e.g. ``"fail-static"``): the decision is real
+    #: but came from the last-known-good store, not a live source.
+    degraded: str = ""
 
     @classmethod
     def from_request(
@@ -192,6 +196,7 @@ class DecisionContext:
             "effect": self.effect.value if self.effect is not None else None,
             "failure": self.failure,
             "cache": self.cache_status,
+            "degraded": self.degraded,
             "duration": self.duration,
             "stages": [s.to_dict() for s in self.stages],
             "sources": [s.to_dict() for s in self.sources],
@@ -212,6 +217,7 @@ class DecisionContext:
             placement=data.get("placement", ""),
             failure=data.get("failure", ""),
             cache_status=data.get("cache", CACHE_BYPASS),
+            degraded=data.get("degraded", ""),
             duration=float(data.get("duration", 0.0)),
         )
         if data.get("effect"):
@@ -241,6 +247,7 @@ class DecisionContext:
             + (f" on job {self.job_id}" if self.job_id else "")
             + f" -> {outcome}"
             + (f" [{self.failure}]" if self.failure else "")
+            + (f" [degraded: {self.degraded}]" if self.degraded else "")
             + f" (cache={self.cache_status}, {self.duration * 1e6:.1f}us)"
         ]
         for source in self.sources:
@@ -333,6 +340,7 @@ class MetricsMiddleware:
         self.failures = 0
         self.invocations = 0
         self.cache_hits = 0
+        self.degraded = 0
         self._latency = [0] * len(LATENCY_BUCKETS)
         self.total_seconds = 0.0
 
@@ -357,6 +365,8 @@ class MetricsMiddleware:
             self.denials += 1
         if context.cache_status == CACHE_HIT:
             self.cache_hits += 1
+        if context.degraded:
+            self.degraded += 1
         return decision
 
     def _observe(self, elapsed: float) -> None:
@@ -381,6 +391,7 @@ class MetricsMiddleware:
             "denials": self.denials,
             "failures": self.failures,
             "cache_hits": self.cache_hits,
+            "degraded": self.degraded,
             "total_seconds": self.total_seconds,
             "latency_histogram": [
                 {"le": bound, "count": count}
@@ -446,6 +457,24 @@ class TracingMiddleware:
 # -- the policy-epoch decision cache ----------------------------------------
 
 
+def request_key(request: AuthorizationRequest) -> Any:
+    """The identity of an authorization question, minus policy state.
+
+    Shared by the :class:`DecisionCache` (which appends the policy
+    epochs) and the resilience layer's last-known-good store (which
+    stores the epochs alongside and compares them at serve time).  The
+    job description is included so two start requests sharing a jobtag
+    but asking for different things never collide.
+    """
+    return (
+        str(request.requester),
+        request.action.value,
+        request.jobtag,
+        str(request.owner),
+        request.job_description,
+    )
+
+
 def epoch_of(source: Any) -> Any:
     """The policy epoch of *source*: its ``policy_epoch`` attribute.
 
@@ -498,14 +527,7 @@ class DecisionCache:
         return tuple(epoch_of(source) for source in self.epoch_sources)
 
     def _key(self, request: AuthorizationRequest) -> Any:
-        return (
-            str(request.requester),
-            request.action.value,
-            request.jobtag,
-            str(request.owner),
-            request.job_description,
-            self._epochs(),
-        )
+        return request_key(request) + (self._epochs(),)
 
     def __call__(
         self,

@@ -139,6 +139,8 @@ class Gatekeeper:
                 return GramResponse(
                     code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
                     message=str(exc),
+                    failure_source=exc.source,
+                    failure_kind=exc.kind,
                     decision_context=exc.context,
                 )
 

@@ -47,6 +47,9 @@ class GridMapFile:
 
     def __init__(self) -> None:
         self._entries: Dict[str, GridMapEntry] = {}
+        #: Bumped on every mutation — the ACL *is* the policy, so
+        #: decision caches and circuit breakers key off this.
+        self.policy_epoch = 0
 
     # -- construction --------------------------------------------------------
 
@@ -89,12 +92,14 @@ class GridMapFile:
         # Deduplicate preserving order.
         unique = tuple(dict.fromkeys(merged))
         self._entries[key] = GridMapEntry(identity=key, accounts=unique)
+        self.policy_epoch += 1
 
     def remove(self, identity: Union[str, DistinguishedName]) -> None:
         key = str(identity)
         if key not in self._entries:
             raise KeyError(f"{key} not in grid-mapfile")
         del self._entries[key]
+        self.policy_epoch += 1
 
     # -- lookup ---------------------------------------------------------------
 

@@ -329,6 +329,8 @@ class JobManagerInstance:
                     message=str(exc),
                     contact=self.contact,
                     job_owner=str(self.owner),
+                    failure_source=exc.source,
+                    failure_kind=exc.kind,
                     decision_context=exc.context,
                 ),
                 exc.context,

@@ -105,6 +105,13 @@ class GramResponse:
     #: Identity of the job initiator — the client extension "allowing
     #: it to recognize the identity of the job originator" (§5.2).
     job_owner: str = ""
+    #: Extension: for AUTHORIZATION_SYSTEM_FAILURE responses, the
+    #: callout or policy source that failed, and how (``"timeout"``,
+    #: ``"breaker-open"``, plain ``"error"``) — so a client or
+    #: operator can tell *which* part of the authorization system
+    #: broke without parsing the message text.
+    failure_source: str = ""
+    failure_kind: str = ""
     #: The decision-pipeline context of the authorization decision
     #: behind this response (extended mode): per-stage timings,
     #: contributing policy sources, cache status.  Excluded from
@@ -131,6 +138,8 @@ class GramResponse:
             ),
             "state": self.state.value if self.state is not None else None,
             "job_owner": self.job_owner,
+            "failure_source": self.failure_source,
+            "failure_kind": self.failure_kind,
         }
         if self.decision_context is not None:
             data["decision_context"] = self.decision_context.to_dict()
@@ -159,6 +168,8 @@ class GramResponse:
                     else None
                 ),
                 job_owner=data.get("job_owner", ""),
+                failure_source=data.get("failure_source", ""),
+                failure_kind=data.get("failure_kind", ""),
                 decision_context=(
                     DecisionContext.from_dict(data["decision_context"])
                     if data.get("decision_context")
@@ -170,6 +181,12 @@ class GramResponse:
 
     def __str__(self) -> str:
         parts = [self.code.name]
+        if self.failure_source:
+            parts.append(
+                f"[source={self.failure_source}"
+                + (f" kind={self.failure_kind}" if self.failure_kind else "")
+                + "]"
+            )
         if self.message:
             parts.append(self.message)
         if self.reasons:

@@ -30,6 +30,11 @@ from repro.core.combination import CombinationAlgorithm
 from repro.core.model import Policy
 from repro.core.pep import EnforcementPoint, PEPPlacement
 from repro.core.pipeline import DecisionCache, TracingMiddleware
+from repro.core.resilience import (
+    DegradationMode,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.gridmap import GridMapFile
 from repro.gram.jobmanager import AuthorizationMode
@@ -72,6 +77,21 @@ class ServiceConfig:
     #: Retain per-decision pipeline traces on the PEPs, exportable as
     #: JSON lines (:class:`repro.core.pipeline.TracingMiddleware`).
     trace_decisions: bool = False
+    #: Wrap the configured authorization callouts with the resilience
+    #: layer — per-call timeout, bounded retry, per-source circuit
+    #: breaker — and attach the selected degradation middleware to the
+    #: PEPs (:mod:`repro.core.resilience`).
+    resilience: bool = False
+    #: What the PEP does when the authorization system fails:
+    #: fail-closed (deny, naming the failed source) or fail-static
+    #: (serve the last-known-good decision for the same policy epoch).
+    degradation: DegradationMode = DegradationMode.FAIL_CLOSED
+    #: Per-call time budget in simulated seconds (None = no timeout).
+    callout_timeout: Optional[float] = None
+    #: Retry policy for failing callouts (None = single attempt).
+    callout_retry: Optional[RetryPolicy] = None
+    breaker_failure_threshold: int = 5
+    breaker_reset_timeout: float = 30.0
 
 
 class GramService:
@@ -122,6 +142,12 @@ class GramService:
             else None
         )
 
+        #: The live :class:`ResilienceConfig` once :meth:`harden` ran
+        #: (shared metrics, per-source breakers); None until then.
+        self.resilience: Optional[ResilienceConfig] = None
+        if self.config.resilience:
+            self.harden()
+
         self.enforcement = self._build_enforcement()
         self.dynamic_pool = (
             DynamicAccountPool(
@@ -160,6 +186,45 @@ class GramService:
     def run(self, duration: float) -> None:
         """Advance simulated time."""
         self.clock.advance(duration)
+
+    def harden(
+        self, resilience: Optional[ResilienceConfig] = None
+    ) -> ResilienceConfig:
+        """Apply the resilience layer to the configured callouts and PEPs.
+
+        Runs automatically at construction when ``config.resilience``
+        is set.  Tests that inject faults *inside* the resilience
+        wrapper build the service un-hardened, inject, then call this
+        — wrapping happens in place via the registry's public
+        :meth:`~repro.core.callout.CalloutRegistry.wrap` hook, so
+        whatever is configured at that moment (faulty or not) ends up
+        behind the timeout/retry/breaker.
+        """
+        if resilience is None:
+            resilience = ResilienceConfig(
+                clock=self.clock,
+                timeout=self.config.callout_timeout,
+                retry=self.config.callout_retry,
+                failure_threshold=self.config.breaker_failure_threshold,
+                reset_timeout=self.config.breaker_reset_timeout,
+                mode=self.config.degradation,
+            )
+        self.resilience = resilience
+        epoch_source = self.combined_evaluator
+
+        def wrapper(label, callout):
+            return resilience.wrap(callout, name=label, epoch_source=epoch_source)
+
+        self.registry.wrap(GRAM_AUTHZ_CALLOUT, wrapper)
+        if self.config.pep_in_gatekeeper:
+            self.registry.wrap(GATEKEEPER_AUTHZ_CALLOUT, wrapper)
+        epoch_sources = [epoch_source] if epoch_source is not None else []
+        self.pep.use_resilience(resilience.middleware(epoch_sources))
+        if self.gatekeeper_pep is not None:
+            self.gatekeeper_pep.use_resilience(
+                resilience.middleware(epoch_sources)
+            )
+        return resilience
 
     # -- internals ---------------------------------------------------------------
 

@@ -1,0 +1,32 @@
+"""Deterministic test harnesses for the authorization stack.
+
+This package holds infrastructure that *tests and benchmarks* use to
+exercise the production code under adverse conditions — most notably
+:mod:`repro.testing.faults`, a scripted fault-injection harness that
+wraps callouts and policy sources (latency, exceptions, intermittent
+flaps, byzantine wrong answers) through public APIs, never by
+monkeypatching.  It lives under ``repro`` (not ``tests``) because the
+benchmarks, examples and downstream users need it importable too.
+"""
+
+from repro.testing.faults import (
+    ByzantineFault,
+    ExceptionFault,
+    Fault,
+    FaultSchedule,
+    FlapFault,
+    LatencyFault,
+    faulty_source,
+    inject,
+)
+
+__all__ = [
+    "ByzantineFault",
+    "ExceptionFault",
+    "Fault",
+    "FaultSchedule",
+    "FlapFault",
+    "LatencyFault",
+    "faulty_source",
+    "inject",
+]

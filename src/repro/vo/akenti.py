@@ -308,6 +308,27 @@ class AkentiEngine:
         return all(required in attributes for required in condition.required_attributes)
 
 
+def akenti_callout(engine: AkentiEngine, resilience=None):
+    """Wrap an :class:`AkentiEngine` as a GRAM authorization callout.
+
+    The engine rides along as ``callout.engine`` so callers can hand
+    it to a decision cache or circuit breaker as an epoch source.
+    Pass a :class:`~repro.core.resilience.ResilienceConfig` as
+    *resilience* to wrap the callout with timeout/retry/breaker; the
+    breaker resets when the engine's policy epoch bumps (new
+    certificates or trust roots may well fix the outage).
+    """
+
+    def callout(request: AuthorizationRequest) -> Decision:
+        return engine.decide(request)
+
+    callout.__name__ = f"akenti:{engine.resource}"
+    callout.engine = engine
+    if resilience is not None:
+        return resilience.wrap(callout, name=engine.source, epoch_source=engine)
+    return callout
+
+
 def akenti_sources_from_policy(
     policy: Policy,
     resource: str,

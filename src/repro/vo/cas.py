@@ -222,6 +222,15 @@ class CASPolicySource:
     def __init__(self, cas_public_key: PublicKey, source: str = "cas") -> None:
         self.cas_public_key = cas_public_key
         self.source = source
+        #: Cache/breaker invalidation hook: the policy itself travels
+        #: with each request, so the only resource-side "policy" is
+        #: which community key is trusted.
+        self.policy_epoch = 0
+
+    def trust_key(self, cas_public_key: PublicKey) -> None:
+        """Rotate the trusted community key (bumps the policy epoch)."""
+        self.cas_public_key = cas_public_key
+        self.policy_epoch += 1
 
     def evaluate(
         self,
@@ -279,7 +288,7 @@ class CASPolicySource:
         return evaluator.evaluate(request)
 
 
-def cas_callout(cas_public_key: PublicKey, clock, source: str = "cas"):
+def cas_callout(cas_public_key: PublicKey, clock, source: str = "cas", resilience=None):
     """A GRAM authorization callout reading policy from the credential.
 
     The extended Job Manager attaches the presenter's credential to
@@ -293,6 +302,11 @@ def cas_callout(cas_public_key: PublicKey, clock, source: str = "cas"):
     Requests arriving without a credential are INDETERMINATE — a
     deployment that outsources policy to CAS cannot decide without
     one, and must fail closed rather than deny-with-reason.
+
+    Pass a :class:`~repro.core.resilience.ResilienceConfig` as
+    *resilience* to wrap the callout with timeout/retry/breaker; the
+    breaker resets when the source's policy epoch bumps (key
+    rotation).
     """
     from repro.core.decision import Decision
 
@@ -309,4 +323,7 @@ def cas_callout(cas_public_key: PublicKey, clock, source: str = "cas"):
         )
 
     callout.__name__ = f"cas:{source}"
+    callout.policy_source = policy_source
+    if resilience is not None:
+        return resilience.wrap(callout, name=source, epoch_source=policy_source)
     return callout

@@ -1,0 +1,171 @@
+"""The deterministic fault-injection harness itself."""
+
+import pytest
+
+from repro.core.builtin_callouts import permit_all
+from repro.core.callout import GRAM_AUTHZ_CALLOUT, default_registry
+from repro.core.decision import Decision
+from repro.core.errors import AuthorizationSystemFailure
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.rsl.parser import parse_specification
+from repro.sim.clock import Clock
+from repro.testing import (
+    ByzantineFault,
+    ExceptionFault,
+    FaultSchedule,
+    FlapFault,
+    LatencyFault,
+    faulty_source,
+    inject,
+)
+
+from tests.conftest import BO
+
+REQUEST = AuthorizationRequest.start(
+    BO, parse_specification("&(executable=test1)(count=1)")
+)
+
+
+def permit(request):
+    return Decision.permit(reason="healthy", source="healthy")
+
+
+class TestFaultPrimitives:
+    def test_latency_fault_advances_the_simulated_clock(self):
+        clock = Clock()
+        fault = LatencyFault(clock, latency=3.5)
+        decision = fault(lambda: permit(REQUEST), REQUEST)
+        assert decision.is_permit
+        assert clock.now == pytest.approx(3.5)
+
+    def test_exception_fault_raises_configured_exception(self):
+        fault = ExceptionFault("boom", exception_type=TimeoutError)
+        with pytest.raises(TimeoutError, match="boom"):
+            fault(lambda: permit(REQUEST), REQUEST)
+
+    def test_byzantine_fault_returns_a_non_decision_by_default(self):
+        fault = ByzantineFault()
+        result = fault(lambda: permit(REQUEST), REQUEST)
+        assert not isinstance(result, Decision)
+
+    def test_byzantine_fault_can_lie_plausibly(self):
+        wrong = Decision.permit(reason="lies", source="byzantine")
+        fault = ByzantineFault(result=wrong)
+        assert fault(lambda: Decision.deny(), REQUEST) is wrong
+
+    def test_disabled_fault_passes_through(self):
+        fault = ExceptionFault()
+        fault.enabled = False
+        assert fault(lambda: permit(REQUEST), REQUEST).is_permit
+        assert fault.calls == 1
+        assert fault.activations == 0
+
+    def test_counters_track_calls_and_activations(self):
+        fault = FlapFault(ExceptionFault(), period=2, failures=1)
+        for _ in range(6):
+            try:
+                fault(lambda: permit(REQUEST), REQUEST)
+            except ConnectionError:
+                pass
+        assert fault.calls == 6
+        assert fault.activations == 3
+
+    def test_validation(self):
+        clock = Clock()
+        with pytest.raises(ValueError):
+            LatencyFault(clock, latency=-1.0)
+        with pytest.raises(ValueError):
+            FlapFault(ExceptionFault(), period=0)
+        with pytest.raises(ValueError):
+            FlapFault(ExceptionFault(), period=2, failures=3)
+        with pytest.raises(ValueError):
+            FaultSchedule([(0, ExceptionFault())])
+
+
+class TestFlapPattern:
+    def test_first_failures_of_each_period_fault(self):
+        fault = FlapFault(ExceptionFault(), period=4, failures=2)
+        outcomes = []
+        for _ in range(8):
+            try:
+                fault(lambda: permit(REQUEST), REQUEST)
+                outcomes.append("ok")
+            except ConnectionError:
+                outcomes.append("fail")
+        assert outcomes == ["fail", "fail", "ok", "ok"] * 2
+
+    def test_flap_is_deterministic_across_instances(self):
+        def run():
+            fault = FlapFault(ExceptionFault(), period=3, failures=1)
+            pattern = []
+            for _ in range(9):
+                try:
+                    fault(lambda: permit(REQUEST), REQUEST)
+                    pattern.append(True)
+                except ConnectionError:
+                    pattern.append(False)
+            return pattern
+
+        assert run() == run()
+
+
+class TestFaultSchedule:
+    def test_segments_play_in_order_then_pass_through(self):
+        clock = Clock()
+        schedule = FaultSchedule(
+            [(2, ExceptionFault()), (1, LatencyFault(clock, 5.0)), (1, None)]
+        )
+        for _ in range(2):
+            with pytest.raises(ConnectionError):
+                schedule(lambda: permit(REQUEST), REQUEST)
+        assert schedule(lambda: permit(REQUEST), REQUEST).is_permit
+        assert clock.now == pytest.approx(5.0)
+        # Call 4 hits the explicit pass-through segment; call 5 is
+        # beyond the schedule entirely.
+        assert schedule(lambda: permit(REQUEST), REQUEST).is_permit
+        assert schedule(lambda: permit(REQUEST), REQUEST).is_permit
+        assert clock.now == pytest.approx(5.0)
+
+
+class TestInjection:
+    def test_inject_wraps_without_monkeypatching(self):
+        registry = default_registry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="wide-open")
+        fault = ExceptionFault()
+        assert inject(registry, GRAM_AUTHZ_CALLOUT, fault) == 1
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "wide-open"
+        fault.enabled = False
+        assert registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST).is_permit
+
+    def test_inject_targets_one_label_in_a_chain(self):
+        registry = default_registry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="first")
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="second")
+        fault = ExceptionFault()
+        assert inject(registry, GRAM_AUTHZ_CALLOUT, fault, label="second") == 1
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "second"
+
+    def test_inject_on_unconfigured_type_is_a_noop(self):
+        registry = default_registry()
+        assert inject(registry, GRAM_AUTHZ_CALLOUT, ExceptionFault()) == 0
+
+
+class TestFaultySource:
+    def test_proxy_faults_evaluate_and_delegates_the_rest(self):
+        policy = parse_policy(
+            f"{BO}: &(action=start)(executable=test1)", name="local"
+        )
+        evaluator = PolicyEvaluator(policy, source="local")
+        fault = FlapFault(ExceptionFault(), period=2, failures=1)
+        proxy = faulty_source(evaluator, fault)
+        assert proxy.source == "local"
+        assert proxy.policy_epoch == evaluator.policy_epoch
+        with pytest.raises(ConnectionError):
+            proxy.evaluate(REQUEST)
+        assert proxy.evaluate(REQUEST).is_permit

@@ -1,0 +1,158 @@
+"""Source attribution on authorization-system failures.
+
+Historically the callout chain lost track of *which* configured
+callout broke: `registry.invoke` raised bare failures and the GRAM
+response carried only prose.  Every failure path must now attach the
+originating source name, and the protocol must surface it
+machine-readably (``failure_source`` / ``failure_kind``) through the
+wire format.
+"""
+
+import pytest
+
+from repro.core.builtin_callouts import broken_callout, permit_all
+from repro.core.callout import GRAM_AUTHZ_CALLOUT, default_registry
+from repro.core.combination import CombinedEvaluator
+from repro.core.decision import Decision
+from repro.core.errors import AuthorizationSystemFailure
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.gram.client import GramClient
+from repro.gram.protocol import GramErrorCode, GramResponse
+from repro.gram.service import GramService, ServiceConfig
+from repro.rsl.parser import parse_specification
+
+from tests.conftest import BO
+
+REQUEST = AuthorizationRequest.start(
+    BO, parse_specification("&(executable=test1)(count=1)")
+)
+
+ALICE = "/O=Grid/OU=fi/CN=Alice"
+POLICY = f"{ALICE}: &(action=start)(executable=sim)"
+GOOD = "&(executable=sim)(count=1)(runtime=50)"
+
+
+class TestRegistryAttribution:
+    def test_raising_callout_names_its_label(self):
+        registry = default_registry()
+        registry.register(GRAM_AUTHZ_CALLOUT, broken_callout, label="akenti")
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "akenti"
+
+    def test_unconfigured_type_names_the_type(self):
+        registry = default_registry()
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == GRAM_AUTHZ_CALLOUT
+
+    def test_non_decision_return_names_the_label(self):
+        registry = default_registry()
+        registry.register(
+            GRAM_AUTHZ_CALLOUT, lambda request: object(), label="byzantine-src"
+        )
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "byzantine-src"
+
+    def test_indeterminate_decision_prefers_the_decision_source(self):
+        registry = default_registry()
+        registry.register(
+            GRAM_AUTHZ_CALLOUT,
+            lambda request: Decision.indeterminate("lost", source="cas"),
+            label="outer-label",
+        )
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "cas"
+
+    def test_indeterminate_without_source_falls_back_to_label(self):
+        registry = default_registry()
+        registry.register(
+            GRAM_AUTHZ_CALLOUT,
+            lambda request: Decision.indeterminate("lost"),
+            label="fallback",
+        )
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "fallback"
+
+    def test_failure_in_a_chain_names_the_failing_member(self):
+        registry = default_registry()
+        registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="healthy")
+        registry.register(GRAM_AUTHZ_CALLOUT, broken_callout, label="sick")
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            registry.invoke(GRAM_AUTHZ_CALLOUT, REQUEST)
+        assert excinfo.value.source == "sick"
+
+
+class TestCombinationAttribution:
+    def test_indeterminate_combination_names_the_sources(self):
+        class Lost:
+            source = "mds"
+            policy_epoch = 0
+
+            def evaluate(self, request):
+                return Decision.indeterminate("directory down", source="mds")
+
+        vo = PolicyEvaluator(parse_policy(POLICY, name="vo"), source="vo")
+        combined = CombinedEvaluator([vo, Lost()])
+        request = AuthorizationRequest.start(
+            ALICE, parse_specification("&(executable=sim)(count=1)")
+        )
+        with pytest.raises(AuthorizationSystemFailure) as excinfo:
+            combined.evaluate(request)
+        assert "mds" in excinfo.value.source
+
+
+class TestProtocolSurface:
+    def build(self):
+        service = GramService(
+            ServiceConfig(policies=(parse_policy(POLICY, name="vo"),))
+        )
+        client = GramClient(service.add_user(ALICE, "alice"), service.gatekeeper)
+        return service, client
+
+    def test_response_carries_failure_source_and_kind(self):
+        service, client = self.build()
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(
+            GRAM_AUTHZ_CALLOUT, broken_callout, label="local-pdp"
+        )
+        response = client.submit(GOOD)
+        assert response.code is GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE
+        assert response.failure_source == "local-pdp"
+        assert response.failure_kind == "error"
+
+    def test_management_failures_are_attributed_too(self):
+        service, client = self.build()
+        submitted = client.submit(GOOD)
+        assert submitted.ok
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(
+            GRAM_AUTHZ_CALLOUT, broken_callout, label="local-pdp"
+        )
+        response = client.cancel(submitted.contact)
+        assert response.code is GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE
+        assert response.failure_source == "local-pdp"
+
+    def test_denials_carry_no_failure_source(self):
+        service, client = self.build()
+        response = client.submit("&(executable=rogue)(count=1)")
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert response.failure_source == ""
+        assert response.failure_kind == ""
+
+    def test_attribution_survives_the_wire(self):
+        service, client = self.build()
+        service.registry.clear(GRAM_AUTHZ_CALLOUT)
+        service.registry.register(
+            GRAM_AUTHZ_CALLOUT, broken_callout, label="local-pdp"
+        )
+        response = client.submit(GOOD)
+        again = GramResponse.from_wire(response.to_wire())
+        assert again.failure_source == "local-pdp"
+        assert again.failure_kind == "error"
+        assert "source=local-pdp" in str(again)

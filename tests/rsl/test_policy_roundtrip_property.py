@@ -1,0 +1,181 @@
+"""Property-based round-trip tests for the policy substrate.
+
+Complements ``test_roundtrip_property.py`` one layer up: instead of
+bare RSL specifications, these properties generate whole
+:class:`~repro.core.model.Policy` ASTs — exact and prefix subjects,
+grants and requirements, and the paper's special vocabulary
+(``action``, ``jobowner=self``, ``jobtag != NULL``) — and check that
+``parse_policy(str(policy))`` reproduces the structure exactly.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.core.parser import parse_policy
+from repro.rsl.ast import Relation, Relop, Specification, Value
+from repro.workloads.generator import PolicyShape, generate_policy
+
+import pytest
+
+# Safe inside both a subject pattern (no ':', no '#', no '*') and a
+# one-line statement body.
+_name_chars = string.ascii_letters + string.digits + ". -_"
+_word_chars = string.ascii_letters + string.digits + "/._-"
+
+ACTIONS = ("start", "cancel", "information", "signal")
+JOBTAGS = ("ADS", "NFC", "nightly", "batch-17")
+
+dn_components = st.text(alphabet=_name_chars, min_size=1, max_size=10).map(
+    str.strip
+).filter(bool)
+
+
+@st.composite
+def subjects(draw):
+    """An exact identity (ends in CN=) or an explicit prefix group."""
+    organization = draw(dn_components)
+    unit = draw(dn_components)
+    if draw(st.booleans()):
+        user = draw(dn_components)
+        return Subject.identity(f"/O={organization}/OU={unit}/CN={user}")
+    return Subject.prefix(f"/O={organization}/OU={unit}")
+
+
+def action_relation(draw):
+    return Relation(
+        attribute="action",
+        op=Relop.EQ,
+        values=(Value.of(draw(st.sampled_from(ACTIONS))),),
+    )
+
+
+@st.composite
+def extra_relations(draw):
+    kind = draw(
+        st.sampled_from(
+            ["jobowner", "jobtag", "jobtag-required", "word", "count"]
+        )
+    )
+    if kind == "jobowner":
+        owner = draw(
+            st.one_of(
+                st.just("self"),
+                dn_components.map(lambda n: f"/O=Grid/CN={n}"),
+            )
+        )
+        return Relation(
+            attribute="jobowner", op=Relop.EQ, values=(Value.of(owner),)
+        )
+    if kind == "jobtag":
+        tag = draw(st.sampled_from(JOBTAGS + ("NULL",)))
+        return Relation(
+            attribute="jobtag", op=Relop.EQ, values=(Value.of(tag),)
+        )
+    if kind == "jobtag-required":
+        # The paper's Figure 3 obligation: a jobtag must be present.
+        return Relation(
+            attribute="jobtag", op=Relop.NEQ, values=(Value.of("NULL"),)
+        )
+    if kind == "word":
+        attribute = draw(st.sampled_from(["executable", "directory"]))
+        value = draw(
+            st.text(alphabet=_word_chars, min_size=1, max_size=16)
+        )
+        return Relation(
+            attribute=attribute, op=Relop.EQ, values=(Value.of(value),)
+        )
+    op = draw(st.sampled_from([Relop.LT, Relop.LTE, Relop.GT, Relop.GTE]))
+    number = draw(st.integers(min_value=0, max_value=10_000))
+    return Relation(attribute="count", op=op, values=(Value.of(number),))
+
+
+@st.composite
+def assertions(draw):
+    relations = [action_relation(draw)]
+    relations.extend(draw(st.lists(extra_relations(), max_size=4)))
+    return PolicyAssertion(spec=Specification.make(relations))
+
+
+@st.composite
+def statements(draw):
+    return PolicyStatement(
+        subject=draw(subjects()),
+        assertions=tuple(draw(st.lists(assertions(), min_size=1, max_size=3))),
+        kind=draw(st.sampled_from(list(StatementKind))),
+    )
+
+
+@st.composite
+def policies(draw):
+    return Policy.make(
+        draw(st.lists(statements(), min_size=1, max_size=5)), name="generated"
+    )
+
+
+def assert_same_structure(original: Policy, reparsed: Policy) -> None:
+    assert len(reparsed) == len(original)
+    for before, after in zip(original, reparsed):
+        assert after.kind is before.kind
+        assert after.subject.exact == before.subject.exact
+        assert after.subject.pattern == before.subject.pattern
+        assert len(after.assertions) == len(before.assertions)
+        for b_assert, a_assert in zip(before.assertions, after.assertions):
+            assert len(a_assert.spec) == len(b_assert.spec)
+            for b_rel, a_rel in zip(b_assert.spec, a_assert.spec):
+                assert a_rel.attribute == b_rel.attribute
+                assert a_rel.op is b_rel.op
+                assert a_rel.value_texts() == b_rel.value_texts()
+
+
+class TestPolicyRoundTripProperties:
+    @given(policy=policies())
+    @settings(max_examples=150)
+    def test_policy_round_trip(self, policy):
+        reparsed = parse_policy(str(policy), name="generated")
+        assert_same_structure(policy, reparsed)
+
+    @given(policy=policies())
+    @settings(max_examples=75)
+    def test_round_trip_is_idempotent(self, policy):
+        once = str(parse_policy(str(policy)))
+        twice = str(parse_policy(once))
+        assert once == twice
+
+    @given(statement=statements())
+    @settings(max_examples=100)
+    def test_subject_kind_survives(self, statement):
+        """Exact stays exact, prefix stays prefix — never cross over."""
+        policy = Policy.make([statement])
+        reparsed = parse_policy(str(policy))
+        assert reparsed.statements[0].subject == statement.subject
+
+    @given(policy=policies())
+    @settings(max_examples=75)
+    def test_special_values_survive(self, policy):
+        """`self`, `NULL` and `!=` come back verbatim, not normalised."""
+        reparsed = parse_policy(str(policy))
+        for before, after in zip(policy, reparsed):
+            for b_assert, a_assert in zip(before.assertions, after.assertions):
+                for b_rel, a_rel in zip(b_assert.spec, a_assert.spec):
+                    if b_rel.value_texts() in (("self",), ("NULL",)):
+                        assert a_rel.value_texts() == b_rel.value_texts()
+                        assert a_rel.op is b_rel.op
+
+
+class TestGeneratedWorkloadPolicies:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_synthetic_policies_round_trip(self, seed):
+        policy = generate_policy(
+            PolicyShape(users=6, statements_per_user=2, seed=seed)
+        )
+        reparsed = parse_policy(str(policy), name=policy.name)
+        assert_same_structure(policy, reparsed)

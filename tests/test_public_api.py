@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.lrm",
     "repro.accounts",
     "repro.sim",
+    "repro.testing",
     "repro.workloads",
     "repro.xacml",
 ]
