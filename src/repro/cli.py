@@ -8,6 +8,8 @@ unnatural — motivates shipping the analysis tools behind a CLI::
         --action start --rsl "&(executable=test1)(count=2)"
     python -m repro.cli capabilities vo.policy --user "/O=Grid/CN=Bo"
     python -m repro.cli diff old.policy new.policy
+    python -m repro.cli obs spans.jsonl --trace req-000001
+    python -m repro.cli obs metrics.jsonl --metrics prom
     python -m repro.cli demo
 
 Exit codes: 0 success / permit, 1 denial or lint errors, 2 usage or
@@ -87,6 +89,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "audit-summary", help="summarize an exported audit log (JSON lines)"
     )
     audit.add_argument("log", help="path to the audit .jsonl file")
+    audit.add_argument(
+        "--metrics",
+        default=None,
+        metavar="SNAPSHOT",
+        help=(
+            "also report per-source latency percentiles from an "
+            "exported metrics snapshot (.jsonl)"
+        ),
+    )
+
+    obs = commands.add_parser(
+        "obs", help="inspect exported telemetry (metrics snapshots, traces)"
+    )
+    obs.add_argument(
+        "path", help="exported telemetry file (metrics snapshot or span .jsonl)"
+    )
+    obs.add_argument(
+        "--metrics",
+        default=None,
+        choices=["prom", "json"],
+        help="render PATH as a metrics snapshot in this format",
+    )
+    obs.add_argument(
+        "--trace",
+        default=None,
+        metavar="TRACE_ID",
+        help="render one trace tree from a span export",
+    )
+    obs.add_argument(
+        "--summary",
+        action="store_true",
+        help="one line per trace in a span export",
+    )
 
     commands.add_parser("demo", help="run a small end-to-end demonstration")
     return parser
@@ -165,7 +200,49 @@ def _cmd_audit_summary(args) -> int:
         print(f"error: cannot read {args.log}: {exc}", file=sys.stderr)
         return 2
     print(summarize(entries))
+    if args.metrics:
+        from repro.obs import load_snapshot, source_latency_report
+
+        try:
+            snapshot = load_snapshot(args.metrics)
+        except OSError as exc:
+            print(f"error: cannot read {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        report = source_latency_report(snapshot)
+        if report:
+            print(report)
+        else:
+            print("no per-source latency metrics in snapshot")
     return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs import (
+        load_snapshot,
+        load_spans,
+        prometheus_text,
+        render_trace_tree,
+        snapshot_jsonl,
+        trace_summary,
+    )
+
+    try:
+        if args.metrics is not None:
+            snapshot = load_snapshot(args.path)
+            if args.metrics == "prom":
+                print(prometheus_text(snapshot), end="")
+            else:
+                print(snapshot_jsonl(snapshot))
+            return 0
+        spans = load_spans(args.path)
+        if args.summary:
+            print(trace_summary(spans))
+            return 0
+        print(render_trace_tree(spans, trace_id=args.trace))
+        return 0
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_demo(args) -> int:
@@ -203,6 +280,7 @@ _HANDLERS = {
     "diff": _cmd_diff,
     "xacml-export": _cmd_xacml_export,
     "audit-summary": _cmd_audit_summary,
+    "obs": _cmd_obs,
     "demo": _cmd_demo,
 }
 

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.core.decision import Decision, Effect
 from repro.core.errors import AuthorizationSystemFailure
 from repro.core.request import AuthorizationRequest
+from repro.obs.spans import span as obs_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import DecisionContext
@@ -248,7 +249,8 @@ class CalloutRegistry:
         for label, callout in chain:
             started = time.perf_counter()
             try:
-                decision = callout(request)
+                with obs_span(f"callout:{label}"):
+                    decision = callout(request)
             except AuthorizationSystemFailure as exc:
                 if not exc.source:
                     # Preserve the originating callout name even when a

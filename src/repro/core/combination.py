@@ -38,6 +38,7 @@ from repro.core.errors import AuthorizationSystemFailure
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.pipeline import current_context, epoch_of
 from repro.core.request import AuthorizationRequest
+from repro.obs.spans import span as obs_span
 
 
 class CombinationAlgorithm(enum.Enum):
@@ -83,7 +84,8 @@ class CombinedEvaluator:
             started = time.perf_counter()
             recorded_before = len(context.sources) if context is not None else 0
             try:
-                decision = evaluator.evaluate(request)
+                with obs_span(f"source:{evaluator.source}"):
+                    decision = evaluator.evaluate(request)
             except Exception as exc:  # a broken PDP must fail closed
                 decision = Decision.indeterminate(
                     f"policy source {evaluator.source!r} failed: {exc}",

@@ -43,6 +43,7 @@ from repro.core.pipeline import (
     compose,
 )
 from repro.core.request import AuthorizationRequest
+from repro.obs.spans import current_span, span as obs_span
 
 
 class PEPPlacement(enum.Enum):
@@ -59,6 +60,11 @@ class AuditRecord:
     request: AuthorizationRequest
     decision: Optional[Decision]
     failure: str = ""
+    #: For system failures: which callout/policy source broke, and how
+    #: (``"timeout"``, ``"breaker-open"``, plain ``"error"``) — the
+    #: same attribution the GRAM response carries.
+    failure_source: str = ""
+    failure_kind: str = ""
     #: The pipeline context, when the record came through the
     #: middleware stack — the full explanation of this line.
     context: Optional[DecisionContext] = None
@@ -89,11 +95,18 @@ class EnforcementPoint:
         tracing: Optional[TracingMiddleware] = None,
         resilience: Optional[DecisionMiddleware] = None,
         cache: Optional[DecisionCache] = None,
+        telemetry=None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.callout_type = callout_type
         self.placement = placement
-        self.metrics = metrics if metrics is not None else MetricsMiddleware()
+        self.telemetry = telemetry
+        if metrics is None:
+            metrics = MetricsMiddleware(
+                registry=telemetry.registry if telemetry is not None else None,
+                clock=telemetry.clock if telemetry is not None else None,
+            )
+        self.metrics = metrics
         self.tracing = tracing
         self.resilience = resilience
         self.cache = cache
@@ -125,7 +138,15 @@ class EnforcementPoint:
 
     def use_tracing(self, tracing: Optional[TracingMiddleware] = None) -> TracingMiddleware:
         """Enable (or replace) the tracing middleware."""
-        self.tracing = tracing if tracing is not None else TracingMiddleware()
+        if tracing is None:
+            tracing = TracingMiddleware(
+                registry=(
+                    self.telemetry.registry
+                    if self.telemetry is not None
+                    else None
+                )
+            )
+        self.tracing = tracing
         self._chain = None
         return self.tracing
 
@@ -178,22 +199,46 @@ class EnforcementPoint:
                 request, placement=self.placement.value
             )
         handler = self._handler()
-        with activate(context):
+        if self.telemetry is not None:
+            pep_span = self.telemetry.span(
+                "pep.authorize",
+                action=context.action,
+                placement=self.placement.value,
+            )
+        else:
+            pep_span = obs_span(
+                "pep.authorize",
+                action=context.action,
+                placement=self.placement.value,
+            )
+        with activate(context), pep_span as span:
+            if span is None:
+                span = current_span()
+            if span is not None:
+                context.correlation_id = span.trace_id
             try:
                 with context.stage("pep", detail=self.placement.value):
                     decision = handler(request, context)
             except AuthorizationSystemFailure as exc:
                 context.finish_failure(str(exc))
                 exc.context = context
+                if span is not None:
+                    span.set_attr("decision", "failure")
+                    span.set_attr("failure_source", exc.source or "")
+                    span.set_attr("failure_kind", exc.kind)
                 self._record(
                     AuditRecord(
                         request=request,
                         decision=None,
                         failure=str(exc),
+                        failure_source=exc.source or "",
+                        failure_kind=exc.kind,
                         context=context,
                     )
                 )
                 raise
+            if span is not None:
+                span.set_attr("decision", decision.effect.value)
         context.finish(decision)
         decision = decision.with_context(context)
         self._record(

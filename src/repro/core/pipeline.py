@@ -55,6 +55,7 @@ from typing import (
 from repro.core.decision import Decision, Effect
 from repro.core.errors import AuthorizationSystemFailure
 from repro.core.request import AuthorizationRequest
+from repro.obs import spans as obs_spans
 
 _decision_counter = itertools.count(1)
 
@@ -106,6 +107,11 @@ class DecisionContext:
     request_id: str
     requester: str
     action: str
+    #: Correlation ID of the enclosing request trace (see
+    #: :mod:`repro.obs.spans`) — the join key between audit entries,
+    #: trace exports and GRAM responses.  Empty when no tracer was
+    #: active for the decision.
+    correlation_id: str = ""
     jobtag: str = ""
     jobowner: str = ""
     job_id: str = ""
@@ -187,6 +193,7 @@ class DecisionContext:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "request_id": self.request_id,
+            "correlation_id": self.correlation_id,
             "requester": self.requester,
             "action": self.action,
             "jobtag": self.jobtag,
@@ -209,6 +216,7 @@ class DecisionContext:
     def from_dict(cls, data: Dict[str, Any]) -> "DecisionContext":
         context = cls(
             request_id=data.get("request_id", ""),
+            correlation_id=data.get("correlation_id", ""),
             requester=data.get("requester", ""),
             action=data.get("action", ""),
             jobtag=data.get("jobtag", ""),
@@ -330,11 +338,27 @@ class MetricsMiddleware:
     Replaces the old ad-hoc ``permits``/``denials``/``failures``
     counters on the PEP (which now delegate here) and gives the
     operator a latency distribution per outcome.
+
+    Since the unified telemetry subsystem (:mod:`repro.obs`) this is
+    a thin adapter: the plain attribute counters keep their historic
+    API, and — when a :class:`~repro.obs.registry.MetricsRegistry` is
+    attached — every decision additionally feeds the *labeled*
+    families (``authz_decisions_total{action, decision}``,
+    ``authz_cache_total{status}``, ``authz_latency_seconds{action,
+    decision}``).  The labeled latency is measured in *simulated*
+    seconds (when a clock is attached), so registry snapshots are
+    deterministic run to run; the legacy wall-clock histogram stays
+    wall-clock.
     """
 
     name = "metrics"
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Any = None, clock: Any = None) -> None:
+        self.registry = registry
+        self.clock = clock
+        # (registry, decisions, cache, latency) family handles, cached
+        # on first use so the per-decision path skips name resolution.
+        self._families = None
         self.permits = 0
         self.denials = 0
         self.failures = 0
@@ -352,22 +376,81 @@ class MetricsMiddleware:
     ) -> Decision:
         self.invocations += 1
         started = time.perf_counter()
+        started_sim = self.clock.now if self.clock is not None else 0.0
         try:
             decision = call_next(request, context)
         except AuthorizationSystemFailure:
             self.failures += 1
             self._observe(time.perf_counter() - started)
+            self._observe_registry(context, "failure", started_sim)
             raise
         self._observe(time.perf_counter() - started)
         if decision.is_permit:
             self.permits += 1
+            outcome = "permit"
         else:
             self.denials += 1
+            outcome = "deny"
         if context.cache_status == CACHE_HIT:
             self.cache_hits += 1
         if context.degraded:
             self.degraded += 1
+        self._observe_registry(context, outcome, started_sim)
         return decision
+
+    def _observe_registry(
+        self, context: DecisionContext, outcome: str, started_sim: float
+    ) -> None:
+        registry = self.registry
+        if registry is None:
+            return
+        cached = self._families
+        if cached is None or cached[0] is not registry:
+            cached = self._families = (
+                registry,
+                registry.counter(
+                    "authz_decisions_total",
+                    help="Authorization decisions by final outcome",
+                    labelnames=("action", "decision"),
+                ),
+                registry.counter(
+                    "authz_cache_total",
+                    help="Decision-cache lookups by status",
+                    labelnames=("status",),
+                ),
+                registry.histogram(
+                    "authz_latency_seconds",
+                    help="End-to-end decision latency (simulated)",
+                    labelnames=("action", "decision"),
+                ),
+                {},  # (action, outcome) -> (counter, histogram) series
+                {},  # cache status -> counter series
+            )
+        _, decisions, cache, latency, by_outcome, by_status = cached
+        key = (context.action, outcome)
+        series = by_outcome.get(key)
+        if series is None:
+            series = by_outcome[key] = (
+                decisions.labels(action=context.action, decision=outcome),
+                latency.labels(action=context.action, decision=outcome),
+            )
+        series[0].inc()
+        status_counter = by_status.get(context.cache_status)
+        if status_counter is None:
+            status_counter = by_status[context.cache_status] = cache.labels(
+                status=context.cache_status
+            )
+        status_counter.inc()
+        if context.degraded:
+            registry.count(
+                "authz_degraded_total",
+                help="Decisions served in a degraded mode",
+                mode=context.degraded,
+            )
+        elapsed_sim = (
+            self.clock.now - started_sim if self.clock is not None else 0.0
+        )
+        series[1].observe(elapsed_sim)
 
     def _observe(self, elapsed: float) -> None:
         self.total_seconds += elapsed
@@ -413,12 +496,25 @@ class TracingMiddleware:
     superseding the three separate trace mechanisms (PEP audit
     counters, registry invocation counter, component TraceRecorder)
     for authorization decisions.
+
+    Retention is bounded by deque semantics: the oldest context is
+    evicted when the limit is reached, the eviction is counted on
+    :attr:`dropped`, and — when a metrics registry is attached —
+    surfaced as the ``tracing_dropped_total`` counter instead of
+    being silently discarded.
     """
 
     name = "tracing"
 
-    def __init__(self, limit: int = 10_000) -> None:
+    def __init__(self, limit: int = 10_000, registry: Any = None) -> None:
+        self._limit = limit
         self._records: deque = deque(maxlen=limit)
+        self.registry = registry
+        self.dropped = 0
+
+    @property
+    def limit(self) -> int:
+        return self._limit
 
     def __call__(
         self,
@@ -429,6 +525,13 @@ class TracingMiddleware:
         try:
             return call_next(request, context)
         finally:
+            if len(self._records) == self._limit:
+                self.dropped += 1
+                if self.registry is not None:
+                    self.registry.count(
+                        "tracing_dropped_total",
+                        help="Decision traces evicted by retention",
+                    )
             self._records.append(context)
 
     @property
@@ -544,6 +647,7 @@ class DecisionCache:
             decision, sources = cached
             context.sources.extend(sources)
             context.record_stage("cache", 0.0, detail="hit")
+            obs_spans.event("cache", "hit")
             return decision
         self.misses += 1
         context.cache_status = CACHE_MISS

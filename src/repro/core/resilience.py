@@ -71,7 +71,11 @@ from repro.core.pipeline import (
     request_key,
 )
 from repro.core.request import AuthorizationRequest
+from repro.obs.spans import event as obs_event
 from repro.sim.clock import Clock
+
+#: Numeric encoding of breaker states for the ``breaker_state`` gauge.
+_BREAKER_GAUGE = {"closed": 0, "half-open": 1, "open": 2}
 
 
 class CalloutTimeout(AuthorizationSystemFailure):
@@ -173,6 +177,7 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout: float = 30.0,
         epoch_source: Any = None,
+        registry: Any = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
@@ -181,6 +186,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self.epoch_source = epoch_source
+        self.registry = registry
         self._lock = threading.RLock()
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
@@ -226,13 +232,32 @@ class CircuitBreaker:
             )
         )
         self._state = to_state
+        transition = self._transitions[-1]
         context = current_context()
         if context is not None:
             context.record_stage(
                 f"breaker:{self.name}",
                 0.0,
-                detail=f"{self._transitions[-1].from_state.value}"
+                detail=f"{transition.from_state.value}"
                 f"->{to_state.value}: {reason}",
+            )
+        obs_event(
+            "breaker",
+            f"{self.name}: {transition.from_state.value}"
+            f"->{to_state.value} ({reason})",
+        )
+        if self.registry is not None:
+            self.registry.set_gauge(
+                "breaker_state",
+                _BREAKER_GAUGE[to_state.value],
+                help="Circuit-breaker state (0 closed, 1 half-open, 2 open)",
+                source=self.name,
+            )
+            self.registry.count(
+                "breaker_transitions_total",
+                help="Circuit-breaker transitions by target state",
+                source=self.name,
+                to=to_state.value,
             )
 
     def _poll(self) -> None:
@@ -377,6 +402,7 @@ class ResilientCallout:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         metrics: Optional[ResilienceMetrics] = None,
+        registry: Any = None,
     ) -> None:
         self.callout = callout
         self.name = name
@@ -385,7 +411,12 @@ class ResilientCallout:
         self.retry = retry
         self.breaker = breaker
         self.metrics = metrics if metrics is not None else ResilienceMetrics()
+        self.registry = registry
         self.__name__ = f"resilient:{name}"
+
+    def _count(self, name: str, help: str, **labels: str) -> None:
+        if self.registry is not None:
+            self.registry.count(name, help=help, **labels)
 
     def __call__(self, request: AuthorizationRequest) -> Decision:
         context = current_context()
@@ -408,6 +439,11 @@ class ResilientCallout:
                 break
             if attempt < attempts:
                 self.metrics.count("retries")
+                self._count(
+                    "resilience_retries_total",
+                    "Callout retry attempts",
+                    source=self.name,
+                )
                 delay = next(delays, 0.0)
                 if context is not None:
                     context.record_stage(
@@ -415,6 +451,11 @@ class ResilientCallout:
                         delay,
                         detail=f"attempt {attempt} failed; backoff {delay:.4f}s",
                     )
+                obs_event(
+                    "retry",
+                    f"{self.name}: attempt {attempt} failed; "
+                    f"backoff {delay:.4f}s",
+                )
                 self._sleep(delay)
         assert failure is not None
         if not failure.source:
@@ -432,10 +473,16 @@ class ResilientCallout:
             self._record_breaker(self.breaker.before_call)
         except BreakerOpen as exc:
             self.metrics.count("fast_fails")
+            self._count(
+                "resilience_fast_fails_total",
+                "Calls shed by an open breaker",
+                source=self.name,
+            )
             if context is not None:
                 context.record_stage(
                     f"breaker:{self.name}", 0.0, detail="fast-fail"
                 )
+            obs_event("fast-fail", f"{self.name}: breaker open")
             return exc
         return None
 
@@ -453,10 +500,22 @@ class ResilientCallout:
             self.metrics.count("failures")
             if not exc.source:
                 exc.source = self.name
+            self._count(
+                "resilience_failures_total",
+                "Callout failures by kind",
+                source=self.name,
+                failure_kind=exc.kind or "error",
+            )
             self._record_attempt(context, attempt, started, str(exc))
             return exc
         except Exception as exc:
             self.metrics.count("failures")
+            self._count(
+                "resilience_failures_total",
+                "Callout failures by kind",
+                source=self.name,
+                failure_kind="error",
+            )
             self._record_attempt(
                 context, attempt, started, f"{type(exc).__name__}: {exc}"
             )
@@ -471,11 +530,20 @@ class ResilientCallout:
         ):
             elapsed = self.clock.now - started_sim
             self.metrics.count("timeouts")
+            self._count(
+                "resilience_timeouts_total",
+                "Callout timeouts",
+                source=self.name,
+            )
             self._record_attempt(
                 context,
                 attempt,
                 started,
                 f"timed out ({elapsed:.3f}s > {self.timeout:.3f}s)",
+            )
+            obs_event(
+                "timeout",
+                f"{self.name}: {elapsed:.3f}s > budget {self.timeout:.3f}s",
             )
             return CalloutTimeout(
                 f"source {self.name!r} timed out after {elapsed:.3f}s "
@@ -556,11 +624,13 @@ class ResilienceMiddleware:
         epoch_sources: Sequence[Any] = (),
         metrics: Optional[ResilienceMetrics] = None,
         lkg_limit: int = 4096,
+        registry: Any = None,
     ) -> None:
         self.mode = mode
         self.epoch_sources = list(epoch_sources)
         self.metrics = metrics if metrics is not None else ResilienceMetrics()
         self.lkg_limit = lkg_limit
+        self.registry = registry
         self._lkg: "OrderedDict[Any, _LastKnownGood]" = OrderedDict()
         self._lock = threading.Lock()
 
@@ -602,6 +672,13 @@ class ResilienceMiddleware:
                 self._lkg.move_to_end(key)
                 if len(self._lkg) > self.lkg_limit:
                     self._lkg.popitem(last=False)
+                size = len(self._lkg)
+            if self.registry is not None:
+                self.registry.set_gauge(
+                    "resilience_lkg_size",
+                    size,
+                    help="Entries in the last-known-good store",
+                )
         return decision
 
     def _degrade(
@@ -616,6 +693,17 @@ class ResilienceMiddleware:
                 entry = self._lkg.get(key)
             if entry is not None and entry.epochs == self._epochs():
                 self.metrics.count("degraded_static")
+                if self.registry is not None:
+                    self.registry.count(
+                        "resilience_degraded_total",
+                        help="Decisions served from the last-known-good store",
+                        source=source,
+                    )
+                obs_event(
+                    "degraded",
+                    f"fail-static: serving last-known-good after "
+                    f"failure of {source}",
+                )
                 context.degraded = DegradationMode.FAIL_STATIC.value
                 context.record_stage(
                     "resilience",
@@ -671,6 +759,12 @@ class ResilienceConfig:
     mode: DegradationMode = DegradationMode.FAIL_CLOSED
     metrics: ResilienceMetrics = field(default_factory=ResilienceMetrics)
     breakers: Dict[str, CircuitBreaker] = field(default_factory=dict)
+    #: Optional :class:`~repro.obs.registry.MetricsRegistry`: when set,
+    #: every wrapper/breaker/middleware built here also emits the
+    #: labeled telemetry families (retry/timeout/failure counters per
+    #: source, breaker-state gauges, fail-static serve counter, LKG
+    #: store size).
+    registry: Any = None
 
     def breaker_for(
         self, name: str, epoch_source: Any = None
@@ -683,6 +777,7 @@ class ResilienceConfig:
                 failure_threshold=self.failure_threshold,
                 reset_timeout=self.reset_timeout,
                 epoch_source=epoch_source,
+                registry=self.registry,
             )
             self.breakers[name] = breaker
         return breaker
@@ -701,6 +796,7 @@ class ResilienceConfig:
             retry=self.retry,
             breaker=self.breaker_for(name, epoch_source=epoch_source),
             metrics=self.metrics,
+            registry=self.registry,
         )
 
     def middleware(
@@ -710,4 +806,5 @@ class ResilienceConfig:
             mode=self.mode,
             epoch_sources=epoch_sources,
             metrics=self.metrics,
+            registry=self.registry,
         )

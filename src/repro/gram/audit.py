@@ -33,6 +33,14 @@ class AuditEntry:
     duration: float = 0.0
     cache: str = ""
     sources: Tuple[str, ...] = ()
+    #: Correlation id — the trace id of the request's span tree when
+    #: telemetry was on (else the pipeline's decision id), so an audit
+    #: line joins against a trace export.
+    request_id: str = ""
+    #: Failure attribution for ``outcome == "failure"``: which
+    #: callout/policy source broke, and how.
+    failure_source: str = ""
+    failure_kind: str = ""
 
     def to_json(self) -> str:
         return json.dumps(
@@ -47,6 +55,9 @@ class AuditEntry:
                 "duration": self.duration,
                 "cache": self.cache,
                 "sources": list(self.sources),
+                "request_id": self.request_id,
+                "failure_source": self.failure_source,
+                "failure_kind": self.failure_kind,
             },
             sort_keys=True,
         )
@@ -65,6 +76,9 @@ class AuditEntry:
             duration=float(data.get("duration", 0.0)),
             cache=data.get("cache", ""),
             sources=tuple(data.get("sources", ())),
+            request_id=data.get("request_id", ""),
+            failure_source=data.get("failure_source", ""),
+            failure_kind=data.get("failure_kind", ""),
         )
 
     @classmethod
@@ -93,6 +107,13 @@ class AuditEntry:
             duration=context.duration if context is not None else 0.0,
             cache=context.cache_status if context is not None else "",
             sources=context.source_names if context is not None else (),
+            request_id=(
+                (context.correlation_id or context.request_id)
+                if context is not None
+                else ""
+            ),
+            failure_source=record.failure_source,
+            failure_kind=record.failure_kind if outcome == "failure" else "",
         )
 
 

@@ -40,6 +40,7 @@ from repro.gsi.credentials import CertificateAuthority, Credential
 from repro.gsi.errors import GSIError
 from repro.gsi.verification import verify_credential
 from repro.lrm.scheduler import BatchScheduler
+from repro.obs.spans import event as obs_event, span as obs_span
 from repro.rsl.errors import RSLSyntaxError
 from repro.rsl.parser import parse_specification
 from repro.sim.clock import Clock
@@ -63,6 +64,7 @@ class Gatekeeper:
         dynamic_pool: Optional[DynamicAccountPool] = None,
         trace: Optional[TraceRecorder] = None,
         gt3_account_setup: bool = False,
+        telemetry=None,
     ) -> None:
         self.host = host
         self.trust_anchors = tuple(trust_anchors)
@@ -76,6 +78,11 @@ class Gatekeeper:
         self.enforcement = enforcement
         self.dynamic_pool = dynamic_pool
         self.trace = trace
+        #: Optional :class:`repro.obs.Telemetry` — when set, every
+        #: submission/management request opens a *root* span here, so
+        #: the whole Gatekeeper → JMI → PEP → callout → source path
+        #: nests under one correlation (trace) id.
+        self.telemetry = telemetry
         #: GT3-style setup (the paper's conclusions): the job
         #: description is available to the trusted service at job
         #: creation, so a freshly leased dynamic account can be
@@ -90,6 +97,13 @@ class Gatekeeper:
 
     def submit(self, credential: Credential, rsl_text: str) -> GramResponse:
         """Process a job-invocation request end to end."""
+        with self._span("gatekeeper.submit", host=self.host) as span:
+            response = self._submit(credential, rsl_text)
+            if span is not None:
+                span.set_attr("code", response.code.name)
+            return response
+
+    def _submit(self, credential: Credential, rsl_text: str) -> GramResponse:
         self.submissions += 1
         self._trace("client", "gatekeeper", "submit job request")
 
@@ -188,13 +202,20 @@ class Gatekeeper:
         value: Optional[int] = None,
     ) -> GramResponse:
         """Entry point for management requests arriving at the resource."""
-        jmi = self.job_manager(contact)
-        if jmi is None:
-            return GramResponse(
-                code=GramErrorCode.NO_SUCH_JOB,
-                message=f"no job manager at {contact}",
-            )
-        return jmi.handle(credential, action, value=value)
+        with self._span(
+            "gatekeeper.manage", host=self.host, action=action
+        ) as span:
+            jmi = self.job_manager(contact)
+            if jmi is None:
+                response = GramResponse(
+                    code=GramErrorCode.NO_SUCH_JOB,
+                    message=f"no job manager at {contact}",
+                )
+            else:
+                response = jmi.handle(credential, action, value=value)
+            if span is not None:
+                span.set_attr("code", response.code.name)
+            return response
 
     @property
     def active_job_managers(self) -> int:
@@ -264,6 +285,12 @@ class Gatekeeper:
         )
         return None
 
+    def _span(self, name: str, **attrs):
+        if self.telemetry is not None:
+            return self.telemetry.span(name, **attrs)
+        return obs_span(name, **attrs)
+
     def _trace(self, source: str, target: str, event: str) -> None:
         if self.trace is not None:
             self.trace.record(source, target, event)
+        obs_event(target, event)

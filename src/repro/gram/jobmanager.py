@@ -42,6 +42,7 @@ from repro.gsi.errors import GSIError
 from repro.gsi.names import DistinguishedName
 from repro.gsi.verification import verify_credential
 from repro.lrm.errors import LRMError
+from repro.obs.spans import event as obs_event, span as obs_span
 from repro.lrm.jobs import BatchJob, JobState
 from repro.lrm.scheduler import BatchScheduler
 from repro.rsl.errors import RSLSyntaxError
@@ -103,6 +104,15 @@ class JobManagerInstance:
 
     def start(self, rsl_text: str) -> GramResponse:
         """Parse, authorize, admit and submit the job."""
+        with obs_span(
+            "jobmanager.start", job_id=self.contact.job_id
+        ) as span:
+            response = self._start(rsl_text)
+            if span is not None:
+                span.set_attr("code", response.code.name)
+            return response
+
+    def _start(self, rsl_text: str) -> GramResponse:
         self._trace("job-manager", "job-manager", "parse RSL")
         try:
             spec = parse_specification(rsl_text)
@@ -180,6 +190,21 @@ class JobManagerInstance:
         at_time: Optional[float] = None,
     ) -> GramResponse:
         """Authenticate, authorize and execute a management request."""
+        with obs_span(
+            "jobmanager.manage", job_id=self.contact.job_id, action=action
+        ) as span:
+            response = self._handle(credential, action, value=value, at_time=at_time)
+            if span is not None:
+                span.set_attr("code", response.code.name)
+            return response
+
+    def _handle(
+        self,
+        credential: Credential,
+        action: str,
+        value: Optional[int] = None,
+        at_time: Optional[float] = None,
+    ) -> GramResponse:
         now = at_time if at_time is not None else self.clock.now
         self._trace("client", "job-manager", f"management request: {action}")
         try:
@@ -355,6 +380,7 @@ class JobManagerInstance:
     def _trace(self, source: str, target: str, event: str) -> None:
         if self.trace is not None:
             self.trace.record(source, target, event)
+        obs_event(target, event)
 
     def __str__(self) -> str:
         return f"JMI[{self.contact.job_id} owner={self.owner} mode={self.mode.value}]"

@@ -41,6 +41,7 @@ from repro.gram.jobmanager import AuthorizationMode
 from repro.gram.protocol import TraceRecorder
 from repro.gsi.credentials import CertificateAuthority
 from repro.lrm.cluster import Cluster
+from repro.obs import Telemetry
 from repro.lrm.queues import JobQueue
 from repro.lrm.scheduler import BatchScheduler
 from repro.sim.clock import Clock
@@ -92,6 +93,11 @@ class ServiceConfig:
     callout_retry: Optional[RetryPolicy] = None
     breaker_failure_threshold: int = 5
     breaker_reset_timeout: float = 30.0
+    #: Unified telemetry (:mod:`repro.obs`): labeled metrics registry
+    #: plus correlated span tracing across Gatekeeper → JMI → PEP →
+    #: callout → policy-source.  Deterministic under the sim clock and
+    #: cheap, so it is on by default.
+    telemetry: bool = True
 
 
 class GramService:
@@ -116,6 +122,12 @@ class GramService:
         self.accounts = AccountRegistry()
         self.gridmap = GridMapFile()
         self.trace = TraceRecorder() if self.config.record_trace else None
+        #: Unified telemetry: one metrics registry + tracer shared by
+        #: every instrumented layer of this resource (None when
+        #: ``config.telemetry`` is off).
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry(clock=self.clock) if self.config.telemetry else None
+        )
 
         self.registry: CalloutRegistry = default_registry()
         #: The combined policy evaluator behind the configured callout
@@ -123,11 +135,17 @@ class GramService:
         #: the decision cache reads its per-source policy epochs.
         self.combined_evaluator = None
         self._configure_callouts()
+        obs_registry = self.telemetry.registry if self.telemetry else None
         self.pep = EnforcementPoint(
             registry=self.registry,
             placement=PEPPlacement.JOB_MANAGER,
-            tracing=TracingMiddleware() if self.config.trace_decisions else None,
+            tracing=(
+                TracingMiddleware(registry=obs_registry)
+                if self.config.trace_decisions
+                else None
+            ),
             cache=self._build_decision_cache(),
+            telemetry=self.telemetry,
         )
         self.gatekeeper_pep = (
             EnforcementPoint(
@@ -135,8 +153,11 @@ class GramService:
                 callout_type=GATEKEEPER_AUTHZ_CALLOUT,
                 placement=PEPPlacement.GATEKEEPER,
                 tracing=(
-                    TracingMiddleware() if self.config.trace_decisions else None
+                    TracingMiddleware(registry=obs_registry)
+                    if self.config.trace_decisions
+                    else None
                 ),
+                telemetry=self.telemetry,
             )
             if self.config.pep_in_gatekeeper
             else None
@@ -171,6 +192,7 @@ class GramService:
             dynamic_pool=self.dynamic_pool,
             trace=self.trace,
             gt3_account_setup=self.config.gt3_account_setup,
+            telemetry=self.telemetry,
         )
 
     # -- convenience ------------------------------------------------------------
@@ -209,6 +231,8 @@ class GramService:
                 reset_timeout=self.config.breaker_reset_timeout,
                 mode=self.config.degradation,
             )
+        if resilience.registry is None and self.telemetry is not None:
+            resilience.registry = self.telemetry.registry
         self.resilience = resilience
         epoch_source = self.combined_evaluator
 

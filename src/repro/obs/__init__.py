@@ -1,0 +1,78 @@
+"""repro.obs — the unified telemetry subsystem.
+
+The paper's companion work (Keahey et al., cs/0311025) names the NFC
+operators' pain point precisely: when authorization failed, nobody
+could say *why*, and when it was slow, nobody could say *which* policy
+source burned the time.  This package is the answer for the
+reproduction: one registry of labeled metrics, one tracer of
+correlated spans, and exporters that turn both into artifacts an
+operator (or a test) can diff byte for byte.
+
+Three layers, zero dependencies:
+
+* :mod:`repro.obs.registry` — labeled counters, gauges and
+  histograms with snapshot/diff support and a label-cardinality
+  guard, so a misbehaving label can never OOM the registry.
+* :mod:`repro.obs.spans` — hierarchical spans keyed by a
+  per-request correlation ID.  Timestamps come from the simulated
+  clock, so two runs of the same scenario export identical traces.
+  Deep layers attach children and events through a context variable
+  (:func:`~repro.obs.spans.span`, :func:`~repro.obs.spans.event`)
+  without any signature changes.
+* :mod:`repro.obs.exporters` — Prometheus text format and JSON
+  lines for metrics, JSON lines and a deterministic text "flame"
+  summary for traces.
+
+:class:`~repro.obs.instrument.Telemetry` bundles a registry and a
+tracer and bridges finished spans into per-source latency histograms;
+:class:`~repro.gram.service.GramService` creates one by default and
+threads it through Gatekeeper → Job Manager → PEP → callouts →
+policy sources.
+"""
+
+from repro.obs.exporters import (
+    diff_snapshots,
+    histogram_quantile,
+    load_snapshot,
+    load_spans,
+    prometheus_text,
+    render_trace_tree,
+    snapshot_jsonl,
+    source_latency_report,
+    trace_summary,
+)
+from repro.obs.instrument import Telemetry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelError,
+    MetricsRegistry,
+    OVERFLOW_LABEL,
+)
+from repro.obs.spans import Span, SpanEvent, Tracer, current_span, event, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelError",
+    "MetricsRegistry",
+    "OVERFLOW_LABEL",
+    "Span",
+    "SpanEvent",
+    "Telemetry",
+    "Tracer",
+    "current_span",
+    "diff_snapshots",
+    "event",
+    "histogram_quantile",
+    "load_snapshot",
+    "load_spans",
+    "prometheus_text",
+    "render_trace_tree",
+    "snapshot_jsonl",
+    "source_latency_report",
+    "span",
+    "trace_summary",
+]

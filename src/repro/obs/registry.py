@@ -1,0 +1,370 @@
+"""The labeled metrics registry.
+
+Prometheus-shaped but dependency-free: a registry holds *metric
+families* (one per name), each family holds *series* (one per label
+set).  Three instrument types:
+
+* :class:`Counter` — monotonically increasing count;
+* :class:`Gauge` — a value that goes both ways (breaker state, store
+  sizes);
+* :class:`Histogram` — bucketed distribution with sum and count,
+  observed in *simulated* seconds on the authorization path so the
+  exported snapshot is deterministic run to run.
+
+Label sets are small and operator-chosen (``source``, ``action``,
+``decision``, ``failure_kind``) — but a bug upstream must never be
+able to mint unbounded series.  Every family caps its series count
+(:attr:`MetricsRegistry.max_series`); past the cap, new label sets
+collapse into a single reserved overflow series (all label values
+:data:`OVERFLOW_LABEL`) and the family counts what it dropped, so the
+registry stays bounded *and* the truncation stays visible.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Reserved label value absorbing series past the cardinality cap.
+OVERFLOW_LABEL = "<overflow>"
+
+#: Default histogram bucket upper bounds, in (simulated) seconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.01,
+    0.1,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    float("inf"),
+)
+
+
+class LabelError(ValueError):
+    """Labels do not match the family's declared label names."""
+
+
+LabelValues = Tuple[str, ...]
+
+
+class Counter:
+    """One counter series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def data(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """One gauge series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def data(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """One histogram series: cumulative-style buckets, sum and count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"buckets must be sorted and non-empty: {buckets}")
+        if bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self.counts[bisect_left(self.buckets, value)] += 1
+
+    def cumulative(self) -> Tuple[Tuple[float, int], ...]:
+        """(upper bound, cumulative count) pairs, Prometheus-style."""
+        total = 0
+        out: List[Tuple[float, int]] = []
+        for bound, count in zip(self.buckets, self.counts):
+            total += count
+            out.append((bound, total))
+        return tuple(out)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation in-bucket.
+
+        The classic ``histogram_quantile`` estimator: find the bucket
+        the target rank falls in and interpolate between its bounds
+        (the lowest bucket interpolates from zero; an infinite top
+        bucket reports its lower bound).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.buckets, self.counts):
+            if cumulative + count >= rank and count > 0:
+                if bound == float("inf"):
+                    return lower
+                fraction = (rank - cumulative) / count
+                return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+            cumulative += count
+            if bound != float("inf"):
+                lower = bound
+        return lower
+
+    def data(self) -> Dict[str, Any]:
+        return {
+            "buckets": [
+                [bound, count] for bound, count in self.cumulative()
+            ],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All series of one metric name, keyed by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: int = 64,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.max_series = max_series
+        self.overflowed = 0
+        self._buckets = tuple(buckets)
+        self._series: Dict[LabelValues, Any] = {}
+        self._lock = threading.Lock()
+
+    def _make(self) -> Any:
+        if self.kind == "histogram":
+            return Histogram(self._buckets)
+        return _INSTRUMENTS[self.kind]()
+
+    def labels(self, **labels: str) -> Any:
+        """The series for this label set (creating it if within cap)."""
+        try:
+            if len(labels) != len(self.labelnames):
+                raise KeyError
+            key = tuple(str(labels[name]) for name in self.labelnames)
+        except KeyError:
+            raise LabelError(
+                f"metric {self.name!r} takes labels {sorted(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            ) from None
+        # Hot path: existing series resolve without the lock (a plain
+        # dict read is atomic); creation takes the lock below.
+        series = self._series.get(key)
+        if series is not None:
+            return series
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                if len(self._series) >= self.max_series:
+                    self.overflowed += 1
+                    key = tuple(OVERFLOW_LABEL for _ in self.labelnames)
+                    series = self._series.get(key)
+                    if series is None:
+                        series = self._make()
+                        self._series[key] = series
+                else:
+                    series = self._make()
+                    self._series[key] = series
+            return series
+
+    def series(self) -> Tuple[Tuple[Dict[str, str], Any], ...]:
+        """(labels dict, instrument) pairs, sorted by label values."""
+        with self._lock:
+            items = sorted(self._series.items())
+        return tuple(
+            (dict(zip(self.labelnames, key)), instrument)
+            for key, instrument in items
+        )
+
+    def data(self) -> Dict[str, Any]:
+        family: Dict[str, Any] = {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": labels, **instrument.data()}
+                for labels, instrument in self.series()
+            ],
+        }
+        if self.overflowed:
+            family["overflowed"] = self.overflowed
+        return family
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families.
+
+    ``counter``/``gauge``/``histogram`` are idempotent for a given
+    name; re-declaring with a different type or label set raises, so
+    two instrumentation sites can share a family safely but never
+    corrupt each other's schema.
+    """
+
+    def __init__(self, max_series: int = 64) -> None:
+        self.max_series = max_series
+        self._families: Dict[str, MetricFamily] = {}
+        self._lock = threading.Lock()
+
+    # -- declaration -------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name,
+                        kind,
+                        help=help,
+                        labelnames=labelnames,
+                        max_series=self.max_series,
+                        buckets=buckets,
+                    )
+                    self._families[name] = family
+                    return family
+        if family.kind != kind:
+            raise LabelError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if tuple(labelnames) != family.labelnames:
+            raise LabelError(
+                f"metric {name!r} declared with labels "
+                f"{list(family.labelnames)}, got {list(labelnames)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    # -- convenience for unlabeled single-series metrics --------------------
+
+    def count(self, name: str, help: str = "", amount: float = 1.0, **labels) -> None:
+        """Increment a counter series in one call."""
+        self.counter(name, help=help, labelnames=tuple(sorted(labels))).labels(
+            **labels
+        ).inc(amount)
+
+    def set_gauge(self, name: str, value: float, help: str = "", **labels) -> None:
+        self.gauge(name, help=help, labelnames=tuple(sorted(labels))).labels(
+            **labels
+        ).set(value)
+
+    def observe(self, name: str, value: float, help: str = "", **labels) -> None:
+        self.histogram(name, help=help, labelnames=tuple(sorted(labels))).labels(
+            **labels
+        ).observe(value)
+
+    # -- views --------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> Tuple[MetricFamily, ...]:
+        with self._lock:
+            return tuple(
+                family for _, family in sorted(self._families.items())
+            )
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The whole registry as sorted, JSON-ready plain data."""
+        return [family.data() for family in self.families()]
+
+    def to_prometheus(self) -> str:
+        from repro.obs.exporters import prometheus_text
+
+        return prometheus_text(self.snapshot())
+
+    def to_jsonl(self) -> str:
+        from repro.obs.exporters import snapshot_jsonl
+
+        return snapshot_jsonl(self.snapshot())
+
+    def value(self, name: str, **labels) -> float:
+        """Read one counter/gauge series value (0.0 when absent)."""
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels.get(n, "")) for n in family.labelnames)
+        for labelset, instrument in family.series():
+            if tuple(labelset.values()) == key:
+                return instrument.value
+        return 0.0
+
+
+def labels_of(data: Mapping[str, Any]) -> Dict[str, str]:
+    """The label mapping of one exported series entry."""
+    return dict(data.get("labels", {}))

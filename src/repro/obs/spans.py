@@ -1,0 +1,343 @@
+"""Hierarchical span tracing with per-request correlation IDs.
+
+A :class:`Tracer` mints one *correlation ID* per request (``req-%06d``)
+at the root span and threads it through every child span opened while
+that request is in flight.  The active span lives in a context
+variable, so deep layers — the callout registry, the combined
+evaluator, the resilience wrappers — open children and attach events
+through the module-level :func:`span` / :func:`event` helpers without
+growing a parameter on any signature.  Threads inherit nothing: a
+fresh thread starts with no active span, so concurrent requests can
+never leak spans into each other's trees.
+
+Timestamps come from the simulated clock.  A scenario run twice
+produces byte-identical exports — which is what lets the trace tests
+assert golden output instead of shapes.
+
+Finished traces (whole trees, keyed by correlation ID) are retained
+in a bounded deque; overflow is counted on :attr:`Tracer.dropped` and
+mirrored into the registry when one is attached, never silent.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import operator
+import threading
+from collections import deque
+from contextvars import ContextVar
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.sim.clock import Clock
+
+
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, breaker flip...)."""
+
+    __slots__ = ("name", "at", "detail")
+
+    def __init__(self, name: str, at: float, detail: str = "") -> None:
+        self.name = name
+        self.at = at
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"name": self.name, "at": self.at}
+        if self.detail:
+            data["detail"] = self.detail
+        return data
+
+    def __repr__(self) -> str:
+        return f"SpanEvent({self.name!r} @{self.at})"
+
+
+#: Shared empties for spans that never get events/attrs (most don't).
+_NO_EVENTS: Tuple[SpanEvent, ...] = ()
+_NO_ATTRS: Dict[str, str] = {}
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    A span doubles as its own context manager: entering resolves the
+    parent from the context variable, mints IDs and flips the variable;
+    exiting restores it and hands the finished span to the tracer.
+    One allocation per span keeps the request hot path cheap.
+    """
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "status",
+        "events",
+        "attrs",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.status = "ok"
+        # Most spans carry no events and some carry no attrs: both are
+        # shared empties until first written, to keep allocation (and
+        # so GC pressure) per span down on the request hot path.
+        self.events: Any = _NO_EVENTS
+        self.attrs: Dict[str, str] = attrs if attrs is not None else _NO_ATTRS
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        parent = _current_span.get()
+        if parent is None:
+            trace_id = f"req-{next(tracer._trace_counter):06d}"
+            tracer._active[trace_id] = []
+            tracer._span_counters[trace_id] = itertools.count(2)
+            span_id = 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            counter = tracer._span_counters.get(trace_id)
+            if counter is None:  # root already finished; orphaned child
+                counter = tracer._span_counters[trace_id] = itertools.count(2)
+            span_id = next(counter)
+            parent_id = parent.span_id
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        attrs = self.attrs
+        if attrs is not _NO_ATTRS:
+            # The kwargs dict is fresh and ours: stringify in place.
+            for key, value in attrs.items():
+                if type(value) is not str:
+                    attrs[key] = str(value)
+        clock = tracer.clock
+        self.start = clock.now if clock is not None else 0.0
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = f"error:{exc_type.__name__}"
+        _current_span.reset(self._token)
+        self.tracer._finish(self)
+        return False
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def event(self, name: str, detail: str = "") -> SpanEvent:
+        clock = self.tracer.clock
+        evt = SpanEvent(name, clock.now if clock is not None else 0.0, detail)
+        events = self.events
+        if events is _NO_EVENTS:
+            events = []
+            self.events = events
+        events.append(evt)
+        return evt
+
+    def set_attr(self, name: str, value: Any) -> None:
+        if self.attrs is _NO_ATTRS:
+            self.attrs = {}
+        self.attrs[name] = str(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attrs:
+            data["attrs"] = dict(sorted(self.attrs.items()))
+        if self.events:
+            data["events"] = [event.to_dict() for event in self.events]
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.trace_id}#{self.span_id} {self.name!r} "
+            f"{self.duration:.3f}s)"
+        )
+
+
+_BY_SPAN_ID = operator.attrgetter("span_id")
+
+_current_span: ContextVar[Optional[Span]] = ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+def current_span() -> Optional[Span]:
+    """The span of the in-flight request in this context, if any."""
+    return _current_span.get()
+
+
+class _NullSpanContext:
+    """Context manager yielded when no trace is active: pure no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+def span(name: str, **attrs: Any):
+    """Open a child of the current span; no-op when tracing is off.
+
+    This is the deep-layer entry point: callout registries and policy
+    evaluators call it unconditionally.  Without an active trace the
+    cost is one context-variable read.
+    """
+    parent = _current_span.get()
+    if parent is None:
+        return _NULL_SPAN_CONTEXT
+    return Span(parent.tracer, name, attrs or None)
+
+
+def event(name: str, detail: str = "") -> None:
+    """Attach an event to the current span; no-op when tracing is off."""
+    active = _current_span.get()
+    if active is not None:
+        active.event(name, detail)
+
+
+class Tracer:
+    """Mints correlation IDs, opens spans, retains finished traces."""
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        limit: int = 1000,
+        registry: Any = None,
+    ) -> None:
+        self.clock = clock
+        self.limit = limit
+        self.registry = registry
+        self.dropped = 0
+        self.on_finish: List[Callable[[Span], None]] = []
+        self._traces: Deque[Tuple[str, Tuple[Span, ...]]] = deque()
+        self._active: Dict[str, List[Span]] = {}
+        # ID allotment is lock-free: ``itertools.count`` advances
+        # atomically under the GIL, and the dict reads/writes on the
+        # hot path are single bytecode operations.
+        self._span_counters: Dict[str, Any] = {}
+        self._trace_counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a span: child of the active one, else a new root."""
+        return Span(self, name, attrs or None)
+
+    def _finish(self, finished: Span) -> None:
+        clock = self.clock
+        finished.end = clock.now if clock is not None else 0.0
+        buffer = self._active.get(finished.trace_id)
+        if buffer is not None:
+            buffer.append(finished)
+            if finished.parent_id is None:
+                with self._lock:
+                    spans = tuple(
+                        sorted(buffer, key=_BY_SPAN_ID)
+                    )
+                    del self._active[finished.trace_id]
+                    self._span_counters.pop(finished.trace_id, None)
+                    self._traces.append((finished.trace_id, spans))
+                    if len(self._traces) > self.limit:
+                        self._traces.popleft()
+                        self.dropped += 1
+                        registry = self.registry
+                    else:
+                        registry = None
+                if registry is not None:
+                    registry.count(
+                        "obs_traces_dropped_total",
+                        help="Finished traces evicted by retention",
+                    )
+        for callback in self.on_finish:
+            callback(finished)
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def traces(self) -> Tuple[Tuple[str, Tuple[Span, ...]], ...]:
+        with self._lock:
+            return tuple(self._traces)
+
+    def trace_ids(self) -> Tuple[str, ...]:
+        return tuple(trace_id for trace_id, _ in self.traces)
+
+    def find(self, trace_id: str) -> Tuple[Span, ...]:
+        for existing, spans in self.traces:
+            if existing == trace_id:
+                return spans
+        return ()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self._active.clear()
+
+    # -- export -------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        lines = []
+        for _, spans in self.traces:
+            for item in spans:
+                lines.append(item.to_json())
+        return "\n".join(lines)
+
+    def export(self, path: str) -> int:
+        """Write finished traces as JSON lines; returns spans written."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for _, spans in self.traces:
+                for item in spans:
+                    handle.write(item.to_json() + "\n")
+                    count += 1
+        return count

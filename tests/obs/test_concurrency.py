@@ -1,0 +1,71 @@
+"""Concurrency smoke: parallel requests never leak spans across trees.
+
+The active span lives in a context variable, and fresh threads start
+with no active span — so N threads authorizing through one telemetry-
+equipped PEP must produce exactly N disjoint, well-formed traces.
+"""
+
+import threading
+
+from repro.core.callout import GRAM_AUTHZ_CALLOUT, default_registry
+from repro.core.decision import Decision
+from repro.core.pep import EnforcementPoint
+from repro.core.request import AuthorizationRequest
+from repro.obs import Telemetry
+from repro.rsl.parser import parse_specification
+from repro.sim.clock import Clock
+
+THREADS = 8
+REQUESTS_PER_THREAD = 10
+
+
+def permit_all(request):
+    return Decision.permit(reason="ok", source="stub")
+
+
+def test_no_cross_request_span_leakage():
+    telemetry = Telemetry(clock=Clock(), trace_limit=10_000)
+    registry = default_registry()
+    registry.register(GRAM_AUTHZ_CALLOUT, permit_all, label="stub")
+    pep = EnforcementPoint(registry=registry, telemetry=telemetry)
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def worker(index):
+        barrier.wait()
+        try:
+            for n in range(REQUESTS_PER_THREAD):
+                request = AuthorizationRequest.start(
+                    f"/O=Grid/CN=User{index}",
+                    parse_specification(f"&(executable=sim{n})(count=1)"),
+                )
+                pep.authorize(request)
+        except Exception as exc:  # surfaced below; threads must not die
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    traces = telemetry.tracer.traces
+    assert len(traces) == THREADS * REQUESTS_PER_THREAD
+    for trace_id, spans in traces:
+        # Every trace is exactly one request: a pep root + its callout.
+        assert [item.name for item in spans] == [
+            "pep.authorize",
+            "callout:stub",
+        ]
+        assert all(item.trace_id == trace_id for item in spans)
+        root, child = spans
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+
+    assert telemetry.registry.value(
+        "authz_decisions_total", action="start", decision="permit"
+    ) == THREADS * REQUESTS_PER_THREAD

@@ -1,0 +1,191 @@
+"""Golden-output tests for the exporters (repro.obs.exporters)."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    diff_snapshots,
+    histogram_quantile,
+    load_snapshot,
+    load_spans,
+    prometheus_text,
+    render_trace_tree,
+    snapshot_jsonl,
+    source_latency_report,
+    trace_summary,
+)
+from repro.sim.clock import Clock
+
+
+def small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.count(
+        "authz_decisions_total", "decisions", action="start", decision="permit"
+    )
+    registry.count(
+        "authz_decisions_total", "decisions", action="start", decision="permit"
+    )
+    registry.set_gauge("breaker_state", 2, help="state", source="cas")
+    family = registry.histogram(
+        "authz_source_latency_seconds",
+        "latency",
+        ("source",),
+        buckets=(0.1, 1.0, float("inf")),
+    )
+    family.labels(source="vo").observe(0.05)
+    family.labels(source="vo").observe(0.5)
+    return registry
+
+
+GOLDEN_PROMETHEUS = """\
+# HELP authz_decisions_total decisions
+# TYPE authz_decisions_total counter
+authz_decisions_total{action="start",decision="permit"} 2
+# HELP authz_source_latency_seconds latency
+# TYPE authz_source_latency_seconds histogram
+authz_source_latency_seconds_bucket{source="vo",le="0.1"} 1
+authz_source_latency_seconds_bucket{source="vo",le="1"} 2
+authz_source_latency_seconds_bucket{source="vo",le="+Inf"} 2
+authz_source_latency_seconds_sum{source="vo"} 0.55
+authz_source_latency_seconds_count{source="vo"} 2
+# HELP breaker_state state
+# TYPE breaker_state gauge
+breaker_state{source="cas"} 2
+"""
+
+
+class TestPrometheus:
+    def test_golden_output(self):
+        assert prometheus_text(small_registry().snapshot()) == GOLDEN_PROMETHEUS
+
+    def test_empty_snapshot(self):
+        assert prometheus_text([]) == ""
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.count("c_total", "c", source='say "hi"\nback\\slash')
+        text = prometheus_text(registry.snapshot())
+        assert 'source="say \\"hi\\"\\nback\\\\slash"' in text
+
+
+class TestJsonlRoundtrip:
+    def test_snapshot_roundtrip(self, tmp_path):
+        snapshot = small_registry().snapshot()
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(snapshot_jsonl(snapshot) + "\n")
+        assert load_snapshot(str(path)) == snapshot
+
+    def test_snapshot_json_array_accepted(self, tmp_path):
+        import json
+
+        snapshot = small_registry().snapshot()
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        assert load_snapshot(str(path)) == snapshot
+
+    def test_span_roundtrip(self, tmp_path):
+        tracer = Tracer(clock=Clock())
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "spans.jsonl"
+        tracer.export(str(path))
+        spans = load_spans(str(path))
+        assert [item["name"] for item in spans] == ["root", "child"]
+
+
+class TestDiff:
+    def test_counters_and_histograms_subtract(self):
+        registry = small_registry()
+        before = registry.snapshot()
+        registry.count(
+            "authz_decisions_total", "d", action="start", decision="permit"
+        )
+        registry.histogram(
+            "authz_source_latency_seconds", "l", ("source",)
+        ).labels(source="vo").observe(0.05)
+        delta = diff_snapshots(before, registry.snapshot())
+        by_name = {family["name"]: family for family in delta}
+        assert by_name["authz_decisions_total"]["series"][0]["value"] == 1
+        assert by_name["authz_source_latency_seconds"]["series"][0]["count"] == 1
+        # Untouched families are dropped from the delta entirely.
+        assert "breaker_state" not in by_name
+
+    def test_gauge_reports_after_value(self):
+        registry = small_registry()
+        before = registry.snapshot()
+        registry.set_gauge("breaker_state", 0, help="state", source="cas")
+        delta = diff_snapshots(before, registry.snapshot())
+        (family,) = [f for f in delta if f["name"] == "breaker_state"]
+        assert family["series"][0]["value"] == 0
+
+    def test_identical_snapshots_diff_empty(self):
+        snapshot = small_registry().snapshot()
+        assert diff_snapshots(snapshot, snapshot) == []
+
+
+class TestQuantiles:
+    def test_histogram_quantile_from_export(self):
+        buckets = [[0.1, 1], [1.0, 3], [float("inf"), 4]]
+        assert 0.1 <= histogram_quantile(buckets, 0.5) <= 1.0
+        assert histogram_quantile(buckets, 1.0) == 1.0  # inf bucket -> lower
+        assert histogram_quantile([], 0.5) == 0.0
+
+    def test_source_latency_report(self):
+        report = source_latency_report(small_registry().snapshot())
+        assert report.startswith("per-source latency")
+        assert "vo: n=2" in report
+        assert "p50=" in report and "p99=" in report
+
+    def test_source_latency_report_missing_metric(self):
+        assert "no authz_source_latency_seconds" in source_latency_report([])
+
+
+def two_trace_export():
+    clock = Clock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("gatekeeper.submit", host="grid") as root:
+        clock.advance(0.25)
+        with tracer.span("pep.authorize", action="start"):
+            root.event("gridmap", "lookup identity")
+            clock.advance(0.5)
+    with tracer.span("gatekeeper.manage", action="cancel"):
+        clock.advance(0.125)
+    import json
+
+    return [json.loads(line) for line in tracer.to_jsonl().splitlines()]
+
+
+GOLDEN_TREE = """\
+trace req-000001
+  gatekeeper.submit 0.750s [host=grid]
+    @0.250 gridmap: lookup identity
+    pep.authorize 0.500s [action=start]"""
+
+
+class TestTraceRendering:
+    def test_golden_tree(self):
+        spans = two_trace_export()
+        assert render_trace_tree(spans, trace_id="req-000001") == GOLDEN_TREE
+
+    def test_ambiguous_export_requires_trace_id(self):
+        spans = two_trace_export()
+        with pytest.raises(ValueError, match="req-000001, req-000002"):
+            render_trace_tree(spans)
+
+    def test_unknown_trace_id(self):
+        spans = two_trace_export()
+        with pytest.raises(ValueError, match="no trace"):
+            render_trace_tree(spans, trace_id="req-999999")
+
+    def test_summary_lists_each_trace(self):
+        spans = two_trace_export()
+        summary = trace_summary(spans)
+        assert summary.splitlines() == [
+            "req-000001 gatekeeper.submit spans=2 0.750s",
+            "req-000002 gatekeeper.manage spans=1 0.125s",
+        ]
+
+    def test_summary_empty(self):
+        assert trace_summary([]) == "no traces"

@@ -1,0 +1,146 @@
+"""Unit tests for the labeled metrics registry (repro.obs.registry)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LabelError,
+    MetricsRegistry,
+    OVERFLOW_LABEL,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_increments_per_label_set(self, registry):
+        family = registry.counter(
+            "authz_decisions_total", "decisions", ("action", "decision")
+        )
+        family.labels(action="start", decision="permit").inc()
+        family.labels(action="start", decision="permit").inc(2)
+        family.labels(action="cancel", decision="deny").inc()
+        assert registry.value(
+            "authz_decisions_total", action="start", decision="permit"
+        ) == 3
+        assert registry.value(
+            "authz_decisions_total", action="cancel", decision="deny"
+        ) == 1
+
+    def test_negative_increment_rejected(self, registry):
+        family = registry.counter("c_total", "c", ())
+        with pytest.raises(ValueError):
+            family.labels().inc(-1)
+
+    def test_convenience_count(self, registry):
+        registry.count("requests_total", "requests", source="vo")
+        registry.count("requests_total", "requests", source="vo")
+        assert registry.value("requests_total", source="vo") == 2
+
+
+class TestGauge:
+    def test_set_and_overwrite(self, registry):
+        registry.set_gauge("breaker_state", 2, help="state", source="cas")
+        registry.set_gauge("breaker_state", 0, help="state", source="cas")
+        assert registry.value("breaker_state", source="cas") == 0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        family = registry.histogram(
+            "latency_seconds", "latency", ("source",),
+            buckets=(0.1, 1.0, float("inf")),
+        )
+        hist = family.labels(source="vo")
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(6.05)
+        # Cumulative bucket counts: <=0.1, <=1.0, <=inf.
+        assert [count for _, count in hist.cumulative()] == [1, 3, 4]
+
+    def test_quantile_interpolates(self, registry):
+        family = registry.histogram(
+            "h_seconds", "h", (), buckets=(1.0, 2.0, float("inf"))
+        )
+        hist = family.labels()
+        for value in (0.5, 1.5, 1.5, 1.5):
+            hist.observe(value)
+        assert 0.0 < hist.quantile(0.5) <= 2.0
+        assert hist.quantile(0.1) <= hist.quantile(0.99)
+
+    def test_empty_quantile_is_zero(self, registry):
+        family = registry.histogram("h2_seconds", "h", ())
+        assert family.labels().quantile(0.5) == 0.0
+
+    def test_bad_quantile_rejected(self, registry):
+        family = registry.histogram("h3_seconds", "h", ())
+        with pytest.raises(ValueError):
+            family.labels().quantile(1.5)
+
+
+class TestLabelValidation:
+    def test_wrong_labelnames_raise(self, registry):
+        family = registry.counter("t_total", "t", ("action",))
+        with pytest.raises(LabelError):
+            family.labels(verb="start")
+        with pytest.raises(LabelError):
+            family.labels(action="start", extra="x")
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("m_total", "m", ())
+        with pytest.raises(LabelError):
+            registry.gauge("m_total", "m", ())
+
+    def test_labelname_mismatch_raises(self, registry):
+        registry.counter("n_total", "n", ("a",))
+        with pytest.raises(LabelError):
+            registry.counter("n_total", "n", ("b",))
+
+    def test_idempotent_get_or_create(self, registry):
+        first = registry.counter("i_total", "i", ("a",))
+        second = registry.counter("i_total", "i", ("a",))
+        assert first is second
+
+
+class TestCardinalityGuard:
+    def test_overflow_folds_into_reserved_series(self):
+        registry = MetricsRegistry(max_series=3)
+        family = registry.counter("wide_total", "wide", ("user",))
+        for index in range(10):
+            family.labels(user=f"user-{index}").inc()
+        # Three real series plus the overflow bucket.
+        labels = [labels for labels, _ in family.series()]
+        assert {"user": OVERFLOW_LABEL} in labels
+        assert len(labels) == 4
+        assert family.overflowed == 7
+        assert registry.value("wide_total", user=OVERFLOW_LABEL) == 7
+
+    def test_existing_series_keep_counting_after_overflow(self):
+        registry = MetricsRegistry(max_series=1)
+        family = registry.counter("w2_total", "w", ("k",))
+        family.labels(k="a").inc()
+        family.labels(k="b").inc()  # overflows
+        family.labels(k="a").inc()  # existing series still addressable
+        assert registry.value("w2_total", k="a") == 2
+
+    def test_overflow_is_visible_in_snapshot(self):
+        registry = MetricsRegistry(max_series=1)
+        family = registry.counter("w3_total", "w", ("k",))
+        family.labels(k="a").inc()
+        family.labels(k="b").inc()
+        (data,) = [f for f in registry.snapshot() if f["name"] == "w3_total"]
+        assert data["overflowed"] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_plain_data(self, registry):
+        registry.count("b_total", "b", x="1")
+        registry.count("a_total", "a")
+        snapshot = registry.snapshot()
+        assert [family["name"] for family in snapshot] == ["a_total", "b_total"]
+        json.dumps(snapshot)  # plain JSON-serializable data
