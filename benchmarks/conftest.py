@@ -8,12 +8,21 @@ pytest-benchmark and print the table rows they produce.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 
 import pytest
 
 from repro.core.parser import parse_policy
 from repro.workloads.scenarios import FIGURE3_POLICY_TEXT
+
+#: Consolidated machine-readable benchmark artifact.  Every bench that
+#: passes ``data=`` to :func:`emit` merges its series into this one
+#: JSON document; CI publishes it (and fails when it is missing).
+ARTIFACT_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_policy_engine.json"
+)
 
 BO = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu"
 KATE = "/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey"
@@ -38,8 +47,36 @@ def site_policy():
     return parse_policy(SITE_POLICY_TEXT, name="local")
 
 
-def emit(title: str, lines) -> None:
-    """Print a reproduced artifact so harness output shows the rows."""
+def emit(title: str, lines, data=None, key: str = "") -> None:
+    """Print a reproduced artifact so harness output shows the rows.
+
+    When *data* is given, it is also merged into the consolidated
+    JSON artifact at :data:`ARTIFACT_PATH` under *key* (default: a
+    slug of *title*), so one bench run accumulates every emitted
+    series into a single machine-readable document.  The write is
+    atomic (tmp file + rename) so a crashed bench never leaves a
+    half-written artifact behind.
+    """
     print(f"\n===== {title} =====", file=sys.stderr)
     for line in lines:
         print(line, file=sys.stderr)
+    if data is None:
+        return
+    slug = key or "-".join(
+        part for part in "".join(
+            ch.lower() if ch.isalnum() else " " for ch in title
+        ).split()
+    )
+    try:
+        with open(ARTIFACT_PATH, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict):
+            document = {}
+    except (OSError, ValueError):
+        document = {}
+    document[slug] = data
+    tmp_path = ARTIFACT_PATH + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, ARTIFACT_PATH)

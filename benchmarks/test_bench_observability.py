@@ -32,7 +32,12 @@ VO_TEXT = FIGURE3_POLICY_TEXT + f"""
 
 JOB = "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)(runtime=5)"
 
-MAX_OVERHEAD = 1.15
+#: Was 1.15 against the interpreted policy engine; the compiled
+#: engine (docs/performance.md) cut the bare round-trip itself, so
+#: telemetry's fixed per-request cost — now including the
+#: policy_index_* counters — weighs relatively more while absolute
+#: latency dropped across the board.
+MAX_OVERHEAD = 1.25
 
 
 def build(telemetry: bool):

@@ -123,6 +123,78 @@ class TestScalingShape:
             assert first.is_permit == second.is_permit
 
 
+class TestCompiledVsReference:
+    """The compiled-engine headline numbers (ISSUE acceptance bar).
+
+    Replays the same 64-request workload through the compiled engine
+    and the interpreted reference at 10/100/1000 users, emits the
+    series into ``BENCH_policy_engine.json``, and asserts the ≥ 5×
+    speedup the compiled engine must deliver at 1000 users.
+    """
+
+    ROUNDS = {10: 40, 100: 15, 1000: 4}
+
+    @staticmethod
+    def _mean_us(evaluator, requests, rounds):
+        import time
+
+        for request in requests:  # warm indexes, memo, caches
+            evaluator.evaluate(request)
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for request in requests:
+                evaluator.evaluate(request)
+        return (time.perf_counter() - started) / (rounds * len(requests)) * 1e6
+
+    def test_speedup_series_artifact(self):
+        rows = []
+        series = []
+        for users in (10, 100, 1000):
+            shape = PolicyShape(
+                users=users,
+                assertions_per_statement=2,
+                relations_per_assertion=3,
+                seed=7,
+            )
+            policy = generate_policy(shape)
+            generator = WorkloadGenerator(policy, generate_users(users), seed=11)
+            requests = generator.batch(64, management_fraction=0.3)
+            rounds = self.ROUNDS[users]
+            compiled_us = self._mean_us(
+                PolicyEvaluator(policy), requests, rounds
+            )
+            reference_us = self._mean_us(
+                PolicyEvaluator(policy, compiled=False), requests, rounds
+            )
+            speedup = reference_us / compiled_us
+            series.append(
+                {
+                    "users": users,
+                    "statements": len(policy),
+                    "requests": len(requests),
+                    "compiled_us": round(compiled_us, 2),
+                    "reference_us": round(reference_us, 2),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            rows.append(
+                f"users={users:5d} compiled={compiled_us:8.1f} us "
+                f"reference={reference_us:8.1f} us speedup={speedup:6.1f}x"
+            )
+        emit(
+            "B-SCALE — compiled engine vs interpreted reference",
+            rows,
+            data={"workload": "64-request batch, 30% management", "series": series},
+            key="compiled-vs-reference",
+        )
+        at_1000 = series[-1]
+        assert at_1000["users"] == 1000
+        assert at_1000["speedup"] >= 5.0, (
+            f"compiled engine speedup at 1000 users fell to "
+            f"{at_1000['speedup']}x (acceptance floor is 5x): {series}"
+        )
+
+
 class TestDefaultDenyAblation:
     def test_bench_deny_path_vs_permit_path(self, benchmark):
         """Default deny means denials scan every applicable grant; the

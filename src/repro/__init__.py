@@ -37,12 +37,14 @@ from repro.core import (
     AuthorizationSystemFailure,
     CombinationAlgorithm,
     CombinedEvaluator,
+    CompiledPolicy,
     Decision,
     Effect,
     EnforcementPoint,
     Policy,
     PolicyEvaluator,
     PolicyParseError,
+    compile_policy,
     parse_policy,
     parse_policy_file,
 )
@@ -81,6 +83,8 @@ __all__ = [
     "Effect",
     "EnforcementPoint",
     "Policy",
+    "CompiledPolicy",
+    "compile_policy",
     "PolicyEvaluator",
     "PolicyParseError",
     "parse_policy",

@@ -46,6 +46,12 @@ from repro.core.model import (
 )
 from repro.core.parser import parse_policy, parse_policy_file
 from repro.core.request import AuthorizationRequest
+from repro.core.compiled import (
+    CompiledPolicy,
+    CompileStats,
+    compile_policy,
+    compiled_for,
+)
 from repro.core.evaluator import PolicyEvaluator
 from repro.core.combination import CombinedEvaluator, CombinationAlgorithm
 from repro.core.callout import (
@@ -115,6 +121,10 @@ __all__ = [
     "parse_policy",
     "parse_policy_file",
     "AuthorizationRequest",
+    "CompiledPolicy",
+    "CompileStats",
+    "compile_policy",
+    "compiled_for",
     "PolicyEvaluator",
     "CombinedEvaluator",
     "CombinationAlgorithm",

@@ -98,13 +98,20 @@ def policy_callout(
 def combined_policy_callout(
     policies: Sequence[Policy],
     algorithm: CombinationAlgorithm = CombinationAlgorithm.ALL_MUST_PERMIT,
+    registry=None,
 ):
     """Build the paper's standard callout: VO ∧ local policy sources.
 
     The :class:`CombinedEvaluator` rides along as ``callout.evaluator``
     so callers can wire its per-source epochs into a decision cache.
+    ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) is
+    bound to every per-source evaluator so compile cost and index
+    selectivity are exported per policy source.
     """
-    evaluators = [PolicyEvaluator(p, source=p.name or f"policy-{i}") for i, p in enumerate(policies)]
+    evaluators = [
+        PolicyEvaluator(p, source=p.name or f"policy-{i}", registry=registry)
+        for i, p in enumerate(policies)
+    ]
     combined = CombinedEvaluator(evaluators, algorithm=algorithm)
 
     def callout(request: AuthorizationRequest) -> Decision:

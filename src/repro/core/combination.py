@@ -63,6 +63,14 @@ class CombinedEvaluator:
     def sources(self) -> Tuple[str, ...]:
         return tuple(e.source for e in self.evaluators)
 
+    def bind_registry(self, registry) -> None:
+        """Export per-source ``policy_compile_*``/``policy_index_*``
+        metrics for every member evaluator that supports binding."""
+        for evaluator in self.evaluators:
+            bind = getattr(evaluator, "bind_registry", None)
+            if bind is not None:
+                bind(registry)
+
     @property
     def policy_epoch(self) -> Tuple:
         """Combined epoch over all sources (for the decision cache)."""

@@ -61,12 +61,21 @@ class DynamicPolicy:
     given instant; :class:`DynamicEvaluator` does this per request.
     """
 
+    #: Bound on the per-active-signature snapshot cache; distinct
+    #: overlapping-window combinations rarely exceed a handful.
+    SNAPSHOT_CACHE_CAP = 64
+
     def __init__(self, base: Policy) -> None:
         self.base = base
         self._windowed: List[WindowedStatement] = []
         #: Bumped on every mutation — the decision-cache invalidation
         #: hook (see :mod:`repro.core.pipeline`).
         self.policy_epoch = 0
+        #: Snapshot :class:`Policy` per active-window signature.
+        #: Reusing the same instance while the same windows are active
+        #: lets :func:`repro.core.compiled.compiled_for` reuse the
+        #: compiled form instead of recompiling on every request.
+        self._snapshots: dict = {}
 
     def add_window(
         self, statement: PolicyStatement, not_before: float, not_after: float
@@ -77,6 +86,7 @@ class DynamicPolicy:
         )
         self._windowed.append(entry)
         self.policy_epoch += 1
+        self._snapshots.clear()
         return entry
 
     @property
@@ -84,17 +94,24 @@ class DynamicPolicy:
         return tuple(self._windowed)
 
     def snapshot(self, now: float) -> Policy:
-        active = tuple(
-            entry.statement
-            for entry in self._windowed
+        signature = tuple(
+            index
+            for index, entry in enumerate(self._windowed)
             if entry.window.contains(now)
         )
-        if not active:
+        if not signature:
             return self.base
-        return Policy(
-            statements=self.base.statements + active,
-            name=self.base.name,
-        )
+        cached = self._snapshots.get(signature)
+        if cached is None:
+            if len(self._snapshots) >= self.SNAPSHOT_CACHE_CAP:
+                self._snapshots.clear()
+            cached = Policy(
+                statements=self.base.statements
+                + tuple(self._windowed[i].statement for i in signature),
+                name=self.base.name,
+            )
+            self._snapshots[signature] = cached
+        return cached
 
 
 class DynamicEvaluator:

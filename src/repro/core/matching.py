@@ -36,8 +36,8 @@ exact string comparison otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro.core.attributes import (
     CASE_INSENSITIVE_ATTRIBUTES,
@@ -214,30 +214,39 @@ def _match_ordering(op: Relop, attribute, asserted, present) -> RelationOutcome:
         return RelationOutcome.fail(
             f"ordering bound {asserted[0]!r} on {attribute!r} is not numeric"
         )
+    return _match_ordering_bound(op, attribute, asserted[0], bound, present)
+
+
+def _match_ordering_bound(
+    op: Relop, attribute, bound_text: str, bound: float, present
+) -> RelationOutcome:
+    """Ordering check with the bound already parsed (compile fast path)."""
     if not present:
         return RelationOutcome.fail(
-            f"request must contain {attribute!r} (bounded {op.value} {asserted[0]})"
+            f"request must contain {attribute!r} (bounded {op.value} {bound_text})"
         )
-    comparisons = {
-        Relop.LT: lambda a, b: a < b,
-        Relop.LTE: lambda a, b: a <= b,
-        Relop.GT: lambda a, b: a > b,
-        Relop.GTE: lambda a, b: a >= b,
-    }
-    compare = comparisons[op]
+    compare = _COMPARISONS[op]
     for value in present:
         number = _as_number(value)
         if number is None:
             return RelationOutcome.fail(
                 f"{attribute!r} value {value!r} is not numeric but policy "
-                f"bounds it {op.value} {asserted[0]}"
+                f"bounds it {op.value} {bound_text}"
             )
         if not compare(number, bound):
             return RelationOutcome.fail(
                 f"{attribute!r} value {value} violates bound "
-                f"{op.value} {asserted[0]}"
+                f"{op.value} {bound_text}"
             )
     return RelationOutcome.ok()
+
+
+_COMPARISONS = {
+    Relop.LT: lambda a, b: a < b,
+    Relop.LTE: lambda a, b: a <= b,
+    Relop.GT: lambda a, b: a > b,
+    Relop.GTE: lambda a, b: a >= b,
+}
 
 
 def match_assertion(
@@ -250,4 +259,259 @@ def match_assertion(
         outcome = match_relation(relation, request_spec, context)
         if not outcome.satisfied:
             return outcome
+    return RelationOutcome.ok()
+
+
+# ---------------------------------------------------------------------------
+# Pre-lowered relations (the policy-compile fast path)
+# ---------------------------------------------------------------------------
+#
+# :func:`match_relation` recomputes three things on every call that
+# never change for a given *policy* relation: the resolved asserted
+# value texts, the unresolved-variable failure, and (for ordering
+# relations) the parsed numeric bound.  :class:`LoweredRelation`
+# hoists all of that to policy-compile time; the only per-request
+# work left is the request-value lookup and the comparison itself.
+# The outcome — including every failure-reason string — is identical
+# to :func:`match_relation` by construction: both dispatch into the
+# same ``_match_eq`` / ``_match_neq`` / ``_match_ordering_bound``
+# helpers (the differential suite in ``tests/core`` pins this).
+
+
+@dataclass(frozen=True)
+class LoweredRelation:
+    """One policy relation with all request-independent work done."""
+
+    #: Attribute name verbatim (reason strings quote it as written).
+    attribute: str
+    op: Relop
+    #: Statically resolved value texts; ``self`` is left in place and
+    #: resolved per request iff :attr:`needs_self`.
+    asserted: Tuple[str, ...]
+    #: The attribute key request values are looked up under.
+    lookup: str = ""
+    needs_self: bool = False
+    #: Request-independent failure (unresolved variable references,
+    #: malformed ordering bounds), precomputed once.
+    static_failure: Optional[RelationOutcome] = None
+    #: Pre-parsed numeric bound for ordering relations.
+    bound: Optional[float] = None
+    #: Whether ``NULL`` appears among the asserted values (the
+    #: required-not-to-contain / required-to-contain forms).
+    has_null: bool = False
+    #: ``', '.join(asserted)``, baked into several failure reasons.
+    joined: str = ""
+    #: Pre-parsed numeric interpretation of each asserted value.
+    numbers: Tuple[Optional[float], ...] = ()
+    #: Does this attribute compare case-insensitively?
+    case_insensitive: bool = False
+    #: Asserted values case-folded when :attr:`case_insensitive`.
+    folded: Tuple[str, ...] = ()
+    #: Membership set over :attr:`folded` when *no* asserted value is
+    #: numeric — the pure-string equality fast path.  ``None`` when a
+    #: numeric value forces the general comparison loop.
+    plain_set: Optional[frozenset] = None
+    original: Optional[Relation] = field(default=None, compare=False)
+
+
+def lower_relation(relation: Relation) -> LoweredRelation:
+    """Compile one relation into its pre-lowered form."""
+    attribute = relation.attribute
+    unresolved = [
+        str(v)
+        for v in relation.values
+        if isinstance(v, (VariableReference, Concatenation))
+    ]
+    if unresolved:
+        return LoweredRelation(
+            attribute=attribute,
+            op=relation.op,
+            asserted=(),
+            lookup=attribute.lower(),
+            static_failure=RelationOutcome.fail(
+                f"unresolved variable reference(s) {', '.join(unresolved)} "
+                f"in policy relation on {attribute!r}"
+            ),
+            original=relation,
+        )
+    asserted = tuple(str(v) for v in relation.values)
+    needs_self = SELF in asserted
+    bound: Optional[float] = None
+    static_failure: Optional[RelationOutcome] = None
+    if relation.op.is_ordering and not needs_self:
+        if len(asserted) != 1:
+            static_failure = RelationOutcome.fail(
+                f"ordering relation on {attribute!r} needs exactly one "
+                f"bound, got {len(asserted)}"
+            )
+        else:
+            bound = _as_number(asserted[0])
+            if bound is None:
+                static_failure = RelationOutcome.fail(
+                    f"ordering bound {asserted[0]!r} on {attribute!r} "
+                    "is not numeric"
+                )
+    numbers = tuple(_as_number(text) for text in asserted)
+    case_insensitive = attribute in CASE_INSENSITIVE_ATTRIBUTES
+    folded = (
+        tuple(text.lower() for text in asserted)
+        if case_insensitive
+        else asserted
+    )
+    plain_set = (
+        frozenset(folded) if all(n is None for n in numbers) else None
+    )
+    return LoweredRelation(
+        attribute=attribute,
+        op=relation.op,
+        asserted=asserted,
+        lookup=attribute.lower(),
+        needs_self=needs_self,
+        static_failure=static_failure,
+        bound=bound,
+        has_null=NULL in asserted,
+        joined=", ".join(asserted),
+        numbers=numbers,
+        case_insensitive=case_insensitive,
+        folded=folded,
+        plain_set=plain_set,
+        original=relation,
+    )
+
+
+def request_value_view(spec: Specification) -> Dict[str, Tuple[str, ...]]:
+    """All request-supplied values, keyed by attribute, in one pass.
+
+    Semantics match :func:`_request_values` exactly (equality
+    relations only, unresolved references and NULL/empty values
+    dropped); building the view once per request replaces the
+    per-relation O(request relations) rescan.
+    """
+    collected: Dict[str, list] = {}
+    for relation in spec.relations:
+        if relation.op is Relop.EQ:
+            for value in relation.values:
+                if isinstance(value, (VariableReference, Concatenation)):
+                    continue
+                text = str(value)
+                if text and text != NULL:
+                    collected.setdefault(relation.attribute, []).append(text)
+    return {attribute: tuple(values) for attribute, values in collected.items()}
+
+
+_NO_VALUES: Tuple[str, ...] = ()
+
+
+def match_lowered_relation(
+    lowered: LoweredRelation,
+    values: Dict[str, Tuple[str, ...]],
+    context: MatchContext,
+) -> RelationOutcome:
+    """Check one pre-lowered relation against a request-value view."""
+    if lowered.static_failure is not None:
+        return lowered.static_failure
+    present = values.get(lowered.lookup, _NO_VALUES)
+    if lowered.needs_self:
+        # ``self`` resolves per request: fall back to the generic
+        # helpers with the freshly resolved value list.
+        asserted = [
+            context.resolve(lowered.attribute, text) for text in lowered.asserted
+        ]
+        if lowered.op is Relop.EQ:
+            return _match_eq(lowered.attribute, asserted, present)
+        if lowered.op is Relop.NEQ:
+            return _match_neq(lowered.attribute, asserted, present)
+        return _match_ordering(lowered.op, lowered.attribute, asserted, present)
+    if lowered.op is Relop.EQ:
+        return _match_eq_lowered(lowered, present)
+    if lowered.op is Relop.NEQ:
+        return _match_neq_lowered(lowered, present)
+    return _match_ordering_bound(
+        lowered.op, lowered.attribute, lowered.asserted[0], lowered.bound, present
+    )
+
+
+def _match_eq_lowered(
+    lowered: LoweredRelation, present: Tuple[str, ...]
+) -> RelationOutcome:
+    """:func:`_match_eq` with the asserted side precomputed."""
+    attribute = lowered.attribute
+    if lowered.has_null:
+        # required-not-to-contain
+        if present:
+            return RelationOutcome.fail(
+                f"request must not contain {attribute!r} "
+                f"(found {', '.join(present)})"
+            )
+        return RelationOutcome.ok()
+    if not present:
+        return RelationOutcome.fail(
+            f"request must contain {attribute!r} with value in "
+            f"{{{lowered.joined}}}"
+        )
+    plain_set = lowered.plain_set
+    if plain_set is not None:
+        # No asserted value parses as a number, so _texts_equal can
+        # only ever take the (case-folded) string branch: membership
+        # in a precomputed set is an exact replacement.
+        fold = lowered.case_insensitive
+        for value in present:
+            if (value.lower() if fold else value) not in plain_set:
+                return RelationOutcome.fail(
+                    f"{attribute!r} value {value!r} not among permitted "
+                    f"{{{lowered.joined}}}"
+                )
+        return RelationOutcome.ok()
+    for value in present:
+        left_num = _as_number(value)
+        matched = False
+        for allowed, allowed_num, allowed_folded in zip(
+            lowered.asserted, lowered.numbers, lowered.folded
+        ):
+            if left_num is not None and allowed_num is not None:
+                if left_num == allowed_num:
+                    matched = True
+                    break
+            elif lowered.case_insensitive:
+                if value.lower() == allowed_folded:
+                    matched = True
+                    break
+            elif value == allowed:
+                matched = True
+                break
+        if not matched:
+            return RelationOutcome.fail(
+                f"{attribute!r} value {value!r} not among permitted "
+                f"{{{lowered.joined}}}"
+            )
+    return RelationOutcome.ok()
+
+
+def _match_neq_lowered(
+    lowered: LoweredRelation, present: Tuple[str, ...]
+) -> RelationOutcome:
+    """:func:`_match_neq` with the asserted side precomputed."""
+    attribute = lowered.attribute
+    if lowered.has_null:
+        # required-to-contain (jobtag != NULL)
+        if not present:
+            return RelationOutcome.fail(
+                f"request must contain a non-empty {attribute!r}"
+            )
+        return RelationOutcome.ok()
+    for value in present:
+        left_num = _as_number(value)
+        for forbidden, forbidden_num, forbidden_folded in zip(
+            lowered.asserted, lowered.numbers, lowered.folded
+        ):
+            if left_num is not None and forbidden_num is not None:
+                equal = left_num == forbidden_num
+            elif lowered.case_insensitive:
+                equal = value.lower() == forbidden_folded
+            else:
+                equal = value == forbidden
+            if equal:
+                return RelationOutcome.fail(
+                    f"{attribute!r} must not take value {forbidden!r}"
+                )
     return RelationOutcome.ok()

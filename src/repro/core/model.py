@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Iterator, List, Tuple, Union
 
 from repro.core.attributes import ACTION
@@ -88,9 +89,17 @@ class PolicyAssertion:
     def parse(cls, text: str) -> "PolicyAssertion":
         return cls(spec=parse_specification(text))
 
-    @property
+    @cached_property
     def actions(self) -> Tuple[str, ...]:
-        """Action values this assertion is guarded on (lower-cased)."""
+        """Action values this assertion is guarded on (lower-cased).
+
+        Computed once per assertion: walking the spec and lowering
+        every value on each property access showed up hot when the
+        PEP consults ``actions`` per request.  ``cached_property``
+        writes straight into the instance ``__dict__``, which a frozen
+        dataclass (without slots) permits, and the cached value never
+        goes stale because the spec is immutable.
+        """
         values: List[str] = []
         for relation in self.spec.relations_for(ACTION):
             for value in relation.values:

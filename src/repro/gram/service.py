@@ -259,7 +259,9 @@ class GramService:
             return
         if self.config.policies:
             callout = combined_policy_callout(
-                list(self.config.policies), algorithm=self.config.combination
+                list(self.config.policies),
+                algorithm=self.config.combination,
+                registry=self.telemetry.registry if self.telemetry else None,
             )
             self.combined_evaluator = callout.evaluator
             self.registry.register(GRAM_AUTHZ_CALLOUT, callout)

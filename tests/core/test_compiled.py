@@ -1,0 +1,345 @@
+"""The compiled policy engine: indexes, memo, metrics, edge cases.
+
+Decision-level equivalence with the interpreted engine is pinned
+exhaustively in ``test_compiled_differential.py``; this module tests
+the compiled structures directly, plus the subject-prefix edge cases
+the index must preserve from the interpreted subject scan.
+"""
+
+import pytest
+
+from repro.core.compiled import (
+    CompiledPolicy,
+    compile_policy,
+    compiled_for,
+    evaluation_view,
+    is_compiled,
+)
+from repro.core.decision import Effect
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.matching import request_value_view
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.core.parser import parse_policy
+from repro.core.request import AuthorizationRequest
+from repro.obs import MetricsRegistry
+from repro.rsl.parser import parse_specification
+
+ORG = "/O=Grid/O=Globus/OU=mcs.anl.gov"
+BO = f"{ORG}/CN=Bo Liu"
+BO_LONGER = f"{ORG}/CN=Bo Liukonen"
+KATE = f"{ORG}/CN=Kate Keahey"
+EVE = "/O=Elsewhere/CN=Eve"
+
+
+def start(who: str, rsl: str) -> AuthorizationRequest:
+    return AuthorizationRequest.start(who, parse_specification(rsl))
+
+
+def manage(who, action, rsl, owner) -> AuthorizationRequest:
+    return AuthorizationRequest.manage(
+        who, action, parse_specification(rsl), jobowner=owner
+    )
+
+
+def both(policy_text: str):
+    """(compiled, interpreted) evaluators over the same policy."""
+    policy = parse_policy(policy_text, name="test")
+    return (
+        PolicyEvaluator(policy),
+        PolicyEvaluator(policy, compiled=False),
+    )
+
+
+def assert_parity(policy_text: str, requests) -> None:
+    compiled, interpreted = both(policy_text)
+    for request in requests:
+        a = compiled.evaluate(request)
+        b = interpreted.evaluate(request)
+        assert (a.effect, a.reasons, a.source) == (
+            b.effect,
+            b.reasons,
+            b.source,
+        ), f"divergence on {request}"
+
+
+class TestSubjectIndex:
+    def test_exact_subject_never_matches_longer_dn(self):
+        """`CN=Bo Liu` (exact) must not catch `CN=Bo Liukonen`."""
+        compiled, interpreted = both(f"{BO}: &(action=start)")
+        for evaluator in (compiled, interpreted):
+            assert evaluator.evaluate(start(BO, "&(executable=x)")).is_permit
+            longer = evaluator.evaluate(start(BO_LONGER, "&(executable=x)"))
+            assert longer.effect is Effect.NOT_APPLICABLE
+
+    def test_prefix_subject_does_match_longer_dn(self):
+        """The same DN as a *prefix* group is string-prefix semantics:
+        it must keep matching `CN=Bo Liukonen` (paper Figure 3)."""
+        compiled, interpreted = both(f"{BO}*: &(action=start)")
+        for evaluator in (compiled, interpreted):
+            assert evaluator.evaluate(start(BO, "&(executable=x)")).is_permit
+            assert evaluator.evaluate(start(BO_LONGER, "&(executable=x)")).is_permit
+
+    def test_overlapping_prefixes_all_apply(self):
+        """Nested groups: both the org-wide and the narrower prefix
+        statement must be found, and both requirements enforced."""
+        text = f"""
+        &/O=Grid: &(action=start)(jobtag!=NULL)
+        &{ORG}: &(action=start)(count<=4)
+        {BO}: &(action=start)
+        """
+        compiled, interpreted = both(text)
+        # jobtag requirement comes from /O=Grid, count from the org.
+        for evaluator in (compiled, interpreted):
+            ok = evaluator.evaluate(start(BO, "&(jobtag=NFC)(count=2)"))
+            assert ok.is_permit
+            no_tag = evaluator.evaluate(start(BO, "&(count=2)"))
+            assert no_tag.is_deny and "jobtag" in no_tag.reasons[0]
+            too_many = evaluator.evaluate(start(BO, "&(jobtag=NFC)(count=8)"))
+            assert too_many.is_deny and "count" in too_many.reasons[0]
+        assert_parity(
+            text,
+            [
+                start(BO, "&(jobtag=NFC)(count=2)"),
+                start(BO, "&(count=2)"),
+                start(BO, "&(jobtag=NFC)(count=8)"),
+                start(EVE, "&(jobtag=NFC)"),
+            ],
+        )
+
+    def test_sibling_prefixes_between_matching_lengths(self):
+        """A non-matching prefix sorted *between* two matching ones
+        must not terminate the probe early."""
+        text = f"""
+        /O=Grid: &(action=start)(jobtag!=NULL)
+        /O=Grid/O=GlobusX: &(action=cancel)
+        {ORG}: &(action=start)(count<2)
+        """
+        policy = parse_policy(text, name="test")
+        compiled = compile_policy(policy)
+        (grants, requirements), _ = compiled.slices_for(BO)
+        found = [str(c.statement.subject) for c in grants]
+        assert found == ["/O=Grid*", f"{ORG}*"]
+        assert requirements == ()
+
+    def test_statement_order_preserved_in_deny_summaries(self):
+        """Failure reasons must accumulate in source-policy order even
+        though the index collects statements from different maps."""
+        text = f"""
+        /O=Grid: &(action=start)(executable=one)
+        {BO}: &(action=start)(executable=two)
+        {ORG}: &(action=start)(executable=three)
+        """
+        compiled, interpreted = both(text)
+        a = compiled.evaluate(start(BO, "&(executable=other)"))
+        b = interpreted.evaluate(start(BO, "&(executable=other)"))
+        assert a.reasons == b.reasons
+        assert a.is_deny
+        # header + the three reasons, in statement order
+        assert "'one'" in a.reasons[1] or "one" in a.reasons[1]
+        assert "two" in a.reasons[2]
+        assert "three" in a.reasons[3]
+
+    def test_index_shapes(self):
+        text = f"""
+        {BO}: &(action=start)
+        {KATE}: &(action=start) &(action=cancel)
+        {ORG}: &(action=information)
+        &/O=Grid: &(action=start)(jobtag!=NULL)
+        """
+        compiled = compile_policy(parse_policy(text, name="test"))
+        assert compiled.stats.statements == 4
+        assert compiled.stats.exact_entries == 2
+        assert compiled.stats.prefix_entries == 2
+        assert compiled.stats.grant_statements == 3
+        assert compiled.stats.requirement_statements == 1
+        assert compiled.stats.assertions == 5
+        assert compiled.stats.bucketed_assertions == 5
+        assert compiled.stats.catchall_assertions == 0
+        assert compiled.stats.compile_seconds >= 0
+
+
+class TestActionBuckets:
+    def test_candidates_filtered_by_action(self):
+        text = f"{BO}: &(action=start)(executable=a) &(action=cancel) &(action=start)(executable=b)"
+        compiled = compile_policy(parse_policy(text, name="test"))
+        (grants, _), _ = compiled.slices_for(BO)
+        statement = grants[0]
+        starts = statement.candidates("start")
+        assert [str(c.assertion) for c in starts] == [
+            "&(action=start)(executable=a)",
+            "&(action=start)(executable=b)",
+        ]
+        assert len(statement.candidates("cancel")) == 1
+        # unknown action: nothing bucketed, nothing catch-all
+        assert statement.candidates("signal") == ()
+
+    def test_multi_valued_action_guard_lands_in_both_buckets(self):
+        text = f'{BO}: &(action="start" "cancel")(count<4)'
+        compiled = compile_policy(parse_policy(text, name="test"))
+        (grants, _), _ = compiled.slices_for(BO)
+        statement = grants[0]
+        assert len(statement.candidates("start")) == 1
+        assert len(statement.candidates("cancel")) == 1
+        assert statement.candidates("information") == ()
+
+    def test_unguarded_assertion_is_catch_all(self):
+        statement = PolicyStatement(
+            subject=Subject.identity(BO),
+            assertions=(PolicyAssertion.parse("&(executable=x)"),),
+        )
+        compiled = compile_policy(Policy.make([statement], name="t"))
+        (grants, _), _ = compiled.slices_for(BO)
+        assert grants[0].catch_all == grants[0].assertions
+        assert grants[0].candidates("start") == grants[0].assertions
+
+    def test_self_and_null_action_guards_are_catch_all(self):
+        for clause in ("&(action=self)", "&(action=NULL)", "&(action!=start)"):
+            statement = PolicyStatement(
+                subject=Subject.identity(BO),
+                assertions=(PolicyAssertion.parse(clause),),
+            )
+            compiled = compile_policy(Policy.make([statement], name="t"))
+            assert compiled.stats.catchall_assertions == 1
+
+
+class TestSliceMemo:
+    def test_repeat_identity_hits_memo(self):
+        compiled = compile_policy(parse_policy(f"{BO}: &(action=start)", name="t"))
+        _, from_memo = compiled.slices_for(BO)
+        assert not from_memo
+        _, from_memo = compiled.slices_for(BO)
+        assert from_memo
+        assert compiled.memo_hits == 1
+        assert compiled.memo_misses == 1
+
+    def test_memo_is_bounded(self):
+        compiled = CompiledPolicy(
+            parse_policy(f"{BO}: &(action=start)", name="t"), memo_cap=4
+        )
+        for index in range(10):
+            compiled.slices_for(f"/O=Grid/CN=User {index}")
+        assert compiled.memo_size <= 4
+
+    def test_replace_policy_recompiles_and_bumps_epoch(self):
+        evaluator = PolicyEvaluator(parse_policy(f"{BO}: &(action=start)", name="t"))
+        first = evaluator.compiled
+        assert evaluator.policy_epoch == 0
+        assert evaluator.evaluate(start(BO, "&(executable=x)")).is_permit
+        replacement = parse_policy(f"{KATE}: &(action=start)", name="t")
+        evaluator.replace_policy(replacement)
+        assert evaluator.policy_epoch == 1
+        assert evaluator.compiled is not first
+        assert evaluator.compiled.policy is replacement
+        outcome = evaluator.evaluate(start(BO, "&(executable=x)"))
+        assert outcome.effect is Effect.NOT_APPLICABLE
+
+    def test_compiled_for_caches_on_policy_instance(self):
+        policy = parse_policy(f"{BO}: &(action=start)", name="t")
+        assert not is_compiled(policy)
+        first = compiled_for(policy)
+        assert is_compiled(policy)
+        assert compiled_for(policy) is first
+        # two evaluators over one policy share the compile
+        assert PolicyEvaluator(policy).compiled is first
+
+
+class TestEvaluationView:
+    @pytest.mark.parametrize(
+        "rsl",
+        [
+            "&(executable=x)(count=4)",
+            '&(executable=x)(action=spoofed)(jobowner="/O=Fake/CN=X")',
+            '&(arguments="-l" "/tmp")(jobtag=NFC)',
+            "&(count<4)(executable=x)",  # constraint relations supply nothing
+            "&(queue=NULL)(executable=x)",
+        ],
+    )
+    def test_matches_specification_round_trip(self, rsl):
+        for request in (
+            start(BO, rsl),
+            manage(BO, "cancel", rsl, KATE),
+        ):
+            direct = evaluation_view(request)
+            via_spec = request_value_view(request.evaluation_specification())
+            assert direct == via_spec
+
+
+class TestMetrics:
+    def test_compile_and_index_families_exported(self):
+        registry = MetricsRegistry()
+        policy = parse_policy(
+            f"{BO}: &(action=start)\n{ORG}: &(action=information)", name="vo"
+        )
+        evaluator = PolicyEvaluator(policy, source="vo", registry=registry)
+        assert registry.value("policy_compile_total", source="vo") == 1
+        assert registry.value("policy_index_statements", source="vo") == 2
+        assert registry.value("policy_index_exact_entries", source="vo") == 1
+        assert registry.value("policy_index_prefix_entries", source="vo") == 1
+
+        evaluator.evaluate(start(BO, "&(executable=x)"))
+        evaluator.evaluate(start(BO, "&(executable=x)"))
+        assert (
+            registry.value(
+                "policy_index_lookups_total", source="vo", result="index"
+            )
+            == 1
+        )
+        assert (
+            registry.value(
+                "policy_index_lookups_total", source="vo", result="memo"
+            )
+            == 1
+        )
+        # both lookups selected the same two applicable statements
+        assert (
+            registry.value(
+                "policy_index_candidate_statements_total", source="vo"
+            )
+            == 4
+        )
+
+    def test_replace_policy_counts_a_fresh_compile(self):
+        registry = MetricsRegistry()
+        evaluator = PolicyEvaluator(
+            parse_policy(f"{BO}: &(action=start)", name="vo"),
+            source="vo",
+            registry=registry,
+        )
+        evaluator.replace_policy(parse_policy(f"{KATE}: &(action=start)", name="vo"))
+        assert registry.value("policy_compile_total", source="vo") == 2
+
+
+class TestInterpretedModeStillAvailable:
+    def test_compiled_false_uses_raw_policy(self):
+        policy = parse_policy(f"{BO}: &(action=start)", name="t")
+        evaluator = PolicyEvaluator(policy, compiled=False)
+        assert evaluator.compiled is None
+        assert evaluator.evaluate(start(BO, "&(executable=x)")).is_permit
+
+
+class TestRequirementKinds:
+    def test_requirement_without_action_guard_always_applies(self):
+        statement = PolicyStatement(
+            subject=Subject.prefix(ORG),
+            assertions=(PolicyAssertion.parse("&(jobtag!=NULL)"),),
+            kind=StatementKind.REQUIREMENT,
+        )
+        grant = PolicyStatement(
+            subject=Subject.identity(BO),
+            assertions=(PolicyAssertion.parse("&(action=start)"),),
+        )
+        policy = Policy.make([statement, grant], name="t")
+        for evaluator in (
+            PolicyEvaluator(policy),
+            PolicyEvaluator(policy, compiled=False),
+        ):
+            denied = evaluator.evaluate(start(BO, "&(executable=x)"))
+            assert denied.is_deny
+            assert "requirement" in denied.reasons[0]
+            assert evaluator.evaluate(start(BO, "&(jobtag=NFC)")).is_permit

@@ -151,3 +151,41 @@ class TestBookkeeping:
         decision = ev.evaluate(start(ALICE, "&(executable=bad)"))
         assert decision.is_deny
         assert len(decision.reasons) <= 6
+
+
+class TestSummariseFailures:
+    """Limit semantics of the deny-summary helper: the fixed header
+    plus up to *limit* distinct reasons, first-seen order, and the
+    header is not counted against the limit."""
+
+    summarise = staticmethod(PolicyEvaluator._summarise_failures)
+
+    def test_header_always_first(self):
+        assert self.summarise([]) == ("no grant assertion matched the request",)
+
+    def test_deduplicates_preserving_first_seen_order(self):
+        out = self.summarise(["b", "a", "b", "c", "a"])
+        assert out == ("no grant assertion matched the request", "b", "a", "c")
+
+    def test_header_not_counted_against_limit(self):
+        reasons = [f"r{i}" for i in range(10)]
+        out = self.summarise(reasons, limit=5)
+        assert len(out) == 6  # header + 5 distinct reasons
+        assert out[1:] == ("r0", "r1", "r2", "r3", "r4")
+
+    def test_duplicates_do_not_consume_limit(self):
+        reasons = ["dup"] * 50 + [f"r{i}" for i in range(5)]
+        out = self.summarise(reasons, limit=3)
+        assert out[1:] == ("dup", "r0", "r1")
+
+    def test_failure_equal_to_header_not_repeated(self):
+        out = self.summarise(["no grant assertion matched the request", "x"])
+        assert out == ("no grant assertion matched the request", "x")
+
+    def test_large_input_linear_shape(self):
+        """A wide deny (hundreds of near-duplicate reasons) summarises
+        to the same bounded tuple — this used to be an O(n^2) scan."""
+        reasons = [f"r{i % 7}" for i in range(5000)]
+        out = self.summarise(reasons, limit=5)
+        assert out[0] == "no grant assertion matched the request"
+        assert len(out) == 6

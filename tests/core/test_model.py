@@ -128,3 +128,23 @@ class TestPolicy:
         reparsed = parse_policy(str(policy), name="again")
         assert len(reparsed) == len(policy)
         assert [s.kind for s in reparsed] == [s.kind for s in policy]
+
+
+class TestCachedActions:
+    def test_actions_lowered_and_ordered(self):
+        assertion = PolicyAssertion.parse('&(action="START" "Cancel")(count<4)')
+        assert assertion.actions == ("start", "cancel")
+
+    def test_actions_cached_on_instance(self):
+        """cached_property memoises on the frozen instance: the same
+        tuple object comes back, and the instance __dict__ holds it."""
+        assertion = PolicyAssertion.parse("&(action=start)")
+        first = assertion.actions
+        assert assertion.actions is first
+        assert assertion.__dict__["actions"] is first
+
+    def test_instances_do_not_share_cache(self):
+        a = PolicyAssertion.parse("&(action=start)")
+        b = PolicyAssertion.parse("&(action=cancel)")
+        assert a.actions == ("start",)
+        assert b.actions == ("cancel",)
