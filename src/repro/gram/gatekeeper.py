@@ -29,6 +29,12 @@ from repro.core.pep import EnforcementPoint
 from repro.core.request import AuthorizationRequest
 from repro.gram.gridmap import GridMapFile
 from repro.gram.jobmanager import AuthorizationMode, JobManagerInstance
+from repro.gram.lifecycle import (
+    AdmissionControl,
+    CompletedJobRecord,
+    CompletedJobStore,
+    LifecycleConfig,
+)
 from repro.gram.protocol import (
     GramErrorCode,
     GramResponse,
@@ -39,6 +45,7 @@ from repro.gram.rsl_utils import JobDescriptionError, JobDescription
 from repro.gsi.credentials import CertificateAuthority, Credential
 from repro.gsi.errors import GSIError
 from repro.gsi.verification import verify_credential
+from repro.lrm.errors import LRMError
 from repro.lrm.scheduler import BatchScheduler
 from repro.obs.spans import event as obs_event, span as obs_span
 from repro.rsl.errors import RSLSyntaxError
@@ -65,6 +72,7 @@ class Gatekeeper:
         trace: Optional[TraceRecorder] = None,
         gt3_account_setup: bool = False,
         telemetry=None,
+        lifecycle: Optional[LifecycleConfig] = None,
     ) -> None:
         self.host = host
         self.trust_anchors = tuple(trust_anchors)
@@ -89,9 +97,19 @@ class Gatekeeper:
         #: configured from the *request's* declared limits before the
         #: (untrusted) JMI ever runs.
         self.gt3_account_setup = gt3_account_setup
+        #: Lifecycle layer: JMI reaping + admission control (see
+        #: :mod:`repro.gram.lifecycle`).  Live JMIs stay in
+        #: ``_job_managers``; terminal ones are reaped into the
+        #: bounded ``completed`` store so resident state is O(active).
+        self.lifecycle = lifecycle or LifecycleConfig()
+        self.completed = CompletedJobStore(
+            retention=self.lifecycle.completed_retention
+        )
+        self.admission = AdmissionControl(self.lifecycle)
         self._job_managers: Dict[str, JobManagerInstance] = {}
         self.submissions = 0
         self.authentications_failed = 0
+        self.reaped = 0
 
     # -- the request path -----------------------------------------------------
 
@@ -107,6 +125,13 @@ class Gatekeeper:
         self.submissions += 1
         self._trace("client", "gatekeeper", "submit job request")
 
+        # 0. Service-wide backpressure, before any expensive work —
+        # an overloaded front door sheds load without paying for
+        # credential verification first.
+        rejection = self.admission.check_global(len(self._job_managers))
+        if rejection is not None:
+            return self._admission_rejected(*rejection)
+
         # 1. Authenticate.
         self._trace("gatekeeper", "gsi", "authenticate credential")
         try:
@@ -119,6 +144,11 @@ class Gatekeeper:
                 code=GramErrorCode.AUTHENTICATION_FAILED, message=str(exc)
             )
         identity = verified.identity
+
+        # 1b. Per-user admission: in-flight job cap.
+        rejection = self.admission.check_user(str(identity))
+        if rejection is not None:
+            return self._admission_rejected(*rejection)
 
         # 2. Authorize: grid-mapfile ACL.
         self._trace("gatekeeper", "grid-mapfile", "lookup identity")
@@ -184,10 +214,19 @@ class Gatekeeper:
             trust_anchors=self.trust_anchors,
             trace=self.trace,
             owner_credential=credential,
+            terminal_listener=self._job_terminal,
         )
+        # The in-flight slot is taken *before* start: the job may run
+        # to terminal inside start (zero walltime budget), in which
+        # case the terminal listener has already released it.
+        self.admission.note_started(str(identity))
         response = jmi.start(rsl_text)
         if response.ok:
-            self._job_managers[contact.job_id] = jmi
+            if not jmi.finished:
+                self._job_managers[contact.job_id] = jmi
+            self._publish_lifecycle_gauges()
+        else:
+            self.admission.release(str(identity))
         return response
 
     def job_manager(self, contact: JobContact) -> Optional[JobManagerInstance]:
@@ -206,13 +245,19 @@ class Gatekeeper:
             "gatekeeper.manage", host=self.host, action=action
         ) as span:
             jmi = self.job_manager(contact)
-            if jmi is None:
-                response = GramResponse(
-                    code=GramErrorCode.NO_SUCH_JOB,
-                    message=f"no job manager at {contact}",
-                )
-            else:
+            if jmi is not None:
                 response = jmi.handle(credential, action, value=value)
+            else:
+                record = self.completed.get(contact.job_id)
+                if record is not None:
+                    response = self._manage_completed(
+                        credential, record, action, value=value
+                    )
+                else:
+                    response = GramResponse(
+                        code=GramErrorCode.NO_SUCH_JOB,
+                        message=f"no job manager at {contact}",
+                    )
             if span is not None:
                 span.set_attr("code", response.code.name)
             return response
@@ -221,7 +266,174 @@ class Gatekeeper:
     def active_job_managers(self) -> int:
         return len(self._job_managers)
 
+    @property
+    def completed_jobs(self) -> int:
+        """Completed-job records currently retained."""
+        return len(self.completed)
+
     # -- internals ---------------------------------------------------------------
+
+    def _admission_rejected(self, scope: str, reason: str) -> GramResponse:
+        self._trace("gatekeeper", "admission", f"reject ({scope})")
+        if self.telemetry is not None:
+            self.telemetry.count("gram_admission_rejected_total", scope=scope)
+        return GramResponse(code=GramErrorCode.RESOURCE_BUSY, message=reason)
+
+    def _job_terminal(self, jmi: JobManagerInstance, job) -> None:
+        """Terminal listener for a started job: release + (optionally) reap.
+
+        Invoked exactly once per started job by the JMI's per-job
+        scheduler registration, after enforcement accounting closed.
+        """
+        self.admission.release(str(jmi.owner))
+        if self.lifecycle.reap:
+            self._reap(jmi, job)
+        self._publish_lifecycle_gauges()
+
+    def _reap(self, jmi: JobManagerInstance, job) -> None:
+        self._job_managers.pop(jmi.contact.job_id, None)
+        state = jmi.state()
+        assert state is not None and jmi.description is not None
+        self.completed.add(
+            CompletedJobRecord(
+                contact=jmi.contact,
+                owner=jmi.owner,
+                state=state,
+                exit_reason=job.exit_reason,
+                finished_at=self.clock.now,
+                account=jmi.account.username,
+                spec=jmi.description.spec,
+            )
+        )
+        self.reaped += 1
+        # Drop the LRM-side record too: the whole serving path stays
+        # O(active jobs), not O(jobs ever run).
+        try:
+            self.scheduler.forget(job.job_id)
+        except LRMError:
+            pass
+        if self.telemetry is not None:
+            self.telemetry.count("gram_lifecycle_reaped_total")
+
+    def _publish_lifecycle_gauges(self) -> None:
+        if self.telemetry is None:
+            return
+        self.telemetry.set_gauge(
+            "gram_admission_active_jmis", float(len(self._job_managers))
+        )
+        self.telemetry.set_gauge(
+            "gram_lifecycle_completed_records", float(len(self.completed))
+        )
+        self.telemetry.set_gauge(
+            "gram_lifecycle_evicted_records", float(self.completed.evicted)
+        )
+
+    def _manage_completed(
+        self,
+        credential: Credential,
+        record: CompletedJobRecord,
+        action: str,
+        value: Optional[int] = None,
+    ) -> GramResponse:
+        """Answer a management request for a reaped (terminal) job.
+
+        The GRAM protocol keeps ``information``/``status`` answerable
+        after completion; management *authorization* still applies —
+        the legacy owner rule or the PEP callout, exactly as it would
+        on a live JMI (§5.2: the callout runs "before calls to cancel,
+        query, and signal").
+        """
+        self._trace("client", "gatekeeper", f"management request (reaped): {action}")
+        try:
+            verified = verify_credential(
+                credential, self.trust_anchors, at_time=self.clock.now
+            )
+        except GSIError as exc:
+            return GramResponse(
+                code=GramErrorCode.AUTHENTICATION_FAILED,
+                message=str(exc),
+                contact=record.contact,
+            )
+        requester = verified.identity
+
+        if self.mode is AuthorizationMode.LEGACY:
+            if requester != record.owner:
+                return GramResponse(
+                    code=GramErrorCode.NOT_JOB_OWNER,
+                    message=(
+                        f"{requester} is not the job initiator {record.owner} "
+                        "(GT2 static management rule)"
+                    ),
+                    contact=record.contact,
+                    job_owner=str(record.owner),
+                )
+        else:
+            assert self.pep is not None
+            try:
+                request = AuthorizationRequest.manage(
+                    requester,
+                    action,
+                    record.spec,
+                    jobowner=record.owner,
+                    job_id=record.job_id,
+                    credential=credential,
+                )
+            except ValueError as exc:
+                return GramResponse(
+                    code=GramErrorCode.BAD_RSL,
+                    message=str(exc),
+                    contact=record.contact,
+                )
+            self._trace("gatekeeper", "pep", f"authorization callout: {action}")
+            try:
+                self.pep.authorize(request)
+            except AuthorizationDenied as exc:
+                return GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_DENIED,
+                    message=str(exc),
+                    reasons=exc.reasons,
+                    contact=record.contact,
+                    job_owner=str(record.owner),
+                    decision_context=exc.context,
+                )
+            except AuthorizationSystemFailure as exc:
+                return GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
+                    message=str(exc),
+                    contact=record.contact,
+                    job_owner=str(record.owner),
+                    failure_source=exc.source,
+                    failure_kind=exc.kind,
+                    decision_context=exc.context,
+                )
+
+        # Execute against the final state.  information/status report
+        # it; cancel of a finished job is the same no-op it is on a
+        # live JMI; anything needing a running job is NO_SUCH_JOB,
+        # mirroring the LRM's "already finished" behaviour.
+        if action in ("information", "status", "cancel"):
+            return GramResponse(
+                code=GramErrorCode.SUCCESS,
+                message=record.exit_reason,
+                contact=record.contact,
+                state=record.state,
+                job_owner=str(record.owner),
+            )
+        if action in ("signal", "suspend", "resume"):
+            return GramResponse(
+                code=GramErrorCode.NO_SUCH_JOB,
+                message=(
+                    f"job {record.job_id} already finished "
+                    f"({record.exit_reason})"
+                ),
+                contact=record.contact,
+                job_owner=str(record.owner),
+            )
+        return GramResponse(
+            code=GramErrorCode.BAD_RSL,
+            message=f"unknown management action {action!r}",
+            contact=record.contact,
+        )
 
     def _map_account(
         self, identity, entry

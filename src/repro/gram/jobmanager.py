@@ -17,7 +17,7 @@ benchmarks can run the two architectures side by side.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.accounts.enforcement import EnforcementMechanism
 from repro.accounts.local import LocalAccount
@@ -83,6 +83,9 @@ class JobManagerInstance:
         trust_anchors=(),
         trace: Optional[TraceRecorder] = None,
         owner_credential: Optional[Credential] = None,
+        terminal_listener: Optional[
+            Callable[["JobManagerInstance", BatchJob], None]
+        ] = None,
     ) -> None:
         if mode is AuthorizationMode.EXTENDED and pep is None:
             raise ValueError("EXTENDED mode requires a PEP")
@@ -99,6 +102,16 @@ class JobManagerInstance:
         self.trace = trace
         self.description: Optional[JobDescription] = None
         self.job: Optional[BatchJob] = None
+        #: Invoked exactly once when this JMI's job terminates, after
+        #: the enforcement accounting closed — the Gatekeeper's reaper
+        #: subscribes here, so one scheduler registration serves both
+        #: layers (registrations never exceed active jobs).
+        self._terminal_listener = terminal_listener
+        #: Set once this JMI's job reached a terminal state and the
+        #: enforcement accounting ran — keyed on the contact's job id,
+        #: so a stray hook firing can never double-decrement
+        #: ``account.running_jobs`` or skip the decrement.
+        self._accounting_closed = False
 
     # -- job invocation -----------------------------------------------------
 
@@ -113,6 +126,20 @@ class JobManagerInstance:
             return response
 
     def _start(self, rsl_text: str) -> GramResponse:
+        if self.job is not None:
+            # A JMI is one-shot: a second start would overwrite
+            # self.job/self.description and orphan the first scheduler
+            # job together with its terminal accounting.
+            return GramResponse(
+                code=GramErrorCode.JOB_ALREADY_STARTED,
+                message=(
+                    f"job manager {self.contact.job_id} already started "
+                    f"job {self.job.job_id}"
+                ),
+                contact=self.contact,
+                state=self.state(),
+                job_owner=str(self.owner),
+            )
         self._trace("job-manager", "job-manager", "parse RSL")
         try:
             spec = parse_specification(rsl_text)
@@ -171,7 +198,12 @@ class JobManagerInstance:
         self.job = job
         if self.enforcement is not None:
             self.enforcement.job_started(job, self.account, self._limits_from(description))
-            self.scheduler.on_terminal.append(self._terminal_hook)
+        # One per-job registration serves enforcement accounting and
+        # the Gatekeeper's reaper: dispatched in O(1) when *this* job
+        # terminates, consumed on fire — it cannot leak into the
+        # global hook list and is never scanned for other jobs.  Fires
+        # immediately when the job already finished inside submit.
+        self.scheduler.on_job_terminal(job.job_id, self._terminal_hook)
         return GramResponse(
             code=GramErrorCode.SUCCESS,
             contact=self.contact,
@@ -322,6 +354,11 @@ class JobManagerInstance:
             return None
         return _LRM_TO_GRAM[self.job.state]
 
+    @property
+    def finished(self) -> bool:
+        """True once the job terminated and the accounting closed."""
+        return self._accounting_closed
+
     def _authorize(
         self, request: AuthorizationRequest
     ) -> Tuple[Optional[GramResponse], Optional[DecisionContext]]:
@@ -371,11 +408,21 @@ class JobManagerInstance:
         )
 
     def _terminal_hook(self, job: BatchJob) -> None:
-        if self.job is not None and job.job_id == self.job.job_id:
-            if self.enforcement is not None:
-                self.enforcement.job_finished(job, self.account)
-            if self._terminal_hook in self.scheduler.on_terminal:
-                self.scheduler.on_terminal.remove(self._terminal_hook)
+        """Close the enforcement accounting for this JMI's job.
+
+        Keyed on the *job id* (which equals the contact id), not on
+        ``self.job`` object identity, and guarded so it runs exactly
+        once — however many paths deliver the terminal event,
+        ``account.running_jobs`` is decremented exactly once per
+        started job.
+        """
+        if job.job_id != self.contact.job_id or self._accounting_closed:
+            return
+        self._accounting_closed = True
+        if self.enforcement is not None:
+            self.enforcement.job_finished(job, self.account)
+        if self._terminal_listener is not None:
+            self._terminal_listener(self, job)
 
     def _trace(self, source: str, target: str, event: str) -> None:
         if self.trace is not None:

@@ -1,0 +1,170 @@
+"""Job-lifecycle management for the Gatekeeper front door.
+
+The paper's companion work (*Fine-Grained Authorization for Job
+Execution in the Grid*, cs/0311025) observes that at scale it is
+per-job *state management*, not policy evaluation, that dominates a
+GRAM resource.  This module keeps the serving path bounded under
+sustained churn:
+
+* :class:`CompletedJobStore` — terminal Job Manager Instances are
+  **reaped** into a bounded record store, so resident state is
+  O(active jobs) while post-completion ``information``/``status``
+  requests still answer with the final state and owner, as the GRAM
+  protocol promises (and as the Akenti/GT integration paper,
+  cs/0306070, motivates: management questions outlive jobs).
+* :class:`AdmissionControl` — per-user in-flight caps and a
+  service-wide active-JMI ceiling, rejected up front with
+  ``RESOURCE_BUSY`` so overload sheds load instead of leaking it.
+
+:class:`LifecycleConfig` bundles the knobs; the Gatekeeper owns one
+of each and the :class:`~repro.gram.service.ServiceConfig` exposes
+them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.gram.protocol import GramJobState, JobContact
+from repro.gsi.names import DistinguishedName
+from repro.rsl.ast import Specification
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Knobs of the Gatekeeper's job-lifecycle layer."""
+
+    #: Reap terminal JMIs into the completed-job store (and drop the
+    #: LRM-side record).  Off means GT2 stock behaviour: JMIs live
+    #: until the resource restarts.
+    reap: bool = True
+    #: How many completed-job records to retain (FIFO eviction).
+    completed_retention: int = 1024
+    #: Per-user in-flight job cap (None = unlimited).
+    max_jobs_per_user: Optional[int] = None
+    #: Service-wide ceiling on simultaneously active JMIs
+    #: (None = unlimited).
+    max_active_jmis: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CompletedJobRecord:
+    """The final state of a reaped job, kept for late management requests."""
+
+    contact: JobContact
+    owner: DistinguishedName
+    state: GramJobState
+    exit_reason: str
+    finished_at: float
+    account: str
+    #: The job description, retained so post-completion management
+    #: requests can still be *authorized* (the PEP callout evaluates
+    #: against the description, §5.2).
+    spec: Specification
+
+    @property
+    def job_id(self) -> str:
+        return self.contact.job_id
+
+
+class CompletedJobStore:
+    """Bounded FIFO store of :class:`CompletedJobRecord`.
+
+    Insertion order is completion order; once ``retention`` records
+    are held the oldest is evicted, so memory is bounded no matter how
+    many jobs the resource has ever run.
+    """
+
+    def __init__(self, retention: int = 1024) -> None:
+        if retention < 0:
+            raise ValueError("retention must be >= 0")
+        self.retention = retention
+        self._records: "OrderedDict[str, CompletedJobRecord]" = OrderedDict()
+        #: Records dropped to honour the retention bound.
+        self.evicted = 0
+
+    def add(self, record: CompletedJobRecord) -> None:
+        self._records.pop(record.job_id, None)
+        self._records[record.job_id] = record
+        while len(self._records) > self.retention:
+            self._records.popitem(last=False)
+            self.evicted += 1
+
+    def get(self, job_id: str) -> Optional[CompletedJobRecord]:
+        return self._records.get(job_id)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+
+class AdmissionControl:
+    """Front-door backpressure: who may start a job right now.
+
+    Tracks in-flight jobs per Grid identity; the Gatekeeper asks
+    :meth:`check` before spawning a JMI, records successful starts
+    with :meth:`note_started`, and releases the slot from the job's
+    terminal event with :meth:`release`.  The per-identity map only
+    holds identities with at least one job in flight, so it is
+    O(active users), not O(all users ever seen).
+    """
+
+    def __init__(self, config: LifecycleConfig) -> None:
+        self.config = config
+        self._in_flight: Dict[str, int] = {}
+        self.admitted = 0
+        self.rejected_user = 0
+        self.rejected_global = 0
+
+    def check_global(self, active_jmis: int) -> Optional[Tuple[str, str]]:
+        """``None`` when admissible, else ``("global", reason)``."""
+        ceiling = self.config.max_active_jmis
+        if ceiling is not None and active_jmis >= ceiling:
+            self.rejected_global += 1
+            return (
+                "global",
+                f"resource at capacity: {active_jmis} active job managers "
+                f"(ceiling {ceiling})",
+            )
+        return None
+
+    def check_user(self, identity: str) -> Optional[Tuple[str, str]]:
+        """``None`` when admissible, else ``("user", reason)``."""
+        cap = self.config.max_jobs_per_user
+        if cap is not None and self._in_flight.get(identity, 0) >= cap:
+            self.rejected_user += 1
+            return (
+                "user",
+                f"{identity} already has {self._in_flight[identity]} job(s) "
+                f"in flight (cap {cap})",
+            )
+        return None
+
+    def note_started(self, identity: str) -> None:
+        self._in_flight[identity] = self._in_flight.get(identity, 0) + 1
+        self.admitted += 1
+
+    def release(self, identity: str) -> None:
+        count = self._in_flight.get(identity, 0)
+        if count <= 1:
+            self._in_flight.pop(identity, None)
+        else:
+            self._in_flight[identity] = count - 1
+
+    def in_flight(self, identity: str) -> int:
+        return self._in_flight.get(identity, 0)
+
+    @property
+    def total_in_flight(self) -> int:
+        return sum(self._in_flight.values())
+
+    @property
+    def tracked_identities(self) -> int:
+        return len(self._in_flight)

@@ -60,6 +60,14 @@ class GramErrorCode(enum.Enum):
     AUTHORIZATION_SYSTEM_FAILURE = 8
     #: Enforcement (account/sandbox admission) rejected the job.
     ENFORCEMENT_REJECTED = 9
+    #: Admission control: the resource (or this user's slice of it) is
+    #: at capacity *right now* — retry later.  Distinct from
+    #: ``RESOURCE_UNAVAILABLE``, which means the LRM cannot run the
+    #: job at all (unknown queue, cluster too small).
+    RESOURCE_BUSY = 10
+    #: A Job Manager Instance was asked to start a second job; a JMI
+    #: is one-shot and already manages its scheduler job.
+    JOB_ALREADY_STARTED = 11
 
     @property
     def is_authorization_error(self) -> bool:

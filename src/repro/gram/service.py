@@ -38,6 +38,7 @@ from repro.core.resilience import (
 from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.gridmap import GridMapFile
 from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.lifecycle import LifecycleConfig
 from repro.gram.protocol import TraceRecorder
 from repro.gsi.credentials import CertificateAuthority
 from repro.lrm.cluster import Cluster
@@ -98,6 +99,17 @@ class ServiceConfig:
     #: callout → policy-source.  Deterministic under the sim clock and
     #: cheap, so it is on by default.
     telemetry: bool = True
+    #: Reap terminal JMIs into the Gatekeeper's bounded completed-job
+    #: store (:mod:`repro.gram.lifecycle`), keeping resident job state
+    #: O(active jobs) under sustained churn.  Post-completion
+    #: ``information``/``status`` requests still answer from the store.
+    reap_jmis: bool = True
+    #: Completed-job records retained after reaping (FIFO eviction).
+    completed_retention: int = 1024
+    #: Admission control: per-user in-flight job cap (None = off).
+    max_jobs_per_user: Optional[int] = None
+    #: Admission control: service-wide active-JMI ceiling (None = off).
+    max_active_jmis: Optional[int] = None
 
 
 class GramService:
@@ -193,6 +205,12 @@ class GramService:
             trace=self.trace,
             gt3_account_setup=self.config.gt3_account_setup,
             telemetry=self.telemetry,
+            lifecycle=LifecycleConfig(
+                reap=self.config.reap_jmis,
+                completed_retention=self.config.completed_retention,
+                max_jobs_per_user=self.config.max_jobs_per_user,
+                max_active_jmis=self.config.max_active_jmis,
+            ),
         )
 
     # -- convenience ------------------------------------------------------------
@@ -221,7 +239,17 @@ class GramService:
         :meth:`~repro.core.callout.CalloutRegistry.wrap` hook, so
         whatever is configured at that moment (faulty or not) ends up
         behind the timeout/retry/breaker.
+
+        Hardening is applied at most once: a second call would stack
+        another timeout/retry/breaker layer onto the already-wrapped
+        callouts (doubling every retry budget and timing out twice),
+        so it raises instead.
         """
+        if self.resilience is not None:
+            raise RuntimeError(
+                "harden() was already applied to this service; build a "
+                "new GramService to change the resilience configuration"
+            )
         if resilience is None:
             resilience = ResilienceConfig(
                 clock=self.clock,

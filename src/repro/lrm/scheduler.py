@@ -57,9 +57,13 @@ class BatchScheduler:
         self._waiting: List[BatchJob] = []
         self._usage: Dict[str, AccountUsage] = {}
         self._walltime_events: Dict[str, ScheduledEvent] = {}
-        #: Hooks fired when a job reaches a terminal state; the GRAM
-        #: Job Manager and the sandbox monitors subscribe here.
+        #: Hooks fired for *every* job reaching a terminal state.
+        #: Broadcast subscribers only — per-job consumers (the GRAM
+        #: layers) must use :meth:`on_job_terminal` instead, which
+        #: dispatches in O(1) and cannot leak registrations.
         self.on_terminal: List[Callable[[BatchJob], None]] = []
+        #: One-shot callbacks keyed by job id (see :meth:`on_job_terminal`).
+        self._terminal_callbacks: Dict[str, List[Callable[[BatchJob], None]]] = {}
 
     # -- submission --------------------------------------------------------
 
@@ -145,6 +149,50 @@ class BatchScheduler:
 
     def status(self, job_id: str) -> JobState:
         return self.job(job_id).state
+
+    # -- terminal notification ---------------------------------------------
+
+    def on_job_terminal(
+        self, job_id: str, callback: Callable[[BatchJob], None]
+    ) -> None:
+        """Register a one-shot *callback* for *job_id*'s terminal event.
+
+        Dispatch is O(1) in the number of jobs: callbacks live in a
+        dict keyed by job id and are consumed when they fire, so a
+        registration can never outlive its job.  If the job is
+        *already* terminal the callback fires immediately — a job can
+        complete inside ``submit()`` (zero walltime budget), and the
+        caller must not miss the event it subscribed for.
+        """
+        job = self._jobs.get(job_id)
+        if job is not None and job.is_terminal:
+            callback(job)
+            return
+        self._terminal_callbacks.setdefault(job_id, []).append(callback)
+
+    def drop_job_terminal(self, job_id: str) -> None:
+        """Discard any pending terminal callbacks for *job_id*."""
+        self._terminal_callbacks.pop(job_id, None)
+
+    @property
+    def terminal_callback_count(self) -> int:
+        """Pending per-job callback registrations (leak-guard metric)."""
+        return sum(len(cbs) for cbs in self._terminal_callbacks.values())
+
+    def forget(self, job_id: str) -> None:
+        """Drop a *terminal* job's record from the scheduler.
+
+        The serving layer reaps completed jobs into its own bounded
+        store; forgetting the LRM-side record afterwards keeps the
+        scheduler's memory O(active jobs) under sustained churn.
+        Aggregated :class:`AccountUsage` is unaffected.
+        """
+        job = self.job(job_id)
+        if not job.is_terminal:
+            raise QueueError(f"job {job_id} is {job.state.value}, not terminal")
+        del self._jobs[job_id]
+        self._terminal_callbacks.pop(job_id, None)
+        self._disarm_walltime(job)
 
     # -- inspection ----------------------------------------------------------
 
@@ -256,6 +304,12 @@ class BatchScheduler:
             usage.jobs_cancelled += 1
         else:
             usage.jobs_failed += 1
+        # Per-job callbacks first (enforcement accounting before the
+        # serving layer reaps), then the broadcast hooks.  The pop
+        # makes dispatch O(1) per terminal event regardless of how
+        # many other jobs hold registrations.
+        for hook in self._terminal_callbacks.pop(job.job_id, ()):
+            hook(job)
         for hook in list(self.on_terminal):
             hook(job)
         self._schedule_pass()

@@ -10,8 +10,19 @@ the larger integration tests:
   Collaboratory scenario from the paper's §2 use case: two user
   classes (developers and analysts), VO administrators with job-
   management rights, the sanctioned ``TRANSP`` application service.
+* :mod:`repro.workloads.churn` — a closed-loop job-lifecycle
+  workload (sustained submit/poll/cancel/complete traffic) for the
+  leak guards and the service-lifecycle benchmark.
 """
 
+from repro.workloads.churn import (
+    ChurnConfig,
+    ChurnStats,
+    build_churn_service,
+    churn_live_bound,
+    churn_rsl,
+    run_churn,
+)
 from repro.workloads.generator import (
     PolicyShape,
     WorkloadGenerator,
@@ -27,11 +38,17 @@ from repro.workloads.scenarios import (
 )
 
 __all__ = [
+    "ChurnConfig",
+    "ChurnStats",
     "PolicyShape",
     "WorkloadGenerator",
+    "build_churn_service",
+    "churn_live_bound",
+    "churn_rsl",
     "generate_identity",
     "generate_policy",
     "generate_users",
+    "run_churn",
     "FusionScenario",
     "build_fusion_scenario",
     "FIGURE3_POLICY_TEXT",

@@ -1,0 +1,102 @@
+"""Leak guards: sustained churn must leave no residue anywhere.
+
+Regression suite for the job-lifecycle layer: after N
+submit/cancel/complete cycles the Gatekeeper's JMI map is bounded by
+the live ceiling, scheduler callback registrations never exceed
+active jobs, reaped jobs still answer ``information`` with their
+final state and owner, and every account's ``running_jobs`` is back
+to zero.
+"""
+
+from repro.gram.protocol import GramJobState
+from repro.gram.service import ServiceConfig
+from repro.workloads.churn import (
+    ChurnConfig,
+    build_churn_service,
+    churn_live_bound,
+    run_churn,
+)
+
+CONFIG = ChurnConfig(users=25, cycles=300, runtime=4.0, step=1.0, seed=23)
+
+
+def churned(service_config=None, config=CONFIG):
+    service, clients = build_churn_service(config, service_config)
+    stats = run_churn(service, clients, config)
+    return service, clients, stats
+
+
+class TestChurnLeavesNoResidue:
+    def test_jmi_map_bounded_by_live_ceiling(self):
+        service, _, stats = churned()
+        bound = churn_live_bound(CONFIG)
+        assert stats.started == CONFIG.cycles
+        assert stats.max_live_jmis <= bound
+        assert len(service.gatekeeper._job_managers) == 0
+        assert len(service.gatekeeper._job_managers) <= bound
+
+    def test_scheduler_registrations_never_exceed_active_jobs(self):
+        service, _, stats = churned()
+        # One registration per live job, consumed at terminal dispatch.
+        assert stats.max_terminal_callbacks <= stats.max_live_jmis
+        assert stats.final_terminal_callbacks == 0
+
+    def test_scheduler_job_records_do_not_accumulate(self):
+        service, _, stats = churned()
+        assert stats.final_scheduler_jobs == 0
+
+    def test_post_reap_information_returns_done_with_original_owner(self):
+        _, clients, stats = churned()
+        # Probe a job from the earliest cycles: long reaped by now.
+        cycle, contact = stats.contacts[0]
+        client = clients[cycle % len(clients)]
+        response = client.status(contact)
+        assert response.ok
+        assert response.state in (GramJobState.DONE, GramJobState.FAILED)
+        assert response.job_owner == client.identity
+
+    def test_running_jobs_accounting_returns_to_zero(self):
+        service, _, stats = churned()
+        assert stats.running_jobs_after == 0
+        for account in service.accounts.accounts():
+            assert account.running_jobs == 0
+
+    def test_admission_in_flight_map_drains(self):
+        service, _, _ = churned(
+            ServiceConfig(
+                host="churn.example.org",
+                node_count=16,
+                cpus_per_node=4,
+                max_jobs_per_user=8,
+            )
+        )
+        admission = service.gatekeeper.admission
+        assert admission.total_in_flight == 0
+        assert admission.tracked_identities == 0
+
+    def test_completed_store_respects_retention_under_churn(self):
+        service, _, stats = churned(
+            ServiceConfig(
+                host="churn.example.org",
+                node_count=16,
+                cpus_per_node=4,
+                completed_retention=64,
+            )
+        )
+        assert service.gatekeeper.completed_jobs <= 64
+        assert service.gatekeeper.completed.evicted == stats.started - 64
+
+    def test_churn_with_sandbox_enforcement_also_balances(self):
+        config = ChurnConfig(users=10, cycles=100, runtime=4.0, step=1.0)
+        service, _, stats = churned(
+            ServiceConfig(
+                host="churn.example.org",
+                node_count=16,
+                cpus_per_node=4,
+                enforcement="sandbox",
+            ),
+            config=config,
+        )
+        assert stats.running_jobs_after == 0
+        assert service.enforcement.active_sandboxes == 0
+        assert stats.final_terminal_callbacks == 0

@@ -153,3 +153,91 @@ class TestStateMapping:
         jmi.start("&(executable=sim)(runtime=1000)(maxwalltime=10)")
         clock.advance(20.0)
         assert jmi.state() is GramJobState.FAILED
+
+
+class TestDoubleStartGuard:
+    def test_second_start_is_rejected_and_first_job_kept(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        first = jmi.start("&(executable=sim)(count=1)(runtime=10)")
+        assert first.ok
+        original_job = jmi.job
+        second = jmi.start("&(executable=other)(count=1)(runtime=20)")
+        assert second.code is GramErrorCode.JOB_ALREADY_STARTED
+        assert "already started" in second.message
+        # The first scheduler job and description are not orphaned.
+        assert jmi.job is original_job
+        assert jmi.description.executable == "sim"
+
+    def test_second_start_after_completion_also_rejected(self, parts, ca):
+        clock, scheduler, _ = parts
+        jmi = make_jmi(parts, ca)
+        assert jmi.start("&(executable=sim)(count=1)(runtime=10)").ok
+        clock.advance(10.0)
+        response = jmi.start("&(executable=sim)(count=1)(runtime=10)")
+        assert response.code is GramErrorCode.JOB_ALREADY_STARTED
+        assert response.state is GramJobState.DONE
+
+    def test_failed_start_leaves_jmi_reusable_state_clean(self, parts, ca):
+        jmi = make_jmi(parts, ca)
+        assert jmi.start("&(((").code is GramErrorCode.BAD_RSL
+        # No scheduler job was created, so a retry is not a double start.
+        assert jmi.job is None
+
+
+class TestTerminalAccounting:
+    def make_with_enforcement(self, parts, ca):
+        from repro.accounts.enforcement import StaticAccountEnforcement
+        from repro.gsi.names import DistinguishedName
+
+        clock, scheduler, pep = parts
+        account = LocalAccount(username="owner", uid=7100)
+        enforcement = StaticAccountEnforcement()
+        jmi = JobManagerInstance(
+            contact=JobContact.fresh("jm.example.org"),
+            owner=DistinguishedName.parse(OWNER),
+            account=account,
+            scheduler=scheduler,
+            clock=clock,
+            mode=AuthorizationMode.EXTENDED,
+            pep=pep,
+            enforcement=enforcement,
+            trust_anchors=[ca],
+        )
+        return jmi, account
+
+    def test_running_jobs_decrements_exactly_once(self, parts, ca):
+        clock, _, _ = parts
+        jmi, account = self.make_with_enforcement(parts, ca)
+        assert jmi.start("&(executable=sim)(count=1)(runtime=10)").ok
+        assert account.running_jobs == 1
+        clock.advance(10.0)
+        assert account.running_jobs == 0
+        # A stray re-delivery of the terminal event must not go negative.
+        jmi._terminal_hook(jmi.job)
+        assert account.running_jobs == 0
+
+    def test_foreign_job_event_does_not_touch_accounting(self, parts, ca):
+        from repro.lrm.jobs import BatchJob
+
+        jmi, account = self.make_with_enforcement(parts, ca)
+        assert jmi.start("&(executable=sim)(count=1)(runtime=10)").ok
+        foreign = BatchJob(
+            account="owner", executable="sim", cpus=1, runtime=1.0,
+            job_id="someone-elses-job",
+        )
+        jmi._terminal_hook(foreign)
+        assert account.running_jobs == 1  # keyed on job_id: no effect
+        assert not jmi.finished
+
+    def test_accounting_closes_even_when_job_finished_during_start(self, parts, ca):
+        # A zero-walltime job terminates inside submit; the per-job
+        # registration fires immediately, so running_jobs still
+        # returns to 0 instead of leaking.
+        clock, scheduler, _ = parts
+        jmi, account = self.make_with_enforcement(parts, ca)
+        response = jmi.start(
+            "&(executable=sim)(count=1)(runtime=10)(maxwalltime=0)"
+        )
+        assert response.ok
+        assert jmi.finished
+        assert account.running_jobs == 0

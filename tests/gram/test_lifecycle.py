@@ -1,0 +1,262 @@
+"""JMI reaping, the completed-job store, and admission control."""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.gram.client import GramClient
+from repro.gram.jobmanager import AuthorizationMode
+from repro.gram.lifecycle import CompletedJobStore
+from repro.gram.protocol import GramErrorCode, GramJobState
+from repro.gram.service import GramService, ServiceConfig
+from repro.gsi.credentials import CertificateAuthority
+from repro.lrm.errors import UnknownJobError
+
+OWNER = "/O=Grid/OU=lifecycle/CN=Owner"
+OTHER = "/O=Grid/OU=lifecycle/CN=Other"
+ADMIN = "/O=Grid/OU=lifecycle/CN=Admin"
+
+RSL = "&(executable=sim)(count=1)(runtime=10)(jobtag=NFC)"
+
+#: Owner may start/manage their jobs; the admin may query any NFC job.
+POLICY = f"""
+{OWNER}:
+    &(action=start)(executable=sim)(count<4)
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobowner=self)
+{ADMIN}:
+    &(action=information)(jobtag=NFC)
+"""
+
+
+def build(**overrides):
+    defaults = dict(host="lc.example.org", node_count=4, cpus_per_node=4)
+    defaults.update(overrides)
+    return GramService(ServiceConfig(**defaults))
+
+
+class TestReaping:
+    def test_terminal_jmi_is_reaped_into_completed_store(self):
+        service = build()
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        response = client.submit(RSL)
+        assert response.ok
+        assert service.gatekeeper.active_job_managers == 1
+        service.run(10.0)
+        assert service.gatekeeper.active_job_managers == 0
+        assert service.gatekeeper.completed_jobs == 1
+        assert service.gatekeeper.reaped == 1
+        record = service.gatekeeper.completed.get(response.contact.job_id)
+        assert record is not None
+        assert record.state is GramJobState.DONE
+        assert str(record.owner) == OWNER
+
+    def test_reaping_forgets_the_lrm_record_too(self):
+        service = build()
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        response = client.submit(RSL)
+        service.run(10.0)
+        with pytest.raises(UnknownJobError):
+            service.scheduler.job(response.contact.job_id)
+        assert len(service.scheduler.jobs()) == 0
+
+    def test_cancelled_job_is_reaped_as_failed(self):
+        service = build()
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        response = client.submit(RSL)
+        assert client.cancel(response.contact).ok
+        record = service.gatekeeper.completed.get(response.contact.job_id)
+        assert record is not None
+        assert record.state is GramJobState.FAILED
+        assert "cancel" in record.exit_reason
+
+    def test_reaping_can_be_disabled(self):
+        service = build(reap_jmis=False)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        response = client.submit(RSL)
+        service.run(10.0)
+        # GT2 stock behaviour: the JMI lives on and still answers.
+        assert service.gatekeeper.active_job_managers == 1
+        assert service.gatekeeper.completed_jobs == 0
+        status = client.status(response.contact)
+        assert status.ok and status.state is GramJobState.DONE
+
+    def test_retention_bounds_the_store(self):
+        service = build(completed_retention=3)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        contacts = []
+        for _ in range(5):
+            response = client.submit(RSL)
+            assert response.ok
+            service.run(10.0)
+            contacts.append(response.contact)
+        assert service.gatekeeper.completed_jobs == 3
+        assert service.gatekeeper.completed.evicted == 2
+        # Oldest evicted, newest retained.
+        assert service.gatekeeper.completed.get(contacts[0].job_id) is None
+        assert service.gatekeeper.completed.get(contacts[-1].job_id) is not None
+        evicted = client.status(contacts[0])
+        assert evicted.code is GramErrorCode.NO_SUCH_JOB
+
+
+class TestPostReapManagement:
+    def make(self, mode=AuthorizationMode.EXTENDED, policies=None):
+        service = build(
+            mode=mode,
+            policies=(
+                tuple(policies)
+                if policies is not None
+                else (parse_policy(POLICY, name="vo"),)
+            )
+            if mode is AuthorizationMode.EXTENDED
+            else (),
+        )
+        owner = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        other = GramClient(service.add_user(OTHER, "other"), service.gatekeeper)
+        admin = GramClient(service.add_user(ADMIN, "admin"), service.gatekeeper)
+        response = owner.submit(RSL)
+        assert response.ok
+        service.run(10.0)
+        assert service.gatekeeper.active_job_managers == 0
+        return service, owner, other, admin, response.contact
+
+    def test_information_returns_final_state_and_owner(self):
+        _, owner, _, _, contact = self.make()
+        response = owner.status(contact)
+        assert response.ok
+        assert response.state is GramJobState.DONE
+        assert response.job_owner == OWNER
+
+    def test_admin_authorized_by_policy_after_reap(self):
+        _, _, _, admin, contact = self.make()
+        response = admin.status(contact)
+        assert response.ok
+        assert response.state is GramJobState.DONE
+        assert response.job_owner == OWNER
+
+    def test_unauthorized_requester_denied_after_reap(self):
+        _, _, other, _, contact = self.make()
+        response = other.status(contact)
+        assert response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert response.reasons
+
+    def test_legacy_owner_rule_applies_after_reap(self):
+        _, owner, other, _, contact = self.make(mode=AuthorizationMode.LEGACY)
+        assert owner.status(contact).ok
+        response = other.status(contact)
+        assert response.code is GramErrorCode.NOT_JOB_OWNER
+
+    def test_cancel_after_completion_is_idempotent_success(self):
+        _, owner, _, _, contact = self.make()
+        response = owner.cancel(contact)
+        assert response.ok
+        assert response.state is GramJobState.DONE
+
+    def test_signal_after_completion_reports_no_such_job(self):
+        service, owner, _, _, contact = self.make(mode=AuthorizationMode.LEGACY)
+        for action, value in (("signal", 5), ("suspend", None), ("resume", None)):
+            response = service.gatekeeper.manage(
+                owner.credential, contact, action, value=value
+            )
+            assert response.code is GramErrorCode.NO_SUCH_JOB
+            assert "already finished" in response.message
+
+    def test_untrusted_credential_rejected_after_reap(self):
+        service, _, _, _, contact = self.make()
+        rogue = CertificateAuthority("/O=Rogue/CN=CA", now=0.0)
+        response = service.gatekeeper.manage(
+            rogue.issue(OWNER, now=0.0), contact, "information"
+        )
+        assert response.code is GramErrorCode.AUTHENTICATION_FAILED
+
+    def test_unknown_contact_still_no_such_job(self):
+        service, owner, _, _, contact = self.make()
+        from repro.gram.protocol import JobContact
+
+        response = owner.status(JobContact(host=contact.host, job_id="999999"))
+        assert response.code is GramErrorCode.NO_SUCH_JOB
+
+
+class TestAdmissionControl:
+    def test_per_user_cap_returns_resource_busy(self):
+        service = build(max_jobs_per_user=2)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        assert client.submit(RSL).ok
+        assert client.submit(RSL).ok
+        third = client.submit(RSL)
+        assert third.code is GramErrorCode.RESOURCE_BUSY
+        assert "in flight" in third.message
+        assert service.gatekeeper.admission.rejected_user == 1
+
+    def test_cap_is_per_user_not_global(self):
+        service = build(max_jobs_per_user=1)
+        a = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        b = GramClient(service.add_user(OTHER, "other"), service.gatekeeper)
+        assert a.submit(RSL).ok
+        assert b.submit(RSL).ok
+        assert a.submit(RSL).code is GramErrorCode.RESOURCE_BUSY
+
+    def test_global_ceiling_returns_resource_busy(self):
+        service = build(max_active_jmis=2)
+        a = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        b = GramClient(service.add_user(OTHER, "other"), service.gatekeeper)
+        assert a.submit(RSL).ok
+        assert b.submit(RSL).ok
+        response = a.submit(RSL)
+        assert response.code is GramErrorCode.RESOURCE_BUSY
+        assert "capacity" in response.message
+        assert service.gatekeeper.admission.rejected_global == 1
+
+    def test_slot_released_when_job_terminates(self):
+        service = build(max_jobs_per_user=1)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        first = client.submit(RSL)
+        assert first.ok
+        assert client.submit(RSL).code is GramErrorCode.RESOURCE_BUSY
+        service.run(10.0)  # first job completes and is reaped
+        assert client.submit(RSL).ok
+
+    def test_slot_released_on_cancel(self):
+        service = build(max_jobs_per_user=1)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        first = client.submit(RSL)
+        assert client.cancel(first.contact).ok
+        assert client.submit(RSL).ok
+
+    def test_admission_metrics_exported(self):
+        service = build(max_jobs_per_user=1)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        assert client.submit(RSL).ok
+        client.submit(RSL)
+        registry = service.telemetry.registry
+        assert registry.value("gram_admission_rejected_total", scope="user") == 1.0
+        assert registry.value("gram_admission_active_jmis") == 1.0
+        service.run(10.0)
+        assert registry.value("gram_admission_active_jmis") == 0.0
+        assert registry.value("gram_lifecycle_reaped_total") == 1.0
+        assert registry.value("gram_lifecycle_completed_records") == 1.0
+
+    def test_tracked_identities_stay_bounded(self):
+        service = build(max_jobs_per_user=4)
+        clients = [
+            GramClient(
+                service.add_user(f"/O=Grid/OU=lifecycle/CN=U{i}", f"u{i}"),
+                service.gatekeeper,
+            )
+            for i in range(5)
+        ]
+        for client in clients:
+            assert client.submit(RSL).ok
+        assert service.gatekeeper.admission.tracked_identities == 5
+        service.run(10.0)
+        # In-flight map holds only identities with live jobs.
+        assert service.gatekeeper.admission.tracked_identities == 0
+
+
+class TestCompletedJobStoreUnit:
+    def test_zero_retention_keeps_nothing(self):
+        store = CompletedJobStore(retention=0)
+        assert len(store) == 0
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            CompletedJobStore(retention=-1)

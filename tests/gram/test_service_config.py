@@ -83,3 +83,44 @@ class TestClusterShape:
     def test_cluster_named_after_host(self):
         service = GramService(ServiceConfig(host="mysite.example.org"))
         assert service.cluster.name == "mysite"
+
+
+class TestHardenIdempotency:
+    def test_second_harden_raises_instead_of_stacking(self):
+        service = GramService(ServiceConfig())
+        first = service.harden()
+        assert service.resilience is first
+        with pytest.raises(RuntimeError):
+            service.harden()
+        # The original configuration is untouched by the rejected call.
+        assert service.resilience is first
+
+    def test_construction_time_hardening_counts_as_applied(self):
+        service = GramService(ServiceConfig(resilience=True))
+        assert service.resilience is not None
+        with pytest.raises(RuntimeError):
+            service.harden()
+
+
+class TestLifecycleConfigWiring:
+    def test_defaults_reap_with_bounded_retention(self):
+        gatekeeper = GramService(ServiceConfig()).gatekeeper
+        assert gatekeeper.lifecycle.reap is True
+        assert gatekeeper.completed.retention == 1024
+        assert gatekeeper.lifecycle.max_jobs_per_user is None
+        assert gatekeeper.lifecycle.max_active_jmis is None
+
+    def test_caps_and_retention_flow_to_the_gatekeeper(self):
+        service = GramService(
+            ServiceConfig(
+                reap_jmis=False,
+                completed_retention=7,
+                max_jobs_per_user=3,
+                max_active_jmis=11,
+            )
+        )
+        lifecycle = service.gatekeeper.lifecycle
+        assert lifecycle.reap is False
+        assert service.gatekeeper.completed.retention == 7
+        assert lifecycle.max_jobs_per_user == 3
+        assert lifecycle.max_active_jmis == 11

@@ -262,3 +262,96 @@ class TestAccounting:
         assert done in scheduler.jobs(JobState.COMPLETED)
         assert running in scheduler.jobs(JobState.RUNNING)
         assert len(scheduler.jobs()) == 2
+
+
+class TestPerJobTerminalCallbacks:
+    def test_callback_fires_once_for_its_job_only(self, scheduler, clock):
+        seen = []
+        a = job(runtime=5.0)
+        b = job(runtime=7.0)
+        scheduler.submit(a)
+        scheduler.submit(b)
+        scheduler.on_job_terminal(a.job_id, lambda j: seen.append(("a", j.job_id)))
+        scheduler.on_job_terminal(b.job_id, lambda j: seen.append(("b", j.job_id)))
+        clock.advance(5.0)
+        assert seen == [("a", a.job_id)]
+        clock.advance(2.0)
+        assert seen == [("a", a.job_id), ("b", b.job_id)]
+
+    def test_registrations_consumed_on_fire(self, scheduler, clock):
+        a = job(runtime=5.0)
+        scheduler.submit(a)
+        scheduler.on_job_terminal(a.job_id, lambda j: None)
+        assert scheduler.terminal_callback_count == 1
+        clock.advance(5.0)
+        assert scheduler.terminal_callback_count == 0
+
+    def test_already_terminal_job_fires_immediately(self, scheduler, clock):
+        a = job(runtime=1.0)
+        scheduler.submit(a)
+        clock.advance(1.0)
+        seen = []
+        scheduler.on_job_terminal(a.job_id, lambda j: seen.append(j.state))
+        assert seen == [JobState.COMPLETED]
+        assert scheduler.terminal_callback_count == 0
+
+    def test_multiple_callbacks_fire_in_registration_order(self, scheduler, clock):
+        order = []
+        a = job(runtime=5.0)
+        scheduler.submit(a)
+        scheduler.on_job_terminal(a.job_id, lambda j: order.append("first"))
+        scheduler.on_job_terminal(a.job_id, lambda j: order.append("second"))
+        clock.advance(5.0)
+        assert order == ["first", "second"]
+
+    def test_drop_job_terminal_discards_pending(self, scheduler, clock):
+        seen = []
+        a = job(runtime=5.0)
+        scheduler.submit(a)
+        scheduler.on_job_terminal(a.job_id, lambda j: seen.append(j))
+        scheduler.drop_job_terminal(a.job_id)
+        clock.advance(5.0)
+        assert seen == []
+
+    def test_cancellation_also_dispatches(self, scheduler, clock):
+        seen = []
+        a = job(runtime=50.0)
+        scheduler.submit(a)
+        scheduler.on_job_terminal(a.job_id, lambda j: seen.append(j.state))
+        scheduler.cancel(a.job_id)
+        assert seen == [JobState.CANCELLED]
+
+
+class TestForget:
+    def test_forget_drops_terminal_record(self, scheduler, clock):
+        a = job(runtime=1.0)
+        scheduler.submit(a)
+        clock.advance(1.0)
+        scheduler.forget(a.job_id)
+        assert len(scheduler.jobs()) == 0
+        with pytest.raises(UnknownJobError):
+            scheduler.job(a.job_id)
+
+    def test_forget_preserves_aggregated_usage(self, scheduler, clock):
+        a = job(cpus=2, runtime=10.0)
+        scheduler.submit(a)
+        clock.advance(10.0)
+        scheduler.forget(a.job_id)
+        usage = scheduler.usage("alice")
+        assert usage.jobs_completed == 1
+        assert usage.cpu_seconds == pytest.approx(20.0)
+
+    def test_forget_rejects_non_terminal_jobs(self, scheduler, clock):
+        a = job(runtime=50.0)
+        scheduler.submit(a)
+        with pytest.raises(QueueError):
+            scheduler.forget(a.job_id)
+
+    def test_forgotten_job_id_can_be_reused(self, scheduler, clock):
+        a = job(runtime=1.0, job_id="fixed-id")
+        scheduler.submit(a)
+        clock.advance(1.0)
+        scheduler.forget("fixed-id")
+        b = job(runtime=1.0, job_id="fixed-id")
+        scheduler.submit(b)
+        assert b.state is JobState.RUNNING
