@@ -58,6 +58,7 @@ from repro.gram import (
     GridMapFile,
     JobManagerInstance,
     ServiceConfig,
+    ShardedGramService,
 )
 from repro.gsi import (
     CertificateAuthority,
@@ -99,6 +100,7 @@ __all__ = [
     "GridMapFile",
     "JobManagerInstance",
     "ServiceConfig",
+    "ShardedGramService",
     # gsi
     "CertificateAuthority",
     "Credential",

@@ -10,6 +10,7 @@ unnatural — motivates shipping the analysis tools behind a CLI::
     python -m repro.cli diff old.policy new.policy
     python -m repro.cli obs spans.jsonl --trace req-000001
     python -m repro.cli obs metrics.jsonl --metrics prom
+    python -m repro.cli accounting usage.json --account alice
     python -m repro.cli demo
 
 Exit codes: 0 success / permit, 1 denial or lint errors, 2 usage or
@@ -121,6 +122,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--summary",
         action="store_true",
         help="one line per trace in a span export",
+    )
+
+    accounting = commands.add_parser(
+        "accounting",
+        help=(
+            "summarize exported per-account usage "
+            "(scheduler.usage_summary() JSON)"
+        ),
+    )
+    accounting.add_argument(
+        "usage", help="path to the usage-summary JSON export"
+    )
+    accounting.add_argument(
+        "--account",
+        default=None,
+        help="report a single account instead of all",
+    )
+    accounting.add_argument(
+        "--json",
+        action="store_true",
+        help="re-emit the (filtered) summary as JSON instead of a table",
     )
 
     commands.add_parser("demo", help="run a small end-to-end demonstration")
@@ -245,6 +267,55 @@ def _cmd_obs(args) -> int:
         return 2
 
 
+def _cmd_accounting(args) -> int:
+    import json
+
+    try:
+        with open(args.usage, "r", encoding="utf-8") as handle:
+            summary = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.usage}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(summary, dict):
+        print(
+            f"error: {args.usage} is not a usage-summary export "
+            "(expected a JSON object keyed by account)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.account is not None:
+        if args.account not in summary:
+            print(f"{args.account}: no recorded usage", file=sys.stderr)
+            return 1
+        summary = {args.account: summary[args.account]}
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    header = (
+        f"{'account':<16} {'submitted':>9} {'completed':>9} "
+        f"{'failed':>6} {'cancelled':>9} {'cpu-seconds':>12}"
+    )
+    print(header)
+    totals = {"jobs_submitted": 0, "jobs_completed": 0, "jobs_failed": 0,
+              "jobs_cancelled": 0, "cpu_seconds": 0.0}
+    for account in sorted(summary):
+        row = summary[account]
+        print(
+            f"{account:<16} {row.get('jobs_submitted', 0):>9} "
+            f"{row.get('jobs_completed', 0):>9} {row.get('jobs_failed', 0):>6} "
+            f"{row.get('jobs_cancelled', 0):>9} "
+            f"{row.get('cpu_seconds', 0.0):>12.1f}"
+        )
+        for key in totals:
+            totals[key] += row.get(key, 0)
+    print(
+        f"{'total':<16} {totals['jobs_submitted']:>9} "
+        f"{totals['jobs_completed']:>9} {totals['jobs_failed']:>6} "
+        f"{totals['jobs_cancelled']:>9} {totals['cpu_seconds']:>12.1f}"
+    )
+    return 0
+
+
 def _cmd_demo(args) -> int:
     from repro import GramClient, GramService, ServiceConfig
     from repro.core.parser import parse_policy
@@ -281,6 +352,7 @@ _HANDLERS = {
     "xacml-export": _cmd_xacml_export,
     "audit-summary": _cmd_audit_summary,
     "obs": _cmd_obs,
+    "accounting": _cmd_accounting,
     "demo": _cmd_demo,
 }
 

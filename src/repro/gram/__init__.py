@@ -21,6 +21,9 @@ extensions (§5):
 * :mod:`repro.gram.gridmap` — the grid-mapfile access-control list.
 * :mod:`repro.gram.service` — glue assembling a whole resource
   (gatekeeper + scheduler + accounts + PEP) for examples and benches.
+* :mod:`repro.gram.dispatch` — the sharded service core: N complete
+  stacks hashed on requester DN behind the same synchronous API, with
+  an inline (deterministic) and a per-shard worker-thread executor.
 """
 
 from repro.gram.protocol import (
@@ -42,6 +45,15 @@ from repro.gram.jobmanager import AuthorizationMode, JobManagerInstance
 from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.client import GramClient
 from repro.gram.service import GramService, ServiceConfig
+from repro.gram.dispatch import (
+    EpochBroadcast,
+    InlineExecutor,
+    ShardRouter,
+    ShardWorkerPool,
+    ShardedGatekeeper,
+    ShardedGramService,
+)
+from repro.gram.lifecycle import ShardState, SharedGauge
 
 __all__ = [
     "GramErrorCode",
@@ -58,6 +70,14 @@ __all__ = [
     "GramClient",
     "GramService",
     "ServiceConfig",
+    "EpochBroadcast",
+    "InlineExecutor",
+    "ShardRouter",
+    "ShardWorkerPool",
+    "ShardedGatekeeper",
+    "ShardedGramService",
+    "ShardState",
+    "SharedGauge",
     "InformationService",
     "ResourceRecord",
     "vo_usage",

@@ -1,0 +1,467 @@
+"""Sharded dispatch: N full service stacks behind one synchronous API.
+
+The paper's architecture puts one enforcement point in front of one
+resource; the reproduction so far funnels every request through a
+single interpreter loop, so throughput is whatever one
+:class:`~repro.gram.service.GramService` can do.  This module
+partitions request handling into *shards* hashed on the requester DN:
+every shard is a complete service stack (its own clock, scheduler,
+accounts, decision cache, completed-job store, admission counters,
+telemetry — the :class:`~repro.gram.lifecycle.ShardState` bundle), so
+shards share almost nothing and need almost no locking.  The two
+cross-shard concerns are explicit objects:
+
+* the service-wide ``max_active_jmis`` ceiling reads a
+  :class:`~repro.gram.lifecycle.SharedGauge` that every shard's
+  JMI bookkeeping adjusts atomically;
+* policy-epoch bumps go through an :class:`EpochBroadcast` added to
+  every shard's :class:`~repro.core.pipeline.DecisionCache` epoch
+  sources, so one bump invalidates all shard caches at once.
+
+Two executors sit behind the unchanged synchronous client API:
+
+* :class:`InlineExecutor` — runs every shard on the caller's thread.
+  With one shard this is *exactly* the pre-shard code path: same
+  objects, same order, byte-for-byte identical exports.
+* :class:`ShardWorkerPool` — one dedicated worker thread per shard,
+  each draining its own FIFO queue.  All of a shard's state is only
+  ever touched from its own worker, preserving the shard-confinement
+  invariant while unrelated users proceed in parallel.
+
+:class:`ShardedGramService` assembles the whole thing and
+:class:`ShardedGatekeeper` is the facade a stock
+:class:`~repro.gram.client.GramClient` talks to.  See
+``docs/concurrency.md`` for the model and its guarantees.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from concurrent.futures import Future
+from dataclasses import replace
+from queue import SimpleQueue
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.compiled import compiled_for
+from repro.gram.lifecycle import SharedGauge
+from repro.gram.protocol import GramResponse, JobContact
+from repro.gram.service import GramService, ServiceConfig
+from repro.gsi.credentials import CertificateAuthority, Credential
+from repro.obs.exporters import (
+    merge_snapshots,
+    prometheus_text,
+    snapshot_jsonl,
+)
+
+
+class EpochBroadcast:
+    """The cross-shard policy epoch.
+
+    Exposes ``policy_epoch`` the way every other epoch source does, so
+    it can join a :class:`~repro.core.pipeline.DecisionCache`'s source
+    list unchanged; :meth:`bump` invalidates every cache that watches
+    it — the sharded answer to "a policy changed somewhere".
+    """
+
+    def __init__(self) -> None:
+        self._epoch = 0
+        self._lock = threading.Lock()
+
+    @property
+    def policy_epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def bump(self) -> int:
+        """Advance the epoch; every shard's next lookup misses."""
+        with self._lock:
+            self._epoch += 1
+            return self._epoch
+
+
+class ShardRouter:
+    """Deterministic requester-DN → shard mapping.
+
+    Hashes with CRC-32 (not Python's randomized ``hash``) so the same
+    DN lands on the same shard in every process, which the
+    differential tests and any persisted contact rely on.  A VO-aware
+    ``key_fn`` may map a DN to a coarser key — e.g. its VO subtree —
+    to pin a whole community to one shard.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        key_fn: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.key_fn = key_fn
+
+    def shard_key(self, identity: str) -> str:
+        return self.key_fn(identity) if self.key_fn is not None else identity
+
+    def shard_for(self, identity: str) -> int:
+        if self.shards == 1:
+            return 0
+        key = self.shard_key(identity).encode("utf-8")
+        return zlib.crc32(key) % self.shards
+
+
+class InlineExecutor:
+    """Run shard work on the caller's thread, immediately.
+
+    The deterministic executor: with it, a sharded service is just a
+    loop over plain service stacks — no threads, no queues, and with
+    one shard no observable difference from the pre-shard code.
+    """
+
+    name = "inline"
+
+    def run(self, shard: int, fn: Callable[[], Any]) -> Any:
+        return fn()
+
+    def submit(self, shard: int, fn: Callable[[], Any]) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+        try:
+            future.set_result(fn())
+        except BaseException as exc:  # pragma: no cover - surfaced by result()
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        pass
+
+
+class ShardWorkerPool:
+    """One dedicated worker thread per shard, each with a FIFO queue.
+
+    A shard's queue serializes everything that touches that shard's
+    state, so shard state needs no locks; distinct shards drain their
+    queues concurrently.  FIFO order per shard means a single client's
+    operations (submit, then poll, then cancel — all hashed to one
+    shard) keep their program order, which is what makes the sharded
+    service's per-shard behaviour deterministic given a deterministic
+    request order.
+    """
+
+    name = "thread"
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self._queues: List["SimpleQueue[Any]"] = [
+            SimpleQueue() for _ in range(shards)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(workqueue,),
+                name=f"gram-shard-{index}",
+                daemon=True,
+            )
+            for index, workqueue in enumerate(self._queues)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @staticmethod
+    def _worker(workqueue: "SimpleQueue[Any]") -> None:
+        while True:
+            item = workqueue.get()
+            if item is None:
+                return
+            fn, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(fn())
+            except BaseException as exc:
+                future.set_exception(exc)
+
+    def submit(self, shard: int, fn: Callable[[], Any]) -> "Future[Any]":
+        """Enqueue *fn* on *shard*'s worker; returns its future."""
+        future: "Future[Any]" = Future()
+        self._queues[shard].put((fn, future))
+        return future
+
+    def run(self, shard: int, fn: Callable[[], Any]) -> Any:
+        """The synchronous API: enqueue and wait for the result."""
+        return self.submit(shard, fn).result()
+
+    def close(self) -> None:
+        """Stop the workers after draining already-queued work."""
+        for workqueue in self._queues:
+            workqueue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+
+
+class ShardedGatekeeper:
+    """The facade a stock :class:`~repro.gram.client.GramClient` sees.
+
+    Duck-types the two entry points clients use — :meth:`submit` and
+    :meth:`manage` — routing each call to the owning shard through the
+    service's executor.  Submissions hash on the requester DN;
+    management requests route by the *contact's* host (jobs live on
+    the shard that created them — that is what lets a peer manage
+    another user's job, the paper's whole point, without the peer's
+    own shard mattering).
+    """
+
+    def __init__(self, service: "ShardedGramService") -> None:
+        self.service = service
+
+    # -- the synchronous API -------------------------------------------------
+
+    def submit(self, credential: Credential, rsl_text: str) -> GramResponse:
+        return self.submit_async(credential, rsl_text).result()
+
+    def manage(
+        self,
+        credential: Credential,
+        contact: JobContact,
+        action: str,
+        value: Optional[int] = None,
+    ) -> GramResponse:
+        return self.manage_async(credential, contact, action, value=value).result()
+
+    # -- the asynchronous seam (benchmarks saturate shards through it) -------
+
+    def submit_async(
+        self, credential: Credential, rsl_text: str
+    ) -> "Future[GramResponse]":
+        service = self.service
+        shard = service.shard_of(str(credential.identity))
+        gatekeeper = service.shards[shard].gatekeeper
+        return service.executor.submit(
+            shard, lambda: gatekeeper.submit(credential, rsl_text)
+        )
+
+    def manage_async(
+        self,
+        credential: Credential,
+        contact: JobContact,
+        action: str,
+        value: Optional[int] = None,
+    ) -> "Future[GramResponse]":
+        service = self.service
+        shard = service.shard_of_contact(contact, str(credential.identity))
+        gatekeeper = service.shards[shard].gatekeeper
+        return service.executor.submit(
+            shard,
+            lambda: gatekeeper.manage(credential, contact, action, value=value),
+        )
+
+    # -- aggregate views -----------------------------------------------------
+
+    @property
+    def submissions(self) -> int:
+        return sum(s.gatekeeper.submissions for s in self.service.shards)
+
+    @property
+    def authentications_failed(self) -> int:
+        return sum(
+            s.gatekeeper.authentications_failed for s in self.service.shards
+        )
+
+    @property
+    def reaped(self) -> int:
+        return sum(s.gatekeeper.reaped for s in self.service.shards)
+
+    @property
+    def active_job_managers(self) -> int:
+        return sum(s.gatekeeper.active_job_managers for s in self.service.shards)
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(s.gatekeeper.completed_jobs for s in self.service.shards)
+
+
+class ShardedGramService:
+    """N complete service stacks, one front door.
+
+    Builds ``config.shards`` :class:`~repro.gram.service.GramService`
+    instances sharing one CA (so any shard verifies any credential),
+    one :class:`~repro.gram.lifecycle.SharedGauge` (the global
+    ``max_active_jmis`` ceiling) and one :class:`EpochBroadcast`
+    (cache invalidation), under the executor ``config.dispatch``
+    selects.  With ``shards=1`` and ``dispatch="inline"`` the single
+    shard *is* a plain service — same wiring, same behaviour.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        ca: Optional[CertificateAuthority] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if self.config.dispatch not in ("inline", "thread"):
+            raise ValueError(
+                f"unknown dispatch {self.config.dispatch!r}: "
+                "expected 'inline' or 'thread'"
+            )
+        shard_count = self.config.shards
+        self.ca = ca or CertificateAuthority("/O=Grid/CN=Reproduction CA")
+        self.router = ShardRouter(shard_count, key_fn=self.config.shard_key)
+        self.epoch_broadcast = EpochBroadcast()
+        #: The one cross-shard mutable value; ``None`` for a single
+        #: shard, where the local JMI map already is the global count.
+        self.shared_active_jmis = (
+            SharedGauge() if shard_count > 1 else None
+        )
+
+        # Pre-compile shared policies on this (single) thread: the
+        # compiled form is cached on the Policy object, and warming it
+        # here keeps shard workers from racing the first compilation.
+        for policy in self.config.policies:
+            compiled_for(policy)
+
+        self.shards: List[GramService] = []
+        for index in range(shard_count):
+            host = (
+                f"shard{index}.{self.config.host}"
+                if shard_count > 1
+                else self.config.host
+            )
+            shard_config = replace(
+                self.config, host=host, shards=1, dispatch="inline"
+            )
+            self.shards.append(
+                GramService(
+                    shard_config,
+                    ca=self.ca,
+                    shard_index=index,
+                    shared_active_jmis=self.shared_active_jmis,
+                )
+            )
+        for shard in self.shards:
+            if shard.pep.cache is not None:
+                shard.pep.cache.add_epoch_source(self.epoch_broadcast)
+        self._host_to_shard: Dict[str, int] = {
+            shard.config.host: index for index, shard in enumerate(self.shards)
+        }
+        self.executor = (
+            InlineExecutor()
+            if self.config.dispatch == "inline"
+            else ShardWorkerPool(shard_count)
+        )
+        self.gatekeeper = ShardedGatekeeper(self)
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_of(self, identity: str) -> int:
+        """The shard serving *identity*'s submissions."""
+        return self.router.shard_for(identity)
+
+    def shard_of_contact(self, contact: JobContact, identity: str) -> int:
+        """The shard owning *contact*'s job.
+
+        Contacts carry the host of the shard that minted them; a
+        contact from elsewhere falls back to the requester's own shard,
+        which correctly answers ``NO_SUCH_JOB``.
+        """
+        shard = self._host_to_shard.get(contact.host)
+        if shard is not None:
+            return shard
+        return self.shard_for_fallback(identity)
+
+    def shard_for_fallback(self, identity: str) -> int:
+        return self.router.shard_for(identity)
+
+    # -- assembly conveniences (mirror GramService) --------------------------
+
+    def add_user(self, identity: str, account: str, **account_kwargs):
+        """Issue one credential; enroll the mapping on every shard.
+
+        The credential comes from the shared CA, so it authenticates
+        on any shard; accounts and grid-mapfile entries are replicated
+        so management requests routed to a job's shard always find the
+        requester enrolled there.
+        """
+        credential = self.ca.issue(identity, now=self.shards[0].clock.now)
+        for shard in self.shards:
+            if not shard.accounts.exists(account):
+                shard.accounts.create(account, **account_kwargs)
+            shard.gridmap.add(identity, account)
+        return credential
+
+    def run(self, duration: float) -> None:
+        """Advance every shard's clock by *duration*, on its own worker.
+
+        Clock advancement fires scheduler events that mutate shard
+        state, so it goes through the executor like any other shard
+        work — the confinement invariant holds for time itself.
+        """
+        futures = [
+            self.executor.submit(index, lambda s=shard: s.run(duration))
+            for index, shard in enumerate(self.shards)
+        ]
+        for future in futures:
+            future.result()
+
+    def harden(self, *args, **kwargs) -> None:
+        """Apply the resilience layer on every shard."""
+        for shard in self.shards:
+            shard.harden(*args, **kwargs)
+
+    def bump_policy_epoch(self) -> int:
+        """Invalidate every shard's decision cache in one step."""
+        return self.epoch_broadcast.bump()
+
+    def close(self) -> None:
+        """Stop the worker threads (no-op for the inline executor)."""
+        self.executor.close()
+
+    def __enter__(self) -> "ShardedGramService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- merged observability ------------------------------------------------
+
+    def merged_snapshot(self) -> List[Dict[str, Any]]:
+        """One service-wide metrics snapshot summed across shards."""
+        return merge_snapshots(
+            [
+                shard.telemetry.registry.snapshot()
+                for shard in self.shards
+                if shard.telemetry is not None
+            ]
+        )
+
+    def merged_prometheus(self) -> str:
+        return prometheus_text(self.merged_snapshot())
+
+    def merged_metrics_jsonl(self) -> str:
+        return snapshot_jsonl(self.merged_snapshot())
+
+    def merged_value(self, name: str, **labels) -> float:
+        """Sum one counter/gauge series across every shard registry."""
+        return sum(
+            shard.telemetry.registry.value(name, **labels)
+            for shard in self.shards
+            if shard.telemetry is not None
+        )
+
+    def merged_spans(self) -> List[Dict[str, Any]]:
+        """Every shard's finished spans, trace ids shard-prefixed.
+
+        Each shard's tracer numbers its traces independently
+        (``req-%06d``), so the merge qualifies them as
+        ``shard{i}:req-%06d`` to keep correlation ids unique
+        service-wide.
+        """
+        merged: List[Dict[str, Any]] = []
+        for index, shard in enumerate(self.shards):
+            if shard.telemetry is None:
+                continue
+            for _, spans in shard.telemetry.tracer.traces:
+                for span in spans:
+                    data = span.to_dict()
+                    data["trace"] = f"shard{index}:{data['trace']}"
+                    merged.append(data)
+        return merged

@@ -34,6 +34,7 @@ from repro.gram.lifecycle import (
     CompletedJobRecord,
     CompletedJobStore,
     LifecycleConfig,
+    ShardState,
 )
 from repro.gram.protocol import (
     GramErrorCode,
@@ -73,6 +74,8 @@ class Gatekeeper:
         gt3_account_setup: bool = False,
         telemetry=None,
         lifecycle: Optional[LifecycleConfig] = None,
+        state: Optional[ShardState] = None,
+        service_time: float = 0.0,
     ) -> None:
         self.host = host
         self.trust_anchors = tuple(trust_anchors)
@@ -98,18 +101,50 @@ class Gatekeeper:
         #: (untrusted) JMI ever runs.
         self.gt3_account_setup = gt3_account_setup
         #: Lifecycle layer: JMI reaping + admission control (see
-        #: :mod:`repro.gram.lifecycle`).  Live JMIs stay in
-        #: ``_job_managers``; terminal ones are reaped into the
-        #: bounded ``completed`` store so resident state is O(active).
-        self.lifecycle = lifecycle or LifecycleConfig()
-        self.completed = CompletedJobStore(
-            retention=self.lifecycle.completed_retention
-        )
-        self.admission = AdmissionControl(self.lifecycle)
-        self._job_managers: Dict[str, JobManagerInstance] = {}
-        self.submissions = 0
-        self.authentications_failed = 0
-        self.reaped = 0
+        #: :mod:`repro.gram.lifecycle`).  All of it — live JMIs,
+        #: the bounded ``completed`` store, admission counters — lives
+        #: in one :class:`ShardState` bundle, owned by this Gatekeeper
+        #: in the single-service configuration or handed in by the
+        #: sharded dispatcher (:mod:`repro.gram.dispatch`).
+        if state is None:
+            state = ShardState(lifecycle or LifecycleConfig(), clock)
+        elif lifecycle is not None and state.lifecycle is not lifecycle:
+            raise ValueError("pass lifecycle via the ShardState, not both")
+        self.state = state
+        self.lifecycle = state.lifecycle
+        #: Simulated seconds this Gatekeeper's interpreter loop spends
+        #: per request (0 = free, the stock behaviour).  The throughput
+        #: benchmark sets it so each shard's clock advances as requests
+        #: are served, making per-shard parallelism measurable in
+        #: simulated time.
+        self.service_time = service_time
+        self._published_evictions: Dict[str, int] = {}
+
+    # -- shard-state views (back-compat accessors) ----------------------------
+
+    @property
+    def completed(self) -> CompletedJobStore:
+        return self.state.completed
+
+    @property
+    def admission(self) -> AdmissionControl:
+        return self.state.admission
+
+    @property
+    def _job_managers(self) -> Dict[str, JobManagerInstance]:
+        return self.state.job_managers
+
+    @property
+    def submissions(self) -> int:
+        return self.state.submissions
+
+    @property
+    def authentications_failed(self) -> int:
+        return self.state.authentications_failed
+
+    @property
+    def reaped(self) -> int:
+        return self.state.reaped
 
     # -- the request path -----------------------------------------------------
 
@@ -119,16 +154,18 @@ class Gatekeeper:
             response = self._submit(credential, rsl_text)
             if span is not None:
                 span.set_attr("code", response.code.name)
+            if self.service_time:
+                self.clock.advance(self.service_time)
             return response
 
     def _submit(self, credential: Credential, rsl_text: str) -> GramResponse:
-        self.submissions += 1
+        self.state.submissions += 1
         self._trace("client", "gatekeeper", "submit job request")
 
         # 0. Service-wide backpressure, before any expensive work —
         # an overloaded front door sheds load without paying for
         # credential verification first.
-        rejection = self.admission.check_global(len(self._job_managers))
+        rejection = self.admission.check_global(self.state.global_active_jmis())
         if rejection is not None:
             return self._admission_rejected(*rejection)
 
@@ -139,7 +176,7 @@ class Gatekeeper:
                 credential, self.trust_anchors, at_time=self.clock.now
             )
         except GSIError as exc:
-            self.authentications_failed += 1
+            self.state.authentications_failed += 1
             return GramResponse(
                 code=GramErrorCode.AUTHENTICATION_FAILED, message=str(exc)
             )
@@ -223,7 +260,7 @@ class Gatekeeper:
         response = jmi.start(rsl_text)
         if response.ok:
             if not jmi.finished:
-                self._job_managers[contact.job_id] = jmi
+                self.state.add_jmi(contact.job_id, jmi)
             self._publish_lifecycle_gauges()
         else:
             self.admission.release(str(identity))
@@ -260,6 +297,8 @@ class Gatekeeper:
                     )
             if span is not None:
                 span.set_attr("code", response.code.name)
+            if self.service_time:
+                self.clock.advance(self.service_time)
             return response
 
     @property
@@ -291,7 +330,7 @@ class Gatekeeper:
         self._publish_lifecycle_gauges()
 
     def _reap(self, jmi: JobManagerInstance, job) -> None:
-        self._job_managers.pop(jmi.contact.job_id, None)
+        self.state.pop_jmi(jmi.contact.job_id)
         state = jmi.state()
         assert state is not None and jmi.description is not None
         self.completed.add(
@@ -305,7 +344,7 @@ class Gatekeeper:
                 spec=jmi.description.spec,
             )
         )
-        self.reaped += 1
+        self.state.reaped += 1
         # Drop the LRM-side record too: the whole serving path stays
         # O(active jobs), not O(jobs ever run).
         try:
@@ -324,9 +363,17 @@ class Gatekeeper:
         self.telemetry.set_gauge(
             "gram_lifecycle_completed_records", float(len(self.completed))
         )
-        self.telemetry.set_gauge(
-            "gram_lifecycle_evicted_records", float(self.completed.evicted)
-        )
+        # Evictions are rare; republishing identical values on every
+        # submit/terminal would tax the hot path for nothing.
+        evictions = self.completed.evicted_by_reason
+        if evictions != self._published_evictions:
+            for reason, count in evictions.items():
+                self.telemetry.set_gauge(
+                    "gram_lifecycle_evicted_records",
+                    float(count),
+                    reason=reason,
+                )
+            self._published_evictions = dict(evictions)
 
     def _manage_completed(
         self,

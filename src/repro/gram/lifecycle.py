@@ -15,21 +15,33 @@ sustained churn:
 * :class:`AdmissionControl` — per-user in-flight caps and a
   service-wide active-JMI ceiling, rejected up front with
   ``RESOURCE_BUSY`` so overload sheds load instead of leaking it.
+* :class:`ShardState` — *all* of the Gatekeeper's per-request mutable
+  state (live JMIs, completed store, admission counters, request
+  counters) in one bundle, so a sharded service
+  (:mod:`repro.gram.dispatch`) can give every shard its own and keep
+  each bundle confined to one worker thread.  The only cross-shard
+  touch point is an optional :class:`SharedGauge` carrying the
+  service-wide active-JMI count for the global admission ceiling.
 
 :class:`LifecycleConfig` bundles the knobs; the Gatekeeper owns one
-of each and the :class:`~repro.gram.service.ServiceConfig` exposes
-them.
+:class:`ShardState` and the
+:class:`~repro.gram.service.ServiceConfig` exposes the knobs.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.gram.protocol import GramJobState, JobContact
 from repro.gsi.names import DistinguishedName
 from repro.rsl.ast import Specification
+from repro.sim.clock import Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gram.jobmanager import JobManagerInstance
 
 
 @dataclass(frozen=True)
@@ -42,6 +54,11 @@ class LifecycleConfig:
     reap: bool = True
     #: How many completed-job records to retain (FIFO eviction).
     completed_retention: int = 1024
+    #: Maximum age, in *simulated* seconds, of a retained completed
+    #: record (None = no age bound).  Records older than this are
+    #: evicted alongside the count bound, with the eviction reason
+    #: distinguished on the store's counters.
+    completed_retention_age: Optional[float] = None
     #: Per-user in-flight job cap (None = unlimited).
     max_jobs_per_user: Optional[int] = None
     #: Service-wide ceiling on simultaneously active JMIs
@@ -74,29 +91,87 @@ class CompletedJobStore:
 
     Insertion order is completion order; once ``retention`` records
     are held the oldest is evicted, so memory is bounded no matter how
-    many jobs the resource has ever run.
+    many jobs the resource has ever run.  When ``retention_age`` is
+    set (simulated seconds, read from *clock*), records older than
+    that are evicted too — at insert time and lazily on lookup, so an
+    aged-out job answers ``NO_SUCH_JOB`` exactly like one past the
+    count bound.  Evictions are counted by reason (``"count"`` /
+    ``"age"``); :attr:`evicted` stays the total for compatibility.
     """
 
-    def __init__(self, retention: int = 1024) -> None:
+    #: The eviction-reason vocabulary of :attr:`evicted_by_reason`.
+    EVICT_COUNT = "count"
+    EVICT_AGE = "age"
+
+    def __init__(
+        self,
+        retention: int = 1024,
+        retention_age: Optional[float] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         if retention < 0:
             raise ValueError("retention must be >= 0")
+        if retention_age is not None and retention_age < 0:
+            raise ValueError("retention_age must be >= 0")
+        if retention_age is not None and clock is None:
+            raise ValueError("retention_age needs a clock to read ages from")
         self.retention = retention
+        self.retention_age = retention_age
+        self.clock = clock
         self._records: "OrderedDict[str, CompletedJobRecord]" = OrderedDict()
-        #: Records dropped to honour the retention bound.
-        self.evicted = 0
+        #: Records dropped per retention bound:
+        #: ``{"count": ..., "age": ...}``.
+        self.evicted_by_reason: Dict[str, int] = {
+            self.EVICT_COUNT: 0,
+            self.EVICT_AGE: 0,
+        }
+
+    @property
+    def evicted(self) -> int:
+        """Total records dropped to honour either retention bound."""
+        return sum(self.evicted_by_reason.values())
+
+    def _expired(self, record: CompletedJobRecord) -> bool:
+        if self.retention_age is None:
+            return False
+        assert self.clock is not None
+        return self.clock.now - record.finished_at > self.retention_age
+
+    def expire(self) -> int:
+        """Evict every record past ``retention_age``; returns the count.
+
+        Insertion order is completion order, so expired records form a
+        prefix of the FIFO and the scan stops at the first live one.
+        """
+        if self.retention_age is None:
+            return 0
+        dropped = 0
+        while self._records:
+            oldest = next(iter(self._records.values()))
+            if not self._expired(oldest):
+                break
+            self._records.popitem(last=False)
+            self.evicted_by_reason[self.EVICT_AGE] += 1
+            dropped += 1
+        return dropped
 
     def add(self, record: CompletedJobRecord) -> None:
+        self.expire()
         self._records.pop(record.job_id, None)
         self._records[record.job_id] = record
         while len(self._records) > self.retention:
             self._records.popitem(last=False)
-            self.evicted += 1
+            self.evicted_by_reason[self.EVICT_COUNT] += 1
 
     def get(self, job_id: str) -> Optional[CompletedJobRecord]:
-        return self._records.get(job_id)
+        record = self._records.get(job_id)
+        if record is not None and self._expired(record):
+            self.expire()
+            return None
+        return record
 
     def __contains__(self, job_id: str) -> bool:
-        return job_id in self._records
+        return self.get(job_id) is not None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -168,3 +243,83 @@ class AdmissionControl:
     @property
     def tracked_identities(self) -> int:
         return len(self._in_flight)
+
+
+class SharedGauge:
+    """A lock-protected integer shared by every shard of a service.
+
+    The one cross-shard mutable value: the service-wide active-JMI
+    count that the global admission ceiling (``max_active_jmis``)
+    compares against.  Shard worker threads call :meth:`adjust` from
+    their own threads, so the read-modify-write is guarded by a lock
+    — under CPython's memory model a bare ``+=`` from two threads can
+    lose updates.
+    """
+
+    def __init__(self, value: int = 0) -> None:
+        self._value = value
+        self._lock = threading.Lock()
+
+    def adjust(self, delta: int) -> int:
+        """Atomically add *delta*; returns the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+@dataclass
+class ShardState:
+    """All of one shard's per-request mutable Gatekeeper state.
+
+    The sharded service (:mod:`repro.gram.dispatch`) gives every shard
+    its own ``ShardState`` and confines it to that shard's worker
+    thread — nothing here is locked, because nothing here is shared.
+    The single-service configuration owns exactly one, so behaviour is
+    identical to the pre-shard code.
+
+    ``shared_active_jmis`` is the optional cross-shard
+    :class:`SharedGauge`; when absent (single shard) the global
+    active-JMI count is simply the local map's size.
+    """
+
+    lifecycle: LifecycleConfig
+    clock: Clock
+    shard_index: int = 0
+    shared_active_jmis: Optional[SharedGauge] = None
+    completed: CompletedJobStore = field(init=False)
+    job_managers: Dict[str, "JobManagerInstance"] = field(default_factory=dict)
+    submissions: int = 0
+    authentications_failed: int = 0
+    reaped: int = 0
+
+    def __post_init__(self) -> None:
+        self.completed = CompletedJobStore(
+            retention=self.lifecycle.completed_retention,
+            retention_age=self.lifecycle.completed_retention_age,
+            clock=self.clock,
+        )
+        self.admission = AdmissionControl(self.lifecycle)
+
+    # -- live-JMI bookkeeping ------------------------------------------------
+
+    def add_jmi(self, job_id: str, jmi: "JobManagerInstance") -> None:
+        self.job_managers[job_id] = jmi
+        if self.shared_active_jmis is not None:
+            self.shared_active_jmis.adjust(+1)
+
+    def pop_jmi(self, job_id: str) -> Optional["JobManagerInstance"]:
+        jmi = self.job_managers.pop(job_id, None)
+        if jmi is not None and self.shared_active_jmis is not None:
+            self.shared_active_jmis.adjust(-1)
+        return jmi
+
+    def global_active_jmis(self) -> int:
+        """The service-wide active-JMI count the global ceiling sees."""
+        if self.shared_active_jmis is not None:
+            return self.shared_active_jmis.value
+        return len(self.job_managers)

@@ -9,7 +9,7 @@ registry, PEP, Gatekeeper.  :class:`GramService` assembles it from a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.accounts.dynamic import DynamicAccountPool
 from repro.accounts.enforcement import (
@@ -38,7 +38,7 @@ from repro.core.resilience import (
 from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.gridmap import GridMapFile
 from repro.gram.jobmanager import AuthorizationMode
-from repro.gram.lifecycle import LifecycleConfig
+from repro.gram.lifecycle import LifecycleConfig, ShardState, SharedGauge
 from repro.gram.protocol import TraceRecorder
 from repro.gsi.credentials import CertificateAuthority
 from repro.lrm.cluster import Cluster
@@ -106,10 +106,34 @@ class ServiceConfig:
     reap_jmis: bool = True
     #: Completed-job records retained after reaping (FIFO eviction).
     completed_retention: int = 1024
+    #: Maximum age in simulated seconds of a retained completed-job
+    #: record (None = count bound only); see
+    #: :class:`repro.gram.lifecycle.CompletedJobStore`.
+    completed_retention_age: Optional[float] = None
     #: Admission control: per-user in-flight job cap (None = off).
     max_jobs_per_user: Optional[int] = None
     #: Admission control: service-wide active-JMI ceiling (None = off).
+    #: Under a sharded service the ceiling is enforced against the
+    #: cross-shard :class:`~repro.gram.lifecycle.SharedGauge`.
     max_active_jmis: Optional[int] = None
+    #: Number of request-handling shards.  ``1`` is the plain single
+    #: service; ``> 1`` requires building through
+    #: :class:`repro.gram.dispatch.ShardedGramService`, which hashes
+    #: each requester DN to a shard with its own full service stack.
+    shards: int = 1
+    #: Dispatch executor for the sharded service: ``"inline"`` runs
+    #: every shard on the caller's thread (deterministic, the default)
+    #: while ``"thread"`` gives each shard a dedicated worker thread.
+    dispatch: str = "inline"
+    #: VO-aware shard-key override: maps a requester DN string to the
+    #: string actually hashed for shard selection (None = hash the DN
+    #: itself).  Lets a deployment pin a whole VO subtree to one shard.
+    shard_key: Optional[Callable[[str], str]] = None
+    #: Simulated seconds of Gatekeeper interpreter-loop work per
+    #: request (0 = free).  The throughput benchmark sets this so each
+    #: shard's clock advances as it serves, making shard parallelism
+    #: measurable in simulated time.
+    request_service_time: float = 0.0
 
 
 class GramService:
@@ -119,8 +143,18 @@ class GramService:
         self,
         config: Optional[ServiceConfig] = None,
         ca: Optional[CertificateAuthority] = None,
+        shard_index: int = 0,
+        shared_active_jmis: Optional[SharedGauge] = None,
     ) -> None:
         self.config = config or ServiceConfig()
+        if self.config.shards > 1 and shared_active_jmis is None:
+            raise ValueError(
+                "shards > 1 needs the sharded assembly — build a "
+                "repro.gram.dispatch.ShardedGramService instead"
+            )
+        #: Which shard of a sharded service this stack is (0 for the
+        #: plain single service).
+        self.shard_index = shard_index
         self.clock = Clock()
         self.ca = ca or CertificateAuthority("/O=Grid/CN=Reproduction CA")
         self.cluster = Cluster.homogeneous(
@@ -190,6 +224,21 @@ class GramService:
             else None
         )
 
+        #: This stack's per-request mutable state, bundled so a
+        #: sharded service can hold one per shard (the dispatch layer
+        #: reads it for merged snapshots; see ``repro.gram.dispatch``).
+        self.shard_state = ShardState(
+            LifecycleConfig(
+                reap=self.config.reap_jmis,
+                completed_retention=self.config.completed_retention,
+                completed_retention_age=self.config.completed_retention_age,
+                max_jobs_per_user=self.config.max_jobs_per_user,
+                max_active_jmis=self.config.max_active_jmis,
+            ),
+            self.clock,
+            shard_index=shard_index,
+            shared_active_jmis=shared_active_jmis,
+        )
         self.gatekeeper = Gatekeeper(
             host=self.config.host,
             trust_anchors=[self.ca],
@@ -205,12 +254,8 @@ class GramService:
             trace=self.trace,
             gt3_account_setup=self.config.gt3_account_setup,
             telemetry=self.telemetry,
-            lifecycle=LifecycleConfig(
-                reap=self.config.reap_jmis,
-                completed_retention=self.config.completed_retention,
-                max_jobs_per_user=self.config.max_jobs_per_user,
-                max_active_jmis=self.config.max_active_jmis,
-            ),
+            state=self.shard_state,
+            service_time=self.config.request_service_time,
         )
 
     # -- convenience ------------------------------------------------------------

@@ -12,8 +12,9 @@ all trigger a scheduling pass on the shared :class:`~repro.sim.Clock`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.lrm.cluster import Cluster
 from repro.lrm.errors import AllocationError, QueueError, UnknownJobError
@@ -37,6 +38,18 @@ class AccountUsage:
     @property
     def jobs_finished(self) -> int:
         return self.jobs_completed + self.jobs_failed + self.jobs_cancelled
+
+    def summary(self) -> Dict[str, Any]:
+        """This account's usage as JSON-ready plain data."""
+        return {
+            "account": self.account,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "jobs_cancelled": self.jobs_cancelled,
+            "jobs_finished": self.jobs_finished,
+            "cpu_seconds": self.cpu_seconds,
+        }
 
 
 class BatchScheduler:
@@ -152,6 +165,25 @@ class BatchScheduler:
 
     # -- terminal notification ---------------------------------------------
 
+    def add_terminal_hook(self, hook: Callable[[BatchJob], None]) -> None:
+        """Register a hook fired for *every* terminal job.
+
+        .. deprecated::
+            Global hooks pay O(hooks) on every terminal event and leak
+            registrations that outlive their jobs; use the per-job
+            :meth:`on_job_terminal` instead.  Genuinely global
+            observers (federation-wide monitors) may still append to
+            :attr:`on_terminal` directly.
+        """
+        warnings.warn(
+            "add_terminal_hook is deprecated: register per-job callbacks "
+            "with on_job_terminal (global observers may append to "
+            "scheduler.on_terminal directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.on_terminal.append(hook)
+
     def on_job_terminal(
         self, job_id: str, callback: Callable[[BatchJob], None]
     ) -> None:
@@ -203,6 +235,24 @@ class BatchScheduler:
 
     def usage(self, account: str) -> AccountUsage:
         return self._account(account)
+
+    def usage_summary(
+        self, account: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Cumulative per-account usage as JSON-ready plain data.
+
+        The accounting survives :meth:`forget` — aggregated
+        :class:`AccountUsage` is never dropped — so this is the
+        resource's whole usage history, keyed by account and sorted
+        for deterministic export.  Pass *account* to restrict the
+        summary to one account (unknown accounts report zeroes, like
+        :meth:`usage`).
+        """
+        if account is not None:
+            return {account: self._account(account).summary()}
+        return {
+            name: self._usage[name].summary() for name in sorted(self._usage)
+        }
 
     @property
     def queue_depth(self) -> int:

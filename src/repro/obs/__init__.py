@@ -35,6 +35,7 @@ from repro.obs.exporters import (
     histogram_quantile,
     load_snapshot,
     load_spans,
+    merge_snapshots,
     prometheus_text,
     render_trace_tree,
     snapshot_jsonl,
@@ -69,6 +70,7 @@ __all__ = [
     "histogram_quantile",
     "load_snapshot",
     "load_spans",
+    "merge_snapshots",
     "prometheus_text",
     "render_trace_tree",
     "snapshot_jsonl",

@@ -52,47 +52,73 @@ LabelValues = Tuple[str, ...]
 
 
 class Counter:
-    """One counter series."""
+    """One counter series.
 
-    __slots__ = ("value",)
+    Updates hold a per-series lock: a bare ``self.value += amount``
+    is a read-modify-write that loses increments when shard worker
+    threads hit the same series (CPython does not make ``+=`` atomic).
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
+        # acquire/release beats the ``with`` protocol on this hot path,
+        # and a float ``+=`` between them cannot raise.
+        lock = self._lock
+        lock.acquire()
         self.value += amount
+        lock.release()
 
     def data(self) -> Dict[str, Any]:
         return {"value": self.value}
 
 
 class Gauge:
-    """One gauge series."""
+    """One gauge series (updates locked; see :class:`Counter`)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        value = float(value)
+        lock = self._lock
+        lock.acquire()
+        self.value = value
+        lock.release()
 
     def inc(self, amount: float = 1.0) -> None:
+        lock = self._lock
+        lock.acquire()
         self.value += amount
+        lock.release()
 
     def dec(self, amount: float = 1.0) -> None:
+        lock = self._lock
+        lock.acquire()
         self.value -= amount
+        lock.release()
 
     def data(self) -> Dict[str, Any]:
         return {"value": self.value}
 
 
 class Histogram:
-    """One histogram series: cumulative-style buckets, sum and count."""
+    """One histogram series: cumulative-style buckets, sum and count.
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    Observations hold a per-series lock so the (sum, count, bucket)
+    triple stays consistent under concurrent observers.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -104,11 +130,18 @@ class Histogram:
         self.counts = [0] * len(bounds)
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        # The bucket search needs no protection (buckets are
+        # immutable); only the (sum, count, counts) update is locked.
+        index = bisect_left(self.buckets, value)
+        lock = self._lock
+        lock.acquire()
         self.sum += value
         self.count += 1
-        self.counts[bisect_left(self.buckets, value)] += 1
+        self.counts[index] += 1
+        lock.release()
 
     def cumulative(self) -> Tuple[Tuple[float, int], ...]:
         """(upper bound, cumulative count) pairs, Prometheus-style."""
@@ -253,6 +286,12 @@ class MetricsRegistry:
         self.max_series = max_series
         self._families: Dict[str, MetricFamily] = {}
         self._lock = threading.Lock()
+        # Resolved series handles for the count/set_gauge/observe
+        # convenience API, keyed by (kind, name, sorted label items).
+        # Resolution walks family checks + label validation (~2us);
+        # the steady-state hot path is one dict hit + the instrument
+        # update.  Bounded: at most one entry per real series.
+        self._series_cache: Dict[Tuple[Any, ...], Any] = {}
 
     # -- declaration -------------------------------------------------------
 
@@ -311,21 +350,34 @@ class MetricsRegistry:
 
     # -- convenience for unlabeled single-series metrics --------------------
 
+    def _resolve(self, kind: str, name: str, help: str, labels: Dict) -> Any:
+        """Series handle for a convenience call, cached when possible.
+
+        Only series that really exist under their own label set are
+        cached — an overflow hit stays uncached so the family keeps
+        counting every dropped label set, exactly as before.
+        """
+        items = tuple(sorted(labels.items()))
+        key = (kind, name, items)
+        series = self._series_cache.get(key)
+        if series is None:
+            family = self._family(
+                name, kind, help, tuple(label for label, _ in items)
+            )
+            series = family.labels(**labels)
+            if tuple(str(value) for _, value in items) in family._series:
+                self._series_cache[key] = series
+        return series
+
     def count(self, name: str, help: str = "", amount: float = 1.0, **labels) -> None:
         """Increment a counter series in one call."""
-        self.counter(name, help=help, labelnames=tuple(sorted(labels))).labels(
-            **labels
-        ).inc(amount)
+        self._resolve("counter", name, help, labels).inc(amount)
 
     def set_gauge(self, name: str, value: float, help: str = "", **labels) -> None:
-        self.gauge(name, help=help, labelnames=tuple(sorted(labels))).labels(
-            **labels
-        ).set(value)
+        self._resolve("gauge", name, help, labels).set(value)
 
     def observe(self, name: str, value: float, help: str = "", **labels) -> None:
-        self.histogram(name, help=help, labelnames=tuple(sorted(labels))).labels(
-            **labels
-        ).observe(value)
+        self._resolve("histogram", name, help, labels).observe(value)
 
     # -- views --------------------------------------------------------------
 

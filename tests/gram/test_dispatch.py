@@ -1,0 +1,349 @@
+"""The sharded dispatch seam: routing, executors, cross-shard concerns."""
+
+import threading
+import zlib
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.core.pipeline import DecisionCache
+from repro.gram.client import GramClient
+from repro.gram.dispatch import (
+    EpochBroadcast,
+    InlineExecutor,
+    ShardRouter,
+    ShardWorkerPool,
+    ShardedGramService,
+)
+from repro.gram.lifecycle import SharedGauge
+from repro.gram.protocol import GramErrorCode
+from repro.gram.service import GramService, ServiceConfig
+
+PREFIX = "/O=Grid/O=Globus/OU=shard.example.org"
+
+POLICY = f"""
+{PREFIX}:
+    &(action=start)(executable=sim)(count<4)
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobtag=SHARD)
+"""
+
+RSL = "&(executable=sim)(count=1)(runtime=10)(jobtag=SHARD)"
+
+
+def build_sharded(shards=4, dispatch="thread", **overrides):
+    defaults = dict(
+        host="grid.example.org",
+        node_count=8,
+        cpus_per_node=4,
+        policies=(parse_policy(POLICY, name="vo"),),
+        shards=shards,
+        dispatch=dispatch,
+    )
+    defaults.update(overrides)
+    return ShardedGramService(ServiceConfig(**defaults))
+
+
+def enroll(service, count):
+    """One client per generated user, named so DNs are deterministic."""
+    clients = []
+    for index in range(count):
+        identity = f"{PREFIX}/CN=User {index:03d}"
+        credential = service.add_user(identity, f"u{index:03d}")
+        clients.append(GramClient(credential, service.gatekeeper))
+    return clients
+
+
+class TestShardRouter:
+    def test_hash_is_crc32_not_process_hash(self):
+        router = ShardRouter(8)
+        dn = f"{PREFIX}/CN=Anyone"
+        assert router.shard_for(dn) == zlib.crc32(dn.encode()) % 8
+
+    def test_same_dn_same_shard_across_instances(self):
+        dn = f"{PREFIX}/CN=Stable"
+        assert ShardRouter(4).shard_for(dn) == ShardRouter(4).shard_for(dn)
+
+    def test_single_shard_always_zero(self):
+        assert ShardRouter(1).shard_for("anything") == 0
+
+    def test_vo_key_override_pins_a_subtree(self):
+        # VO-aware key: every DN under the prefix hashes as one key.
+        router = ShardRouter(8, key_fn=lambda dn: dn.rsplit("/CN=", 1)[0])
+        shards = {
+            router.shard_for(f"{PREFIX}/CN=User {i}") for i in range(50)
+        }
+        assert len(shards) == 1
+
+    def test_population_spreads_over_shards(self):
+        router = ShardRouter(4)
+        shards = {
+            router.shard_for(f"{PREFIX}/CN=User {i:03d}") for i in range(64)
+        }
+        assert shards == {0, 1, 2, 3}
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestSharedGauge:
+    def test_adjust_and_read(self):
+        gauge = SharedGauge()
+        assert gauge.adjust(+3) == 3
+        assert gauge.adjust(-1) == 2
+        assert gauge.value == 2
+
+    def test_concurrent_adjust_loses_nothing(self):
+        gauge = SharedGauge()
+        threads = [
+            threading.Thread(
+                target=lambda: [gauge.adjust(+1) for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value == 8000
+
+
+class TestEpochBroadcast:
+    def test_bump_invalidates_a_watching_cache(self):
+        broadcast = EpochBroadcast()
+        cache = DecisionCache(epoch_sources=[broadcast])
+        first = cache._epochs()
+        assert cache._epochs() == first
+        broadcast.bump()
+        assert cache._epochs() != first
+
+    def test_service_bump_reaches_every_shard_cache(self):
+        service = build_sharded(shards=4, dispatch="inline", decision_cache=True)
+        epochs_before = [shard.pep.cache._epochs() for shard in service.shards]
+        service.bump_policy_epoch()
+        epochs_after = [shard.pep.cache._epochs() for shard in service.shards]
+        assert all(a != b for a, b in zip(epochs_after, epochs_before))
+        service.close()
+
+
+class TestExecutors:
+    def test_inline_runs_on_caller_thread(self):
+        executor = InlineExecutor()
+        assert executor.run(0, threading.get_ident) == threading.get_ident()
+
+    def test_pool_runs_each_shard_on_its_own_thread(self):
+        pool = ShardWorkerPool(4)
+        try:
+            idents = {
+                shard: pool.run(shard, threading.get_ident) for shard in range(4)
+            }
+            assert len(set(idents.values())) == 4
+            assert threading.get_ident() not in idents.values()
+            # Repeat calls to one shard land on the same worker.
+            assert pool.run(2, threading.get_ident) == idents[2]
+        finally:
+            pool.close()
+
+    def test_pool_propagates_exceptions(self):
+        pool = ShardWorkerPool(1)
+        try:
+            def boom():
+                raise RuntimeError("shard work failed")
+
+            with pytest.raises(RuntimeError, match="shard work failed"):
+                pool.run(0, boom)
+        finally:
+            pool.close()
+
+    def test_pool_fifo_per_shard(self):
+        pool = ShardWorkerPool(1)
+        try:
+            seen = []
+            futures = [
+                pool.submit(0, lambda n=n: seen.append(n)) for n in range(20)
+            ]
+            for future in futures:
+                future.result()
+            assert seen == list(range(20))
+        finally:
+            pool.close()
+
+
+class TestShardedService:
+    def test_rejects_unknown_dispatch(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            build_sharded(dispatch="fork")
+
+    def test_plain_service_refuses_multi_shard_config(self):
+        with pytest.raises(ValueError, match="ShardedGramService"):
+            GramService(ServiceConfig(shards=4))
+
+    def test_shard_hosts_are_distinct_and_routable(self):
+        service = build_sharded(shards=4, dispatch="inline")
+        hosts = [shard.config.host for shard in service.shards]
+        assert hosts == [f"shard{i}.grid.example.org" for i in range(4)]
+        service.close()
+
+    def test_single_shard_keeps_the_plain_host(self):
+        service = build_sharded(shards=1, dispatch="inline")
+        assert service.shards[0].config.host == "grid.example.org"
+        assert service.shared_active_jmis is None
+        service.close()
+
+    def test_submit_lands_on_the_requesters_shard(self):
+        service = build_sharded(shards=4, dispatch="thread")
+        clients = enroll(service, 8)
+        try:
+            for client in clients:
+                response = client.submit(RSL)
+                assert response.ok, response.message
+                shard = service.shard_of(client.identity)
+                expected_host = service.shards[shard].config.host
+                assert response.contact.host == expected_host
+        finally:
+            service.close()
+
+    def test_cross_shard_management_routes_to_the_jobs_shard(self):
+        service = build_sharded(shards=4, dispatch="thread")
+        clients = enroll(service, 16)
+        try:
+            # Find an owner and a peer living on different shards.
+            owner = clients[0]
+            peer = next(
+                c
+                for c in clients[1:]
+                if service.shard_of(c.identity)
+                != service.shard_of(owner.identity)
+            )
+            response = owner.submit(RSL)
+            assert response.ok
+            # Peer polls the owner's job (authorized by the jobtag
+            # grant) — must route to the owner's shard and succeed.
+            status = peer.status(response.contact)
+            assert status.ok, status.message
+            # The peer may not cancel (jobowner=self) — a *denial*
+            # proves the request reached the job, not NO_SUCH_JOB.
+            denied = peer.cancel(response.contact)
+            assert denied.code is GramErrorCode.AUTHORIZATION_DENIED
+            assert owner.cancel(response.contact).ok
+        finally:
+            service.close()
+
+    def test_unknown_contact_answers_no_such_job(self):
+        from repro.gram.protocol import JobContact
+
+        service = build_sharded(shards=4, dispatch="thread")
+        clients = enroll(service, 1)
+        try:
+            response = clients[0].status(
+                JobContact(host="elsewhere.example.org", job_id="424242")
+            )
+            assert response.code is GramErrorCode.NO_SUCH_JOB
+        finally:
+            service.close()
+
+    def test_global_ceiling_spans_shards(self):
+        service = build_sharded(
+            shards=4, dispatch="thread", max_active_jmis=2
+        )
+        clients = enroll(service, 12)
+        try:
+            # Pick three users on three different shards: the ceiling
+            # must reject the third even though its shard is empty.
+            chosen, shards_used = [], set()
+            for client in clients:
+                shard = service.shard_of(client.identity)
+                if shard not in shards_used:
+                    shards_used.add(shard)
+                    chosen.append(client)
+                if len(chosen) == 3:
+                    break
+            assert len(chosen) == 3
+            assert chosen[0].submit(RSL).ok
+            assert chosen[1].submit(RSL).ok
+            rejected = chosen[2].submit(RSL)
+            assert rejected.code is GramErrorCode.RESOURCE_BUSY
+            assert "capacity" in rejected.message
+            # Slots free as jobs finish, service-wide.
+            service.run(15.0)
+            assert chosen[2].submit(RSL).ok
+        finally:
+            service.close()
+
+    def test_run_advances_every_shard_clock(self):
+        service = build_sharded(shards=3, dispatch="thread")
+        try:
+            service.run(5.0)
+            assert [shard.clock.now for shard in service.shards] == [5.0] * 3
+        finally:
+            service.close()
+
+    def test_context_manager_closes_the_pool(self):
+        with build_sharded(shards=2, dispatch="thread") as service:
+            clients = enroll(service, 2)
+            assert clients[0].submit(RSL).ok
+        # After close, the pool threads have exited.
+        assert all(not t.is_alive() for t in service.executor._threads)
+
+
+class TestMergedTelemetry:
+    def build_and_drive(self, shards, dispatch):
+        service = build_sharded(shards=shards, dispatch=dispatch)
+        clients = enroll(service, 8)
+        for client in clients:
+            response = client.submit(RSL)
+            assert response.ok
+            assert client.status(response.contact).ok
+        return service
+
+    def test_merged_decisions_sum_across_shards(self):
+        service = self.build_and_drive(4, "thread")
+        try:
+            per_shard = sum(
+                shard.telemetry.registry.value(
+                    "authz_decisions_total", action="start", decision="permit"
+                )
+                for shard in service.shards
+            )
+            assert per_shard == 8
+            assert service.merged_value(
+                "authz_decisions_total", action="start", decision="permit"
+            ) == 8
+            snapshot = service.merged_snapshot()
+            family = next(
+                f for f in snapshot if f["name"] == "authz_decisions_total"
+            )
+            total = sum(series["value"] for series in family["series"])
+            assert total == 16  # 8 starts + 8 information polls
+        finally:
+            service.close()
+
+    def test_merged_prometheus_renders_once_per_family(self):
+        service = self.build_and_drive(4, "thread")
+        try:
+            text = service.merged_prometheus()
+            assert text.count("# TYPE authz_decisions_total counter") == 1
+            assert "authz_decisions_total{" in text
+        finally:
+            service.close()
+
+    def test_merged_spans_have_unique_shard_prefixed_traces(self):
+        service = self.build_and_drive(4, "thread")
+        try:
+            spans = service.merged_spans()
+            assert spans
+            trace_ids = {span["trace"] for span in spans}
+            assert all(":" in trace for trace in trace_ids)
+            shards_seen = {trace.split(":", 1)[0] for trace in trace_ids}
+            assert len(shards_seen) > 1
+        finally:
+            service.close()
+
+    def test_merge_is_identity_for_one_shard(self):
+        service = self.build_and_drive(1, "inline")
+        try:
+            merged = service.merged_snapshot()
+            assert merged == service.shards[0].telemetry.registry.snapshot()
+        finally:
+            service.close()

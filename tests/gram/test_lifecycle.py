@@ -260,3 +260,68 @@ class TestCompletedJobStoreUnit:
     def test_negative_retention_rejected(self):
         with pytest.raises(ValueError):
             CompletedJobStore(retention=-1)
+
+    def test_negative_retention_age_rejected(self):
+        from repro.sim.clock import Clock
+
+        with pytest.raises(ValueError):
+            CompletedJobStore(retention_age=-1.0, clock=Clock())
+
+    def test_retention_age_requires_clock(self):
+        with pytest.raises(ValueError):
+            CompletedJobStore(retention_age=60.0)
+
+
+class TestAgeRetention:
+    def test_aged_records_evicted_with_reason(self):
+        service = build(completed_retention_age=30.0)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        first = client.submit(RSL)
+        service.run(10.0)  # first completes at t=10
+        assert service.gatekeeper.completed_jobs == 1
+        service.run(35.0)  # t=45: first's record is 35s old
+        second = client.submit(RSL)
+        service.run(10.0)  # second's reap triggers the age sweep
+        store = service.gatekeeper.completed
+        assert store.get(first.contact.job_id) is None
+        assert store.get(second.contact.job_id) is not None
+        assert store.evicted_by_reason == {"count": 0, "age": 1}
+        assert store.evicted == 1
+
+    def test_aged_record_answers_no_such_job_on_lookup(self):
+        # Lazy expiry: no later reap is needed for lookups to see it.
+        service = build(completed_retention_age=30.0)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        response = client.submit(RSL)
+        service.run(10.0)
+        assert client.status(response.contact).ok
+        service.run(60.0)
+        stale = client.status(response.contact)
+        assert stale.code is GramErrorCode.NO_SUCH_JOB
+        assert service.gatekeeper.completed.evicted_by_reason["age"] == 1
+
+    def test_count_and_age_evictions_counted_separately(self):
+        service = build(completed_retention=1, completed_retention_age=30.0)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        for _ in range(2):  # second reap count-evicts the first record
+            client.submit(RSL)
+            service.run(10.0)
+        service.run(60.0)  # and the survivor ages out
+        store = service.gatekeeper.completed
+        assert store.expire() == 1
+        assert store.evicted_by_reason == {"count": 1, "age": 1}
+        assert store.evicted == 2
+
+    def test_eviction_gauge_labeled_by_reason(self):
+        service = build(completed_retention=1, completed_retention_age=None)
+        client = GramClient(service.add_user(OWNER, "owner"), service.gatekeeper)
+        for _ in range(2):
+            client.submit(RSL)
+            service.run(10.0)
+        registry = service.telemetry.registry
+        assert registry.value(
+            "gram_lifecycle_evicted_records", reason="count"
+        ) == 1.0
+        assert registry.value(
+            "gram_lifecycle_evicted_records", reason="age"
+        ) == 0.0

@@ -247,11 +247,40 @@ class TestAccounting:
 
     def test_terminal_hook_fires(self, scheduler, clock):
         seen = []
-        scheduler.on_terminal.append(lambda j: seen.append(j.job_id))
+        j = job(runtime=5.0)
+        scheduler.submit(j)
+        scheduler.on_job_terminal(j.job_id, lambda j: seen.append(j.job_id))
+        clock.advance(5.0)
+        assert seen == [j.job_id]
+
+    def test_add_terminal_hook_deprecated_but_functional(
+        self, scheduler, clock
+    ):
+        seen = []
+        with pytest.warns(DeprecationWarning, match="on_job_terminal"):
+            scheduler.add_terminal_hook(lambda j: seen.append(j.job_id))
         j = job(runtime=5.0)
         scheduler.submit(j)
         clock.advance(5.0)
         assert seen == [j.job_id]
+
+    def test_usage_summary_all_accounts_sorted(self, scheduler, clock):
+        scheduler.submit(job(runtime=5.0, account="zed"))
+        scheduler.submit(job(runtime=5.0))  # alice
+        clock.advance(5.0)
+        summary = scheduler.usage_summary()
+        assert list(summary) == ["alice", "zed"]
+        assert summary["alice"]["jobs_completed"] == 1
+        assert summary["alice"]["cpu_seconds"] == pytest.approx(5.0)
+
+    def test_usage_summary_survives_forget(self, scheduler, clock):
+        j = job(runtime=5.0)
+        scheduler.submit(j)
+        clock.advance(5.0)
+        scheduler.forget(j.job_id)
+        summary = scheduler.usage_summary("alice")
+        assert summary["alice"]["jobs_completed"] == 1
+        assert summary["alice"]["jobs_finished"] == 1
 
     def test_jobs_filter_by_state(self, scheduler, clock):
         done = job(runtime=1.0)

@@ -69,3 +69,111 @@ def test_no_cross_request_span_leakage():
     assert telemetry.registry.value(
         "authz_decisions_total", action="start", decision="permit"
     ) == THREADS * REQUESTS_PER_THREAD
+
+# -- registry hammer: lost-increment and merge-path checks -------------------
+
+HAMMER_THREADS = 8
+HAMMER_OPS = 2000
+
+
+def test_registry_hammer_loses_no_increments():
+    """N threads on one registry: every increment must land.
+
+    Bare ``+=`` on CPython can drop updates between the read and the
+    write; the per-instrument locks exist to prevent exactly that, and
+    this test fails loudly without them.
+    """
+    from repro.obs import MetricsRegistry, prometheus_text, snapshot_jsonl
+
+    registry = MetricsRegistry()
+    barrier = threading.Barrier(HAMMER_THREADS)
+    errors = []
+
+    def worker(index):
+        barrier.wait()
+        try:
+            for n in range(HAMMER_OPS):
+                registry.count("hammer_total", worker=str(index % 2))
+                registry.set_gauge("hammer_last_op", float(n))
+                registry.observe("hammer_latency_seconds", (n % 10) / 1000.0)
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(HAMMER_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    expected = HAMMER_THREADS * HAMMER_OPS
+    by_worker = [
+        registry.value("hammer_total", worker=label) for label in ("0", "1")
+    ]
+    assert sum(by_worker) == expected
+    assert by_worker == [expected // 2, expected // 2]
+
+    snapshot = registry.snapshot()
+    histogram = next(f for f in snapshot if f["name"] == "hammer_latency_seconds")
+    series = histogram["series"][0]
+    assert series["count"] == expected
+    # The +Inf bucket is cumulative: it too must count every observe.
+    assert series["buckets"][-1][1] == expected
+
+    # Exports are stable and well-formed after the stampede.
+    assert prometheus_text(snapshot) == prometheus_text(registry.snapshot())
+    assert f'hammer_total{{worker="0"}} {expected // 2}' in prometheus_text(snapshot)
+    assert snapshot_jsonl(snapshot) == snapshot_jsonl(registry.snapshot())
+
+
+def test_per_shard_merge_path_under_concurrent_writes():
+    """One registry per shard, hammered concurrently, merged at the end.
+
+    This is the sharded service's telemetry model: writers never share
+    a registry, and ``merge_snapshots`` must account for every event.
+    """
+    from repro.obs import (
+        MetricsRegistry,
+        merge_snapshots,
+        prometheus_text,
+        snapshot_jsonl,
+    )
+
+    shards = 4
+    registries = [MetricsRegistry() for _ in range(shards)]
+    barrier = threading.Barrier(shards)
+
+    def worker(registry, index):
+        barrier.wait()
+        for n in range(HAMMER_OPS):
+            registry.count("shard_requests_total", kind="submit")
+            # Powers of two are exact in binary, so the merged sum is
+            # identical no matter which shard order it is folded in.
+            registry.observe("shard_latency_seconds", index / 4.0)
+
+    threads = [
+        threading.Thread(target=worker, args=(registry, index))
+        for index, registry in enumerate(registries)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    merged = merge_snapshots([r.snapshot() for r in registries])
+    counter = next(f for f in merged if f["name"] == "shard_requests_total")
+    assert counter["series"][0]["value"] == shards * HAMMER_OPS
+    histogram = next(f for f in merged if f["name"] == "shard_latency_seconds")
+    series = histogram["series"][0]
+    assert series["count"] == shards * HAMMER_OPS
+    assert series["buckets"][-1][1] == shards * HAMMER_OPS
+
+    # Merging is order-insensitive and renders deterministically.
+    reversed_merge = merge_snapshots(
+        [r.snapshot() for r in reversed(registries)]
+    )
+    assert prometheus_text(reversed_merge) == prometheus_text(merged)
+    assert snapshot_jsonl(reversed_merge) == snapshot_jsonl(merged)

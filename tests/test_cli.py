@@ -194,3 +194,49 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "AUTHORIZATION_DENIED" in out
         assert "SUCCESS" in out
+
+
+class TestAccounting:
+    @pytest.fixture
+    def usage_file(self, tmp_path):
+        import json
+
+        from repro.gram.client import GramClient
+        from repro.gram.service import GramService, ServiceConfig
+
+        service = GramService(ServiceConfig())
+        client = GramClient(
+            service.add_user(ALICE, "alice"), service.gatekeeper
+        )
+        client.submit("&(executable=sim)(count=2)(runtime=5)")
+        service.run(10.0)
+        path = tmp_path / "usage.json"
+        path.write_text(json.dumps(service.scheduler.usage_summary()))
+        return str(path)
+
+    def test_renders_usage_table(self, usage_file, capsys):
+        assert main(["accounting", usage_file]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out
+        assert "total" in out
+        assert "cpu-seconds" in out
+
+    def test_single_account_filter(self, usage_file, capsys):
+        assert main(["accounting", usage_file, "--account", "alice"]) == 0
+        assert main(["accounting", usage_file, "--account", "nobody"]) == 1
+
+    def test_json_output_round_trips(self, usage_file, capsys):
+        import json
+
+        assert main(["accounting", usage_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["alice"]["jobs_submitted"] == 1
+        assert data["alice"]["jobs_completed"] == 1
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        assert main(["accounting", str(tmp_path / "missing.json")]) == 2
+
+    def test_non_summary_json_is_usage_error(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert main(["accounting", str(path)]) == 2
