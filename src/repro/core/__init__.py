@@ -60,6 +60,12 @@ from repro.core.callout import (
     CalloutType,
 )
 from repro.core.pep import EnforcementPoint, PEPPlacement
+from repro.core.capability import (
+    CapabilityIssuer,
+    CapabilityMiddleware,
+    CapabilityStore,
+    CapabilityToken,
+)
 from repro.core.analysis import (
     Capability,
     ImpactReport,
@@ -133,6 +139,10 @@ __all__ = [
     "CalloutType",
     "EnforcementPoint",
     "PEPPlacement",
+    "CapabilityIssuer",
+    "CapabilityMiddleware",
+    "CapabilityStore",
+    "CapabilityToken",
     "LintFinding",
     "LintLevel",
     "Capability",

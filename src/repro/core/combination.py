@@ -74,7 +74,7 @@ class CombinedEvaluator:
     @property
     def policy_epoch(self) -> Tuple:
         """Combined epoch over all sources (for the decision cache)."""
-        return tuple(epoch_of(e) for e in self.evaluators)
+        return tuple([epoch_of(e) for e in self.evaluators])
 
     def evaluate(self, request: AuthorizationRequest) -> Decision:
         """Combined decision over all sources.

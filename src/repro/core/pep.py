@@ -94,6 +94,7 @@ class EnforcementPoint:
         metrics: Optional[MetricsMiddleware] = None,
         tracing: Optional[TracingMiddleware] = None,
         resilience: Optional[DecisionMiddleware] = None,
+        capability: Optional[DecisionMiddleware] = None,
         cache: Optional[DecisionCache] = None,
         telemetry=None,
     ) -> None:
@@ -109,6 +110,7 @@ class EnforcementPoint:
         self.metrics = metrics
         self.tracing = tracing
         self.resilience = resilience
+        self.capability = capability
         self.cache = cache
         self._extra_middlewares = list(middlewares)
         self._chain: Optional[NextHandler] = None
@@ -127,6 +129,11 @@ class EnforcementPoint:
             # Outside the cache: a cache hit never needs degradation,
             # and a failing callout chain is caught before metrics.
             stack.append(self.resilience)
+        if self.capability is not None:
+            # In front of the decision cache: a validated capability
+            # answers without consulting policy epochs per lookup, and
+            # a miss still benefits from the cache underneath.
+            stack.append(self.capability)
         if self.cache is not None:
             stack.append(self.cache)
         return tuple(stack)
@@ -157,6 +164,16 @@ class EnforcementPoint:
         it sits between the extra middlewares and the decision cache.
         """
         self.resilience = middleware
+        self._chain = None
+        return middleware
+
+    def use_capability(self, middleware: DecisionMiddleware) -> DecisionMiddleware:
+        """Enable (or replace) the capability validate-first fast path.
+
+        Typically a :class:`~repro.core.capability.CapabilityMiddleware`;
+        it sits between resilience and the decision cache.
+        """
+        self.capability = middleware
         self._chain = None
         return middleware
 

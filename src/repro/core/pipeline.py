@@ -126,6 +126,10 @@ class DecisionContext:
     #: degraded mode (e.g. ``"fail-static"``): the decision is real
     #: but came from the last-known-good store, not a live source.
     degraded: str = ""
+    #: The :class:`~repro.core.capability.CapabilityToken` that served
+    #: (fast-path hit) or was minted by (fresh PERMIT) this decision;
+    #: ``None`` when capability grants are not configured.
+    capability: Any = None
 
     @classmethod
     def from_request(
@@ -204,6 +208,9 @@ class DecisionContext:
             "failure": self.failure,
             "cache": self.cache_status,
             "degraded": self.degraded,
+            "capability": (
+                self.capability.token_id if self.capability is not None else ""
+            ),
             "duration": self.duration,
             "stages": [s.to_dict() for s in self.stages],
             "sources": [s.to_dict() for s in self.sources],
@@ -285,14 +292,26 @@ def current_context() -> Optional[DecisionContext]:
     return _current_context.get()
 
 
-@contextlib.contextmanager
-def activate(context: DecisionContext) -> Iterator[DecisionContext]:
-    """Make *context* the current decision for the dynamic extent."""
-    token = _current_context.set(context)
-    try:
-        yield context
-    finally:
-        _current_context.reset(token)
+class activate:
+    """Make *context* the current decision for the dynamic extent.
+
+    A hand-rolled context manager (not ``@contextmanager``): this
+    wraps every single decision, and the generator-based protocol
+    costs several times the two contextvar operations it exists to
+    pair up.
+    """
+
+    __slots__ = ("context", "_token")
+
+    def __init__(self, context: DecisionContext) -> None:
+        self.context = context
+
+    def __enter__(self) -> DecisionContext:
+        self._token = _current_context.set(self.context)
+        return self.context
+
+    def __exit__(self, *exc_info: Any) -> None:
+        _current_context.reset(self._token)
 
 
 # -- middleware -------------------------------------------------------------
@@ -568,14 +587,23 @@ def request_key(request: AuthorizationRequest) -> Any:
     stores the epochs alongside and compares them at serve time).  The
     job description is included so two start requests sharing a jobtag
     but asking for different things never collide.
+
+    The key is memoized on the (frozen) request: repeat traffic hits
+    the decision cache, the last-known-good store and the capability
+    store with the same tuple object, so the component strings keep
+    their cached hashes instead of being re-rendered per lookup.
     """
-    return (
-        str(request.requester),
-        request.action.value,
-        request.jobtag,
-        str(request.owner),
-        request.job_description,
-    )
+    cached = request.__dict__.get("_request_key")
+    if cached is None:
+        cached = (
+            str(request.requester),
+            request.action.value,
+            request.jobtag,
+            str(request.owner),
+            request.job_description,
+        )
+        object.__setattr__(request, "_request_key", cached)
+    return cached
 
 
 def epoch_of(source: Any) -> Any:

@@ -106,7 +106,13 @@ class AuthorizationRequest:
 
     @property
     def jobtag(self) -> Optional[str]:
-        return self.job_description.first_value(JOBTAG)
+        # Read on every decision (context, cache keys, capability
+        # scope); the request is frozen, so parse the RSL once.
+        if "_jobtag_cache" not in self.__dict__:
+            object.__setattr__(
+                self, "_jobtag_cache", self.job_description.first_value(JOBTAG)
+            )
+        return self.__dict__["_jobtag_cache"]
 
     def evaluation_specification(self) -> Specification:
         """Job description plus the computed ``action``/``jobowner``.

@@ -43,6 +43,7 @@ from dataclasses import replace
 from queue import SimpleQueue
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.core.capability import default_capability_key
 from repro.core.compiled import compiled_for
 from repro.gram.lifecycle import SharedGauge
 from repro.gram.protocol import GramResponse, JobContact
@@ -235,6 +236,7 @@ class ShardedGatekeeper:
     ) -> "Future[GramResponse]":
         service = self.service
         shard = service.shard_of(str(credential.identity))
+        service.record_route(shard, "submit")
         gatekeeper = service.shards[shard].gatekeeper
         return service.executor.submit(
             shard, lambda: gatekeeper.submit(credential, rsl_text)
@@ -249,6 +251,7 @@ class ShardedGatekeeper:
     ) -> "Future[GramResponse]":
         service = self.service
         shard = service.shard_of_contact(contact, str(credential.identity))
+        service.record_route(shard, "manage")
         gatekeeper = service.shards[shard].gatekeeper
         return service.executor.submit(
             shard,
@@ -319,6 +322,15 @@ class ShardedGramService:
         for policy in self.config.policies:
             compiled_for(policy)
 
+        # Every shard signs and verifies capabilities with the *same*
+        # key (derived from the base host unless one was provisioned):
+        # a job's capability is validated on the shard that owns the
+        # job, which may differ from the shard of the requester who
+        # presents it.
+        capability_key = self.config.capability_key
+        if self.config.capability_grants and capability_key is None:
+            capability_key = default_capability_key(self.config.host)
+
         self.shards: List[GramService] = []
         for index in range(shard_count):
             host = (
@@ -327,7 +339,11 @@ class ShardedGramService:
                 else self.config.host
             )
             shard_config = replace(
-                self.config, host=host, shards=1, dispatch="inline"
+                self.config,
+                host=host,
+                shards=1,
+                dispatch="inline",
+                capability_key=capability_key,
             )
             self.shards.append(
                 GramService(
@@ -340,6 +356,19 @@ class ShardedGramService:
         for shard in self.shards:
             if shard.pep.cache is not None:
                 shard.pep.cache.add_epoch_source(self.epoch_broadcast)
+            if shard.capability is not None:
+                # Bind the cross-shard epoch into every token: a
+                # bump_policy_epoch() anywhere revokes capabilities
+                # everywhere, fail-closed, before the next validate.
+                shard.capability.issuer.add_epoch_source(
+                    "broadcast", self.epoch_broadcast
+                )
+        #: Requests routed to each shard by the front door, by kind —
+        #: the raw material of :meth:`placement_report`.  Incremented
+        #: on the caller's thread, hence the lock.
+        self._route_lock = threading.Lock()
+        self.routed_submissions: List[int] = [0] * shard_count
+        self.routed_management: List[int] = [0] * shard_count
         self._host_to_shard: Dict[str, int] = {
             shard.config.host: index for index, shard in enumerate(self.shards)
         }
@@ -408,8 +437,65 @@ class ShardedGramService:
             shard.harden(*args, **kwargs)
 
     def bump_policy_epoch(self) -> int:
-        """Invalidate every shard's decision cache in one step."""
+        """Invalidate every shard's decision cache in one step.
+
+        Also revokes every outstanding capability, fail-closed: the
+        broadcast epoch is bound into each token at mint time, so the
+        next validate on any shard sees the mismatch and re-decides.
+        """
         return self.epoch_broadcast.bump()
+
+    # -- placement ----------------------------------------------------------
+
+    def record_route(self, shard: int, kind: str) -> None:
+        """Count one front-door routing decision (see placement_report)."""
+        with self._route_lock:
+            if kind == "submit":
+                self.routed_submissions[shard] += 1
+            else:
+                self.routed_management[shard] += 1
+
+    def placement_report(self) -> Dict[str, Any]:
+        """Per-shard load and skew, for ``shard_key`` placement tuning.
+
+        A VO-aware ``shard_key`` pins whole communities to one shard;
+        this report shows what that does to the load balance: routed
+        request counts per shard, live/completed job state, and a
+        ``skew`` ratio (peak shard's routed load over the mean).  A
+        perfectly balanced service reports skew ~1.0; a hot-VO pin
+        shows up as skew approaching the shard count.
+        """
+        with self._route_lock:
+            submissions = list(self.routed_submissions)
+            management = list(self.routed_management)
+        rows: List[Dict[str, Any]] = []
+        for index, shard in enumerate(self.shards):
+            routed = submissions[index] + management[index]
+            rows.append(
+                {
+                    "shard": index,
+                    "host": shard.config.host,
+                    "routed_submissions": submissions[index],
+                    "routed_management": management[index],
+                    "routed_total": routed,
+                    "served_submissions": shard.gatekeeper.submissions,
+                    "active_jmis": shard.gatekeeper.active_job_managers,
+                    "completed_jobs": shard.gatekeeper.completed_jobs,
+                }
+            )
+        totals = [row["routed_total"] for row in rows]
+        total = sum(totals)
+        mean = total / len(rows) if rows else 0.0
+        peak = max(totals) if totals else 0
+        hot = totals.index(peak) if totals else 0
+        return {
+            "shards": rows,
+            "total_routed": total,
+            "mean_routed": mean,
+            "peak_routed": peak,
+            "hot_shard": hot,
+            "skew": (peak / mean) if mean else 0.0,
+        }
 
     def close(self) -> None:
         """Stop the worker threads (no-op for the inline executor)."""

@@ -342,6 +342,7 @@ class Gatekeeper:
                 finished_at=self.clock.now,
                 account=jmi.account.username,
                 spec=jmi.description.spec,
+                capability=jmi.capability,
             )
         )
         self.state.reaped += 1

@@ -102,6 +102,12 @@ class JobManagerInstance:
         self.trace = trace
         self.description: Optional[JobDescription] = None
         self.job: Optional[BatchJob] = None
+        #: The :class:`~repro.core.capability.CapabilityToken` minted
+        #: by (or validated for) this job's start decision; carried
+        #: with the job through reaping so post-completion management
+        #: can be fast-pathed from the retained spec.  ``None`` when
+        #: capability grants are not configured.
+        self.capability = None
         #: Invoked exactly once when this JMI's job terminates, after
         #: the enforcement accounting closed — the Gatekeeper's reaper
         #: subscribes here, so one scheduler registration serves both
@@ -162,6 +168,7 @@ class JobManagerInstance:
             denied, context = self._authorize(request)
             if denied is not None:
                 return denied
+            self.capability = context.capability if context is not None else None
 
         job = BatchJob(
             account=self.account.username,

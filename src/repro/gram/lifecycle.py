@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.gram.protocol import GramJobState, JobContact
 from repro.gsi.names import DistinguishedName
@@ -80,6 +80,13 @@ class CompletedJobRecord:
     #: requests can still be *authorized* (the PEP callout evaluates
     #: against the description, §5.2).
     spec: Specification
+    #: The capability token minted for the job's start decision
+    #: (:class:`~repro.core.capability.CapabilityToken`), retained
+    #: alongside the spec: post-reap management requests re-enter the
+    #: PEP against the retained spec, so an unexpired, unrevoked
+    #: capability keeps fast-pathing them.  ``None`` when capability
+    #: grants were not configured.
+    capability: Any = None
 
     @property
     def job_id(self) -> str:

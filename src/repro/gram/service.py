@@ -20,6 +20,11 @@ from repro.accounts.enforcement import (
 )
 from repro.accounts.local import AccountRegistry
 from repro.core.builtin_callouts import combined_policy_callout, initiator_only
+from repro.core.capability import (
+    CapabilityIssuer,
+    CapabilityMiddleware,
+    default_capability_key,
+)
 from repro.core.callout import (
     GATEKEEPER_AUTHZ_CALLOUT,
     GRAM_AUTHZ_CALLOUT,
@@ -116,6 +121,18 @@ class ServiceConfig:
     #: Under a sharded service the ceiling is enforced against the
     #: cross-shard :class:`~repro.gram.lifecycle.SharedGauge`.
     max_active_jmis: Optional[int] = None
+    #: Signed capability grants (:mod:`repro.core.capability`): after
+    #: a full combined PERMIT the PEP mints an HMAC-signed token bound
+    #: to the exact policy epochs, and repeat identical requests are
+    #: served by validate-first (signature/TTL/epoch/scope) instead of
+    #: re-deciding.  Fail-closed: any epoch bump revokes.
+    capability_grants: bool = False
+    #: Capability lifetime in simulated seconds.
+    capability_ttl: float = 300.0
+    #: HMAC key for capability signing (None = derive one
+    #: deterministically from the host; a sharded service shares the
+    #: base host's key across every shard).
+    capability_key: Optional[bytes] = None
     #: Number of request-handling shards.  ``1`` is the plain single
     #: service; ``> 1`` requires building through
     #: :class:`repro.gram.dispatch.ShardedGramService`, which hashes
@@ -182,6 +199,11 @@ class GramService:
         self.combined_evaluator = None
         self._configure_callouts()
         obs_registry = self.telemetry.registry if self.telemetry else None
+        #: The capability fast path on the Job Manager PEP (None when
+        #: ``config.capability_grants`` is off).
+        self.capability: Optional[CapabilityMiddleware] = (
+            self._build_capability()
+        )
         self.pep = EnforcementPoint(
             registry=self.registry,
             placement=PEPPlacement.JOB_MANAGER,
@@ -190,6 +212,7 @@ class GramService:
                 if self.config.trace_decisions
                 else None
             ),
+            capability=self.capability,
             cache=self._build_decision_cache(),
             telemetry=self.telemetry,
         )
@@ -351,6 +374,31 @@ class GramService:
         """The §6.2 placement invokes its own abstract callout type."""
         if self.config.pep_in_gatekeeper:
             self.registry.register(GATEKEEPER_AUTHZ_CALLOUT, callout)
+
+    def _build_capability(self) -> Optional[CapabilityMiddleware]:
+        if not self.config.capability_grants:
+            return None
+        key = self.config.capability_key
+        if key is None:
+            key = default_capability_key(self.config.host)
+        epoch_sources = []
+        if self.combined_evaluator is not None:
+            # One named source per combined evaluator member (VO
+            # policy, local policy, ...) so a token records which
+            # epoch it was bound to, plus the grid-mapfile: a mapping
+            # change must revoke like any policy change.
+            epoch_sources.append(("policy", self.combined_evaluator))
+        epoch_sources.append(("gridmap", self.gridmap))
+        issuer = CapabilityIssuer(
+            key=key,
+            clock=self.clock,
+            ttl=self.config.capability_ttl,
+            epoch_sources=epoch_sources,
+        )
+        return CapabilityMiddleware(
+            issuer,
+            registry=self.telemetry.registry if self.telemetry else None,
+        )
 
     def _build_decision_cache(self) -> Optional[DecisionCache]:
         if not self.config.decision_cache:

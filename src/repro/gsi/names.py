@@ -61,7 +61,13 @@ class DistinguishedName:
         return len(self.rdns)
 
     def __str__(self) -> str:
-        return "".join(f"/{attr}={value}" for attr, value in self.rdns)
+        # Rendered on every decision (cache keys, contexts, tokens);
+        # the DN is frozen, so render once and keep it.
+        cached = self.__dict__.get("_str_cache")
+        if cached is None:
+            cached = "".join(f"/{attr}={value}" for attr, value in self.rdns)
+            object.__setattr__(self, "_str_cache", cached)
+        return cached
 
     @property
     def common_name(self) -> str:

@@ -39,6 +39,10 @@ METRIC_HELP: Dict[str, str] = {
     "breaker_transitions_total": "Circuit-breaker transitions by target state",
     "tracing_dropped_total": "Decision traces evicted by retention",
     "obs_traces_dropped_total": "Finished traces evicted by retention",
+    "capability_mint_total": "Capabilities minted after full decisions",
+    "capability_hit_total": "Fast-path decisions served by capability validation",
+    "capability_miss_total": "Capability fast-path misses by reason",
+    "capability_revoked_total": "Capabilities revoked fail-closed on a policy-epoch bump",
 }
 
 #: Numeric encoding of breaker states for the ``breaker_state`` gauge.

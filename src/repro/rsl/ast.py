@@ -216,6 +216,17 @@ class Specification:
 
     relations: Tuple[Relation, ...]
 
+    def __hash__(self) -> int:
+        # Specifications sit inside decision-cache / capability-store
+        # keys, so they are hashed on every repeat decision; the deep
+        # relation-tuple hash is computed once and memoized (safe: the
+        # dataclass is frozen all the way down).
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hash(self.relations)
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
+
     @classmethod
     def make(cls, relations: Iterable[Relation]) -> "Specification":
         return cls(relations=tuple(relations))

@@ -347,3 +347,64 @@ class TestMergedTelemetry:
             assert merged == service.shards[0].telemetry.registry.snapshot()
         finally:
             service.close()
+
+
+class TestPlacementReport:
+    """Per-shard routed-load counts for hot-VO shard_key pinning."""
+
+    def drive(self, service, users=16, polls=2):
+        clients = enroll(service, users)
+        contacts = []
+        for client in clients:
+            response = client.submit(RSL)
+            assert response.ok
+            contacts.append(response.contact)
+        for client, contact in zip(clients, contacts):
+            for _ in range(polls):
+                assert client.status(contact).ok
+        return clients, contacts
+
+    def test_routed_counts_add_up(self):
+        service = build_sharded(shards=4, dispatch="inline")
+        self.drive(service, users=16, polls=2)
+        report = service.placement_report()
+        assert len(report["shards"]) == 4
+        assert report["total_routed"] == 16 + 16 * 2
+        assert sum(r["routed_submissions"] for r in report["shards"]) == 16
+        assert sum(r["routed_management"] for r in report["shards"]) == 32
+        # Routed submissions land where they were served.
+        for row in report["shards"]:
+            assert row["served_submissions"] == row["routed_submissions"]
+
+    def test_balanced_population_has_low_skew(self):
+        service = build_sharded(shards=4, dispatch="inline")
+        self.drive(service, users=32, polls=1)
+        report = service.placement_report()
+        populated = [r for r in report["shards"] if r["routed_total"]]
+        assert len(populated) == 4
+        assert report["skew"] < 3.0
+
+    def test_pinned_vo_shows_skew(self):
+        """A VO-aware shard_key that pins the whole subtree maps every
+        requester to one shard: the report must make the imbalance
+        visible (skew == shard count, one hot shard)."""
+        service = build_sharded(
+            shards=4,
+            dispatch="inline",
+            shard_key=lambda dn: dn.rsplit("/CN=", 1)[0],
+        )
+        self.drive(service, users=16, polls=2)
+        report = service.placement_report()
+        assert report["skew"] == pytest.approx(4.0)
+        hot = report["shards"][report["hot_shard"]]
+        assert hot["routed_total"] == report["total_routed"]
+        cold = [
+            r for r in report["shards"] if r["shard"] != report["hot_shard"]
+        ]
+        assert all(r["routed_total"] == 0 for r in cold)
+
+    def test_empty_report(self):
+        service = build_sharded(shards=2, dispatch="inline")
+        report = service.placement_report()
+        assert report["total_routed"] == 0
+        assert report["skew"] == 0.0
