@@ -110,7 +110,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics",
         default=None,
         choices=["prom", "json"],
+        help="render PATH as a metrics snapshot (legacy spelling of "
+        "--format prometheus|jsonl)",
+    )
+    obs.add_argument(
+        "--format",
+        default=None,
+        choices=["prometheus", "jsonl", "table"],
+        dest="format",
         help="render PATH as a metrics snapshot in this format",
+    )
+    obs.add_argument(
+        "--family",
+        default=None,
+        metavar="NAME",
+        help="restrict metrics output to one family (exit 1 if absent)",
     )
     obs.add_argument(
         "--trace",
@@ -122,6 +136,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--summary",
         action="store_true",
         help="one line per trace in a span export",
+    )
+
+    health = commands.add_parser(
+        "health",
+        help=(
+            "render an exported health report (JSON) or anomaly "
+            "flight-recorder dump (.jsonl)"
+        ),
+    )
+    health.add_argument(
+        "path", help="health-report JSON or flight-dump JSONL file"
+    )
+    health.add_argument(
+        "--json",
+        action="store_true",
+        help="re-emit the report/dump as JSON instead of a table",
+    )
+    health.add_argument(
+        "--alerts",
+        action="store_true",
+        help="print only the alerts of a health report",
     )
 
     accounting = commands.add_parser(
@@ -267,6 +302,34 @@ def _cmd_audit_summary(args) -> int:
     return 0
 
 
+def _metrics_table(snapshot) -> str:
+    from repro.obs import histogram_quantile
+
+    lines = [f"{'family':<36} {'type':<10} {'series':>6} summary"]
+    for family in snapshot:
+        series = family.get("series", ())
+        if family.get("type") == "histogram":
+            count = sum(entry.get("count", 0) for entry in series)
+            buckets = {}
+            for entry in series:
+                for bound, value in entry.get("buckets", ()):
+                    buckets[bound] = buckets.get(bound, 0) + value
+            pairs = sorted(buckets.items())
+            summary = (
+                f"n={count} "
+                f"p50={histogram_quantile(pairs, 0.5):.4f} "
+                f"p99={histogram_quantile(pairs, 0.99):.4f}"
+            )
+        else:
+            total = sum(entry.get("value", 0.0) for entry in series)
+            summary = f"sum={total:g}"
+        lines.append(
+            f"{family.get('name', '?'):<36} {family.get('type', '?'):<10} "
+            f"{len(series):>6} {summary}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_obs(args) -> int:
     from repro.obs import (
         load_snapshot,
@@ -277,13 +340,40 @@ def _cmd_obs(args) -> int:
         trace_summary,
     )
 
+    wants_metrics = (
+        args.format is not None
+        or args.metrics is not None
+        or args.family is not None
+    )
     try:
-        if args.metrics is not None:
+        if wants_metrics:
             snapshot = load_snapshot(args.path)
-            if args.metrics == "prom":
+            if args.family is not None:
+                available = sorted(
+                    {family.get("name", "") for family in snapshot}
+                )
+                snapshot = [
+                    family
+                    for family in snapshot
+                    if family.get("name") == args.family
+                ]
+                if not snapshot:
+                    print(
+                        f"error: no metric family {args.family!r} in "
+                        f"{args.path}; available: "
+                        f"{', '.join(available) or '(none)'}",
+                        file=sys.stderr,
+                    )
+                    return 1
+            fmt = args.format
+            if fmt is None:
+                fmt = "prometheus" if args.metrics == "prom" else "jsonl"
+            if fmt == "prometheus":
                 print(prometheus_text(snapshot), end="")
-            else:
+            elif fmt == "jsonl":
                 print(snapshot_jsonl(snapshot))
+            else:
+                print(_metrics_table(snapshot))
             return 0
         spans = load_spans(args.path)
         if args.summary:
@@ -294,6 +384,71 @@ def _cmd_obs(args) -> int:
     except OSError as exc:
         print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
         return 2
+
+
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.obs import load_flight_dump, render_flight_dump
+    from repro.obs.health import report_from_dict
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            first_line = handle.readline()
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        head = json.loads(first_line) if first_line.strip() else {}
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.path} is not a health export: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if isinstance(head, dict) and head.get("kind") == "alert":
+        dump = load_flight_dump(args.path)
+        if args.json:
+            print(dump.to_jsonl(), end="")
+        else:
+            print(render_flight_dump(dump))
+        return 0
+
+    # Not a dump: a health-report JSON (possibly pretty-printed).
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.path} is neither a flight dump nor a "
+            f"health report: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if not isinstance(data, dict) or "targets" not in data:
+        print(
+            f"error: {args.path} is not a health report "
+            "(expected a JSON object with a 'targets' key)",
+            file=sys.stderr,
+        )
+        return 2
+    report = report_from_dict(data)
+    if args.alerts:
+        if not report.alerts:
+            print("no alerts")
+            return 0
+        for alert in report.alerts:
+            print(
+                f"[{alert.severity}] {alert.target}: {alert.spec} "
+                f"burn={alert.burn:.2f} error_rate={alert.error_rate:.4f}"
+            )
+    elif args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    # Operator-friendly exit: non-zero when anything is unhealthy.
+    return 0 if report.worst_status() == "healthy" else 1
 
 
 def _cmd_accounting(args) -> int:
@@ -429,6 +584,7 @@ _HANDLERS = {
     "xacml-export": _cmd_xacml_export,
     "audit-summary": _cmd_audit_summary,
     "obs": _cmd_obs,
+    "health": _cmd_health,
     "accounting": _cmd_accounting,
     "capability": _cmd_capability,
     "demo": _cmd_demo,

@@ -54,6 +54,7 @@ from repro.obs.exporters import (
     prometheus_text,
     snapshot_jsonl,
 )
+from repro.obs.health import HealthMonitor
 
 
 class EpochBroadcast:
@@ -338,12 +339,16 @@ class ShardedGramService:
                 if shard_count > 1
                 else self.config.host
             )
+            # Shards never run their own health monitor: the sharded
+            # service owns one with a scope per shard plus the merged
+            # service view, so N shards cost one engine, not N.
             shard_config = replace(
                 self.config,
                 host=host,
                 shards=1,
                 dispatch="inline",
                 capability_key=capability_key,
+                health_slo=False,
             )
             self.shards.append(
                 GramService(
@@ -378,6 +383,9 @@ class ShardedGramService:
             else ShardWorkerPool(shard_count)
         )
         self.gatekeeper = ShardedGatekeeper(self)
+        #: Health & SLO monitor scoring the merged service view plus
+        #: each shard (None unless ``config.health_slo``).
+        self.health: Optional[HealthMonitor] = self._build_health()
 
     # -- routing -------------------------------------------------------------
 
@@ -430,6 +438,30 @@ class ShardedGramService:
         ]
         for future in futures:
             future.result()
+        # Every shard has advanced past this point, so the snapshots
+        # the health windows close over are quiescent.
+        if self.health is not None:
+            self.health.maybe_tick(self.shards[0].clock.now)
+
+    def _build_health(self) -> Optional[HealthMonitor]:
+        if not self.config.health_slo:
+            return None
+        monitor = HealthMonitor(
+            window=self.config.health_window,
+            retain=self.config.health_retain,
+            specs=self.config.health_specs,
+            recorder_limit=self.config.flight_recorder_limit,
+            start=self.shards[0].clock.now,
+        )
+        monitor.add_scope("service", self.merged_snapshot)
+        for index, shard in enumerate(self.shards):
+            if shard.telemetry is None:
+                continue
+            monitor.add_scope(
+                f"shard{index}", shard.telemetry.registry.snapshot
+            )
+            monitor.attach_tracer(f"shard{index}", shard.telemetry.tracer)
+        return monitor
 
     def harden(self, *args, **kwargs) -> None:
         """Apply the resilience layer on every shard."""
@@ -468,27 +500,34 @@ class ShardedGramService:
         with self._route_lock:
             submissions = list(self.routed_submissions)
             management = list(self.routed_management)
+        health_report = (
+            self.health.latest_report if self.health is not None else None
+        )
         rows: List[Dict[str, Any]] = []
         for index, shard in enumerate(self.shards):
             routed = submissions[index] + management[index]
-            rows.append(
-                {
-                    "shard": index,
-                    "host": shard.config.host,
-                    "routed_submissions": submissions[index],
-                    "routed_management": management[index],
-                    "routed_total": routed,
-                    "served_submissions": shard.gatekeeper.submissions,
-                    "active_jmis": shard.gatekeeper.active_job_managers,
-                    "completed_jobs": shard.gatekeeper.completed_jobs,
-                }
-            )
+            row: Dict[str, Any] = {
+                "shard": index,
+                "host": shard.config.host,
+                "routed_submissions": submissions[index],
+                "routed_management": management[index],
+                "routed_total": routed,
+                "served_submissions": shard.gatekeeper.submissions,
+                "active_jmis": shard.gatekeeper.active_job_managers,
+                "completed_jobs": shard.gatekeeper.completed_jobs,
+            }
+            if health_report is not None:
+                row["health_status"] = health_report.status_of(
+                    f"shard{index}"
+                )
+                row["health_score"] = health_report.score_of(f"shard{index}")
+            rows.append(row)
         totals = [row["routed_total"] for row in rows]
         total = sum(totals)
         mean = total / len(rows) if rows else 0.0
         peak = max(totals) if totals else 0
         hot = totals.index(peak) if totals else 0
-        return {
+        report: Dict[str, Any] = {
             "shards": rows,
             "total_routed": total,
             "mean_routed": mean,
@@ -496,6 +535,22 @@ class ShardedGramService:
             "hot_shard": hot,
             "skew": (peak / mean) if mean else 0.0,
         }
+        if health_report is not None:
+            # A shard is *hot* when it both carries outsized load and
+            # its health says the load hurts — routed skew alone flags
+            # pinned-but-fine shards, health alone flags sick-but-idle
+            # ones; the intersection is what rebalancing should move.
+            skew_threshold = 1.5
+            report["health"] = health_report.worst_status()
+            report["hot_shards"] = [
+                row["shard"]
+                for row in rows
+                if (
+                    (mean and row["routed_total"] / mean >= skew_threshold)
+                    or row.get("health_status") != "healthy"
+                )
+            ]
+        return report
 
     def close(self) -> None:
         """Stop the worker threads (no-op for the inline executor)."""

@@ -154,6 +154,12 @@ class Gatekeeper:
             response = self._submit(credential, rsl_text)
             if span is not None:
                 span.set_attr("code", response.code.name)
+            if self.telemetry is not None:
+                self.telemetry.count(
+                    "gram_requests_total",
+                    kind="submit",
+                    code=response.code.name,
+                )
             if self.service_time:
                 self.clock.advance(self.service_time)
             return response
@@ -297,6 +303,12 @@ class Gatekeeper:
                     )
             if span is not None:
                 span.set_attr("code", response.code.name)
+            if self.telemetry is not None:
+                self.telemetry.count(
+                    "gram_requests_total",
+                    kind="manage",
+                    code=response.code.name,
+                )
             if self.service_time:
                 self.clock.advance(self.service_time)
             return response

@@ -47,7 +47,7 @@ from repro.gram.lifecycle import LifecycleConfig, ShardState, SharedGauge
 from repro.gram.protocol import TraceRecorder
 from repro.gsi.credentials import CertificateAuthority
 from repro.lrm.cluster import Cluster
-from repro.obs import Telemetry
+from repro.obs import HealthMonitor, Telemetry
 from repro.lrm.queues import JobQueue
 from repro.lrm.scheduler import BatchScheduler
 from repro.sim.clock import Clock
@@ -151,6 +151,21 @@ class ServiceConfig:
     #: shard's clock advances as it serves, making shard parallelism
     #: measurable in simulated time.
     request_service_time: float = 0.0
+    #: Health & SLO engine (:mod:`repro.obs.health`): windowed
+    #: burn-rate evaluation of the service's telemetry into
+    #: healthy/degraded/critical reports, with a flight recorder that
+    #: freezes evidence on a critical transition.  Requires
+    #: ``telemetry``; driven from :meth:`GramService.run`.
+    health_slo: bool = False
+    #: Window width in simulated seconds for health evaluation.
+    health_window: float = 5.0
+    #: Closed windows retained per scope (the burn-rate history).
+    health_retain: int = 120
+    #: SLO specs to evaluate (None/() = the stock
+    #: :func:`repro.obs.health.default_slo_specs`).
+    health_specs: Tuple = ()
+    #: Decision entries the anomaly flight recorder retains.
+    flight_recorder_limit: int = 256
 
 
 class GramService:
@@ -281,6 +296,10 @@ class GramService:
             service_time=self.config.request_service_time,
         )
 
+        #: Health & SLO monitor over this stack's telemetry (None
+        #: unless ``config.health_slo``); ticked from :meth:`run`.
+        self.health: Optional[HealthMonitor] = self._build_health()
+
     # -- convenience ------------------------------------------------------------
 
     def add_user(self, identity: str, account: str, **account_kwargs):
@@ -292,8 +311,10 @@ class GramService:
         return credential
 
     def run(self, duration: float) -> None:
-        """Advance simulated time."""
+        """Advance simulated time (and close due health windows)."""
         self.clock.advance(duration)
+        if self.health is not None:
+            self.health.maybe_tick(self.clock.now)
 
     def harden(
         self, resilience: Optional[ResilienceConfig] = None
@@ -347,6 +368,22 @@ class GramService:
         return resilience
 
     # -- internals ---------------------------------------------------------------
+
+    def _build_health(self) -> Optional[HealthMonitor]:
+        if not self.config.health_slo:
+            return None
+        if self.telemetry is None:
+            raise ValueError("health_slo requires telemetry")
+        monitor = HealthMonitor(
+            window=self.config.health_window,
+            retain=self.config.health_retain,
+            specs=self.config.health_specs,
+            recorder_limit=self.config.flight_recorder_limit,
+            start=self.clock.now,
+        )
+        monitor.add_scope("service", self.telemetry.registry.snapshot)
+        monitor.attach_tracer("service", self.telemetry.tracer)
+        return monitor
 
     def _configure_callouts(self) -> None:
         if self.config.mode is AuthorizationMode.LEGACY:

@@ -42,7 +42,23 @@ from repro.obs.exporters import (
     source_latency_report,
     trace_summary,
 )
+from repro.obs.health import (
+    HealthAlert,
+    HealthEngine,
+    HealthMonitor,
+    HealthReport,
+    Measurement,
+    SloSpec,
+    TargetHealth,
+    default_slo_specs,
+)
 from repro.obs.instrument import Telemetry
+from repro.obs.recorder import (
+    FlightDump,
+    FlightRecorder,
+    load_flight_dump,
+    render_flight_dump,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -52,26 +68,41 @@ from repro.obs.registry import (
     OVERFLOW_LABEL,
 )
 from repro.obs.spans import Span, SpanEvent, Tracer, current_span, event, span
+from repro.obs.windows import WindowedAggregator, WindowedSnapshot
 
 __all__ = [
     "Counter",
+    "FlightDump",
+    "FlightRecorder",
     "Gauge",
+    "HealthAlert",
+    "HealthEngine",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
     "LabelError",
+    "Measurement",
     "MetricsRegistry",
     "OVERFLOW_LABEL",
+    "SloSpec",
     "Span",
     "SpanEvent",
+    "TargetHealth",
     "Telemetry",
     "Tracer",
+    "WindowedAggregator",
+    "WindowedSnapshot",
     "current_span",
+    "default_slo_specs",
     "diff_snapshots",
     "event",
     "histogram_quantile",
+    "load_flight_dump",
     "load_snapshot",
     "load_spans",
     "merge_snapshots",
     "prometheus_text",
+    "render_flight_dump",
     "render_trace_tree",
     "snapshot_jsonl",
     "source_latency_report",

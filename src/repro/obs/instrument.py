@@ -43,6 +43,8 @@ METRIC_HELP: Dict[str, str] = {
     "capability_hit_total": "Fast-path decisions served by capability validation",
     "capability_miss_total": "Capability fast-path misses by reason",
     "capability_revoked_total": "Capabilities revoked fail-closed on a policy-epoch bump",
+    "gram_requests_total": "Gatekeeper requests by kind and response code",
+    "gram_admission_rejected_total": "Requests shed by admission control",
 }
 
 #: Numeric encoding of breaker states for the ``breaker_state`` gauge.

@@ -179,13 +179,12 @@ class Histogram:
         return lower
 
     def data(self) -> Dict[str, Any]:
-        return {
-            "buckets": [
-                [bound, count] for bound, count in self.cumulative()
-            ],
-            "sum": self.sum,
-            "count": self.count,
-        }
+        buckets: List[List[float]] = []
+        total = 0
+        for bound, count in zip(self.buckets, self.counts):
+            total += count
+            buckets.append([bound, total])
+        return {"buckets": buckets, "sum": self.sum, "count": self.count}
 
 
 _INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -212,6 +211,10 @@ class MetricFamily:
         self._buckets = tuple(buckets)
         self._series: Dict[LabelValues, Any] = {}
         self._lock = threading.Lock()
+        # Sorted (labels, instrument) view, rebuilt only when a series
+        # is created: snapshots happen every health window, series
+        # creation at most max_series times ever.
+        self._view: Optional[Tuple[Tuple[Dict[str, str], Any], ...]] = None
 
     def _make(self) -> Any:
         if self.kind == "histogram":
@@ -244,19 +247,24 @@ class MetricFamily:
                     if series is None:
                         series = self._make()
                         self._series[key] = series
+                        self._view = None
                 else:
                     series = self._make()
                     self._series[key] = series
+                    self._view = None
             return series
 
     def series(self) -> Tuple[Tuple[Dict[str, str], Any], ...]:
         """(labels dict, instrument) pairs, sorted by label values."""
-        with self._lock:
-            items = sorted(self._series.items())
-        return tuple(
-            (dict(zip(self.labelnames, key)), instrument)
-            for key, instrument in items
-        )
+        view = self._view
+        if view is None:
+            with self._lock:
+                items = sorted(self._series.items())
+            view = self._view = tuple(
+                (dict(zip(self.labelnames, key)), instrument)
+                for key, instrument in items
+            )
+        return view
 
     def data(self) -> Dict[str, Any]:
         family: Dict[str, Any] = {
@@ -292,6 +300,8 @@ class MetricsRegistry:
         # the steady-state hot path is one dict hit + the instrument
         # update.  Bounded: at most one entry per real series.
         self._series_cache: Dict[Tuple[Any, ...], Any] = {}
+        # Name-sorted family tuple, rebuilt only on family creation.
+        self._family_view: Optional[Tuple[MetricFamily, ...]] = None
 
     # -- declaration -------------------------------------------------------
 
@@ -317,6 +327,7 @@ class MetricsRegistry:
                         buckets=buckets,
                     )
                     self._families[name] = family
+                    self._family_view = None
                     return family
         if family.kind != kind:
             raise LabelError(
@@ -386,10 +397,13 @@ class MetricsRegistry:
             return self._families.get(name)
 
     def families(self) -> Tuple[MetricFamily, ...]:
-        with self._lock:
-            return tuple(
-                family for _, family in sorted(self._families.items())
-            )
+        view = self._family_view
+        if view is None:
+            with self._lock:
+                view = self._family_view = tuple(
+                    family for _, family in sorted(self._families.items())
+                )
+        return view
 
     def snapshot(self) -> List[Dict[str, Any]]:
         """The whole registry as sorted, JSON-ready plain data."""

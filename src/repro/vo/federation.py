@@ -25,6 +25,19 @@ from repro.gram.client import GramClient
 from repro.gram.protocol import GramErrorCode, GramResponse, JobContact
 from repro.gram.service import GramService, ServiceConfig
 from repro.gsi.credentials import CertificateAuthority, Credential
+from repro.obs.health import HealthMonitor, SloSpec
+
+#: Response codes a broker retries at the next site: capacity and
+#: authorization-*system* problems are site-local, so another site may
+#: well place the job.  Policy denials are federation-wide (same VO
+#: policy everywhere) and never fall through.
+SITE_LOCAL_FAILURES = frozenset(
+    {
+        GramErrorCode.RESOURCE_UNAVAILABLE,
+        GramErrorCode.RESOURCE_BUSY,
+        GramErrorCode.AUTHORIZATION_SYSTEM_FAILURE,
+    }
+)
 
 
 @dataclass
@@ -56,6 +69,9 @@ class FederatedDeployment:
         self._sites: List[GridSite] = []
         self._credentials: Dict[str, Credential] = {}
         self._accounts: Dict[str, str] = {}
+        #: Federation-wide health monitor: one scope per site (see
+        #: :meth:`enable_health`); None until enabled.
+        self.health: Optional[HealthMonitor] = None
 
     # -- construction -----------------------------------------------------
 
@@ -85,7 +101,41 @@ class FederatedDeployment:
         # Enroll existing members at the new site.
         for identity, credential in self._credentials.items():
             self._enroll_at(site, identity)
+        if self.health is not None:
+            self._watch_site(site)
         return site
+
+    def enable_health(
+        self,
+        window: float = 5.0,
+        retain: int = 120,
+        specs: Tuple[SloSpec, ...] = (),
+        **monitor_kwargs,
+    ) -> HealthMonitor:
+        """Score every site's telemetry into a shared health monitor.
+
+        Each site becomes a scope named after itself, with its tracer
+        feeding the shared flight recorder; sites added later join
+        automatically.  Returns the monitor (also on :attr:`health`)
+        so brokers and tests can read reports and dumps.  The
+        federation's :meth:`run` closes windows and re-evaluates.
+        """
+        if self.health is not None:
+            return self.health
+        self.health = HealthMonitor(
+            window=window, retain=retain, specs=specs, **monitor_kwargs
+        )
+        for site in self._sites:
+            self._watch_site(site)
+        return self.health
+
+    def _watch_site(self, site: GridSite) -> None:
+        telemetry = site.service.telemetry
+        if telemetry is None:
+            return
+        assert self.health is not None
+        self.health.add_scope(site.name, telemetry.registry.snapshot)
+        self.health.attach_tracer(site.name, telemetry.tracer)
 
     def add_member(self, identity: str, account: str) -> Credential:
         """Issue one credential, valid at every site (shared CA)."""
@@ -122,6 +172,8 @@ class FederatedDeployment:
         """Advance simulated time at every site in lockstep."""
         for site in self._sites:
             site.service.run(duration)
+        if self.health is not None and self._sites:
+            self.health.maybe_tick(self._sites[0].service.clock.now)
 
     def __len__(self) -> int:
         return len(self._sites)
@@ -133,6 +185,8 @@ class Placement:
 
     site: str
     response: GramResponse
+    #: Sites tried before this outcome (1 = first site took it).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -142,37 +196,77 @@ class Placement:
 class VOBroker:
     """A VO-level submission broker over a federation.
 
-    Placement strategy: sites ordered by free CPUs (most first); the
-    first site whose Gatekeeper accepts the job wins.  Authorization
-    denials are *not* retried elsewhere — the VO policy is identical
-    at every site, so a policy denial at one site is a denial
-    everywhere (asserted by the federation tests); only
-    resource-availability failures fall through to the next site.
+    Placement strategy: sites ordered by *health-weighted* capacity —
+    each site's free CPUs scaled by its health weight when the
+    federation has :meth:`~FederatedDeployment.enable_health` on
+    (healthy 1.0, degraded 0.5, critical 0.0, further scaled by the
+    burn-rate score).  Sick sites shed new submissions and recovering
+    sites ramp back; a critical site is only tried when every other
+    site refused.  Without a monitor every weight is 1.0 and the
+    ordering is plain free-CPUs-first, exactly as before.
+
+    Authorization denials are *not* retried elsewhere — the VO policy
+    is identical at every site, so a policy denial at one site is a
+    denial everywhere (asserted by the federation tests); only
+    site-local failures (:data:`SITE_LOCAL_FAILURES`: no capacity,
+    admission busy, authorization *system* failure) fall through to
+    the next site.
     """
 
-    def __init__(self, federation: FederatedDeployment, credential: Credential) -> None:
+    def __init__(
+        self,
+        federation: FederatedDeployment,
+        credential: Credential,
+        health: Optional[HealthMonitor] = None,
+    ) -> None:
         self.federation = federation
         self.credential = credential
+        #: The monitor consulted for site weights: an explicit one, or
+        #: the federation's own when :meth:`enable_health` ran.
+        self.health = health if health is not None else federation.health
         self._clients: Dict[str, GramClient] = {
             site.name: GramClient(credential, site.service.gatekeeper)
             for site in federation.sites
         }
         self._placements: Dict[str, str] = {}  # contact id -> site name
 
-    def submit(self, rsl_text: str) -> Placement:
-        """Place a job on the least-loaded site that will take it."""
-        ordered = sorted(
-            self.federation.sites, key=lambda s: s.free_cpus, reverse=True
+    def site_weight(self, site: GridSite) -> float:
+        """The health weight of one site (1.0 without a monitor)."""
+        if self.health is None:
+            return 1.0
+        return self.health.weight_of(site.name)
+
+    def _ordered_sites(self) -> List[GridSite]:
+        # Weighted capacity first; free CPUs break weight ties so the
+        # healthy ordering degrades to the classic least-loaded-first.
+        # The sort is stable, so equal sites keep federation order.
+        return sorted(
+            self.federation.sites,
+            key=lambda s: (
+                -self.site_weight(s) * s.free_cpus,
+                -self.site_weight(s),
+                -s.free_cpus,
+            ),
         )
+
+    def submit(self, rsl_text: str) -> Placement:
+        """Place a job on the best healthy site that will take it."""
         last: Optional[Placement] = None
-        for site in ordered:
-            response = self._clients[site.name].submit(rsl_text)
-            placement = Placement(site=site.name, response=response)
+        for attempt, site in enumerate(self._ordered_sites(), start=1):
+            client = self._clients.get(site.name)
+            if client is None:  # site added after this broker was built
+                client = self._clients[site.name] = GramClient(
+                    self.credential, site.service.gatekeeper
+                )
+            response = client.submit(rsl_text)
+            placement = Placement(
+                site=site.name, response=response, attempts=attempt
+            )
             if response.ok:
                 self._placements[response.contact.job_id] = site.name
                 return placement
             last = placement
-            if response.code is not GramErrorCode.RESOURCE_UNAVAILABLE:
+            if response.code not in SITE_LOCAL_FAILURES:
                 # Policy/authn failures are federation-wide; stop.
                 return placement
         assert last is not None, "federation has no sites"

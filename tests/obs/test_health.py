@@ -1,0 +1,356 @@
+"""The SLO engine: burn rates, status ladder, reports (repro.obs.health)."""
+
+import pytest
+
+from repro.obs.health import (
+    CRITICAL,
+    DEGRADED,
+    HEALTHY,
+    HealthEngine,
+    HealthMonitor,
+    HealthReport,
+    SloSpec,
+    default_slo_specs,
+    report_from_dict,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Tracer
+from repro.obs.windows import WindowedAggregator
+from repro.sim.clock import Clock
+
+
+class Feed:
+    """A scriptable snapshot source: set counters, take snapshots."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+
+    def traffic(self, bad=0, good=0, **labels):
+        if bad:
+            self.registry.count("bad_total", amount=bad, **labels)
+        self.registry.count("all_total", amount=bad + good, **labels)
+
+
+RATIO = SloSpec(
+    name="avail",
+    kind="ratio",
+    objective=0.9,  # 10% error budget: burn = error_rate * 10
+    bad_metric="bad_total",
+    total_metric="all_total",
+    fast_windows=1,
+    slow_windows=2,
+)
+
+
+def build_engine(spec=RATIO, **kwargs):
+    feed = Feed()
+    engine = HealthEngine([spec], **kwargs)
+    engine.add_scope("svc", WindowedAggregator(feed.registry.snapshot, window=1.0))
+    return feed, engine
+
+
+def drive(feed, engine, cycles, bad=0, good=10, start=1.0):
+    """N windows of scripted traffic; returns the statuses observed."""
+    statuses = []
+    now = start
+    for _ in range(cycles):
+        feed.traffic(bad=bad, good=good)
+        engine.scopes["svc"].tick(now)
+        statuses.append(engine.evaluate(now).status_of("svc"))
+        now += 1.0
+    return statuses
+
+
+class TestSloSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="vibes", objective=0.9, bad_metric="m")
+
+    def test_rejects_objective_outside_unit_interval(self):
+        for objective in (0.0, 1.0, 1.5):
+            with pytest.raises(ValueError):
+                SloSpec(
+                    name="x",
+                    kind="latency",
+                    objective=objective,
+                    bad_metric="m",
+                    threshold=0.5,
+                )
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="latency", objective=0.9, bad_metric="m")
+
+    def test_ratio_needs_total_metric(self):
+        with pytest.raises(ValueError):
+            SloSpec(name="x", kind="ratio", objective=0.9, bad_metric="m")
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError):
+            SloSpec(
+                name="x",
+                kind="latency",
+                objective=0.9,
+                bad_metric="m",
+                threshold=0.5,
+                fast_windows=6,
+                slow_windows=3,
+            )
+
+    def test_error_budget(self):
+        assert RATIO.error_budget == pytest.approx(0.1)
+
+    def test_default_specs_cover_the_metric_catalog(self):
+        specs = {spec.name for spec in default_slo_specs()}
+        assert specs == {
+            "decision-availability",
+            "decision-latency-p99",
+            "breaker-open-ratio",
+            "admission-rejection-rate",
+            "source-availability",
+        }
+
+
+class TestEngineValidation:
+    def test_burn_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            HealthEngine([RATIO], degraded_burn=5.0, critical_burn=4.0)
+        with pytest.raises(ValueError):
+            HealthEngine([RATIO], degraded_burn=0.0)
+
+    def test_duplicate_scope_rejected(self):
+        feed, engine = build_engine()
+        with pytest.raises(ValueError):
+            engine.add_scope(
+                "svc", WindowedAggregator(feed.registry.snapshot)
+            )
+
+
+class TestStatusLadder:
+    def test_burn_needs_both_windows_to_agree(self):
+        feed, engine = build_engine()
+        # One bad window after a clean one: the fast window burns hot
+        # but the slow window averages it down below threshold.
+        drive(feed, engine, 1, bad=0, good=100)
+        feed.traffic(bad=5, good=95)
+        engine.scopes["svc"].tick(2.0)
+        report = engine.evaluate(2.0)
+        measurement = report.targets["svc"].measurements[0]
+        assert measurement.fast_burn == pytest.approx(0.5)
+        assert measurement.burn == measurement.slow_burn < 0.5
+        assert report.status_of("svc") == HEALTHY
+
+    def test_one_level_per_evaluation_up(self):
+        feed, engine = build_engine()
+        # Sustained 50% errors: burn 5 >= critical (4), but the ladder
+        # climbs one level per evaluation.
+        statuses = drive(feed, engine, 3, bad=5, good=5)
+        assert statuses == [DEGRADED, CRITICAL, CRITICAL]
+
+    def test_recovery_requires_consecutive_clean_evaluations(self):
+        feed, engine = build_engine(recovery_evaluations=2)
+        drive(feed, engine, 2, bad=5, good=5)  # -> critical
+        statuses = drive(feed, engine, 6, bad=0, good=10, start=3.0)
+        assert statuses == [
+            CRITICAL,
+            DEGRADED,  # second clean eval steps down
+            DEGRADED,
+            HEALTHY,
+            HEALTHY,
+            HEALTHY,
+        ]
+
+    def test_a_bad_evaluation_resets_the_recovery_streak(self):
+        feed, engine = build_engine(recovery_evaluations=2)
+        drive(feed, engine, 1, bad=5, good=5)  # -> degraded
+        drive(feed, engine, 1, bad=0, good=10, start=2.0)  # streak 1
+        # A fresh bad window puts the burn back in the degraded band,
+        # zeroing the streak: the two clean evaluations that follow
+        # must be *consecutive* to step down.
+        drive(feed, engine, 1, bad=5, good=5, start=3.0)
+        statuses = drive(feed, engine, 2, bad=0, good=10, start=4.0)
+        assert statuses == [DEGRADED, HEALTHY]
+
+    def test_score_degrades_linearly_with_burn(self):
+        feed, engine = build_engine()
+        drive(feed, engine, 2, bad=2, good=8)  # burn 2 of critical 4
+        report = engine.evaluate(2.0)
+        assert report.score_of("svc") == pytest.approx(0.5)
+        # weight = score x status factor (degraded = 0.5)
+        assert report.status_of("svc") == DEGRADED
+        assert report.weight_of("svc") == pytest.approx(0.25)
+
+    def test_no_data_windows_read_as_healthy(self):
+        feed, engine = build_engine()
+        engine.scopes["svc"].tick(1.0)
+        report = engine.evaluate(1.0)
+        assert report.status_of("svc") == HEALTHY
+        assert report.targets["svc"].burn == 0.0
+        assert not report.alerts
+
+
+class TestAlerts:
+    def test_alert_fires_at_degraded_burn(self):
+        feed, engine = build_engine()
+        drive(feed, engine, 2, bad=2, good=8)
+        report = engine.evaluate(2.0)
+        assert len(report.alerts) == 1
+        alert = report.alerts[0]
+        assert (alert.target, alert.spec) == ("svc", "avail")
+        assert alert.severity == DEGRADED
+        assert alert.burn == pytest.approx(2.0)
+
+    def test_alert_escalates_to_critical_severity(self):
+        feed, engine = build_engine()
+        drive(feed, engine, 2, bad=5, good=5)
+        report = engine.evaluate(2.0)
+        assert report.alerts[0].severity == CRITICAL
+
+    def test_transitions_fire_callbacks_in_order(self):
+        feed, engine = build_engine()
+        seen = []
+        engine.on_transition.append(
+            lambda target, old, new, health: seen.append((target, old, new))
+        )
+        drive(feed, engine, 3, bad=5, good=5)
+        assert seen == [
+            ("svc", HEALTHY, DEGRADED),
+            ("svc", DEGRADED, CRITICAL),
+        ]
+
+
+class TestTargetExpansion:
+    SPEC = SloSpec(
+        name="per-source",
+        kind="ratio",
+        objective=0.9,
+        bad_metric="bad_total",
+        total_metric="all_total",
+        target_label="source",
+        fast_windows=1,
+        slow_windows=2,
+    )
+
+    def test_each_label_value_scores_separately(self):
+        feed, engine = build_engine(self.SPEC)
+        for now in (1.0, 2.0):
+            feed.traffic(bad=5, good=5, source="cas")
+            feed.traffic(bad=0, good=10, source="gridmap")
+            engine.scopes["svc"].tick(now)
+            report = engine.evaluate(now)
+        assert report.status_of("svc/source:cas") == CRITICAL
+        assert report.status_of("svc/source:gridmap") == HEALTHY
+
+    def test_quiet_target_recovers_and_is_forgotten(self):
+        feed, engine = build_engine(self.SPEC, recovery_evaluations=1)
+        feed.traffic(bad=5, good=5, source="cas")
+        engine.scopes["svc"].tick(1.0)
+        assert engine.evaluate(1.0).status_of("svc/source:cas") == DEGRADED
+        # The source goes quiet: still scored (zero burn) until it
+        # walks back to healthy, then dropped from tracking.
+        # slow_windows=2 keeps the bad window in view for one more
+        # evaluation, so the walk down starts at the third.
+        for now in (2.0, 3.0, 4.0, 5.0):
+            engine.scopes["svc"].tick(now)
+            report = engine.evaluate(now)
+        assert "svc/source:cas" not in report.targets
+        assert "svc/source:cas" not in engine._states
+
+
+class TestReports:
+    def test_worst_status_ranks_targets(self):
+        feed, engine = build_engine()
+        feed.traffic(bad=5, good=5)
+        engine.scopes["svc"].tick(1.0)
+        report = engine.evaluate(1.0)
+        assert report.worst_status() == DEGRADED
+
+    def test_render_is_deterministic_text(self):
+        feed, engine = build_engine()
+        drive(feed, engine, 2, bad=2, good=8)
+        text = engine.evaluate(2.0).render()
+        assert "svc" in text and "degraded" in text
+        assert "alerts:" in text
+
+    def test_to_dict_roundtrips_through_report_from_dict(self):
+        feed, engine = build_engine()
+        drive(feed, engine, 2, bad=2, good=8)
+        report = engine.evaluate(2.0)
+        rebuilt = report_from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.worst_status() == report.worst_status()
+        assert rebuilt.weight_of("svc") == report.weight_of("svc")
+
+    def test_report_from_dict_rejects_unknown_status(self):
+        with pytest.raises(ValueError):
+            report_from_dict(
+                {"at": 0.0, "targets": {"svc": {"status": "on-fire"}}}
+            )
+
+    def test_missing_target_defaults(self):
+        report = HealthReport(at=0.0, targets={}, alerts=[])
+        assert report.status_of("ghost") == HEALTHY
+        assert report.score_of("ghost") == 1.0
+        assert report.weight_of("ghost") == 1.0
+        assert report.worst_status() == HEALTHY
+
+
+class TestHealthMonitor:
+    def build_monitor(self, **kwargs):
+        feed = Feed()
+        monitor = HealthMonitor(
+            window=1.0, specs=[RATIO], recovery_evaluations=1, **kwargs
+        )
+        monitor.add_scope("svc", feed.registry.snapshot)
+        return feed, monitor
+
+    def test_maybe_tick_gates_on_the_window(self):
+        feed, monitor = self.build_monitor()
+        assert monitor.maybe_tick(0.5) is None
+        assert monitor.latest_report is None
+        report = monitor.maybe_tick(1.0)
+        assert report is not None
+        assert monitor.latest_report is report
+        assert monitor.status_of("svc") == HEALTHY
+        assert monitor.weight_of("svc") == 1.0
+
+    def test_critical_transition_freezes_a_flight_dump(self):
+        feed, monitor = self.build_monitor()
+        tracer = Tracer(clock=Clock())
+        monitor.attach_tracer("svc", tracer)
+        with tracer.span("gatekeeper.submit") as span:
+            span.set_attr("code", "AUTHORIZATION_SYSTEM_FAILURE")
+            with tracer.span("pep.authorize"):
+                pass  # child span: must NOT appear as a decision
+        now = 1.0
+        for _ in range(3):
+            feed.traffic(bad=5, good=5)
+            monitor.tick(now)
+            now += 1.0
+        assert monitor.status_of("svc") == CRITICAL
+        assert len(monitor.dumps) == 1
+        dump = monitor.dumps[0]
+        assert dump.alert["target"] == "svc"
+        assert dump.alert["severity"] == CRITICAL
+        assert dump.request_ids() == ("req-000001",)
+        assert [entry["name"] for entry in dump.decisions] == [
+            "gatekeeper.submit"
+        ]
+        assert dump.windows  # the deltas that tripped the burn
+
+    def test_scoped_freeze_excludes_other_scopes(self):
+        feed, monitor = self.build_monitor()
+        quiet = Feed()
+        monitor.add_scope("other", quiet.registry.snapshot)
+        other_tracer = Tracer(clock=Clock())
+        monitor.attach_tracer("other", other_tracer)
+        with other_tracer.span("gatekeeper.submit"):
+            pass
+        now = 1.0
+        for _ in range(3):
+            feed.traffic(bad=5, good=5)
+            monitor.tick(now)
+            now += 1.0
+        (dump,) = monitor.dumps
+        assert dump.alert["target"] == "svc"
+        assert dump.decisions == []  # the other scope's span is not evidence

@@ -1,0 +1,124 @@
+"""The anomaly flight recorder (repro.obs.recorder)."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (
+    FlightDump,
+    FlightRecorder,
+    load_flight_dump,
+    render_flight_dump,
+)
+
+ALERT = {
+    "target": "lbnl",
+    "severity": "critical",
+    "spec": "decision-availability",
+    "burn": 6.5,
+    "error_rate": 0.0065,
+    "message": "lbnl transitioned to critical at t=12.0",
+}
+
+
+def decision(request_id, scope="lbnl", code="SUCCESS", at=1.0):
+    return {
+        "at": at,
+        "scope": scope,
+        "request_id": request_id,
+        "name": "gatekeeper.submit",
+        "code": code,
+        "status": "ok",
+    }
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(limit=3)
+        for index in range(5):
+            recorder.record_decision(decision(f"req-{index:06d}"))
+        assert len(recorder) == 3
+        assert recorder.recorded == 5
+        assert [d["request_id"] for d in recorder.decisions()] == [
+            "req-000002",
+            "req-000003",
+            "req-000004",
+        ]
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(limit=0)
+
+    def test_scope_filtering(self):
+        recorder = FlightRecorder()
+        recorder.record_decision(decision("req-000001", scope="lbnl"))
+        recorder.record_decision(decision("req-000002", scope="anl"))
+        recorder.note_window({"scope": "lbnl", "index": 0, "delta": []})
+        recorder.note_window({"scope": "anl", "index": 0, "delta": []})
+        assert len(recorder.decisions("lbnl")) == 1
+        assert len(recorder.decisions()) == 2
+        assert len(recorder.windows("anl")) == 1
+
+    def test_freeze_snapshots_without_disturbing_recording(self):
+        recorder = FlightRecorder()
+        recorder.record_decision(decision("req-000001"))
+        dump = recorder.freeze(ALERT, frozen_at=12.0, scope="lbnl")
+        recorder.record_decision(decision("req-000002"))
+        assert recorder.frozen == 1
+        assert dump.request_ids() == ("req-000001",)  # frozen, not live
+        assert len(recorder) == 2
+
+
+class TestFlightDump:
+    def build(self):
+        return FlightDump(
+            ALERT,
+            [
+                decision("req-000007", code="AUTHORIZATION_SYSTEM_FAILURE"),
+                decision("req-000007", code="AUTHORIZATION_SYSTEM_FAILURE"),
+                decision("req-000009"),
+            ],
+            [{"scope": "lbnl", "index": 4, "start": 8.0, "end": 10.0, "delta": []}],
+            frozen_at=12.0,
+        )
+
+    def test_request_ids_deduplicate_in_order(self):
+        assert self.build().request_ids() == ("req-000007", "req-000009")
+
+    def test_jsonl_roundtrip_through_disk(self, tmp_path):
+        dump = self.build()
+        path = tmp_path / "dump.jsonl"
+        lines = dump.export(str(path))
+        assert lines == 5  # 1 alert + 3 decisions + 1 window
+        loaded = load_flight_dump(str(path))
+        assert loaded.alert == dump.alert
+        assert loaded.frozen_at == 12.0
+        assert loaded.decisions == dump.decisions
+        assert loaded.windows == dump.windows
+
+    def test_jsonl_lines_are_kind_tagged(self):
+        kinds = [
+            json.loads(line)["kind"]
+            for line in self.build().to_jsonl().splitlines()
+        ]
+        assert kinds == ["alert", "decision", "decision", "decision", "window"]
+
+    def test_load_rejects_unknown_kinds(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown line kind"):
+            load_flight_dump(str(path))
+
+    def test_load_rejects_missing_alert(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text(json.dumps({"kind": "decision"}) + "\n")
+        with pytest.raises(ValueError, match="no alert line"):
+            load_flight_dump(str(path))
+
+    def test_render_names_the_evidence(self):
+        text = render_flight_dump(self.build())
+        assert "flight dump @ t=12.0" in text
+        assert "lbnl -> critical" in text
+        assert "req-000007" in text
+        assert "decisions (3)" in text
+        assert "windows (1)" in text

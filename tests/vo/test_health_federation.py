@@ -1,0 +1,166 @@
+"""End-to-end: a sick site degrades, sheds, dumps evidence, recovers.
+
+The deterministic SLO scenario the health engine exists for: a
+three-site federation under steady job traffic, one site's
+authorization callout starts failing, and we watch the full arc —
+healthy -> degraded -> critical, the flight recorder freezing the
+failing requests, the broker routing new work away — then the fault
+lifts and the site walks back to healthy and takes jobs again.
+Everything runs on the simulated clock, so every cycle's outcome is
+identical run to run.
+"""
+
+import pytest
+
+from repro.core.callout import GRAM_AUTHZ_CALLOUT
+from repro.core.parser import parse_policy
+from repro.gram.protocol import GramErrorCode
+from repro.testing import ExceptionFault, inject
+from repro.vo.federation import FederatedDeployment, VOBroker
+
+BO = "/O=Grid/OU=fed/CN=Bo"
+
+VO_POLICY = f"""
+{BO}:
+    &(action=start)(executable=TRANSP)(count<=8)(jobtag!=NULL)
+    &(action=cancel)(jobowner=self)
+    &(action=information)(jobowner=self)
+"""
+
+JOB = "&(executable=TRANSP)(count=2)(jobtag=NFC)(runtime=500)"
+
+
+@pytest.fixture
+def federation():
+    deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+    deployment.add_site("anl", node_count=2, cpus_per_node=4)
+    deployment.add_site("lbnl", node_count=4, cpus_per_node=4)
+    deployment.add_site("isi", node_count=3, cpus_per_node=4)
+    deployment.add_member(BO, "bo")
+    deployment.enable_health(window=2.0)
+    return deployment
+
+
+@pytest.fixture
+def broker(federation):
+    return VOBroker(federation, federation.add_member(BO, "bo"))
+
+
+def cycle(federation, broker, jobs=1):
+    """One beat: submit, advance one window, read lbnl's health."""
+    placements = [broker.submit(JOB) for _ in range(jobs)]
+    federation.run(2.0)
+    report = federation.health.latest_report
+    return placements, report.status_of("lbnl")
+
+
+class TestHealthyFederation:
+    def test_enable_health_is_idempotent(self, federation):
+        assert federation.enable_health() is federation.health
+        assert set(federation.health.scopes) == {"anl", "lbnl", "isi"}
+
+    def test_broker_prefers_the_biggest_healthy_site(
+        self, federation, broker
+    ):
+        placements, status = cycle(federation, broker)
+        assert status == "healthy"
+        assert placements[0].ok
+        assert placements[0].site == "lbnl"  # most free CPUs
+        assert placements[0].attempts == 1
+        assert broker.site_weight(federation.site("lbnl")) == 1.0
+
+    def test_policy_denial_is_not_retried_elsewhere(
+        self, federation, broker
+    ):
+        placement = broker.submit("&(executable=rogue)(count=1)(jobtag=NFC)")
+        assert placement.response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert placement.attempts == 1
+
+
+class TestSickSiteScenario:
+    def test_degrade_shed_dump_recover(self, federation, broker):
+        # Cycle 0: healthy baseline — traffic lands on lbnl.
+        placements, status = cycle(federation, broker)
+        assert (placements[0].site, status) == ("lbnl", "healthy")
+
+        fault = ExceptionFault()
+        lbnl = federation.site("lbnl")
+        assert inject(lbnl.service.registry, GRAM_AUTHZ_CALLOUT, fault) >= 1
+
+        # Cycle 1: the broker still tries lbnl first, eats the
+        # authorization-*system* failure, and falls through to the
+        # next site; the window closes and lbnl turns degraded.
+        placements, status = cycle(federation, broker)
+        assert status == "degraded"
+        assert placements[0].ok
+        assert placements[0].site != "lbnl"
+        assert placements[0].attempts > 1
+
+        # Cycle 2: the slow window agrees; one more step: critical.
+        # The transition freezes a flight dump for the sick scope.
+        placements, status = cycle(federation, broker)
+        assert status == "critical"
+        assert federation.health.weight_of("lbnl") == 0.0
+        assert federation.health.dumps
+        dump = federation.health.dumps[0]
+        assert dump.alert["target"] == "lbnl"
+        assert dump.alert["severity"] == "critical"
+
+        # The dump's evidence is the failing window's requests: every
+        # decision is lbnl-scoped, and the injected failures are in it
+        # with their request IDs.
+        assert dump.decisions
+        assert all(entry["scope"] == "lbnl" for entry in dump.decisions)
+        failed = [
+            entry
+            for entry in dump.decisions
+            if entry["code"] == "AUTHORIZATION_SYSTEM_FAILURE"
+        ]
+        assert failed
+        assert dump.request_ids()
+        assert all(
+            request_id.startswith("req-")
+            for request_id in dump.request_ids()
+        )
+
+        # Cycle 3: critical weight 0 pushes lbnl to the back of the
+        # order; a healthy site takes the job first try.
+        placements, status = cycle(federation, broker)
+        assert placements[0].ok
+        assert placements[0].site != "lbnl"
+        assert placements[0].attempts == 1
+        assert fault.activations >= 1  # lbnl really was tried earlier
+
+        # Recovery: the fault lifts.  Shedding means lbnl sees no
+        # traffic, so its windows read no-data (zero burn) and the
+        # ladder walks back down one level per evaluation.
+        fault.enabled = False
+        statuses = []
+        for _ in range(6):
+            _, status = cycle(federation, broker)
+            statuses.append(status)
+        assert "healthy" in statuses
+        assert statuses[-1] == "healthy"
+        assert federation.health.weight_of("lbnl") == 1.0
+
+        # Back in rotation: with full weight and the most capacity,
+        # lbnl takes the next job again.
+        placements, _ = cycle(federation, broker)
+        assert placements[0].ok
+        assert placements[0].site == "lbnl"
+
+    def test_dump_exports_and_reloads(self, federation, broker, tmp_path):
+        fault = ExceptionFault()
+        lbnl = federation.site("lbnl")
+        inject(lbnl.service.registry, GRAM_AUTHZ_CALLOUT, fault)
+        for _ in range(3):
+            cycle(federation, broker)
+        assert federation.health.dumps
+        from repro.obs import load_flight_dump
+
+        dump = federation.health.dumps[0]
+        path = tmp_path / "lbnl-critical.jsonl"
+        dump.export(str(path))
+        loaded = load_flight_dump(str(path))
+        assert loaded.alert == dump.alert
+        assert loaded.request_ids() == dump.request_ids()
