@@ -91,6 +91,8 @@ def _drive(shards: int) -> dict:
         )
         return {
             "shards": shards,
+            "route_memo_hits": service.router.memo_hits,
+            "route_memo_misses": service.router.memo_misses,
             "dispatch": "thread",
             "service_time": SERVICE_TIME,
             "submitted": stats.submitted,
@@ -124,6 +126,14 @@ def test_throughput_scales_with_shards():
     assert speedup4 >= 2.0, f"4-shard speedup only {speedup4:.2f}x"
     # More shards never hurt.
     assert speedup8 >= speedup4
+
+    # The DN→shard routing memo absorbs repeat traffic: each distinct
+    # user hashes at most once, every later request routes from the
+    # memo (single-shard routing short-circuits and never hashes).
+    for row in rows:
+        if row["shards"] > 1:
+            assert row["route_memo_misses"] <= CHURN.users
+            assert row["route_memo_hits"] > row["route_memo_misses"]
 
     lines = [
         (

@@ -7,6 +7,7 @@ unnatural — motivates shipping the analysis tools behind a CLI::
     python -m repro.cli evaluate vo.policy --user "/O=Grid/CN=Bo" \\
         --action start --rsl "&(executable=test1)(count=2)"
     python -m repro.cli capabilities vo.policy --user "/O=Grid/CN=Bo"
+    python -m repro.cli authz explain vo.policy --subject "/O=Grid/CN=Bo"
     python -m repro.cli diff old.policy new.policy
     python -m repro.cli obs spans.jsonl --trace req-000001
     python -m repro.cli obs metrics.jsonl --metrics prom
@@ -207,6 +208,40 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="evaluate expiry at this simulated time",
+    )
+
+    authz = commands.add_parser(
+        "authz", help="reverse-index authorization queries"
+    )
+    authz_commands = authz.add_subparsers(dest="authz_command", required=True)
+    explain = authz_commands.add_parser(
+        "explain",
+        help="everything a subject can reach, with provenance",
+    )
+    explain.add_argument(
+        "policies", nargs="+", help="policy file(s), one per source"
+    )
+    explain.add_argument("--subject", required=True, help="requester DN")
+    explain.add_argument(
+        "--job",
+        default=None,
+        metavar="RSL",
+        help="also pre-check this job description for the subject",
+    )
+    explain.add_argument(
+        "--action",
+        default="start",
+        choices=[action.value for action in Action],
+        help="action for the --job pre-check",
+    )
+    explain.add_argument(
+        "--algorithm",
+        default="all",
+        choices=["all", "any"],
+        help=(
+            "combination across policy files: all=all-must-permit, "
+            "any=permit-overrides-not-applicable"
+        ),
     )
 
     commands.add_parser("demo", help="run a small end-to-end demonstration")
@@ -548,6 +583,73 @@ def _cmd_capability(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_authz(args) -> int:
+    import os
+
+    from repro.core.combination import CombinationAlgorithm
+    from repro.core.query import QueryEngine
+
+    evaluators = []
+    for path in args.policies:
+        policy = parse_policy_file(path)
+        name = policy.name or os.path.splitext(os.path.basename(path))[0]
+        evaluators.append(PolicyEvaluator(policy, source=name))
+    algorithm = (
+        CombinationAlgorithm.ALL_MUST_PERMIT
+        if args.algorithm == "all"
+        else CombinationAlgorithm.PERMIT_OVERRIDES_NOT_APPLICABLE
+    )
+    engine = QueryEngine(evaluators, algorithm=algorithm)
+    explanation = engine.explain(args.subject)
+    if not explanation.known:
+        known = engine.known_subjects()
+        listing = ", ".join(known[:8]) or "(none)"
+        if len(known) > 8:
+            listing += f", ... ({len(known) - 8} more)"
+        print(
+            f"error: no statement applies to {args.subject!r} in "
+            f"{', '.join(explanation.sources)}; known subjects: {listing}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"subject   : {explanation.identity}")
+    print(f"sources   : {', '.join(explanation.sources)}")
+    print(f"algorithm : {explanation.algorithm.value}")
+    print(f"statements: {explanation.applicable_statements} applicable")
+    actions = explanation.actions()
+    print(f"actions   : {', '.join(actions) or '(none)'}")
+    if explanation.permissions:
+        print("permissions:")
+        for permission in explanation.permissions:
+            print(f"  {permission}")
+    else:
+        print("permissions: (none — requirements only)")
+    if explanation.requirements:
+        print("requirements:")
+        for source, statement in explanation.requirements:
+            for assertion in statement.assertions:
+                print(
+                    f"  [{source}] {statement.subject.pattern}: {assertion}"
+                )
+    if args.job is not None:
+        spec = parse_specification(args.job)
+        action = Action.parse(args.action)
+        if action is Action.START:
+            request = AuthorizationRequest.start(args.subject, spec)
+        else:
+            request = AuthorizationRequest.manage(
+                args.subject, action, spec, jobowner=args.subject
+            )
+        pre = engine.check_request(request, deep=True)
+        if pre.guaranteed_deny:
+            print(f"job check : guaranteed DENY ({pre.level} level)")
+            for reason in pre.reasons:
+                print(f"  reason: {reason}")
+            return 1
+        print("job check : possible (forward evaluation decides)")
+    return 0
+
+
 def _cmd_demo(args) -> int:
     from repro import GramClient, GramService, ServiceConfig
     from repro.core.parser import parse_policy
@@ -587,6 +689,7 @@ _HANDLERS = {
     "health": _cmd_health,
     "accounting": _cmd_accounting,
     "capability": _cmd_capability,
+    "authz": _cmd_authz,
     "demo": _cmd_demo,
 }
 

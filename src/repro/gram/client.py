@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.gram.gatekeeper import Gatekeeper
-from repro.gram.protocol import GramJobState, GramResponse, JobContact
+from repro.gram.protocol import GramErrorCode, GramJobState, GramResponse, JobContact
 from repro.gsi.credentials import Credential
 
 
@@ -33,6 +33,14 @@ class GramClient:
         self.credential = credential
         self.gatekeeper = gatekeeper
         self._jobs: Dict[str, _KnownJob] = {}
+        #: Sim-clock time before which submits are locally suppressed
+        #: because the service said ``RESOURCE_BUSY`` with a
+        #: ``retry_after`` hint.  Honouring the hint client-side keeps
+        #: blind retry storms off the gatekeeper entirely.
+        self._retry_not_before: float = 0.0
+        #: How many submits were answered locally (never sent) because
+        #: the retry_after window was still open.
+        self.suppressed_retries: int = 0
 
     @property
     def identity(self) -> str:
@@ -41,8 +49,29 @@ class GramClient:
     # -- operations ---------------------------------------------------------
 
     def submit(self, rsl_text: str) -> GramResponse:
-        """Submit a job described by *rsl_text*."""
+        """Submit a job described by *rsl_text*.
+
+        If the service previously answered ``RESOURCE_BUSY`` with a
+        ``retry_after`` hint and that window has not yet elapsed on
+        the gatekeeper's sim clock, the submit is suppressed locally:
+        a synthetic ``RESOURCE_BUSY`` carrying the remaining wait is
+        returned without a round-trip.
+        """
+        clock = getattr(self.gatekeeper, "clock", None)
+        if clock is not None and clock.now < self._retry_not_before:
+            self.suppressed_retries += 1
+            return GramResponse(
+                code=GramErrorCode.RESOURCE_BUSY,
+                message="suppressed by client retry_after backoff",
+                retry_after=self._retry_not_before - clock.now,
+            )
         response = self.gatekeeper.submit(self.credential, rsl_text)
+        if (
+            response.code is GramErrorCode.RESOURCE_BUSY
+            and response.retry_after is not None
+            and clock is not None
+        ):
+            self._retry_not_before = clock.now + response.retry_after
         self._learn(response)
         return response
 

@@ -92,6 +92,12 @@ class ShardRouter:
     to pin a whole community to one shard.
     """
 
+    #: Memoized DN→shard resolutions kept before the memo resets.  The
+    #: population of *distinct* rendered DNs a service sees is modest
+    #: (it is bounded by enrolled users), so in practice the memo never
+    #: fills; the cap is a backstop against an adversarial DN stream.
+    MEMO_CAP = 65536
+
     def __init__(
         self,
         shards: int,
@@ -101,6 +107,14 @@ class ShardRouter:
             raise ValueError("shards must be >= 1")
         self.shards = shards
         self.key_fn = key_fn
+        # DN string -> shard index.  Routing happens on the *caller's*
+        # thread, so this is written concurrently — but every access
+        # is a single dict get/set (atomic under the GIL) and a lost
+        # race merely recomputes the same deterministic value.  The
+        # hit/miss counters are advisory and likewise tolerate races.
+        self._memo: Dict[str, int] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def shard_key(self, identity: str) -> str:
         return self.key_fn(identity) if self.key_fn is not None else identity
@@ -108,8 +122,17 @@ class ShardRouter:
     def shard_for(self, identity: str) -> int:
         if self.shards == 1:
             return 0
+        shard = self._memo.get(identity)
+        if shard is not None:
+            self.memo_hits += 1
+            return shard
+        self.memo_misses += 1
         key = self.shard_key(identity).encode("utf-8")
-        return zlib.crc32(key) % self.shards
+        shard = zlib.crc32(key) % self.shards
+        if len(self._memo) >= self.MEMO_CAP:
+            self._memo.clear()
+        self._memo[identity] = shard
+        return shard
 
 
 class InlineExecutor:
@@ -215,6 +238,17 @@ class ShardedGatekeeper:
 
     def __init__(self, service: "ShardedGramService") -> None:
         self.service = service
+
+    @property
+    def clock(self):
+        """The reference sim clock (shard 0's), for client-side backoff.
+
+        :class:`~repro.gram.client.GramClient` reads its gatekeeper's
+        clock to honour ``retry_after`` hints; every shard's clock
+        advances in lockstep through :meth:`ShardedGramService.run`,
+        so shard 0's is representative.
+        """
+        return self.service.shards[0].clock
 
     # -- the synchronous API -------------------------------------------------
 
@@ -368,6 +402,12 @@ class ShardedGramService:
                 shard.capability.issuer.add_epoch_source(
                     "broadcast", self.epoch_broadcast
                 )
+            if shard.query_engine is not None:
+                # The reverse index obeys the same fail-closed rule as
+                # capabilities: bump_policy_epoch() anywhere forces a
+                # rebuild before the next fast-deny answer, on every
+                # shard.
+                shard.query_engine.add_epoch_source(self.epoch_broadcast)
         #: Requests routed to each shard by the front door, by kind —
         #: the raw material of :meth:`placement_report`.  Incremented
         #: on the caller's thread, hence the lock.

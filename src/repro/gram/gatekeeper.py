@@ -76,6 +76,7 @@ class Gatekeeper:
         lifecycle: Optional[LifecycleConfig] = None,
         state: Optional[ShardState] = None,
         service_time: float = 0.0,
+        query_engine=None,
     ) -> None:
         self.host = host
         self.trust_anchors = tuple(trust_anchors)
@@ -118,6 +119,15 @@ class Gatekeeper:
         #: are served, making per-shard parallelism measurable in
         #: simulated time.
         self.service_time = service_time
+        #: Optional :class:`repro.core.query.QueryEngine` — the
+        #: epoch-guarded reverse authorization index.  When set, a
+        #: submission whose (identity, start) is a *guaranteed* DENY
+        #: is answered here, after the grid-mapfile lookup but before
+        #: account mapping and JMI spawn — no pipeline invocation.
+        #: Deny-safe by construction (the differential suite pins it):
+        #: anything the index cannot prove falls through to the full
+        #: path.
+        self.query_engine = query_engine
         self._published_evictions: Dict[str, int] = {}
 
     # -- shard-state views (back-compat accessors) ----------------------------
@@ -171,9 +181,15 @@ class Gatekeeper:
         # 0. Service-wide backpressure, before any expensive work —
         # an overloaded front door sheds load without paying for
         # credential verification first.
-        rejection = self.admission.check_global(self.state.global_active_jmis())
+        active = self.state.global_active_jmis()
+        rejection = self.admission.check_global(active)
         if rejection is not None:
-            return self._admission_rejected(*rejection)
+            return self._admission_rejected(
+                *rejection,
+                retry_after=self.admission.retry_after_hint(
+                    rejection[0], active_jmis=active
+                ),
+            )
 
         # 1. Authenticate.
         self._trace("gatekeeper", "gsi", "authenticate credential")
@@ -191,7 +207,12 @@ class Gatekeeper:
         # 1b. Per-user admission: in-flight job cap.
         rejection = self.admission.check_user(str(identity))
         if rejection is not None:
-            return self._admission_rejected(*rejection)
+            return self._admission_rejected(
+                *rejection,
+                retry_after=self.admission.retry_after_hint(
+                    rejection[0], identity=str(identity)
+                ),
+            )
 
         # 2. Authorize: grid-mapfile ACL.
         self._trace("gatekeeper", "grid-mapfile", "lookup identity")
@@ -201,6 +222,28 @@ class Gatekeeper:
                 code=GramErrorCode.GRIDMAP_LOOKUP_FAILED,
                 message=f"{identity} has no grid-mapfile entry",
             )
+
+        # 2a. Admission fast-deny: when the epoch-guarded reverse
+        # index can *prove* no policy source could permit this
+        # identity's start, answer the denial here — no RSL parse,
+        # no account mapping, no JMI, no pipeline.  Undecided falls
+        # through to the full path; deny-safety is pinned by the
+        # differential suite, and ensure_fresh() inside the check
+        # rebuilds on any policy-epoch bump first.
+        if self.query_engine is not None:
+            pre = self.query_engine.check_action(str(identity), "start")
+            if pre.guaranteed_deny:
+                self._trace(
+                    "gatekeeper", "query-index", f"fast deny ({pre.level})"
+                )
+                return GramResponse(
+                    code=GramErrorCode.AUTHORIZATION_DENIED,
+                    message=(
+                        "authorization denied (reverse-index fast deny, "
+                        f"{pre.level} level)"
+                    ),
+                    reasons=pre.reasons,
+                )
 
         # 2b. Optional Gatekeeper-placed PEP (§6.2 comparison).
         if self.gatekeeper_pep is not None:
@@ -324,11 +367,17 @@ class Gatekeeper:
 
     # -- internals ---------------------------------------------------------------
 
-    def _admission_rejected(self, scope: str, reason: str) -> GramResponse:
+    def _admission_rejected(
+        self, scope: str, reason: str, retry_after: Optional[float] = None
+    ) -> GramResponse:
         self._trace("gatekeeper", "admission", f"reject ({scope})")
         if self.telemetry is not None:
             self.telemetry.count("gram_admission_rejected_total", scope=scope)
-        return GramResponse(code=GramErrorCode.RESOURCE_BUSY, message=reason)
+        return GramResponse(
+            code=GramErrorCode.RESOURCE_BUSY,
+            message=reason,
+            retry_after=retry_after,
+        )
 
     def _job_terminal(self, jmi: JobManagerInstance, job) -> None:
         """Terminal listener for a started job: release + (optionally) reap.

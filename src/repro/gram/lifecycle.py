@@ -187,6 +187,11 @@ class CompletedJobStore:
         return iter(self._records.values())
 
 
+#: Nominal simulated seconds for one in-flight job to drain — the unit
+#: :meth:`AdmissionControl.retry_after_hint` quotes its advice in.
+NOMINAL_DRAIN_SECONDS = 1.0
+
+
 class AdmissionControl:
     """Front-door backpressure: who may start a job right now.
 
@@ -228,6 +233,28 @@ class AdmissionControl:
                 f"in flight (cap {cap})",
             )
         return None
+
+    def retry_after_hint(
+        self,
+        scope: str,
+        identity: Optional[str] = None,
+        active_jmis: int = 0,
+    ) -> float:
+        """Advisory sim-clock seconds before a retry could admit.
+
+        Derived from the admission state that produced the rejection:
+        how far past the violated bound the service currently is,
+        times a nominal one-second drain per in-flight job.  Carried
+        on ``RESOURCE_BUSY`` responses as ``retry_after`` so clients
+        back off instead of blind-retrying into the same rejection.
+        """
+        if scope == "user" and identity is not None:
+            cap = self.config.max_jobs_per_user or 0
+            excess = self._in_flight.get(identity, 0) - cap + 1
+        else:
+            ceiling = self.config.max_active_jmis or 0
+            excess = active_jmis - ceiling + 1
+        return max(1, excess) * NOMINAL_DRAIN_SECONDS
 
     def note_started(self, identity: str) -> None:
         self._in_flight[identity] = self._in_flight.get(identity, 0) + 1

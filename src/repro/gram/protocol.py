@@ -120,6 +120,11 @@ class GramResponse:
     #: broke without parsing the message text.
     failure_source: str = ""
     failure_kind: str = ""
+    #: For ``RESOURCE_BUSY``: advisory sim-clock seconds after which a
+    #: retry could plausibly admit, derived from the admission state
+    #: that rejected the request.  Clients honour it instead of blind
+    #: immediate retries (see :class:`repro.gram.client.GramClient`).
+    retry_after: Optional[float] = None
     #: The decision-pipeline context of the authorization decision
     #: behind this response (extended mode): per-stage timings,
     #: contributing policy sources, cache status.  Excluded from
@@ -148,6 +153,7 @@ class GramResponse:
             "job_owner": self.job_owner,
             "failure_source": self.failure_source,
             "failure_kind": self.failure_kind,
+            "retry_after": self.retry_after,
         }
         if self.decision_context is not None:
             data["decision_context"] = self.decision_context.to_dict()
@@ -178,6 +184,7 @@ class GramResponse:
                 job_owner=data.get("job_owner", ""),
                 failure_source=data.get("failure_source", ""),
                 failure_kind=data.get("failure_kind", ""),
+                retry_after=data.get("retry_after"),
                 decision_context=(
                     DecisionContext.from_dict(data["decision_context"])
                     if data.get("decision_context")

@@ -34,6 +34,7 @@ from repro.core.callout import (
 from repro.core.combination import CombinationAlgorithm
 from repro.core.model import Policy
 from repro.core.pep import EnforcementPoint, PEPPlacement
+from repro.core.query import QueryEngine
 from repro.core.pipeline import DecisionCache, TracingMiddleware
 from repro.core.resilience import (
     DegradationMode,
@@ -129,6 +130,15 @@ class ServiceConfig:
     capability_grants: bool = False
     #: Capability lifetime in simulated seconds.
     capability_ttl: float = 300.0
+    #: Reverse-index admission fast-deny (:mod:`repro.core.query`):
+    #: the Gatekeeper answers submissions whose (identity, start) is a
+    #: *guaranteed* DENY straight from the epoch-guarded reverse
+    #: authorization index — after the grid-mapfile lookup, before
+    #: account mapping, JMI spawn or any pipeline invocation.
+    #: Deny-safe only: undecided requests take the full path.  A
+    #: sharded service watches the cross-shard epoch broadcast too, so
+    #: ``bump_policy_epoch()`` invalidates the index service-wide.
+    query_fast_deny: bool = False
     #: HMAC key for capability signing (None = derive one
     #: deterministically from the host; a sharded service shares the
     #: base host's key across every shard).
@@ -219,6 +229,12 @@ class GramService:
         self.capability: Optional[CapabilityMiddleware] = (
             self._build_capability()
         )
+        #: Epoch-guarded reverse authorization index
+        #: (:class:`repro.core.query.QueryEngine`) feeding the
+        #: Gatekeeper's admission fast-deny (None when
+        #: ``config.query_fast_deny`` is off or no policies are
+        #: configured).
+        self.query_engine: Optional[QueryEngine] = self._build_query_engine()
         self.pep = EnforcementPoint(
             registry=self.registry,
             placement=PEPPlacement.JOB_MANAGER,
@@ -294,6 +310,7 @@ class GramService:
             telemetry=self.telemetry,
             state=self.shard_state,
             service_time=self.config.request_service_time,
+            query_engine=self.query_engine,
         )
 
         #: Health & SLO monitor over this stack's telemetry (None
@@ -435,6 +452,19 @@ class GramService:
         return CapabilityMiddleware(
             issuer,
             registry=self.telemetry.registry if self.telemetry else None,
+        )
+
+    def _build_query_engine(self) -> Optional[QueryEngine]:
+        if not self.config.query_fast_deny:
+            return None
+        if self.combined_evaluator is None:
+            # LEGACY mode or no policies: there is nothing to invert,
+            # and the initiator rule can never be statically denied.
+            return None
+        return QueryEngine.from_combined(
+            self.combined_evaluator,
+            registry=self.telemetry.registry if self.telemetry else None,
+            consumer="gatekeeper",
         )
 
     def _build_decision_cache(self) -> Optional[DecisionCache]:

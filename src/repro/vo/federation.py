@@ -20,12 +20,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.evaluator import PolicyEvaluator
 from repro.core.model import Policy
+from repro.core.query import QueryEngine
+from repro.core.request import AuthorizationRequest
 from repro.gram.client import GramClient
 from repro.gram.protocol import GramErrorCode, GramResponse, JobContact
 from repro.gram.service import GramService, ServiceConfig
 from repro.gsi.credentials import CertificateAuthority, Credential
 from repro.obs.health import HealthMonitor, SloSpec
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Tracer, current_span
+from repro.rsl.ast import MultiRequest
+from repro.rsl.errors import RSLSyntaxError
+from repro.rsl.parser import parse_rsl
 
 #: Response codes a broker retries at the next site: capacity and
 #: authorization-*system* problems are site-local, so another site may
@@ -72,6 +80,14 @@ class FederatedDeployment:
         #: Federation-wide health monitor: one scope per site (see
         #: :meth:`enable_health`); None until enabled.
         self.health: Optional[HealthMonitor] = None
+        #: Reverse authorization index over the *VO* policy (see
+        #: :meth:`enable_query_prefilter`); None until enabled.
+        self.query_engine: Optional[QueryEngine] = None
+        #: Registry the prefilter's ``query_prefilter_*`` counters land
+        #: in (created by :meth:`enable_query_prefilter` if not given).
+        self.prefilter_registry: Optional[MetricsRegistry] = None
+        #: Tracer for prefilter span events, if one was supplied.
+        self.prefilter_tracer: Optional[Tracer] = None
 
     # -- construction -----------------------------------------------------
 
@@ -128,6 +144,35 @@ class FederatedDeployment:
         for site in self._sites:
             self._watch_site(site)
         return self.health
+
+    def enable_query_prefilter(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> QueryEngine:
+        """Build the reverse index the broker pre-filters against.
+
+        The index covers the *VO policy only*.  That is deny-safe
+        under the sites' ALL_MUST_PERMIT combination: every site
+        evaluates the VO policy as one of its sources, so a request
+        the VO source is guaranteed to deny is denied at every site
+        no matter what the local policies say.  The converse does not
+        hold — a VO "maybe" can still be denied locally — so the
+        prefilter only ever *drops* statically-denied submissions; it
+        never admits anything (see :meth:`VOBroker.submit`).
+        """
+        if self.query_engine is not None:
+            return self.query_engine
+        self.prefilter_registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self.prefilter_tracer = tracer
+        self.query_engine = QueryEngine(
+            [PolicyEvaluator(self.vo_policy, source="vo")],
+            registry=self.prefilter_registry,
+            consumer="broker",
+        )
+        return self.query_engine
 
     def _watch_site(self, site: GridSite) -> None:
         telemetry = site.service.telemetry
@@ -229,6 +274,9 @@ class VOBroker:
             for site in federation.sites
         }
         self._placements: Dict[str, str] = {}  # contact id -> site name
+        #: Submissions answered locally by the reverse-index prefilter
+        #: (guaranteed VO denies that never generated a site round-trip).
+        self.prefiltered: int = 0
 
     def site_weight(self, site: GridSite) -> float:
         """The health weight of one site (1.0 without a monitor)."""
@@ -249,8 +297,66 @@ class VOBroker:
             ),
         )
 
+    def _prefilter(self, rsl_text: str) -> Optional[Placement]:
+        """Answer a guaranteed VO deny locally, without any site trip.
+
+        Deny-safe by construction: only a :class:`~repro.core.query`
+        *guaranteed* deny — one the forward evaluator provably cannot
+        turn into a PERMIT — short-circuits.  Anything the index is
+        unsure about (including unparseable RSL and multi-requests)
+        falls through to the normal site loop.
+        """
+        engine = self.federation.query_engine
+        if engine is None:
+            return None
+        try:
+            spec = parse_rsl(rsl_text)
+        except RSLSyntaxError:
+            return None  # let the site answer BAD_RSL
+        if isinstance(spec, MultiRequest):
+            return None  # components are authorized separately
+        request = AuthorizationRequest.start(self.identity, spec)
+        pre = engine.check_request(request, deep=True)
+        if not pre.guaranteed_deny:
+            return None
+        self.prefiltered += 1
+        detail = f"guaranteed deny ({pre.level} level), 0 round-trips"
+        active = current_span()
+        if active is not None:
+            active.event("query-prefilter", detail)
+        elif self.federation.prefilter_tracer is not None:
+            with self.federation.prefilter_tracer.span(
+                "vo-broker.prefilter", level=pre.level
+            ) as span:
+                span.event("query-prefilter", detail)
+        return Placement(
+            site="(vo-prefilter)",
+            response=GramResponse(
+                code=GramErrorCode.AUTHORIZATION_DENIED,
+                message=(
+                    "authorization denied (VO reverse-index prefilter, "
+                    f"{pre.level} level)"
+                ),
+                reasons=pre.reasons,
+            ),
+            attempts=0,
+        )
+
+    @property
+    def identity(self) -> str:
+        return str(self.credential.identity)
+
     def submit(self, rsl_text: str) -> Placement:
-        """Place a job on the best healthy site that will take it."""
+        """Place a job on the best healthy site that will take it.
+
+        When the federation has a reverse index enabled
+        (:meth:`FederatedDeployment.enable_query_prefilter`), requests
+        the VO policy is statically guaranteed to deny are answered
+        here with ``attempts=0`` — no site round-trip at all.
+        """
+        pre = self._prefilter(rsl_text)
+        if pre is not None:
+            return pre
         last: Optional[Placement] = None
         for attempt, site in enumerate(self._ordered_sites(), start=1):
             client = self._clients.get(site.name)

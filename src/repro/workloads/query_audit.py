@@ -1,0 +1,310 @@
+"""The reverse-index deny-safety differential audit.
+
+The load-bearing safety argument for :mod:`repro.core.query` is
+differential: replay a randomized subject×action×spec probe stream
+and, for every case, compare the reverse index's pre-decision against
+what a *fresh* forward combined evaluation decides at that moment.
+The pre-filter must be **deny-safe only** — a ``guaranteed_deny``
+where forward evaluation PERMITs is precisely the bug (a pre-filter
+suppressing legitimate work) the design must never exhibit.  The
+enumeration side is pinned too: every forward PERMIT's action must
+appear in the subject's reachable-permission set.
+
+The driver deliberately stresses the staleness window: periodic
+``replace_policy`` swaps bump a source's epoch mid-stream, and the
+epoch-guarded engine must rebuild before its next answer — a stale
+index serving even one decision shows up as an ``unsafe`` count.
+
+The probe pool mixes:
+
+* in-policy users issuing conforming and random requests (start and
+  management actions);
+* in-group strangers — identities under the organisation prefix with
+  no grants, so requirement statements apply but nothing permits
+  (explicit forward DENY, ``action``/``subject``-level prefilter);
+* out-of-universe strangers (forward NOT_APPLICABLE per source);
+* users holding *wildcard* (non-indexable action guard) grants and a
+  prefix-group grant statement, exercising the catch-all paths.
+
+Used by ``tests/core/test_query_differential.py`` (zero-tolerance
+assertions, ≥10k probes) and ``benchmarks/test_bench_query_authz.py``
+(the artifact embeds the audit numbers).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.combination import CombinationAlgorithm, CombinedEvaluator
+from repro.core.decision import Effect
+from repro.core.errors import AuthorizationSystemFailure
+from repro.core.evaluator import PolicyEvaluator
+from repro.core.model import (
+    Policy,
+    PolicyAssertion,
+    PolicyStatement,
+    StatementKind,
+    Subject,
+)
+from repro.core.query import ANY_ACTION, QueryEngine
+from repro.gsi.names import DistinguishedName
+from repro.workloads.generator import (
+    DEFAULT_ORG_PREFIX,
+    PolicyShape,
+    WorkloadGenerator,
+    generate_identity,
+    generate_policy,
+    generate_users,
+)
+
+#: DN root for probes no policy statement can apply to.
+STRANGER_ORG_PREFIX = "/O=Elsewhere/O=Nowhere/OU=strangers.example.net"
+
+
+@dataclass(frozen=True)
+class QueryAuditConfig:
+    """Shape of one audit run (fully seeded, fully deterministic)."""
+
+    #: Policy shape shared by the VO and local sources.
+    shape: PolicyShape = PolicyShape(users=30, seed=11)
+    #: Distinct probes in the replay pool.
+    pool_size: int = 160
+    #: Total probes replayed (each drawn from the pool with repetition).
+    cases: int = 5000
+    seed: int = 29
+    algorithm: CombinationAlgorithm = CombinationAlgorithm.ALL_MUST_PERMIT
+    #: Every N cases, replace one policy source (alternating VO/local)
+    #: with a reshaped one — an epoch bump mid-stream (0 = never).
+    bump_every: int = 900
+    management_fraction: float = 0.35
+    #: Fraction of pool probes issued by identities outside the policy.
+    stranger_fraction: float = 0.3
+    #: Users (beyond the shape's population) holding wildcard grants —
+    #: assertions whose action guard is not statically indexable, so
+    #: the index must treat them as reachable for every action.
+    wildcard_users: int = 3
+    #: Use the deep (request-level) check; otherwise classification only.
+    deep: bool = True
+
+
+@dataclass
+class QueryAuditResult:
+    """What one audit run observed, ready for assertions."""
+
+    cases: int = 0
+    #: Pre-filter guaranteed-DENYs where forward evaluation PERMITs —
+    #: the zero-tolerance number (deny-safety).
+    unsafe: int = 0
+    #: Forward PERMITs whose action is missing from the subject's
+    #: enumerated reachable set — the enumeration parity number.
+    enumeration_misses: int = 0
+    #: Probes the pre-filter answered guaranteed-DENY.
+    prefiltered: int = 0
+    fresh_permits: int = 0
+    fresh_denials: int = 0
+    epoch_bumps: int = 0
+    rebuilds: int = 0
+    first_unsafe: Optional[Tuple[str, str]] = None
+    #: Guaranteed-deny counts by proof level (subject/action/constraint).
+    levels: dict = field(default_factory=dict)
+
+    @property
+    def deny_coverage(self) -> float:
+        """Fraction of forward non-PERMITs the pre-filter caught."""
+        if not self.fresh_denials:
+            return 0.0
+        return self.prefiltered / self.fresh_denials
+
+    def to_dict(self) -> dict:
+        return {
+            "cases": self.cases,
+            "unsafe": self.unsafe,
+            "enumeration_misses": self.enumeration_misses,
+            "prefiltered": self.prefiltered,
+            "fresh_permits": self.fresh_permits,
+            "fresh_denials": self.fresh_denials,
+            "deny_coverage": round(self.deny_coverage, 4),
+            "epoch_bumps": self.epoch_bumps,
+            "rebuilds": self.rebuilds,
+            "levels": dict(self.levels),
+        }
+
+
+def audit_policy(
+    shape: PolicyShape,
+    name: str,
+    org_prefix: str = DEFAULT_ORG_PREFIX,
+    wildcard_users: int = 3,
+) -> Policy:
+    """A generated policy extended with the awkward statement shapes.
+
+    On top of :func:`generate_policy` (per-user exact grants plus the
+    group jobtag requirement) this appends, deterministically:
+
+    * *wildcard* grants — ``(action!=none)`` guards that the compiled
+      action bucketing cannot index, for users just past the shape's
+      population, so catch-all reachability is always in play;
+    * a prefix-group *grant* (the shape's group statement is a
+      requirement), so prefix subjects appear on the grant side too;
+    * a deny-override requirement — a guard that triggers on a jobtag
+      the per-user grants also use, denying requests a grant alone
+      would permit.
+    """
+    base = generate_policy(shape, org_prefix=org_prefix, name=name)
+    extras: List[PolicyStatement] = []
+    for offset in range(wildcard_users):
+        identity = generate_identity(shape.users + offset, org_prefix)
+        extras.append(
+            PolicyStatement(
+                subject=Subject.identity(identity),
+                assertions=(
+                    PolicyAssertion.parse("&(action!=none)(count<4)"),
+                ),
+                kind=StatementKind.GRANT,
+                origin=name,
+            )
+        )
+    extras.append(
+        PolicyStatement(
+            subject=Subject.prefix(f"{org_prefix}/CN=User 0000"),
+            assertions=(
+                PolicyAssertion.parse(
+                    "&(action=information)(jobowner=self)"
+                ),
+            ),
+            kind=StatementKind.GRANT,
+            origin=name,
+        )
+    )
+    extras.append(
+        PolicyStatement(
+            subject=Subject.prefix(org_prefix),
+            assertions=(
+                PolicyAssertion.parse("&(action=start)(jobtag!=URGENT)"),
+            ),
+            kind=StatementKind.REQUIREMENT,
+            origin=name,
+        )
+    )
+    return Policy.make(tuple(base.statements) + tuple(extras), name=name)
+
+
+def build_query_audit(
+    config: QueryAuditConfig,
+) -> Tuple[CombinedEvaluator, QueryEngine, List[PolicyEvaluator]]:
+    """The combined forward oracle and the engine under test."""
+    # Both sources start in agreement (same shape seed) so the stream
+    # has a healthy PERMIT fraction — that is what stresses
+    # deny-safety.  The mid-stream ``replace_policy`` bumps then swap
+    # in genuinely different policies, opening disagreement windows.
+    vo_policy = audit_policy(
+        config.shape, "vo", wildcard_users=config.wildcard_users
+    )
+    local_policy = audit_policy(
+        config.shape, "local", wildcard_users=config.wildcard_users
+    )
+    evaluators = [
+        PolicyEvaluator(vo_policy, source="vo"),
+        PolicyEvaluator(local_policy, source="local"),
+    ]
+    combined = CombinedEvaluator(evaluators, algorithm=config.algorithm)
+    engine = QueryEngine.from_combined(combined)
+    return combined, engine, evaluators
+
+
+def _probe_pool(config: QueryAuditConfig, policy: Policy) -> List:
+    members = generate_users(config.shape.users + config.wildcard_users)
+    member_generator = WorkloadGenerator(
+        policy=policy, users=members, seed=config.seed
+    )
+    strangers = [
+        # Half share the org prefix (requirements apply, no grants),
+        # half live outside every statement's universe.
+        DistinguishedName.parse(
+            generate_identity(10_000 + i)
+            if i % 2
+            else generate_identity(i, STRANGER_ORG_PREFIX)
+        )
+        for i in range(max(4, config.shape.users // 2))
+    ]
+    stranger_generator = WorkloadGenerator(
+        policy=policy, users=strangers, seed=config.seed + 1
+    )
+    stranger_count = int(config.pool_size * config.stranger_fraction)
+    pool = member_generator.batch(
+        config.pool_size - stranger_count,
+        management_fraction=config.management_fraction,
+    )
+    pool.extend(
+        stranger_generator.batch(
+            stranger_count, management_fraction=config.management_fraction
+        )
+    )
+    return pool
+
+
+def run_query_audit(
+    config: Optional[QueryAuditConfig] = None,
+) -> QueryAuditResult:
+    """Replay the probe stream; compare every case against forward."""
+    config = config or QueryAuditConfig()
+    combined, engine, evaluators = build_query_audit(config)
+    pool = _probe_pool(config, evaluators[0].policy)
+    rng = random.Random(config.seed * 37 + 5)
+    result = QueryAuditResult()
+    reshuffle = 0
+
+    for case in range(config.cases):
+        if config.bump_every and case and case % config.bump_every == 0:
+            # Epoch bump mid-stream: the engine must rebuild before
+            # its next answer or deny-safety breaks loudly below.
+            reshuffle += 1
+            target = evaluators[reshuffle % len(evaluators)]
+            target.replace_policy(
+                audit_policy(
+                    PolicyShape(
+                        users=config.shape.users,
+                        statements_per_user=config.shape.statements_per_user,
+                        assertions_per_statement=config.shape.assertions_per_statement,
+                        seed=config.shape.seed + 100 + reshuffle,
+                    ),
+                    target.source,
+                    wildcard_users=config.wildcard_users,
+                )
+            )
+            result.epoch_bumps += 1
+
+        request = pool[rng.randrange(len(pool))]
+        # The system under test answers FIRST: if it peeked at the
+        # oracle's work (shared caches, lazy rebuilds) the audit would
+        # miss it the other way around.
+        pre = engine.check_request(request, deep=config.deep)
+        try:
+            fresh = combined.evaluate(request).effect
+        except AuthorizationSystemFailure:
+            fresh = Effect.INDETERMINATE
+
+        result.cases += 1
+        if fresh is Effect.PERMIT:
+            result.fresh_permits += 1
+            explanation = engine.explain(request.requester)
+            actions = set(explanation.actions())
+            if (
+                str(request.action) not in actions
+                and ANY_ACTION not in actions
+            ):
+                result.enumeration_misses += 1
+        else:
+            result.fresh_denials += 1
+        if pre.guaranteed_deny:
+            result.prefiltered += 1
+            result.levels[pre.level] = result.levels.get(pre.level, 0) + 1
+            if fresh is Effect.PERMIT:
+                result.unsafe += 1
+                if result.first_unsafe is None:
+                    result.first_unsafe = (str(request), pre.level)
+
+    result.rebuilds = engine.rebuilds
+    return result

@@ -1,0 +1,110 @@
+"""Differential suite: reverse-index pre-decisions vs forward evaluation.
+
+The safety bar for the reverse index is *deny-safe only*: across
+randomized policies, subjects, actions, constraint shapes, wildcard
+statements, deny-override requirements and mid-stream policy-epoch
+bumps, a ``guaranteed_deny`` pre-decision must never suppress a
+request forward evaluation would PERMIT.  Zero tolerance — one unsafe
+answer means the pre-filter is dropping legitimate work.  Enumeration
+parity is pinned alongside: every forward PERMIT's action must appear
+in the subject's reachable-permission set.
+
+The streams replay ≥10k probes in total (pinned by the floor test at
+the bottom, like the compiled-engine and capability parity suites)
+through :func:`repro.workloads.query_audit.run_query_audit`, which
+mixes member, in-group-stranger and out-of-universe probes and bumps
+policy epochs mid-stream — the engine must rebuild before its next
+answer, so a stale index serving even one decision fails loudly here.
+"""
+
+import pytest
+
+from repro.core.combination import CombinationAlgorithm
+from repro.workloads.generator import PolicyShape
+from repro.workloads.query_audit import (
+    QueryAuditConfig,
+    run_query_audit,
+)
+
+
+def assert_deny_safe(result):
+    assert result.unsafe == 0, (
+        f"{result.unsafe} guaranteed-DENY pre-decision(s) suppressed a "
+        f"forward PERMIT; first: {result.first_unsafe}"
+    )
+    assert result.enumeration_misses == 0, (
+        f"{result.enumeration_misses} forward PERMIT(s) missing from "
+        f"the enumerated reachable-permission set"
+    )
+
+
+CONFIGS = [
+    pytest.param(
+        QueryAuditConfig(
+            shape=PolicyShape(users=12, seed=3),
+            pool_size=90,
+            cases=3000,
+            seed=19,
+        ),
+        id="small-pool-all-must-permit",
+    ),
+    pytest.param(
+        QueryAuditConfig(
+            shape=PolicyShape(
+                users=40,
+                statements_per_user=2,
+                assertions_per_statement=3,
+                seed=17,
+            ),
+            pool_size=260,
+            cases=4000,
+            seed=23,
+            bump_every=600,
+            algorithm=CombinationAlgorithm.PERMIT_OVERRIDES_NOT_APPLICABLE,
+        ),
+        id="wide-policy-permit-overrides",
+    ),
+    pytest.param(
+        QueryAuditConfig(
+            shape=PolicyShape(users=25, seed=41),
+            pool_size=180,
+            cases=3000,
+            seed=31,
+            bump_every=400,
+            deep=False,
+            stranger_fraction=0.5,
+        ),
+        id="classification-only-heavy-strangers",
+    ),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_deny_safety_zero_tolerance(config):
+    result = run_query_audit(config)
+    assert result.cases == config.cases
+    assert_deny_safe(result)
+    # The stream genuinely exercised both sides and the bump machinery.
+    assert result.fresh_permits > 0
+    assert result.prefiltered > 0
+    if config.bump_every:
+        assert result.epoch_bumps == (config.cases - 1) // config.bump_every
+        # one initial build plus one rebuild per bump — the engine
+        # never answered from a stale index
+        assert result.rebuilds == result.epoch_bumps + 1
+
+
+def test_deep_prefilter_catches_most_denials():
+    result = run_query_audit(QueryAuditConfig(cases=3000))
+    assert_deny_safe(result)
+    # the deep check proves the bulk of forward denials statically —
+    # that coverage is the whole point of pre-filtering
+    assert result.deny_coverage > 0.8
+    # and all three proof levels appear in a mixed stream
+    assert set(result.levels) == {"subject", "action", "constraint"}
+
+
+def test_total_probe_floor():
+    """The suite above must replay at least the advertised 10k probes."""
+    total = sum(param.values[0].cases for param in CONFIGS) + 3000
+    assert total >= 10_000

@@ -240,3 +240,87 @@ class TestAccounting:
         path = tmp_path / "list.json"
         path.write_text("[1, 2, 3]")
         assert main(["accounting", str(path)]) == 2
+
+
+class TestAuthzExplain:
+    def test_renders_permissions_with_provenance(self, policy_file, capsys):
+        assert main(["authz", "explain", policy_file, "--subject", ALICE]) == 0
+        out = capsys.readouterr().out
+        assert ALICE in out
+        assert "start" in out
+        assert "cancel" in out
+        assert "granted by" in out
+        assert "statement" in out
+
+    def test_unknown_subject_exits_one_with_known_subjects(
+        self, policy_file, capsys
+    ):
+        code = main(
+            [
+                "authz",
+                "explain",
+                policy_file,
+                "--subject",
+                "/O=Grid/OU=org/CN=Nobody",
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "known subjects" in captured.err
+        assert ALICE in captured.err
+        # The error is an error: nothing rendered on stdout.
+        assert "granted by" not in captured.out
+
+    def test_job_precheck_possible(self, policy_file, capsys):
+        code = main(
+            [
+                "authz",
+                "explain",
+                policy_file,
+                "--subject",
+                ALICE,
+                "--job",
+                "&(executable=sim)(count=2)",
+            ]
+        )
+        assert code == 0
+        assert "possible" in capsys.readouterr().out
+
+    def test_job_precheck_guaranteed_deny(self, policy_file, capsys):
+        code = main(
+            [
+                "authz",
+                "explain",
+                policy_file,
+                "--subject",
+                ALICE,
+                "--job",
+                "&(executable=rogue)(count=2)",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "guaranteed DENY" in out
+        assert "constraint" in out
+
+    def test_multiple_sources_are_merged(self, policy_file, tmp_path, capsys):
+        local = tmp_path / "site.policy"
+        local.write_text(f"{ALICE}:\n    &(action=information)(jobowner=self)\n")
+        code = main(
+            [
+                "authz",
+                "explain",
+                policy_file,
+                str(local),
+                "--subject",
+                ALICE,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "information" in out
+        assert "start" in out
+
+    def test_bad_policy_path_is_usage_error(self, tmp_path):
+        missing = str(tmp_path / "missing.policy")
+        assert main(["authz", "explain", missing, "--subject", ALICE]) == 2

@@ -1,0 +1,163 @@
+"""Scheduling-time pre-filtering against the reverse authorization index.
+
+A :class:`~repro.vo.federation.VOBroker` with
+:meth:`~repro.vo.federation.FederatedDeployment.enable_query_prefilter`
+answers *guaranteed* VO denies locally — zero site round-trips — and
+must never suppress a submission the forward pipeline would permit.
+"""
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.core.query import QueryEngine
+from repro.core.request import AuthorizationRequest
+from repro.gram.protocol import GramErrorCode
+from repro.obs.spans import Tracer
+from repro.rsl.parser import parse_rsl
+from repro.vo.federation import FederatedDeployment, VOBroker
+
+ALICE = "/O=Grid/OU=fed/CN=Alice"
+BOB = "/O=Grid/OU=fed/CN=Bob"
+MALLORY = "/O=Grid/OU=fed/CN=Mallory"
+
+VO_POLICY = f"""
+{ALICE}:
+    &(action=start)(executable=TRANSP)(count<=8)(jobtag!=NULL)
+    &(action=cancel)(jobowner=self)
+{BOB}:
+    &(action=cancel)(jobowner=self)
+"""
+
+JOB = "&(executable=TRANSP)(count=4)(jobtag=NFC)(runtime=50)"
+ROGUE = "&(executable=rogue)(count=1)(jobtag=NFC)"
+
+
+@pytest.fixture
+def federation():
+    deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+    deployment.add_site("argonne", node_count=2, cpus_per_node=4)
+    deployment.add_site("lbnl", node_count=4, cpus_per_node=4)
+    for identity, account in (
+        (ALICE, "alice"),
+        (BOB, "bob"),
+        (MALLORY, "mallory"),
+    ):
+        deployment.add_member(identity, account)
+    deployment.enable_query_prefilter()
+    return deployment
+
+
+def broker_for(federation, identity, account):
+    return VOBroker(federation, federation.add_member(identity, account))
+
+
+class TestPrefilterDenies:
+    def test_unknown_subject_never_reaches_a_site(self, federation):
+        broker = broker_for(federation, MALLORY, "mallory")
+        placement = broker.submit(JOB)
+        assert placement.site == "(vo-prefilter)"
+        assert placement.attempts == 0
+        assert placement.response.code is GramErrorCode.AUTHORIZATION_DENIED
+        assert broker.prefiltered == 1
+
+    def test_action_level_deny_short_circuits(self, federation):
+        # Bob holds only a cancel grant: start is statically
+        # unreachable from his statements.
+        broker = broker_for(federation, BOB, "bob")
+        placement = broker.submit(JOB)
+        assert placement.attempts == 0
+        assert "action level" in placement.response.message
+
+    def test_constraint_level_deny_short_circuits(self, federation):
+        # Alice may start jobs, but no grant assertion matches a
+        # rogue executable — the deep check proves the deny.
+        broker = broker_for(federation, ALICE, "alice")
+        placement = broker.submit(ROGUE)
+        assert placement.attempts == 0
+        assert "constraint level" in placement.response.message
+
+    def test_prefilter_metrics_are_counted(self, federation):
+        broker = broker_for(federation, MALLORY, "mallory")
+        broker.submit(JOB)
+        broker.submit(JOB)
+        registry = federation.prefilter_registry
+        assert (
+            registry.value("query_prefilter_checks_total", consumer="broker")
+            == 2
+        )
+        assert (
+            registry.value(
+                "query_prefilter_denied_total",
+                consumer="broker",
+                level="subject",
+            )
+            == 2
+        )
+
+    def test_prefilter_emits_span_event(self):
+        deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+        deployment.add_site("argonne")
+        deployment.add_member(MALLORY, "mallory")
+        tracer = Tracer()
+        deployment.enable_query_prefilter(tracer=tracer)
+        broker = broker_for(deployment, MALLORY, "mallory")
+        broker.submit(JOB)
+        traces = tracer.traces
+        assert traces, "prefilter should have opened a span"
+        events = [e for _, spans in traces for s in spans for e in s.events]
+        assert any(e.name == "query-prefilter" for e in events)
+
+
+class TestDenySafety:
+    """The prefilter only drops what forward evaluation also denies."""
+
+    def test_permitted_submission_is_untouched(self, federation):
+        broker = broker_for(federation, ALICE, "alice")
+        placement = broker.submit(JOB)
+        assert placement.ok
+        assert placement.attempts >= 1
+        assert broker.prefiltered == 0
+
+    def test_every_prefiltered_deny_agrees_with_every_site(self, federation):
+        cases = [
+            (MALLORY, JOB),
+            (BOB, JOB),
+            (ALICE, ROGUE),
+        ]
+        for identity, rsl in cases:
+            request = AuthorizationRequest.start(identity, parse_rsl(rsl))
+            pre = federation.query_engine.check_request(request, deep=True)
+            assert pre.guaranteed_deny, (identity, rsl)
+            for site in federation.sites:
+                decision = site.service.combined_evaluator.evaluate(request)
+                assert not decision.is_permit, (identity, rsl, site.name)
+
+    def test_unparseable_rsl_falls_through_to_the_site(self, federation):
+        broker = broker_for(federation, MALLORY, "mallory")
+        placement = broker.submit("&(((")
+        # Not prefiltered: the site answers BAD_RSL itself.
+        assert placement.attempts >= 1
+        assert placement.response.code is GramErrorCode.BAD_RSL
+
+    def test_multi_requests_fall_through(self, federation):
+        # Multi-requests are authorized per component at the site;
+        # the prefilter stays out of the way.
+        broker = broker_for(federation, ALICE, "alice")
+        placement = broker.submit(f"+({JOB})")
+        assert placement.site != "(vo-prefilter)"
+
+    def test_disabled_prefilter_changes_nothing(self):
+        deployment = FederatedDeployment(parse_policy(VO_POLICY, name="vo"))
+        deployment.add_site("argonne")
+        deployment.add_member(MALLORY, "mallory")
+        broker = broker_for(deployment, MALLORY, "mallory")
+        placement = broker.submit(JOB)
+        assert placement.attempts >= 1
+        assert placement.site == "argonne"
+
+
+class TestEngineSharing:
+    def test_enable_is_idempotent(self, federation):
+        engine = federation.query_engine
+        assert federation.enable_query_prefilter() is engine
+        assert isinstance(engine, QueryEngine)
