@@ -192,7 +192,14 @@ def test_admission_control_returns_resource_busy_at_caps():
     admission2 = service2.gatekeeper.admission
     assert stats2.started == config.users * per_user_cap
     assert stats2.rejected_busy == config.cycles - stats2.started
-    assert admission2.rejected_user == stats2.rejected_busy
+    # Every busy response is either a service-side admission rejection
+    # or a client-local suppression inside the retry_after window the
+    # rejection advertised — the backoff keeps most retries off the
+    # service entirely.
+    suppressed = sum(client.suppressed_retries for client in clients2)
+    assert admission2.rejected_user + suppressed == stats2.rejected_busy
+    assert admission2.rejected_user > 0
+    assert suppressed > 0
     assert admission2.rejected_global == 0
     registry2 = service2.telemetry.registry
     assert registry2.value(

@@ -244,6 +244,48 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    policy_cmd = commands.add_parser(
+        "policy", help="versioned policy store: publish, log, rollback"
+    )
+    policy_commands = policy_cmd.add_subparsers(
+        dest="policy_command", required=True
+    )
+    publish = policy_commands.add_parser(
+        "publish", help="validate and publish a policy bundle"
+    )
+    publish.add_argument(
+        "--store", required=True, metavar="LOG",
+        help="path to the store's JSONL publish log",
+    )
+    publish.add_argument(
+        "sources", nargs="+", metavar="NAME=PATH",
+        help="policy sources, e.g. vo=vo.policy local=local.policy",
+    )
+    log = policy_commands.add_parser(
+        "log", help="list the published snapshots, oldest first"
+    )
+    log.add_argument("--store", required=True, metavar="LOG")
+    rollback = policy_commands.add_parser(
+        "rollback", help="re-publish earlier content as a new epoch"
+    )
+    rollback.add_argument("--store", required=True, metavar="LOG")
+    rollback.add_argument(
+        "--to", default=None, metavar="DIGEST",
+        help="target snapshot digest (prefix allowed)",
+    )
+    rollback.add_argument(
+        "--steps", type=int, default=1,
+        help="publishes to roll back when --to is not given (default 1)",
+    )
+
+    recover = commands.add_parser(
+        "recover", help="replay a completed-job spill file and report"
+    )
+    recover.add_argument("spill", help="path to the JSONL spill file")
+    recover.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+
     commands.add_parser("demo", help="run a small end-to-end demonstration")
     return parser
 
@@ -650,6 +692,106 @@ def _cmd_authz(args) -> int:
     return 0
 
 
+def _cmd_policy(args) -> int:
+    from repro.core.store import PolicyBundle, VersionedPolicyStore
+
+    store = VersionedPolicyStore(log_path=args.store)
+    if args.policy_command == "publish":
+        named_paths = []
+        for pair in args.sources:
+            name, separator, path = pair.partition("=")
+            if not separator or not name or not path:
+                print(
+                    f"error: expected NAME=PATH, got {pair!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            named_paths.append((name, path))
+        try:
+            bundle = PolicyBundle.from_files(named_paths)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        before = store.policy_epoch
+        snapshot = store.publish(bundle)  # BundleRejected -> exit 2
+        if snapshot.epoch == before:
+            print(
+                f"no-op: content identical to epoch {snapshot.epoch} "
+                f"({snapshot.short_digest})"
+            )
+        else:
+            print(
+                f"published epoch {snapshot.epoch} "
+                f"({snapshot.short_digest}) "
+                f"sources: {', '.join(bundle.source_names)}"
+            )
+        return 0
+    if args.policy_command == "log":
+        entries = store.log_entries()
+        if not entries:
+            print("(empty store)")
+            return 0
+        for snapshot in entries:
+            print(
+                f"epoch {snapshot.epoch:>4} {snapshot.short_digest} "
+                f"t={snapshot.published_at:g} origin={snapshot.origin} "
+                f"sources={','.join(snapshot.bundle.source_names)}"
+            )
+        return 0
+    # rollback (PolicyStoreError -> exit 2 via main's ValueError trap)
+    snapshot = store.rollback(to=args.to, steps=args.steps)
+    print(f"rolled back: epoch {snapshot.epoch} ({snapshot.short_digest})")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    import json as json_module
+    import os
+
+    from repro.gram.spill import CompletedJobSpill
+
+    if not os.path.exists(args.spill):
+        print(f"error: no spill file at {args.spill}", file=sys.stderr)
+        return 2
+    result = CompletedJobSpill(args.spill).recover()
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "records": len(result.records),
+                    "replayed_lines": result.replayed_lines,
+                    "skipped_lines": result.skipped_lines,
+                    "evicted": result.evicted,
+                    "last_at": result.last_at,
+                    "jobs": [
+                        {
+                            "job_id": record.job_id,
+                            "owner": str(record.owner),
+                            "state": record.state.value,
+                            "finished_at": record.finished_at,
+                        }
+                        for record in result.records
+                    ],
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"records  : {len(result.records)} live")
+    print(
+        f"replayed : {result.replayed_lines} lines "
+        f"({result.evicted} tombstoned)"
+    )
+    print(f"skipped  : {result.skipped_lines} unparsable line(s)")
+    print(f"last_at  : t={result.last_at:g}")
+    for record in result.records:
+        print(
+            f"  job {record.job_id}: {record.state.value} "
+            f"owner={record.owner} t={record.finished_at:g}"
+        )
+    return 0
+
+
 def _cmd_demo(args) -> int:
     from repro import GramClient, GramService, ServiceConfig
     from repro.core.parser import parse_policy
@@ -690,6 +832,8 @@ _HANDLERS = {
     "accounting": _cmd_accounting,
     "capability": _cmd_capability,
     "authz": _cmd_authz,
+    "policy": _cmd_policy,
+    "recover": _cmd_recover,
     "demo": _cmd_demo,
 }
 

@@ -93,6 +93,13 @@ from repro.core.pipeline import (
     TracingMiddleware,
     current_context,
 )
+from repro.core.store import (
+    BundleRejected,
+    PolicyBundle,
+    PolicySnapshot,
+    PolicyWatcher,
+    VersionedPolicyStore,
+)
 from repro.core.resilience import (
     BreakerOpen,
     BreakerState,
@@ -164,6 +171,11 @@ __all__ = [
     "StageRecord",
     "TracingMiddleware",
     "current_context",
+    "BundleRejected",
+    "PolicyBundle",
+    "PolicySnapshot",
+    "PolicyWatcher",
+    "VersionedPolicyStore",
     "BreakerOpen",
     "BreakerState",
     "CalloutTimeout",

@@ -31,6 +31,7 @@ Configuration file format (one callout per line)::
 
 from __future__ import annotations
 
+import hashlib
 import importlib
 import time
 from dataclasses import dataclass
@@ -104,6 +105,22 @@ class CalloutRegistry:
         self._callouts: Dict[str, List[Tuple[str, AuthorizationCallout]]] = {}
         self._types: Dict[str, CalloutType] = {}
         self.invocations = 0
+        #: Bumped whenever a *configuration event* changes what is
+        #: configured (:meth:`configure`, :meth:`configure_from_file`
+        #: with changed content).  Exposed the way every policy source
+        #: exposes its epoch, so capability issuers and decision
+        #: caches that watch the registry revoke/invalidate on a real
+        #: reconfiguration — and, crucially, **not** on a no-op
+        #: republish of byte-identical file content.  Construction-time
+        #: :meth:`register` calls and :meth:`wrap` layering do not
+        #: bump: they assemble, they don't reconfigure.
+        self.policy_epoch = 0
+        #: Per-path content digest of the last applied configuration
+        #: file — the no-op-reload short circuit.
+        self._file_digests: Dict[str, str] = {}
+        #: Per-path ``(type_name, label)`` pairs registered from that
+        #: file, so a reload can replace exactly what the file owns.
+        self._file_entries: Dict[str, List[Tuple[str, str]]] = {}
 
     # -- declaration ------------------------------------------------------
 
@@ -137,24 +154,37 @@ class CalloutRegistry:
             callout,
             label=f"{configuration.module}:{configuration.symbol}",
         )
+        self.policy_epoch += 1
 
-    def configure_from_file(self, path: str) -> int:
+    def configure_from_file(self, path: str, reload: bool = False) -> int:
         """Parse a callout configuration file; returns callouts loaded.
 
         All-or-nothing: every line is parsed and every implementation
         loaded *before* anything is registered, so a failure midway
         through the file leaves the registry exactly as it was — no
         partial configuration from the earlier lines.
+
+        **Digest short-circuit:** when the file's content is
+        byte-identical to what this path last applied, nothing happens
+        and ``0`` is returned — in particular :attr:`policy_epoch`
+        does not move, so a no-op republish revokes no capability
+        tokens and invalidates no caches.  When the content *did*
+        change, ``reload=True`` first drops the callouts previously
+        configured from this path (a replace, not an append) and the
+        epoch bumps once.
         """
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                lines = handle.readlines()
+                content = handle.read()
         except OSError as exc:
             raise AuthorizationSystemFailure(
                 f"cannot read callout configuration {path!r}: {exc}"
             )
+        digest = hashlib.sha256(content.encode("utf-8")).hexdigest()
+        if self._file_digests.get(path) == digest:
+            return 0
         staged: List[Tuple[str, AuthorizationCallout, str]] = []
-        for line_number, raw in enumerate(lines, start=1):
+        for line_number, raw in enumerate(content.splitlines(), start=1):
             line = raw.split("#", 1)[0].strip()
             if not line:
                 continue
@@ -174,9 +204,35 @@ class CalloutRegistry:
                     f"{configuration.module}:{configuration.symbol}",
                 )
             )
+        previously_owned = bool(self._file_entries.get(path))
+        if reload:
+            self._drop_file_entries(path)
         for type_name, callout, label in staged:
             self.register(type_name, callout, label=label)
+        self._file_digests[path] = digest
+        self._file_entries[path] = [
+            (type_name, label) for type_name, _, label in staged
+        ]
+        if staged or previously_owned:
+            self.policy_epoch += 1
         return len(staged)
+
+    def _drop_file_entries(self, path: str) -> None:
+        """Remove the callouts a previous apply of *path* registered."""
+        for type_name, label in self._file_entries.pop(path, []):
+            chain = self._callouts.get(type_name)
+            if not chain:
+                continue
+            for index, (existing_label, _) in enumerate(chain):
+                if existing_label == label:
+                    del chain[index]
+                    break
+            if not chain:
+                self._callouts.pop(type_name, None)
+
+    def file_labels(self, path: str) -> Tuple[Tuple[str, str], ...]:
+        """``(type_name, label)`` pairs owned by *path*'s configuration."""
+        return tuple(self._file_entries.get(path, ()))
 
     def wrap(
         self,

@@ -18,6 +18,13 @@ from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.protocol import GramErrorCode, GramJobState, GramResponse, JobContact
 from repro.gsi.credentials import Credential
 
+#: Smallest backoff window a ``retry_after`` hint can open.  A busy
+#: service that answers ``retry_after=0`` (or a buggy one that sends a
+#: negative hint) still intends "come back later", not "hammer me now":
+#: clamping to a tiny positive window keeps the suppression machinery
+#: engaged instead of silently disabling it at the boundary.
+MIN_RETRY_AFTER = 1e-3
+
 
 @dataclass
 class _KnownJob:
@@ -71,7 +78,9 @@ class GramClient:
             and response.retry_after is not None
             and clock is not None
         ):
-            self._retry_not_before = clock.now + response.retry_after
+            self._retry_not_before = clock.now + max(
+                response.retry_after, MIN_RETRY_AFTER
+            )
         self._learn(response)
         return response
 

@@ -45,7 +45,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.capability import default_capability_key
 from repro.core.compiled import compiled_for
+from repro.core.store import PolicyBundle, PolicySnapshot
 from repro.gram.lifecycle import SharedGauge
+from repro.gram.spill import shard_spill_path
 from repro.gram.protocol import GramResponse, JobContact
 from repro.gram.service import GramService, ServiceConfig
 from repro.gsi.credentials import CertificateAuthority, Credential
@@ -106,7 +108,7 @@ class ShardRouter:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = shards
-        self.key_fn = key_fn
+        self._key_fn = key_fn
         # DN string -> shard index.  Routing happens on the *caller's*
         # thread, so this is written concurrently — but every access
         # is a single dict get/set (atomic under the GIL) and a lost
@@ -115,9 +117,30 @@ class ShardRouter:
         self._memo: Dict[str, int] = {}
         self.memo_hits = 0
         self.memo_misses = 0
+        self.memo_invalidations = 0
+
+    @property
+    def key_fn(self) -> Optional[Callable[[str], str]]:
+        return self._key_fn
+
+    @key_fn.setter
+    def key_fn(self, key_fn: Optional[Callable[[str], str]]) -> None:
+        """Swap the shard-key function, invalidating the route memo.
+
+        The memo caches *resolved* DN→shard routes; entries computed
+        under the old key function would keep serving stale routes
+        after a re-pin (e.g. moving a hot VO off its shard), so any
+        change clears it — the next lookup per DN re-hashes under the
+        new key.
+        """
+        if key_fn is self._key_fn:
+            return
+        self._key_fn = key_fn
+        self._memo.clear()
+        self.memo_invalidations += 1
 
     def shard_key(self, identity: str) -> str:
-        return self.key_fn(identity) if self.key_fn is not None else identity
+        return self._key_fn(identity) if self._key_fn is not None else identity
 
     def shard_for(self, identity: str) -> int:
         if self.shards == 1:
@@ -351,10 +374,26 @@ class ShardedGramService:
             SharedGauge() if shard_count > 1 else None
         )
 
+        # A durable policy store is a *service-level* concern: the
+        # sharded service seeds/reads it once, hands every shard the
+        # active snapshot's policies, and fans publishes out through
+        # the executor (below) — shards must not subscribe separately
+        # or the publisher's thread would race the shard workers.
+        self.policy_store = self.config.policy_store
+        shard_policies = tuple(self.config.policies)
+        if self.policy_store is not None:
+            if self.policy_store.active() is None and shard_policies:
+                self.policy_store.publish(
+                    PolicyBundle.from_policies(shard_policies), origin="seed"
+                )
+            active = self.policy_store.active()
+            if active is not None:
+                shard_policies = tuple(active.policies)
+
         # Pre-compile shared policies on this (single) thread: the
         # compiled form is cached on the Policy object, and warming it
         # here keeps shard workers from racing the first compilation.
-        for policy in self.config.policies:
+        for policy in shard_policies:
             compiled_for(policy)
 
         # Every shard signs and verifies capabilities with the *same*
@@ -383,6 +422,15 @@ class ShardedGramService:
                 dispatch="inline",
                 capability_key=capability_key,
                 health_slo=False,
+                policies=shard_policies,
+                policy_store=None,
+                spill_path=(
+                    shard_spill_path(
+                        self.config.spill_path, index, shard_count
+                    )
+                    if self.config.spill_path
+                    else None
+                ),
             )
             self.shards.append(
                 GramService(
@@ -408,6 +456,17 @@ class ShardedGramService:
                 # rebuild before the next fast-deny answer, on every
                 # shard.
                 shard.query_engine.add_epoch_source(self.epoch_broadcast)
+            if self.policy_store is not None:
+                # Mirror the flat service's wiring: the store's epoch
+                # joins every shard's cache and capability binding, so
+                # flat and sharded deployments observe publishes the
+                # same way.
+                if shard.pep.cache is not None:
+                    shard.pep.cache.add_epoch_source(self.policy_store)
+                if shard.capability is not None:
+                    shard.capability.issuer.add_epoch_source(
+                        "store", self.policy_store
+                    )
         #: Requests routed to each shard by the front door, by kind —
         #: the raw material of :meth:`placement_report`.  Incremented
         #: on the caller's thread, hence the lock.
@@ -426,6 +485,12 @@ class ShardedGramService:
         #: Health & SLO monitor scoring the merged service view plus
         #: each shard (None unless ``config.health_slo``).
         self.health: Optional[HealthMonitor] = self._build_health()
+        if self.policy_store is not None:
+            # Shard 0's validator speaks for all shards (identical
+            # source topology); publishes fan out through the executor
+            # so each shard swaps between its own requests.
+            self.policy_store.add_validator(self.shards[0]._validate_bundle)
+            self.policy_store.subscribe(self.apply_policy_snapshot)
 
     # -- routing -------------------------------------------------------------
 
@@ -516,6 +581,62 @@ class ShardedGramService:
         next validate on any shard sees the mismatch and re-decides.
         """
         return self.epoch_broadcast.bump()
+
+    # -- durable control plane ----------------------------------------------
+
+    def apply_policy_snapshot(self, snapshot: PolicySnapshot) -> int:
+        """Swap *snapshot*'s policies into every shard; returns swaps.
+
+        Each shard applies through the executor, so the swap is
+        serialized with that shard's request traffic — a shard never
+        evaluates half-old, half-new policy.  Registered as the
+        policy store's subscriber when ``config.policy_store`` is set.
+        """
+        futures = [
+            self.executor.submit(
+                index, lambda s=shard: s.apply_policy_snapshot(snapshot)
+            )
+            for index, shard in enumerate(self.shards)
+        ]
+        return sum(future.result() for future in futures)
+
+    def set_shard_key(
+        self, key_fn: Optional[Callable[[str], str]]
+    ) -> None:
+        """Reconfigure DN→shard-key placement, invalidating the memo.
+
+        Without the memo invalidation a reconfigured ``shard_key``
+        would keep returning routes computed under the old key for
+        every identity seen before the change — the stale-route bug
+        this setter exists to prevent.
+        """
+        self.config = replace(self.config, shard_key=key_fn)
+        self.router.key_fn = key_fn
+
+    def reload_callouts(self, path: str) -> int:
+        """Hot-reload a callout configuration file on every shard.
+
+        Returns the total callouts loaded across shards (0 when the
+        file content is byte-identical to what every shard already
+        runs — the digest short-circuit, so a no-op reload revokes
+        nothing anywhere).
+        """
+        futures = [
+            self.executor.submit(
+                index, lambda s=shard: s.reload_callouts(path)
+            )
+            for index, shard in enumerate(self.shards)
+        ]
+        return sum(future.result() for future in futures)
+
+    @property
+    def recovery(self):
+        """Per-shard recovery results (empty when no spill configured)."""
+        return tuple(
+            shard.recovery
+            for shard in self.shards
+            if shard.recovery is not None
+        )
 
     # -- placement ----------------------------------------------------------
 

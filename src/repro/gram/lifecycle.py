@@ -104,6 +104,13 @@ class CompletedJobStore:
     aged-out job answers ``NO_SUCH_JOB`` exactly like one past the
     count bound.  Evictions are counted by reason (``"count"`` /
     ``"age"``); :attr:`evicted` stays the total for compatibility.
+
+    ``spill`` (a :class:`~repro.gram.spill.CompletedJobSpill`) makes
+    the store durable: inserts and evictions append JSONL lines, and
+    :meth:`preload` rehydrates recovered records on restart without
+    re-appending them.  Every eviction is counted (and spilled)
+    exactly once, whether the eager path (:meth:`expire`, the insert
+    sweep) or the lazy lookup path (:meth:`get`) drops the record.
     """
 
     #: The eviction-reason vocabulary of :attr:`evicted_by_reason`.
@@ -115,6 +122,7 @@ class CompletedJobStore:
         retention: int = 1024,
         retention_age: Optional[float] = None,
         clock: Optional[Clock] = None,
+        spill=None,
     ) -> None:
         if retention < 0:
             raise ValueError("retention must be >= 0")
@@ -125,6 +133,7 @@ class CompletedJobStore:
         self.retention = retention
         self.retention_age = retention_age
         self.clock = clock
+        self.spill = spill
         self._records: "OrderedDict[str, CompletedJobRecord]" = OrderedDict()
         #: Records dropped per retention bound:
         #: ``{"count": ..., "age": ...}``.
@@ -144,6 +153,19 @@ class CompletedJobStore:
         assert self.clock is not None
         return self.clock.now - record.finished_at > self.retention_age
 
+    def _evict(self, record: CompletedJobRecord, reason: str) -> None:
+        """Count (and spill) one eviction.
+
+        The record has already been removed from the map, so a given
+        id can only pass through here once per residence — the eager
+        (insert-time sweep) and lazy (lookup) paths can never
+        double-count the same record.
+        """
+        self.evicted_by_reason[reason] += 1
+        if self.spill is not None:
+            now = self.clock.now if self.clock is not None else 0.0
+            self.spill.append_evict(record.job_id, reason, now)
+
     def expire(self) -> int:
         """Evict every record past ``retention_age``; returns the count.
 
@@ -158,24 +180,60 @@ class CompletedJobStore:
             if not self._expired(oldest):
                 break
             self._records.popitem(last=False)
-            self.evicted_by_reason[self.EVICT_AGE] += 1
+            self._evict(oldest, self.EVICT_AGE)
             dropped += 1
         return dropped
 
-    def add(self, record: CompletedJobRecord) -> None:
+    def add(self, record: CompletedJobRecord, _append: bool = True) -> None:
         self.expire()
         self._records.pop(record.job_id, None)
         self._records[record.job_id] = record
+        if _append and self.spill is not None:
+            self.spill.append_insert(record)
         while len(self._records) > self.retention:
-            self._records.popitem(last=False)
-            self.evicted_by_reason[self.EVICT_COUNT] += 1
+            _, evicted = self._records.popitem(last=False)
+            self._evict(evicted, self.EVICT_COUNT)
+        self._maybe_compact()
+
+    def preload(self, records) -> int:
+        """Rehydrate recovered *records* (already in the spill file).
+
+        Normal retention bounds apply — a recovered backlog larger
+        than ``retention`` evicts down to the bound, counted like any
+        other eviction — but the inserts are not re-appended.
+        """
+        loaded = 0
+        for record in records:
+            self.add(record, _append=False)
+            loaded += 1
+        return loaded
 
     def get(self, job_id: str) -> Optional[CompletedJobRecord]:
         record = self._records.get(job_id)
         if record is not None and self._expired(record):
+            # Lazy age eviction: drop the looked-up record itself
+            # (exactly once — it leaves the map here, so the eager
+            # sweep below cannot count it again), then sweep the
+            # expired prefix.  Popping directly matters when
+            # completion order is not age order — e.g. a recovery
+            # merge inserted a late-arriving older record behind a
+            # fresh one — where the prefix sweep alone would stop
+            # early and the aged record would linger until the count
+            # bound evicted it under the wrong reason label.
+            self._records.pop(job_id, None)
+            self._evict(record, self.EVICT_AGE)
             self.expire()
+            self._maybe_compact()
             return None
         return record
+
+    def live_records(self):
+        """The retained records in FIFO order (compaction input)."""
+        return list(self._records.values())
+
+    def _maybe_compact(self) -> None:
+        if self.spill is not None:
+            self.spill.maybe_compact(self.live_records())
 
     def __contains__(self, job_id: str) -> bool:
         return self.get(job_id) is not None
@@ -325,6 +383,9 @@ class ShardState:
     clock: Clock
     shard_index: int = 0
     shared_active_jmis: Optional[SharedGauge] = None
+    #: Optional :class:`~repro.gram.spill.CompletedJobSpill` making the
+    #: completed-job store durable across restarts.
+    spill: Any = None
     completed: CompletedJobStore = field(init=False)
     job_managers: Dict[str, "JobManagerInstance"] = field(default_factory=dict)
     submissions: int = 0
@@ -336,6 +397,7 @@ class ShardState:
             retention=self.lifecycle.completed_retention,
             retention_age=self.lifecycle.completed_retention_age,
             clock=self.clock,
+            spill=self.spill,
         )
         self.admission = AdmissionControl(self.lifecycle)
 

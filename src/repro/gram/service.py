@@ -41,10 +41,18 @@ from repro.core.resilience import (
     ResilienceConfig,
     RetryPolicy,
 )
+from repro.core.store import (
+    REJECT_SOURCES,
+    BundleRejected,
+    PolicyBundle,
+    PolicySnapshot,
+    PolicyWatcher,
+)
 from repro.gram.gatekeeper import Gatekeeper
 from repro.gram.gridmap import GridMapFile
 from repro.gram.jobmanager import AuthorizationMode
 from repro.gram.lifecycle import LifecycleConfig, ShardState, SharedGauge
+from repro.gram.spill import CompletedJobSpill, RecoveryResult
 from repro.gram.protocol import TraceRecorder
 from repro.gsi.credentials import CertificateAuthority
 from repro.lrm.cluster import Cluster
@@ -176,6 +184,23 @@ class ServiceConfig:
     health_specs: Tuple = ()
     #: Decision entries the anomaly flight recorder retains.
     flight_recorder_limit: int = 256
+    #: Durable, versioned policy control plane
+    #: (:class:`repro.core.store.VersionedPolicyStore`).  When set,
+    #: the service serves the store's *active* snapshot (seeding the
+    #: store from ``policies`` if it is empty) and subscribes to
+    #: publishes: each publish atomically swaps the pre-compiled
+    #: policies into the combined evaluator, so the decision cache,
+    #: capability issuer and query engine all observe one consistent
+    #: epoch step — and an invalid or byte-identical bundle never
+    #: disturbs the serving epoch at all.
+    policy_store: Optional[object] = None
+    #: JSONL spill file for the completed-job store
+    #: (:mod:`repro.gram.spill`).  Inserts/evictions append; a service
+    #: (re)built with the same path recovers the records and
+    #: re-authorizes post-reap requests identically to the
+    #: pre-restart service.  A sharded service derives one file per
+    #: shard from this base path.
+    spill_path: Optional[str] = None
 
 
 class GramService:
@@ -216,6 +241,14 @@ class GramService:
         self.telemetry: Optional[Telemetry] = (
             Telemetry(clock=self.clock) if self.config.telemetry else None
         )
+
+        #: Policies actually served: the policy store's active
+        #: snapshot when one is attached, else ``config.policies``.
+        self._effective_policies: Tuple[Policy, ...] = tuple(
+            self.config.policies
+        )
+        if self.config.policy_store is not None:
+            self._adopt_policy_store()
 
         self.registry: CalloutRegistry = default_registry()
         #: The combined policy evaluator behind the configured callout
@@ -278,6 +311,18 @@ class GramService:
             else None
         )
 
+        #: JSONL durability for the completed-job store (None unless
+        #: ``config.spill_path``); recovery happens below, after the
+        #: state bundle exists to load into.
+        self.spill = (
+            CompletedJobSpill(self.config.spill_path)
+            if self.config.spill_path
+            else None
+        )
+        #: The :class:`~repro.gram.spill.RecoveryResult` of this
+        #: service's restart recovery (None when no spill configured).
+        self.recovery: Optional[RecoveryResult] = None
+
         #: This stack's per-request mutable state, bundled so a
         #: sharded service can hold one per shard (the dispatch layer
         #: reads it for merged snapshots; see ``repro.gram.dispatch``).
@@ -292,7 +337,10 @@ class GramService:
             self.clock,
             shard_index=shard_index,
             shared_active_jmis=shared_active_jmis,
+            spill=self.spill,
         )
+        if self.spill is not None:
+            self._recover_completed_jobs()
         self.gatekeeper = Gatekeeper(
             host=self.config.host,
             trust_anchors=[self.ca],
@@ -316,6 +364,13 @@ class GramService:
         #: Health & SLO monitor over this stack's telemetry (None
         #: unless ``config.health_slo``); ticked from :meth:`run`.
         self.health: Optional[HealthMonitor] = self._build_health()
+
+        #: The live file watcher once :meth:`watch_policy_files` ran.
+        self.policy_watcher: Optional[PolicyWatcher] = None
+        if self.config.policy_store is not None:
+            store = self.config.policy_store
+            store.add_validator(self._validate_bundle)
+            store.subscribe(self.apply_policy_snapshot)
 
     # -- convenience ------------------------------------------------------------
 
@@ -384,6 +439,143 @@ class GramService:
             )
         return resilience
 
+    # -- durable control plane ---------------------------------------------------
+
+    def _adopt_policy_store(self) -> None:
+        """Serve the store's active snapshot (seeding it if empty).
+
+        Runs before the callout registry is built, so the combined
+        evaluator is constructed straight from the snapshot's
+        pre-compiled policies.
+        """
+        store = self.config.policy_store
+        if self.telemetry is not None and store.metrics_registry is None:
+            store.bind_registry(self.telemetry.registry)
+        if store.active() is None and self._effective_policies:
+            store.publish(
+                PolicyBundle.from_policies(self._effective_policies),
+                origin="seed",
+            )
+        active = store.active()
+        if active is not None:
+            self._effective_policies = tuple(active.policies)
+
+    def _validate_bundle(self, bundle, policies) -> None:
+        """Veto bundles this service could not swap in atomically.
+
+        Hot reload replaces policy *content*, not policy *topology*:
+        the bundle's source names must match the serving combined
+        evaluator's members exactly.  Adding or removing a policy
+        source changes the enforcement structure (capability epoch
+        names, query-index membership) and requires a restart — the
+        same restart-for-structure rule real control planes apply.
+        """
+        if self.combined_evaluator is None:
+            raise BundleRejected(
+                REJECT_SOURCES,
+                "service has no combined policy evaluator to swap into",
+            )
+        serving = tuple(e.source for e in self.combined_evaluator.evaluators)
+        offered = tuple(p.name or "policy" for p in policies)
+        if offered != serving:
+            raise BundleRejected(
+                REJECT_SOURCES,
+                f"bundle sources {offered!r} != serving sources {serving!r}",
+            )
+
+    def apply_policy_snapshot(self, snapshot: PolicySnapshot) -> int:
+        """Atomically swap *snapshot*'s policies into the live engines.
+
+        Each member evaluator whose policy content changed is swapped
+        via :meth:`~repro.core.evaluator.PolicyEvaluator.replace_policy`
+        (a reference flip — publish already compiled), bumping its
+        epoch.  The decision cache, capability issuer and query engine
+        all key on those epochs, so every consumer observes the swap
+        as one consistent epoch step: requests before it decide (and
+        validate capabilities) entirely under the old epoch, requests
+        after it entirely under the new one.  Returns the number of
+        sources swapped.
+        """
+        if self.combined_evaluator is None:
+            return 0
+        by_name = {policy.name: policy for policy in snapshot.policies}
+        swapped = 0
+        for evaluator in self.combined_evaluator.evaluators:
+            policy = by_name.get(evaluator.source)
+            if policy is not None and policy is not evaluator.policy:
+                evaluator.replace_policy(policy)
+                swapped += 1
+        if swapped and self.telemetry is not None:
+            self.telemetry.count("policy_swap_total", float(swapped))
+        return swapped
+
+    def watch_policy_files(
+        self, paths, interval: float = 5.0
+    ) -> PolicyWatcher:
+        """Start hot reload: poll *paths* (``(source, path)`` pairs)
+        every *interval* simulated seconds through the policy store."""
+        store = self.config.policy_store
+        if store is None:
+            raise ValueError(
+                "watch_policy_files needs ServiceConfig.policy_store"
+            )
+        watcher = PolicyWatcher(
+            store, paths, clock=self.clock, interval=interval
+        )
+        watcher.start()
+        self.policy_watcher = watcher
+        return watcher
+
+    def reload_callouts(self, path: str) -> int:
+        """(Re)apply a callout configuration file, epoch-aware.
+
+        Byte-identical content is a no-op — zero callouts reloaded,
+        no epoch bump, every outstanding capability token survives.
+        Changed content replaces the callouts the file previously
+        configured, bumps the registry epoch (revoking capabilities
+        and invalidating the decision cache, fail-closed) and, on a
+        hardened service, wraps the fresh callouts in the resilience
+        layer like the originals.
+        """
+        count = self.registry.configure_from_file(path, reload=True)
+        if count and self.resilience is not None:
+            resilience = self.resilience
+            epoch_source = self.combined_evaluator
+
+            def wrapper(label, callout):
+                return resilience.wrap(
+                    callout, name=label, epoch_source=epoch_source
+                )
+
+            for type_name, label in self.registry.file_labels(path):
+                self.registry.wrap(type_name, wrapper, label=label)
+        return count
+
+    def _recover_completed_jobs(self) -> None:
+        """Replay the spill file into the completed-job store.
+
+        Restores the simulated clock to the latest spilled timestamp
+        first, so recovered records age exactly as they would have on
+        the uninterrupted service.
+        """
+        result = self.spill.recover()
+        if result.last_at > self.clock.now:
+            self.clock.advance(result.last_at - self.clock.now)
+        if result.records:
+            self.shard_state.completed.preload(result.records)
+        self.recovery = result
+        if self.telemetry is not None and (
+            result.replayed_lines or result.skipped_lines
+        ):
+            self.telemetry.count(
+                "gram_recovery_records_total", float(len(result.records))
+            )
+            if result.skipped_lines:
+                self.telemetry.count(
+                    "gram_recovery_skipped_lines_total",
+                    float(result.skipped_lines),
+                )
+
     # -- internals ---------------------------------------------------------------
 
     def _build_health(self) -> Optional[HealthMonitor]:
@@ -407,9 +599,9 @@ class GramService:
             self.registry.register(GRAM_AUTHZ_CALLOUT, initiator_only)
             self._register_gatekeeper_callout(initiator_only)
             return
-        if self.config.policies:
+        if self._effective_policies:
             callout = combined_policy_callout(
-                list(self.config.policies),
+                list(self._effective_policies),
                 algorithm=self.config.combination,
                 registry=self.telemetry.registry if self.telemetry else None,
             )
@@ -443,6 +635,14 @@ class GramService:
             # change must revoke like any policy change.
             epoch_sources.append(("policy", self.combined_evaluator))
         epoch_sources.append(("gridmap", self.gridmap))
+        # The callout registry is an epoch source too: a *changed*
+        # callout configuration file must revoke (the new chain could
+        # deny what the old one permitted), while the digest
+        # short-circuit keeps a byte-identical republish from revoking
+        # anything.
+        epoch_sources.append(("callouts", self.registry))
+        if self.config.policy_store is not None:
+            epoch_sources.append(("store", self.config.policy_store))
         issuer = CapabilityIssuer(
             key=key,
             clock=self.clock,
@@ -473,6 +673,9 @@ class GramService:
         epoch_sources = (
             [self.combined_evaluator] if self.combined_evaluator is not None else []
         )
+        epoch_sources.append(self.registry)
+        if self.config.policy_store is not None:
+            epoch_sources.append(self.config.policy_store)
         return DecisionCache(epoch_sources=epoch_sources)
 
     def _build_enforcement(self) -> Optional[EnforcementMechanism]:

@@ -324,3 +324,107 @@ class TestAuthzExplain:
     def test_bad_policy_path_is_usage_error(self, tmp_path):
         missing = str(tmp_path / "missing.policy")
         assert main(["authz", "explain", missing, "--subject", ALICE]) == 2
+
+
+class TestPolicyStoreCommands:
+    def publish(self, store, policy_file, name="vo"):
+        return main(
+            ["policy", "publish", "--store", store, f"{name}={policy_file}"]
+        )
+
+    def test_publish_and_log(self, policy_file, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert self.publish(store, policy_file) == 0
+        out = capsys.readouterr().out
+        assert "published epoch 1" in out
+
+        assert main(["policy", "log", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "epoch    1" in out
+        assert "sources=vo" in out
+
+    def test_identical_republish_is_a_noop(self, policy_file, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        self.publish(store, policy_file)
+        capsys.readouterr()
+        assert self.publish(store, policy_file) == 0
+        assert "no-op" in capsys.readouterr().out
+
+    def test_broken_bundle_rejected_exit_two(
+        self, policy_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        self.publish(store, policy_file)
+        broken = tmp_path / "broken.policy"
+        broken.write_text("&(not a policy")
+        assert self.publish(store, str(broken)) == 2
+        assert "rejected" in capsys.readouterr().err
+
+        # The store still serves the prior publish.
+        capsys.readouterr()
+        main(["policy", "log", "--store", store])
+        assert "epoch    2" not in capsys.readouterr().out
+
+    def test_rollback_republishes_old_content(
+        self, policy_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        self.publish(store, policy_file)
+        second = tmp_path / "v2.policy"
+        second.write_text(GOOD_POLICY + "    &(action=information)\n")
+        self.publish(store, str(second))
+        capsys.readouterr()
+        assert main(["policy", "rollback", "--store", store]) == 0
+        assert "epoch 3" in capsys.readouterr().out
+
+    def test_rollback_past_history_is_usage_error(
+        self, policy_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store.jsonl")
+        self.publish(store, policy_file)
+        assert main(["policy", "rollback", "--store", store, "--steps", "9"]) == 2
+
+    def test_malformed_source_pair_is_usage_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store.jsonl")
+        assert main(["policy", "publish", "--store", store, "vo.policy"]) == 2
+
+
+class TestRecoverCommand:
+    def make_spill(self, tmp_path):
+        from repro.gram.spill import CompletedJobSpill
+        from tests.gram.test_spill_recovery import make_record
+
+        path = str(tmp_path / "spill.jsonl")
+        spill = CompletedJobSpill(path)
+        spill.append_insert(make_record("1", finished_at=10.0))
+        spill.append_insert(make_record("2", finished_at=20.0))
+        spill.append_evict("1", "count", at=25.0)
+        return path
+
+    def test_reports_live_records(self, tmp_path, capsys):
+        path = self.make_spill(tmp_path)
+        assert main(["recover", path]) == 0
+        out = capsys.readouterr().out
+        assert "records  : 1 live" in out
+        assert "job 2" in out
+
+    def test_json_summary(self, tmp_path, capsys):
+        import json
+
+        path = self.make_spill(tmp_path)
+        assert main(["recover", path, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["records"] == 1
+        assert summary["evicted"] == 1
+        assert summary["last_at"] == 25.0
+        assert summary["jobs"][0]["job_id"] == "2"
+
+    def test_garbled_tail_reported_not_fatal(self, tmp_path, capsys):
+        path = self.make_spill(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "insert", "trunc')
+        assert main(["recover", path]) == 0
+        assert "skipped  : 1" in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        assert main(["recover", str(tmp_path / "missing.jsonl")]) == 2
